@@ -1,0 +1,75 @@
+// Micro-benchmark of per-instance dispatch overhead (google-benchmark).
+//
+// Runs a pipeline of empty-body kernels through the full runtime and
+// reports the time per kernel instance — the framework cost the paper's
+// dispatch-time columns capture, isolated from any real kernel work.
+#include <benchmark/benchmark.h>
+
+#include "core/context.h"
+#include "core/runtime.h"
+
+namespace p2g {
+namespace {
+
+/// source -> stage(x) -> sink over `elements`-wide fields for `ages` ages.
+Program dispatch_program(int elements, int ages) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.field("b", nd::ElementType::kInt32, 1);
+  pb.kernel("source")
+      .store("v", "a", AgeExpr::relative(0), Slice::whole())
+      .body([elements, ages](KernelContext& ctx) {
+        if (ctx.age() >= ages) return;
+        nd::AnyBuffer v(nd::ElementType::kInt32, nd::Extents({elements}));
+        ctx.store_array("v", std::move(v));
+        ctx.continue_next_age();
+      });
+  pb.kernel("stage")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "b", AgeExpr::relative(0), Slice().var("x"))
+      .body([](KernelContext& ctx) {
+        ctx.store_scalar<int32_t>("out", ctx.fetch_scalar<int32_t>("in"));
+      });
+  return pb.build();
+}
+
+void BM_DispatchPerInstance(benchmark::State& state) {
+  const int elements = static_cast<int>(state.range(0));
+  const int ages = 50;
+  int64_t instances = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.workers = 2;
+    Runtime rt(dispatch_program(elements, ages), opts);
+    const RunReport report = rt.run();
+    instances += report.instrumentation.find("stage")->instances;
+  }
+  state.SetItemsProcessed(instances);
+  state.counters["sec_per_instance"] = benchmark::Counter(
+      static_cast<double>(instances),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_DispatchPerInstance)->Arg(16)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DispatchChunked(benchmark::State& state) {
+  const int64_t chunk = state.range(0);
+  int64_t instances = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.workers = 2;
+    opts.kernel_schedules["stage"].chunk = chunk;
+    Runtime rt(dispatch_program(1024, 20), opts);
+    const RunReport report = rt.run();
+    instances += report.instrumentation.find("stage")->instances;
+  }
+  state.SetItemsProcessed(instances);
+}
+BENCHMARK(BM_DispatchChunked)->Arg(1)->Arg(16)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace p2g
+
+BENCHMARK_MAIN();

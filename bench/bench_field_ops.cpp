@@ -1,0 +1,107 @@
+// Micro-benchmarks of field storage primitives (google-benchmark): the
+// write-once store path, region fetches, sealing and implicit resizing.
+// These are the per-operation costs underneath every dispatch-time figure
+// in Tables II/III.
+#include <benchmark/benchmark.h>
+
+#include "core/field.h"
+
+namespace p2g {
+namespace {
+
+FieldDecl make_decl(size_t rank) {
+  FieldDecl d;
+  d.id = 0;
+  d.name = "bench";
+  d.type = nd::ElementType::kInt32;
+  d.rank = rank;
+  return d;
+}
+
+void BM_StoreScalarWriteOnce(benchmark::State& state) {
+  const int32_t value = 42;
+  int64_t age = 0;
+  FieldStorage fs(make_decl(1));
+  fs.seal(age, nd::Extents({1 << 20}));
+  int64_t index = 0;
+  for (auto _ : state) {
+    fs.store(age, nd::Region::point({index}),
+             reinterpret_cast<const std::byte*>(&value));
+    if (++index == (1 << 20)) {  // fresh age when the bitmap is full
+      index = 0;
+      ++age;
+      fs.seal(age, nd::Extents({1 << 20}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreScalarWriteOnce);
+
+void BM_StoreWholeField(benchmark::State& state) {
+  const int64_t elements = state.range(0);
+  nd::AnyBuffer payload(nd::ElementType::kInt32, nd::Extents({elements}));
+  FieldStorage fs(make_decl(1));
+  int64_t age = 0;
+  for (auto _ : state) {
+    fs.store_whole(age++, payload);
+  }
+  state.SetBytesProcessed(state.iterations() * elements * 4);
+}
+BENCHMARK(BM_StoreWholeField)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_FetchBlock(benchmark::State& state) {
+  FieldStorage fs(make_decl(3));
+  nd::AnyBuffer frame(nd::ElementType::kInt32, nd::Extents({36, 44, 64}));
+  fs.store_whole(0, frame);
+  const nd::Region block(std::vector<nd::Interval>{
+      {10, 11}, {20, 21}, {0, 64}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.fetch(0, block));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchBlock);
+
+void BM_RegionWrittenCheck(benchmark::State& state) {
+  FieldStorage fs(make_decl(2));
+  nd::AnyBuffer data(nd::ElementType::kInt32, nd::Extents({512, 512}));
+  fs.store_whole(0, data);
+  const nd::Region row(std::vector<nd::Interval>{{100, 101}, {0, 512}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.region_written(0, row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegionWrittenCheck);
+
+void BM_ImplicitResizeDoubling(benchmark::State& state) {
+  const int32_t value = 7;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FieldStorage fs(make_decl(1));
+    state.ResumeTiming();
+    // Repeatedly store just past the end: each store grows the extents.
+    for (int64_t i = 0; i < 64; ++i) {
+      fs.store(0, nd::Region::point({i * 17}),
+               reinterpret_cast<const std::byte*>(&value));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ImplicitResizeDoubling);
+
+void BM_SealAndComplete(benchmark::State& state) {
+  FieldStorage fs(make_decl(1));
+  nd::AnyBuffer data(nd::ElementType::kInt32, nd::Extents({4096}));
+  fs.store_whole(0, data);
+  fs.seal(0, nd::Extents({4096}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.is_complete(0));
+  }
+}
+BENCHMARK(BM_SealAndComplete);
+
+}  // namespace
+}  // namespace p2g
+
+BENCHMARK_MAIN();

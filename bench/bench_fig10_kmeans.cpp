@@ -1,0 +1,50 @@
+// Figure 10: K-means workload execution time vs. worker threads.
+//
+// The paper's key observation: the fine-grained assign kernel (one
+// instance per datapoint-centroid pair) floods the serial dependency
+// analyzer, so the workload scales only to a few workers and then
+// *degrades* as more workers contend with the analyzer thread.
+//
+// Defaults are scaled down (n=600, K=40); P2G_BENCH_FULL=1 restores the
+// paper's n=2000, K=100, 10 iterations, 10 runs.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "workloads/kmeans.h"
+
+using namespace p2g;
+
+int main() {
+  const bool full = bench::full_scale();
+  workloads::KmeansConfig config;
+  config.n = bench::env_int("P2G_N", full ? 2000 : 600);
+  config.k = bench::env_int("P2G_K", full ? 100 : 40);
+  config.iterations = bench::env_int("P2G_ITER", 10);
+  const int runs = bench::env_int("P2G_RUNS", full ? 10 : 3);
+  const int max_threads = bench::env_int("P2G_MAX_THREADS", 8);
+
+  std::printf("=== Figure 10: K-means workload execution time ===\n");
+  std::printf("n=%d datapoints, K=%d, %d iterations, %d runs per thread "
+              "count\n\n", config.n, config.k, config.iterations, runs);
+
+  bench::print_series_header("P2G execution node:");
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    RunningStat stat;
+    for (int r = 0; r < runs; ++r) {
+      workloads::KmeansWorkload workload;
+      workload.config = config;
+      RunOptions opts;
+      opts.workers = threads;
+      workload.apply_schedule(opts);
+      Runtime rt(workload.build(), opts);
+      const RunReport report = rt.run();
+      stat.add(report.wall_s);
+    }
+    bench::print_series_row(threads, stat);
+  }
+  std::printf("\n(The paper sees scaling up to ~4 workers, then the serial "
+              "dependency\nanalyzer saturates and adding workers increases "
+              "the running time.)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation: HLS partitioners (paper §IV — graph partitioning [17] vs.
+// search based [14]).
+//
+// Compares greedy growth, greedy+Kernighan-Lin and tabu search on the
+// final dependency graphs of the paper's workloads (instrumentation-
+// weighted) and on synthetic clustered graphs, reporting cut weight,
+// imbalance and solve time.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "graph/partition.h"
+#include "graph/tabu.h"
+#include "workloads/kmeans.h"
+#include "workloads/mjpeg_workload.h"
+#include "workloads/mul2plus5.h"
+
+using namespace p2g;
+
+namespace {
+
+graph::FinalGraph synthetic_clusters(int clusters, int per_cluster,
+                                     uint32_t seed) {
+  graph::FinalGraph g;
+  const int n = clusters * per_cluster;
+  for (int i = 0; i < n; ++i) {
+    g.kernel_names.push_back("k" + std::to_string(i));
+    g.node_weights.push_back(1.0 + (i * seed) % 5);
+  }
+  // Dense heavy edges inside clusters, light ring between them.
+  for (int c = 0; c < clusters; ++c) {
+    const int base = c * per_cluster;
+    for (int i = 0; i < per_cluster; ++i) {
+      for (int j = i + 1; j < per_cluster; ++j) {
+        g.edges.push_back(
+            graph::FinalGraph::Edge{base + i, base + j, 0, 0, 8.0});
+      }
+    }
+    const int next = ((c + 1) % clusters) * per_cluster;
+    g.edges.push_back(graph::FinalGraph::Edge{base, next, 0, 0, 1.0});
+  }
+  return g;
+}
+
+void evaluate(const char* label, const graph::FinalGraph& g, int parts) {
+  std::printf("%s (%zu kernels, %zu edges, %d parts)\n", label,
+              g.kernel_count(), g.edges.size(), parts);
+  std::printf("  %-12s %10s %10s %10s\n", "method", "cut", "imbalance",
+              "ms");
+
+  {
+    Stopwatch sw;
+    const graph::Partition p = graph::greedy_partition(g, parts);
+    std::printf("  %-12s %10.1f %10.3f %10.3f\n", "greedy",
+                p.cut_weight(g), p.imbalance(g), sw.elapsed_ms());
+  }
+  {
+    Stopwatch sw;
+    const graph::Partition p = graph::partition_graph(g, parts);
+    std::printf("  %-12s %10.1f %10.3f %10.3f\n", "greedy+KL",
+                p.cut_weight(g), p.imbalance(g), sw.elapsed_ms());
+  }
+  {
+    Stopwatch sw;
+    const graph::Partition p = graph::tabu_partition(g, parts);
+    std::printf("  %-12s %10.1f %10.3f %10.3f\n", "tabu",
+                p.cut_weight(g), p.imbalance(g), sw.elapsed_ms());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: HLS partitioners ===\n\n");
+
+  {
+    workloads::Mul2Plus5 workload;
+    graph::FinalGraph g =
+        graph::FinalGraph::from_program(workload.build());
+    evaluate("mul2/plus5 final graph", g, 2);
+  }
+  {
+    workloads::KmeansWorkload workload;
+    graph::FinalGraph g =
+        graph::FinalGraph::from_program(workload.build());
+    // Weight like a profiled run: assign dominates.
+    InstrumentationReport profile;
+    for (const char* name : {"init", "assign", "refine", "print"}) {
+      KernelStats stats;
+      stats.name = name;
+      stats.instances = std::string(name) == "assign" ? 2'000'000 : 1'000;
+      stats.kernel_ns = stats.instances * 7'000;
+      profile.kernels.push_back(stats);
+    }
+    g.apply_instrumentation(profile);
+    evaluate("k-means final graph (profile weighted)", g, 2);
+  }
+  evaluate("synthetic 4x8 clusters", synthetic_clusters(4, 8, 3), 4);
+  evaluate("synthetic 8x12 clusters", synthetic_clusters(8, 12, 7), 8);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table I: overview of test machines.
+//
+// The paper lists its two testbeds (4-way Core i7 860, 8-way Opteron
+// 8218). We obviously run on whatever host executes this reproduction, so
+// this bench prints the host's description in the same format, which
+// EXPERIMENTS.md pairs with the paper's table.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace {
+
+std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+int physical_cores() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  std::set<std::pair<std::string, std::string>> cores;
+  std::string physical_id = "0";
+  while (std::getline(in, line)) {
+    if (line.rfind("physical id", 0) == 0) {
+      physical_id = line.substr(line.find(':') + 1);
+    } else if (line.rfind("core id", 0) == 0) {
+      cores.emplace(physical_id, line.substr(line.find(':') + 1));
+    }
+  }
+  return cores.empty()
+             ? static_cast<int>(std::thread::hardware_concurrency())
+             : static_cast<int>(cores.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: overview of test machines ===\n\n");
+  std::printf("Paper:\n");
+  std::printf("  4-way Intel Core i7 860 2.8 GHz (Nehalem), 4 cores / 8 "
+              "threads\n");
+  std::printf("  8-way AMD Opteron 8218 2.6 GHz (Santa Rosa), 8 cores / 8 "
+              "threads\n\n");
+  std::printf("This host:\n");
+  std::printf("  %-18s %s\n", "CPU-name", cpu_model().c_str());
+  std::printf("  %-18s %d\n", "Physical cores", physical_cores());
+  std::printf("  %-18s %u\n", "Logical threads",
+              std::thread::hardware_concurrency());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the reproduction benches.
+//
+// Every figure/table binary runs with sensible defaults sized for a small
+// CI machine; set P2G_BENCH_FULL=1 to run at the paper's exact scale
+// (50-frame CIF MJPEG, n=2000/K=100 k-means, 10 runs per thread count).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+
+namespace p2g::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("P2G_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoi(env) : fallback;
+}
+
+/// "threads  mean_s  stddev_s" row (the data behind Figs. 9/10 error bars).
+inline void print_series_row(int threads, const RunningStat& stat) {
+  std::printf("%7d  %10.3f  %9.3f\n", threads, stat.mean(), stat.stddev());
+}
+
+inline void print_series_header(const char* label) {
+  std::printf("%s\n%7s  %10s  %9s\n", label, "threads", "mean_s",
+              "stddev_s");
+}
+
+}  // namespace p2g::bench

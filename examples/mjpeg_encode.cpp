@@ -1,0 +1,74 @@
+// MJPEG encoding on the P2G runtime (the paper's headline workload).
+//
+// Usage:
+//   mjpeg_encode [output.mjpeg] [frames] [workers] [input.yuv width height]
+//
+// Without an input file a deterministic synthetic CIF sequence stands in
+// for the paper's Foreman clip. The program encodes through the P2G
+// pipeline (read/splitYUV -> y/u/vDCT -> VLC/write), verifies the result
+// against the single-threaded standalone encoder, and prints the
+// per-kernel micro-benchmark table.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/runtime.h"
+#include "media/avi.h"
+#include "workloads/mjpeg_workload.h"
+#include "workloads/standalone_mjpeg.h"
+
+using namespace p2g;
+
+int main(int argc, char** argv) {
+  const char* output_path = argc > 1 ? argv[1] : "out.mjpeg";
+  const int frames = argc > 2 ? std::atoi(argv[2]) : 25;
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  auto video = std::make_shared<media::YuvVideo>();
+  if (argc > 6) {
+    *video = media::read_yuv_file(argv[4], std::atoi(argv[5]),
+                                  std::atoi(argv[6]));
+    if (frames > 0 &&
+        video->frames.size() > static_cast<size_t>(frames)) {
+      video->frames.resize(static_cast<size_t>(frames));
+    }
+    std::printf("input: %s (%dx%d, %zu frames)\n", argv[4], video->width,
+                video->height, video->frames.size());
+  } else {
+    *video = media::generate_synthetic_video(352, 288, frames);
+    std::printf("input: synthetic CIF clip, %d frames\n", frames);
+  }
+
+  workloads::MjpegWorkload workload;
+  workload.video = video;
+  RunOptions options;
+  options.workers = workers;
+  Runtime runtime(workload.build(), options);
+  const RunReport report = runtime.run();
+
+  if (std::string(output_path).size() > 4 &&
+      std::string(output_path).substr(std::string(output_path).size() - 4) ==
+          ".avi") {
+    media::write_avi_file(output_path,
+                          media::split_mjpeg(workload.output->stream()),
+                          media::AviInfo{video->width, video->height, 25});
+  } else {
+    workload.output->write_file(output_path);
+  }
+  std::printf("encoded %zu frames -> %s (%zu bytes) in %.3f s\n\n",
+              workload.output->frame_count(), output_path,
+              workload.output->byte_count(), report.wall_s);
+  std::printf("%s\n", report.instrumentation.to_table().c_str());
+
+  // Cross-check against the baseline encoder: must be bit-exact.
+  const media::MjpegWriter reference =
+      workloads::encode_mjpeg_standalone(*video);
+  if (reference.stream() == workload.output->stream()) {
+    std::printf("verified: bit-exact with the standalone single-threaded "
+                "encoder\n");
+  } else {
+    std::printf("ERROR: output differs from the standalone encoder!\n");
+    return 1;
+  }
+  return 0;
+}

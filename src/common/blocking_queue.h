@@ -1,0 +1,74 @@
+// Unbounded MPSC/MPMC blocking queue used for the dependency analyzer's
+// event stream. The paper's runtime pushes store/resize events from worker
+// threads into a dedicated analyzer thread; this queue is that channel.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace p2g {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Pushes an item and wakes one waiter.
+  void push(T item) {
+    {
+      std::scoped_lock lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is closed.
+  /// Returns nullopt only after close() with an empty queue.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the queue; subsequent pops drain remaining items then fail.
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace p2g

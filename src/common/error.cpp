@@ -1,0 +1,35 @@
+#include "common/error.h"
+
+namespace p2g {
+
+std::string_view to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kWriteOnceViolation: return "write-once-violation";
+    case ErrorKind::kTypeMismatch: return "type-mismatch";
+    case ErrorKind::kShapeMismatch: return "shape-mismatch";
+    case ErrorKind::kOutOfRange: return "out-of-range";
+    case ErrorKind::kInvalidArgument: return "invalid-argument";
+    case ErrorKind::kParse: return "parse-error";
+    case ErrorKind::kSema: return "semantic-error";
+    case ErrorKind::kIo: return "io-error";
+    case ErrorKind::kProtocol: return "protocol-error";
+    case ErrorKind::kDeadline: return "deadline-expired";
+    case ErrorKind::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorKind kind, const std::string& message)
+    : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+      kind_(kind) {}
+
+void throw_error(ErrorKind kind, const std::string& message) {
+  throw Error(kind, message);
+}
+
+void internal_error(const std::string& message) {
+  throw Error(ErrorKind::kInternal, message);
+}
+
+}  // namespace p2g

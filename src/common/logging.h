@@ -1,0 +1,48 @@
+// Minimal leveled logger. Thread-safe, writes to stderr. The runtime logs
+// scheduling decisions at Debug level so tests stay quiet by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace p2g {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line ("[level] message") to stderr under a lock.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace p2g
+
+#define P2G_LOG(level)                      \
+  if (::p2g::log_level() > (level)) {       \
+  } else                                    \
+    ::p2g::detail::LogLine(level)
+
+#define P2G_DEBUG P2G_LOG(::p2g::LogLevel::kDebug)
+#define P2G_INFO P2G_LOG(::p2g::LogLevel::kInfo)
+#define P2G_WARN P2G_LOG(::p2g::LogLevel::kWarn)
+#define P2G_ERROR P2G_LOG(::p2g::LogLevel::kError)

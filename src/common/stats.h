@@ -1,0 +1,42 @@
+// Streaming statistics (Welford) used by instrumentation and the benchmark
+// harnesses that reproduce the paper's mean-and-stddev error bars.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2g {
+
+/// Accumulates count/mean/variance/min/max in O(1) space (Welford's method).
+class RunningStat {
+ public:
+  void add(double x);
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+  void reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  /// "mean ± stddev (n=count)" for reports.
+  std::string summary() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile over a sample vector (nearest-rank); `p` in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace p2g

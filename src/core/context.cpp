@@ -1,0 +1,70 @@
+#include "core/context.h"
+
+#include <algorithm>
+
+namespace p2g {
+
+KernelContext::KernelContext(const KernelDef& def, Age age, nd::Coord indices,
+                             TimerSet* timers)
+    : def_(&def),
+      age_(age),
+      indices_(std::move(indices)),
+      timers_(timers),
+      fetches_(def.fetches.size()) {}
+
+int64_t KernelContext::index(size_t var) const {
+  check_argument(var < indices_.size(), "index variable position out of "
+                                        "range");
+  return indices_[var];
+}
+
+int64_t KernelContext::index(std::string_view name) const {
+  const auto it = std::find(def_->index_vars.begin(), def_->index_vars.end(),
+                            name);
+  check_argument(it != def_->index_vars.end(),
+                 "unknown index variable '" + std::string(name) + "'");
+  return indices_[static_cast<size_t>(it - def_->index_vars.begin())];
+}
+
+const nd::AnyBuffer& KernelContext::fetch_array(std::string_view slot) const {
+  const int i = def_->fetch_slot(slot);
+  check_argument(i >= 0, "kernel '" + def_->name + "' has no fetch slot '" +
+                             std::string(slot) + "'");
+  check_internal(fetches_[static_cast<size_t>(i)].has_value(),
+                 "fetch slot '" + std::string(slot) + "' was not prepared");
+  return *fetches_[static_cast<size_t>(i)];
+}
+
+void KernelContext::store_array(std::string_view slot, nd::AnyBuffer data) {
+  const int i = def_->store_slot(slot);
+  check_argument(i >= 0, "kernel '" + def_->name + "' has no store slot '" +
+                             std::string(slot) + "'");
+  for (const PendingStore& p : stores_) {
+    if (p.decl == static_cast<size_t>(i)) {
+      throw_error(ErrorKind::kWriteOnceViolation,
+                  "kernel '" + def_->name + "' stored slot '" +
+                      std::string(slot) + "' twice in one instance");
+    }
+  }
+  stores_.push_back(PendingStore{static_cast<size_t>(i), std::move(data)});
+}
+
+TimerSet& KernelContext::timers() const {
+  check_internal(timers_ != nullptr, "no timer set attached to context");
+  return *timers_;
+}
+
+void KernelContext::set_fetch(size_t slot, nd::AnyBuffer data) {
+  check_internal(slot < fetches_.size(), "set_fetch slot out of range");
+  fetches_[slot] = std::move(data);
+}
+
+const KernelContext::PendingStore* KernelContext::pending_store(
+    size_t decl) const {
+  for (const PendingStore& p : stores_) {
+    if (p.decl == decl) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace p2g

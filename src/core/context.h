@@ -1,0 +1,97 @@
+// KernelContext: the interface a kernel body uses to reach its fetched
+// slices, buffer its stores, query its age/index bindings, and poll
+// deadline timers.
+//
+// Stores are buffered and committed by the worker after the body returns;
+// this both matches the paper's deferred-store semantics under kernel
+// fusion (§V-A, Age=3 in Fig. 4) and keeps write-once violations
+// attributable to a single instance.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "core/kernel.h"
+#include "core/timer.h"
+#include "nd/buffer.h"
+
+namespace p2g {
+
+class KernelContext {
+ public:
+  KernelContext(const KernelDef& def, Age age, nd::Coord indices,
+                TimerSet* timers);
+
+  const KernelDef& def() const { return *def_; }
+  Age age() const { return age_; }
+
+  /// Value of an index variable by position or by name.
+  int64_t index(size_t var) const;
+  int64_t index(std::string_view name) const;
+  const nd::Coord& indices() const { return indices_; }
+
+  // --- fetched data -------------------------------------------------------
+
+  /// The fetched slice for a slot, shaped like the resolved region.
+  const nd::AnyBuffer& fetch_array(std::string_view slot) const;
+
+  /// Single-element fetch as a scalar.
+  template <typename T>
+  T fetch_scalar(std::string_view slot) const {
+    const nd::AnyBuffer& buf = fetch_array(slot);
+    check_argument(buf.element_count() == 1,
+                   "fetch_scalar on a non-scalar slice");
+    return buf.data<T>()[0];
+  }
+
+  // --- stores (buffered until the body returns) ---------------------------
+
+  /// Stores a payload for a slot. For elementwise slices the payload must
+  /// hold exactly one element; for slices with `all()` dimensions or whole-
+  /// field stores, the payload supplies those extents.
+  void store_array(std::string_view slot, nd::AnyBuffer data);
+
+  template <typename T>
+  void store_scalar(std::string_view slot, T value) {
+    nd::AnyBuffer buf(nd::element_type_of<T>(), nd::Extents({1}));
+    buf.template data<T>()[0] = value;
+    store_array(slot, std::move(buf));
+  }
+
+  // --- source-kernel control ----------------------------------------------
+
+  /// Requests the next age of a source kernel (the paper's read kernel
+  /// keeps calling this until end-of-stream).
+  void continue_next_age() { continue_ = true; }
+  bool continue_requested() const { return continue_; }
+
+  // --- deadlines ------------------------------------------------------------
+
+  TimerSet& timers() const;
+
+  // --- worker-facing (not for kernel bodies) -------------------------------
+
+  void set_fetch(size_t slot, nd::AnyBuffer data);
+
+  struct PendingStore {
+    size_t decl = 0;
+    nd::AnyBuffer data;
+  };
+  const std::vector<PendingStore>& pending_stores() const { return stores_; }
+
+  /// Pending store for a given decl index, or nullptr.
+  const PendingStore* pending_store(size_t decl) const;
+
+ private:
+  const KernelDef* def_;
+  Age age_;
+  nd::Coord indices_;
+  TimerSet* timers_;
+  std::vector<std::optional<nd::AnyBuffer>> fetches_;
+  std::vector<PendingStore> stores_;
+  bool continue_ = false;
+};
+
+}  // namespace p2g

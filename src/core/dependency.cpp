@@ -1,0 +1,527 @@
+#include "core/dependency.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace p2g {
+
+namespace {
+
+/// Sentinel upper bound for "unknown domain, hope the event constrains it".
+constexpr int64_t kHuge = std::numeric_limits<int64_t>::max() / 4;
+
+bool has_all_dim(const nd::SliceSpec& slice) {
+  if (slice.is_whole()) return false;
+  for (const nd::SliceDim& d : slice.dims()) {
+    if (d.kind == nd::SliceDim::Kind::kAll) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Age> DependencyAnalyzer::first_feasible_ages(
+    const Program& program) {
+  const size_t nk = program.kernels().size();
+  const size_t nf = program.fields().size();
+  // first_age[F]: minimal age at which field F can receive data.
+  std::vector<Age> field_first(nf, kInfeasible);
+  std::vector<Age> kernel_first(nk, kInfeasible);
+
+  // Monotone relaxation: values only decrease, bounded below by 0.
+  for (size_t round = 0; round < nk + nf + 8; ++round) {
+    bool changed = false;
+    for (const KernelDef& k : program.kernels()) {
+      Age first;
+      if (k.fetches.empty()) {
+        first = 0;  // run-once and source kernels start immediately
+      } else {
+        first = 0;
+        for (const FetchDecl& f : k.fetches) {
+          const Age ff = field_first[static_cast<size_t>(f.field)];
+          if (ff >= kInfeasible) {
+            first = kInfeasible;
+            break;
+          }
+          if (f.age.kind == AgeExpr::Kind::kRelative) {
+            // Need a + offset >= ff and a + offset >= 0.
+            first = std::max(first, ff - f.age.value);
+            first = std::max(first, -f.age.value);
+          } else if (f.age.value < ff) {
+            first = kInfeasible;  // constant age never written
+            break;
+          }
+        }
+      }
+      if (first < kernel_first[k.id]) {
+        kernel_first[static_cast<size_t>(k.id)] = first;
+        changed = true;
+      }
+      if (kernel_first[static_cast<size_t>(k.id)] >= kInfeasible) continue;
+      for (const StoreDecl& s : k.stores) {
+        const Age target =
+            s.age.kind == AgeExpr::Kind::kConst
+                ? s.age.value
+                : kernel_first[static_cast<size_t>(k.id)] + s.age.value;
+        if (target >= 0 &&
+            target < field_first[static_cast<size_t>(s.field)]) {
+          field_first[static_cast<size_t>(s.field)] = target;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return kernel_first;
+}
+
+DependencyAnalyzer::DependencyAnalyzer(Runtime& runtime)
+    : runtime_(runtime), program_(runtime.program()) {
+  const std::vector<Age> first = first_feasible_ages(program_);
+  for (const KernelDef& k : program_.kernels()) {
+    if (k.serial && first[static_cast<size_t>(k.id)] < kInfeasible) {
+      serial_[k.id].next = first[static_cast<size_t>(k.id)];
+    }
+  }
+}
+
+void DependencyAnalyzer::bootstrap() {
+  for (const KernelDef& def : program_.kernels()) {
+    if (!runtime_.kernel_enabled(def.id)) continue;
+    if (def.is_run_once() && def.fetches.empty()) {
+      create_instance(def, 0, {});
+    } else if (def.is_source()) {
+      const InstanceKey key{def.id, 0, {}};
+      dispatched_.insert(key);
+      WorkItem item;
+      item.kernel = def.id;
+      item.age = 0;
+      item.coords = {nd::Coord{}};
+      item.enqueue_ns = now_ns();
+      runtime_.submit(std::move(item));
+    }
+  }
+  flush_chunks();
+}
+
+void DependencyAnalyzer::handle(const Event& event) {
+  if (const auto* store = std::get_if<StoreEvent>(&event)) {
+    handle_store(*store);
+  } else if (const auto* done = std::get_if<InstanceDoneEvent>(&event)) {
+    handle_done(*done);
+  }
+  flush_chunks();
+  // Periodically revisit the data-granularity decisions (paper §V-A).
+  if ((++events_handled_ & 0x3FF) == 0) runtime_.adapt_granularity();
+}
+
+void DependencyAnalyzer::handle_store(const StoreEvent& event) {
+  FieldAgeState& state = fa_states_[{event.field, event.age}];
+
+  if (event.producer != kInvalidKernel) {
+    const ProducerKey key{event.producer, event.store_decl};
+    if (event.whole) {
+      state.satisfied.emplace(key, event.region.required_extents());
+    } else {
+      const KernelDef& producer = program_.kernel(event.producer);
+      const nd::SliceSpec& slice = producer.stores[event.store_decl].slice;
+      const bool needs_witness =
+          has_all_dim(slice) || producer.is_source() ||
+          producer.is_run_once();
+      if (needs_witness && !state.witnesses.count(key)) {
+        std::vector<int64_t> lengths(slice.dims().size(), -1);
+        for (size_t i = 0; i < slice.dims().size(); ++i) {
+          if (slice.dims()[i].kind == nd::SliceDim::Kind::kAll) {
+            lengths[i] = event.region.interval(i).length();
+          }
+        }
+        state.witnesses.emplace(key, std::move(lengths));
+      }
+    }
+  }
+
+  check_seal(event.field, event.age);
+  drain_seal_worklist();
+  scan_consumers(event.field, event.age, &event.region);
+}
+
+void DependencyAnalyzer::handle_done(const InstanceDoneEvent& event) {
+  const KernelDef& def = program_.kernel(event.kernel);
+
+  if (def.serial) {
+    SerialState& state = serial_[def.id];
+    state.in_flight = false;
+    state.next = event.age + 1;
+    const auto it = state.parked.find(state.next);
+    if (it != state.parked.end()) {
+      WorkItem item = std::move(it->second);
+      state.parked.erase(it);
+      state.in_flight = true;
+      runtime_.submit(std::move(item), /*already_counted=*/true);
+    }
+  }
+
+  if (def.is_source() && event.continue_next_age) {
+    const Age next = event.age + 1;
+    if (next <= runtime_.cap_of(def.id)) {
+      const InstanceKey key{def.id, next, {}};
+      if (dispatched_.insert(key).second) {
+        WorkItem item;
+        item.kernel = def.id;
+        item.age = next;
+        item.coords = {nd::Coord{}};
+        item.enqueue_ns = now_ns();
+        runtime_.submit(std::move(item));
+      }
+    }
+  }
+}
+
+void DependencyAnalyzer::check_seal(FieldId field, Age age) {
+  FieldAgeState& state = fa_states_[{field, age}];
+  if (state.sealed) return;
+
+  // Enumerate the producers of this (field, age).
+  struct ActiveProducer {
+    ProducerKey key;
+    Age instance_age;
+    const StoreDecl* decl;
+    const KernelDef* kernel;
+  };
+  std::vector<ActiveProducer> producers;
+  for (const Program::Use& use : program_.producers_of(field)) {
+    const KernelDef& k = program_.kernel(use.kernel);
+    const StoreDecl& d = k.stores[use.statement];
+    Age instance_age;
+    if (d.age.kind == AgeExpr::Kind::kConst) {
+      if (d.age.value != age) continue;
+      instance_age = 0;  // run-once semantics; aged kernels with const
+                         // stores contribute via witnesses below
+    } else {
+      instance_age = age - d.age.value;
+      if (instance_age < 0 || instance_age > runtime_.cap_of(k.id)) continue;
+    }
+    producers.push_back(
+        ActiveProducer{ProducerKey{k.id, use.statement}, instance_age, &d, &k});
+  }
+  if (producers.empty()) return;  // nothing will ever define this age
+
+  nd::Extents extents;
+  bool first = true;
+  for (const ActiveProducer& p : producers) {
+    nd::Extents contribution;
+    const auto sat = state.satisfied.find(p.key);
+    if (sat != state.satisfied.end()) {
+      contribution = sat->second;  // whole-store producers
+    } else if (p.decl->slice.is_whole()) {
+      return;  // whole store not seen yet
+    } else {
+      // Elementwise producer: extents derive from its index domain plus a
+      // witness store for all() dimensions / witness-only producers.
+      const bool needs_witness = has_all_dim(p.decl->slice) ||
+                                 p.kernel->is_source() ||
+                                 p.kernel->is_run_once();
+      const std::vector<int64_t>* witness = nullptr;
+      if (needs_witness) {
+        const auto wit = state.witnesses.find(p.key);
+        if (wit == state.witnesses.end()) return;  // no witness yet
+        witness = &wit->second;
+      }
+      std::optional<std::vector<int64_t>> domain;
+      if (!p.kernel->index_vars.empty()) {
+        domain = domain_of(*p.kernel, p.instance_age);
+        if (!domain) return;  // domain not known yet
+      }
+      std::vector<int64_t> dims(p.decl->slice.dims().size(), 0);
+      for (size_t i = 0; i < dims.size(); ++i) {
+        const nd::SliceDim& sd = p.decl->slice.dims()[i];
+        switch (sd.kind) {
+          case nd::SliceDim::Kind::kVar:
+            dims[i] = (*domain)[static_cast<size_t>(sd.var)];
+            break;
+          case nd::SliceDim::Kind::kConst:
+            dims[i] = sd.value + 1;
+            break;
+          case nd::SliceDim::Kind::kAll:
+            dims[i] = (*witness)[i];
+            break;
+        }
+      }
+      contribution = nd::Extents(std::move(dims));
+    }
+    extents = first ? contribution : extents.max_with(contribution);
+    first = false;
+  }
+
+  state.sealed = true;
+  storage(field).seal(age, extents);
+  P2G_DEBUG << "sealed field '" << program_.field(field).name << "' age "
+            << age << " at " << extents.to_string();
+  on_sealed(field, age);
+}
+
+void DependencyAnalyzer::drain_seal_worklist() {
+  while (!seal_worklist_.empty()) {
+    const auto [field, age] = seal_worklist_.front();
+    seal_worklist_.pop_front();
+    check_seal(field, age);
+  }
+}
+
+void DependencyAnalyzer::on_sealed(FieldId field, Age age) {
+  // Extent propagation: consumers whose index domains may now be known can
+  // seal the extents of the fields they store to.
+  for (const Program::Use& use : program_.consumers_of(field)) {
+    const KernelDef& k = program_.kernel(use.kernel);
+    const FetchDecl& f = k.fetches[use.statement];
+    Age instance_age;
+    if (f.age.kind == AgeExpr::Kind::kConst) {
+      if (f.age.value != age) continue;
+      // Constant-age fetches influence every instance age; propagation for
+      // those is driven by the kernel's relative-age fetches instead.
+      if (!k.is_run_once()) continue;
+      instance_age = 0;
+    } else {
+      instance_age = age - f.age.value;
+      if (instance_age < 0 || instance_age > runtime_.cap_of(k.id)) continue;
+    }
+    for (size_t s = 0; s < k.stores.size(); ++s) {
+      const Age target = k.stores[s].age.resolve(instance_age);
+      if (target >= 0) {
+        seal_worklist_.emplace_back(k.stores[s].field, target);
+      }
+    }
+  }
+
+  // Newly sealed extents can complete whole-field fetches and make domains
+  // enumerable; rescan consumers unconstrained.
+  scan_consumers(field, age, nullptr);
+}
+
+void DependencyAnalyzer::scan_consumers(FieldId field, Age age,
+                                        const nd::Region* written) {
+  for (const Program::Use& use : program_.consumers_of(field)) {
+    const KernelDef& k = program_.kernel(use.kernel);
+    const FetchDecl& f = k.fetches[use.statement];
+
+    if (f.age.kind == AgeExpr::Kind::kRelative) {
+      // Exactly one instance age is influenced through this fetch.
+      const Age a = age - f.age.value;
+      if (a >= 0) try_enumerate(k, a, use.statement, written);
+      continue;
+    }
+
+    // Constant-age fetch. For run-once kernels the instance age is 0; for
+    // aged kernels the event can unblock *any* age whose candidates were
+    // previously unsatisfied (e.g. the k-means datapoints field, stored
+    // once and fetched by every assign age) — those ages are in the retry
+    // set. Constant-age fields receive few events, so this stays cheap.
+    if (f.age.value != age) continue;
+    if (k.is_run_once()) {
+      try_enumerate(k, 0, use.statement, written);
+      continue;
+    }
+    const auto retry_it = retry_.find(k.id);
+    if (retry_it != retry_.end()) {
+      const std::set<Age> retry_ages = retry_it->second;  // copy: mutated
+      for (const Age a : retry_ages) {
+        try_enumerate(k, a, std::nullopt, nullptr);
+      }
+    }
+  }
+}
+
+void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
+                                       std::optional<size_t> constrain_fetch,
+                                       const nd::Region* written) {
+  if (age < 0 || age > runtime_.cap_of(def.id)) return;
+  if (!runtime_.kernel_enabled(def.id)) return;  // runs on another node
+  if (def.is_run_once() && age != 0) return;
+  if (def.is_source()) return;  // sources are driven by done events
+
+  // Age-level gates shared by every candidate of this (kernel, age).
+  for (const FetchDecl& f : def.fetches) {
+    const Age ga = f.age.resolve(age);
+    if (ga < 0) return;  // this age can never run
+    if (f.slice.is_whole()) {
+      if (!storage(f.field).is_complete(ga)) {
+        retry_[def.id].insert(age);
+        return;
+      }
+    } else if (has_all_dim(f.slice)) {
+      if (!storage(f.field).is_sealed(ga)) {
+        retry_[def.id].insert(age);
+        return;
+      }
+    }
+  }
+
+  // Variable ranges: start from the domain when known, otherwise rely on
+  // the constraining region to bound them.
+  const size_t nvars = def.index_vars.size();
+  std::vector<nd::Interval> ranges(nvars, nd::Interval{0, kHuge});
+  for (size_t v = 0; v < nvars; ++v) {
+    const auto binding = def.binding_of_var(static_cast<int>(v));
+    check_internal(binding.has_value(), "unbound index variable survived "
+                                        "validation");
+    const FetchDecl& bf = def.fetches[binding->fetch_index];
+    const Age ga = bf.age.resolve(age);
+    if (ga >= 0 && storage(bf.field).is_sealed(ga)) {
+      ranges[v] = nd::Interval{0, storage(bf.field).extents(ga).dim(
+                                      binding->dim)};
+    }
+  }
+
+  if (constrain_fetch && written != nullptr) {
+    const nd::SliceSpec& slice = def.fetches[*constrain_fetch].slice;
+    if (!slice.constrain(*written, ranges)) return;  // region cannot help
+  }
+
+  for (const nd::Interval& r : ranges) {
+    if (r.end >= kHuge) {
+      // Unbounded variable: cannot enumerate yet; retry on later events.
+      retry_[def.id].insert(age);
+      return;
+    }
+    if (r.empty()) return;  // empty domain, no instances at this age
+  }
+
+  // Enumerate the candidate product space.
+  bool any_unsatisfied = false;
+  nd::Coord coord(nvars);
+  for (size_t v = 0; v < nvars; ++v) coord[v] = ranges[v].begin;
+  while (true) {
+    InstanceKey key{def.id, age, coord};
+    if (!dispatched_.count(key)) {
+      if (satisfied(def, age, coord)) {
+        create_instance(def, age, coord);
+      } else {
+        any_unsatisfied = true;
+      }
+    }
+    // Advance the product iterator (row-major).
+    if (nvars == 0) break;
+    size_t v = nvars;
+    bool carry_out = true;
+    while (v-- > 0) {
+      if (++coord[v] < ranges[v].end) {
+        carry_out = false;
+        break;
+      }
+      coord[v] = ranges[v].begin;
+    }
+    if (carry_out) break;
+  }
+
+  if (any_unsatisfied) {
+    retry_[def.id].insert(age);
+  } else if (!constrain_fetch) {
+    // A full, unconstrained enumeration dispatched everything: no need to
+    // revisit this age again.
+    const auto it = retry_.find(def.id);
+    if (it != retry_.end()) it->second.erase(age);
+  }
+}
+
+bool DependencyAnalyzer::satisfied(const KernelDef& def, Age age,
+                                   const nd::Coord& coord) const {
+  for (const FetchDecl& f : def.fetches) {
+    const Age ga = f.age.resolve(age);
+    if (ga < 0) return false;
+    FieldStorage& fs = storage(f.field);
+    if (f.slice.is_whole()) {
+      if (!fs.is_complete(ga)) return false;
+    } else {
+      if (has_all_dim(f.slice) && !fs.is_sealed(ga)) return false;
+      const nd::Region region = f.slice.resolve(coord, fs.extents(ga));
+      if (!fs.region_written(ga, region)) return false;
+    }
+  }
+  return true;
+}
+
+void DependencyAnalyzer::create_instance(const KernelDef& def, Age age,
+                                         nd::Coord coord) {
+  dispatched_.insert(InstanceKey{def.id, age, coord});
+
+  // A fused downstream twin runs inside the upstream's work item; mark it
+  // dispatched *now* (analyzer thread) so no event can double-run it.
+  const auto& cfg = runtime_.kcfg_[static_cast<size_t>(def.id)];
+  if (cfg.fusion != nullptr) {
+    const auto& fu = *cfg.fusion;
+    nd::Coord down_coord(fu.coord_map.size());
+    for (size_t v = 0; v < fu.coord_map.size(); ++v) {
+      down_coord[v] = coord[fu.coord_map[v]];
+    }
+    dispatched_.insert(
+        InstanceKey{fu.downstream, age + fu.age_delta, std::move(down_coord)});
+  }
+
+  chunk_buffers_[{def.id, age}].push_back(std::move(coord));
+}
+
+void DependencyAnalyzer::flush_chunks() {
+  if (chunk_buffers_.empty()) return;
+  for (auto& [key, coords] : chunk_buffers_) {
+    const auto [kernel, age] = key;
+    const int64_t chunk =
+        std::max<int64_t>(1, runtime_.kcfg_[static_cast<size_t>(kernel)].chunk);
+    size_t begin = 0;
+    while (begin < coords.size()) {
+      const size_t end =
+          std::min(coords.size(), begin + static_cast<size_t>(chunk));
+      WorkItem item;
+      item.kernel = kernel;
+      item.age = age;
+      item.coords.assign(coords.begin() + static_cast<ptrdiff_t>(begin),
+                         coords.begin() + static_cast<ptrdiff_t>(end));
+      item.enqueue_ns = now_ns();
+      submit_or_park(std::move(item));
+      begin = end;
+    }
+  }
+  chunk_buffers_.clear();
+}
+
+void DependencyAnalyzer::submit_or_park(WorkItem item) {
+  const KernelDef& def = program_.kernel(item.kernel);
+  if (!def.serial) {
+    runtime_.submit(std::move(item));
+    return;
+  }
+  SerialState& state = serial_[def.id];
+  if (item.age == state.next && !state.in_flight) {
+    state.in_flight = true;
+    runtime_.submit(std::move(item));
+  } else {
+    check_internal(!state.parked.count(item.age),
+                   "duplicate parked serial instance of kernel '" +
+                       def.name + "'");
+    runtime_.add_outstanding(1);
+    state.parked.emplace(item.age, std::move(item));
+  }
+}
+
+std::optional<std::vector<int64_t>> DependencyAnalyzer::domain_of(
+    const KernelDef& def, Age age) const {
+  std::vector<int64_t> lengths(def.index_vars.size(), 0);
+  for (size_t v = 0; v < def.index_vars.size(); ++v) {
+    const auto binding = def.binding_of_var(static_cast<int>(v));
+    check_internal(binding.has_value(), "unbound variable in domain_of");
+    const FetchDecl& bf = def.fetches[binding->fetch_index];
+    const Age ga = bf.age.resolve(age);
+    if (ga < 0) {
+      lengths[v] = 0;  // empty domain: this age can never run
+      continue;
+    }
+    if (!storage(bf.field).is_sealed(ga)) return std::nullopt;
+    lengths[v] = storage(bf.field).extents(ga).dim(binding->dim);
+  }
+  return lengths;
+}
+
+}  // namespace p2g

@@ -1,0 +1,132 @@
+// The dependency analyzer (paper §VI-B).
+//
+// Runs in a dedicated thread. Consumes store / instance-done events, tracks
+// per-(field, age) seal state (extent finality), propagates extents through
+// the implicit static dependency graph, enumerates newly runnable kernel
+// instances and dispatches each exactly once.
+//
+// Sealing: an age of a field is *sealed* when every producer's contribution
+// is known — a whole-field store arrives, or an elementwise producer's
+// index domain becomes known (which in turn requires the extents of the
+// fields binding its index variables to be sealed). Sealing is what makes
+// "all elements written" (completeness) meaningful for whole-field fetches
+// and what the paper calls implicit-resize extent propagation.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "core/events.h"
+#include "core/kernel.h"
+#include "core/ready_queue.h"
+#include "core/runtime.h"
+
+namespace p2g {
+
+class DependencyAnalyzer {
+ public:
+  explicit DependencyAnalyzer(Runtime& runtime);
+
+  /// Creates the initial instances: run-once kernels without fetches and
+  /// the first age of every source kernel.
+  void bootstrap();
+
+  /// Processes one event (called from the analyzer thread only).
+  void handle(const Event& event);
+
+  /// Number of instances dispatched so far (tests/diagnostics).
+  int64_t dispatched_count() const {
+    return static_cast<int64_t>(dispatched_.size());
+  }
+
+  /// The first age at which each kernel can ever run, derived by fixpoint
+  /// over the static graph (a kernel fetching f(a-1) cannot run before
+  /// age 1; consumers of its output inherit the bound transitively).
+  /// kInfeasible marks kernels that can never run. Serial gating starts at
+  /// this age instead of 0, so structurally skipped leading ages do not
+  /// park the kernel forever.
+  static constexpr Age kInfeasible = std::numeric_limits<Age>::max() / 2;
+  static std::vector<Age> first_feasible_ages(const Program& program);
+
+ private:
+  struct ProducerKey {
+    KernelId kernel;
+    size_t decl;
+    auto operator<=>(const ProducerKey&) const = default;
+  };
+
+  /// Seal bookkeeping of one (field, age).
+  struct FieldAgeState {
+    bool sealed = false;
+    /// Contribution extents of producers accounted for so far.
+    std::map<ProducerKey, nd::Extents> satisfied;
+    /// First-store witness lengths for `all()` dimensions of elementwise
+    /// store statements (-1 = dimension not an all() dim).
+    std::map<ProducerKey, std::vector<int64_t>> witnesses;
+  };
+
+  struct SerialState {
+    Age next = 0;
+    bool in_flight = false;
+    std::map<Age, WorkItem> parked;
+  };
+
+  void handle_store(const StoreEvent& event);
+  void handle_done(const InstanceDoneEvent& event);
+
+  /// Attempts to seal (field, age); queues cascaded checks on success.
+  void check_seal(FieldId field, Age age);
+  void drain_seal_worklist();
+  void on_sealed(FieldId field, Age age);
+
+  /// Enumerates candidate instances of consumers of (field, age), either
+  /// constrained by a freshly written region or unconstrained.
+  void scan_consumers(FieldId field, Age age, const nd::Region* written);
+
+  /// Enumerates candidates of one kernel at one age. When `constrain_fetch`
+  /// is set, variable ranges are narrowed by the written region through
+  /// that fetch's slice.
+  void try_enumerate(const KernelDef& def, Age age,
+                     std::optional<size_t> constrain_fetch,
+                     const nd::Region* written);
+
+  /// All fetch dependencies of a candidate instance are fulfilled.
+  bool satisfied(const KernelDef& def, Age age, const nd::Coord& coord) const;
+
+  /// Marks dispatched (including a fused downstream twin) and buffers the
+  /// instance for chunked dispatch.
+  void create_instance(const KernelDef& def, Age age, nd::Coord coord);
+
+  /// Flushes chunk buffers into work items (serial kernels are gated).
+  void flush_chunks();
+  void submit_or_park(WorkItem item);
+
+  /// Index-variable domain lengths of a kernel at an age, or nullopt while
+  /// some binding field extent is not sealed yet.
+  std::optional<std::vector<int64_t>> domain_of(const KernelDef& def,
+                                                Age age) const;
+
+  FieldStorage& storage(FieldId field) const {
+    return *runtime_.storages_[static_cast<size_t>(field)];
+  }
+
+  Runtime& runtime_;
+  const Program& program_;
+
+  std::map<std::pair<FieldId, Age>, FieldAgeState> fa_states_;
+  std::unordered_set<InstanceKey, InstanceKeyHash> dispatched_;
+  std::map<KernelId, SerialState> serial_;
+  /// Ages at which a kernel had unsatisfied (or non-enumerable) candidates;
+  /// retried whenever an event touches any field the kernel fetches.
+  std::map<KernelId, std::set<Age>> retry_;
+  std::deque<std::pair<FieldId, Age>> seal_worklist_;
+  std::map<std::pair<KernelId, Age>, std::vector<nd::Coord>> chunk_buffers_;
+  int64_t events_handled_ = 0;
+};
+
+}  // namespace p2g

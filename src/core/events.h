@@ -1,0 +1,34 @@
+// Events flowing from worker threads into the dependency analyzer.
+//
+// The runtime is push-based (paper §VI-B): kernel instances produce store
+// events which the analyzer thread consumes to discover newly runnable
+// instances.
+#pragma once
+
+#include <variant>
+
+#include "core/ids.h"
+#include "nd/region.h"
+
+namespace p2g {
+
+/// A region of (field, age) has been written.
+struct StoreEvent {
+  FieldId field = kInvalidField;
+  Age age = 0;
+  nd::Region region;
+  KernelId producer = kInvalidKernel;
+  size_t store_decl = 0;  ///< which store statement of the producer
+  bool whole = false;     ///< the statement is a whole-field store
+};
+
+/// A kernel instance (possibly a chunk of several bodies) finished.
+struct InstanceDoneEvent {
+  KernelId kernel = kInvalidKernel;
+  Age age = 0;
+  bool continue_next_age = false;  ///< set by source kernels
+};
+
+using Event = std::variant<StoreEvent, InstanceDoneEvent>;
+
+}  // namespace p2g

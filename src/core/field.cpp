@@ -1,0 +1,219 @@
+#include "core/field.h"
+
+#include "common/error.h"
+
+namespace p2g {
+
+FieldStorage::FieldStorage(FieldDecl decl) : decl_(std::move(decl)) {}
+
+FieldStorage::AgeData& FieldStorage::age_data(Age age) {
+  auto it = ages_.find(age);
+  if (it == ages_.end()) {
+    AgeData fresh;
+    fresh.buffer = nd::AnyBuffer(
+        decl_.type, nd::Extents(std::vector<int64_t>(decl_.rank, 0)));
+    it = ages_.emplace(age, std::move(fresh)).first;
+  }
+  return it->second;
+}
+
+const FieldStorage::AgeData* FieldStorage::find_age(Age age) const {
+  auto it = ages_.find(age);
+  return it == ages_.end() ? nullptr : &it->second;
+}
+
+void FieldStorage::grow(AgeData& data, const nd::Extents& new_extents) {
+  const nd::Extents old_extents = data.buffer.extents();
+  if (new_extents == old_extents) return;
+  check_internal(!data.sealed || new_extents.fits_in(data.sealed_extents),
+                 "grow beyond sealed extents of field " + decl_.name);
+  data.buffer.resize(new_extents);
+
+  // Remap written bits: positions are flat indices, which change with the
+  // extents. Walk the set bits of the old layout and re-set them under the
+  // new layout.
+  DynamicBitset fresh(static_cast<size_t>(new_extents.element_count()));
+  if (data.written.count() > 0) {
+    const int64_t old_count = old_extents.element_count();
+    for (int64_t flat = 0; flat < old_count; ++flat) {
+      if (data.written.test(static_cast<size_t>(flat))) {
+        const nd::Coord coord = old_extents.unflatten(flat);
+        fresh.set(static_cast<size_t>(new_extents.flatten(coord)));
+      }
+    }
+  }
+  data.written = std::move(fresh);
+}
+
+StoreResult FieldStorage::store(Age age, const nd::Region& region,
+                                const std::byte* data) {
+  check_argument(age >= 0, "field ages start at 0");
+  check_argument(region.rank() == decl_.rank,
+                 "store region rank mismatch on field " + decl_.name);
+  std::scoped_lock lock(mutex_);
+  AgeData& ad = age_data(age);
+
+  StoreResult result;
+  if (!region.within(ad.buffer.extents())) {
+    if (ad.sealed) {
+      if (!region.within(ad.sealed_extents)) {
+        throw_error(ErrorKind::kOutOfRange,
+                    "store " + region.to_string() +
+                        " outside sealed extents " +
+                        ad.sealed_extents.to_string() + " of field " +
+                        decl_.name + " age " + std::to_string(age));
+      }
+      grow(ad, ad.sealed_extents);  // lazy allocation up to the seal
+    } else {
+      grow(ad, ad.buffer.extents().max_with(region.required_extents()));
+      result.resized = true;
+    }
+  }
+
+  // Write-once enforcement, then payload scatter.
+  const nd::Extents& ext = ad.buffer.extents();
+  if (const auto span = region.contiguous_span(ext)) {
+    const auto begin = static_cast<size_t>(span->offset);
+    const auto end = begin + static_cast<size_t>(span->length);
+    if (ad.written.set_range(begin, end) !=
+        static_cast<size_t>(span->length)) {
+      throw_error(ErrorKind::kWriteOnceViolation,
+                  "region " + region.to_string() + " of field " +
+                      decl_.name + " age " + std::to_string(age) +
+                      " overlaps previously written elements");
+    }
+  } else {
+    region.for_each([&](const nd::Coord& coord) {
+      const auto flat = static_cast<size_t>(ext.flatten(coord));
+      if (!ad.written.set(flat)) {
+        throw_error(ErrorKind::kWriteOnceViolation,
+                    "element " + nd::to_string(coord) + " of field " +
+                        decl_.name + " age " + std::to_string(age) +
+                        " was already written");
+      }
+    });
+  }
+  ad.buffer.scatter(region, data);
+  result.extents = ext;
+  return result;
+}
+
+StoreResult FieldStorage::store_whole(Age age, const nd::AnyBuffer& data) {
+  check_argument(data.type() == decl_.type,
+                 "store_whole type mismatch on field " + decl_.name);
+  check_argument(data.extents().rank() == decl_.rank,
+                 "store_whole rank mismatch on field " + decl_.name);
+  const nd::Region region = nd::Region::whole(data.extents());
+  return store(age, region, data.raw());
+}
+
+void FieldStorage::seal(Age age, const nd::Extents& extents) {
+  std::scoped_lock lock(mutex_);
+  AgeData& ad = age_data(age);
+  if (ad.sealed) {
+    // Idempotent as long as the extents agree.
+    check_internal(extents.fits_in(ad.sealed_extents),
+                   "conflicting seal extents on field " + decl_.name);
+    return;
+  }
+  // Data already written beyond the proposed seal widens it to the union.
+  // The buffer itself is only grown when data is actually stored.
+  ad.sealed_extents = ad.buffer.extents().max_with(extents);
+  ad.sealed = true;
+}
+
+bool FieldStorage::is_sealed(Age age) const {
+  std::scoped_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  return ad != nullptr && ad->sealed;
+}
+
+bool FieldStorage::is_complete(Age age) const {
+  std::scoped_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  return ad != nullptr && ad->sealed &&
+         static_cast<int64_t>(ad->written.count()) ==
+             ad->sealed_extents.element_count();
+}
+
+bool FieldStorage::region_written(Age age, const nd::Region& region) const {
+  std::scoped_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  if (ad == nullptr) return false;
+  const nd::Extents& ext = ad->buffer.extents();
+  if (!region.within(ext)) return false;
+  if (const auto span = region.contiguous_span(ext)) {
+    return ad->written.all_in_range(
+        static_cast<size_t>(span->offset),
+        static_cast<size_t>(span->offset + span->length));
+  }
+  bool all = true;
+  region.for_each([&](const nd::Coord& coord) {
+    if (!all) return;
+    if (!ad->written.test(static_cast<size_t>(ext.flatten(coord)))) {
+      all = false;
+    }
+  });
+  return all;
+}
+
+nd::Extents FieldStorage::extents(Age age) const {
+  std::scoped_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  if (ad == nullptr) {
+    return nd::Extents(std::vector<int64_t>(decl_.rank, 0));
+  }
+  return ad->current_extents();
+}
+
+nd::AnyBuffer FieldStorage::fetch(Age age, const nd::Region& region) const {
+  std::scoped_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  check_internal(ad != nullptr,
+                 "fetch from untouched age of field " + decl_.name);
+  check_internal(region.within(ad->buffer.extents()),
+                 "fetch region outside extents of field " + decl_.name);
+
+  std::vector<int64_t> dims(region.rank());
+  for (size_t i = 0; i < region.rank(); ++i) {
+    dims[i] = region.interval(i).length();
+  }
+  nd::AnyBuffer out(decl_.type, nd::Extents(std::move(dims)));
+  ad->buffer.gather(region, out.raw());
+  return out;
+}
+
+nd::AnyBuffer FieldStorage::fetch_whole(Age age) const {
+  return fetch(age, nd::Region::whole(extents(age)));
+}
+
+int64_t FieldStorage::written_count(Age age) const {
+  std::scoped_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  return ad == nullptr ? 0 : static_cast<int64_t>(ad->written.count());
+}
+
+void FieldStorage::release_age(Age age) {
+  std::scoped_lock lock(mutex_);
+  ages_.erase(age);
+}
+
+std::vector<Age> FieldStorage::live_ages() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Age> out;
+  out.reserve(ages_.size());
+  for (const auto& [age, data] : ages_) out.push_back(age);
+  return out;
+}
+
+size_t FieldStorage::memory_bytes() const {
+  std::scoped_lock lock(mutex_);
+  size_t total = 0;
+  for (const auto& [age, data] : ages_) {
+    total += static_cast<size_t>(data.buffer.element_count()) *
+             nd::element_size(data.buffer.type());
+  }
+  return total;
+}
+
+}  // namespace p2g

@@ -1,0 +1,116 @@
+// Fields: the central data abstraction of P2G.
+//
+// A field is a named, typed, multi-dimensional array with an *age*
+// dimension. Each (age, element) cell obeys write-once semantics — storing
+// twice throws — which is what makes the runtime deterministic and lets the
+// dependency analyzer decide runnability from written-bitmaps alone.
+//
+// Extents are discovered at runtime ("implicit resizing"): stores may grow
+// an age's extents until the analyzer *seals* the age, after which the
+// extent is final and completeness (`all elements written`) is meaningful.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "core/ids.h"
+#include "nd/buffer.h"
+#include "nd/region.h"
+
+namespace p2g {
+
+/// Static declaration of a field.
+struct FieldDecl {
+  FieldId id = kInvalidField;
+  std::string name;
+  nd::ElementType type = nd::ElementType::kInt32;
+  size_t rank = 1;
+};
+
+/// Result of a store operation, consumed by the runtime to build events.
+struct StoreResult {
+  bool resized = false;       ///< extents grew as part of this store
+  nd::Extents extents;        ///< extents after the store
+};
+
+/// Runtime storage of one field across all live ages. Thread-safe.
+class FieldStorage {
+ public:
+  explicit FieldStorage(FieldDecl decl);
+
+  const FieldDecl& decl() const { return decl_; }
+
+  /// Stores a densely packed region payload into (age, region), enforcing
+  /// write-once per element. Grows extents when the region does not fit and
+  /// the age is not sealed; throws kOutOfRange if it is.
+  StoreResult store(Age age, const nd::Region& region, const std::byte* data);
+
+  /// Stores a whole array as (age)'s complete content. The age's extents
+  /// become at least the buffer's extents.
+  StoreResult store_whole(Age age, const nd::AnyBuffer& data);
+
+  /// Marks the age's extents as final (grows the buffer if needed). Called
+  /// by the dependency analyzer when all producers are accounted for.
+  void seal(Age age, const nd::Extents& extents);
+
+  bool is_sealed(Age age) const;
+
+  /// True when sealed and every element has been written.
+  bool is_complete(Age age) const;
+
+  /// True when the region lies within current extents and every element in
+  /// it has been written.
+  bool region_written(Age age, const nd::Region& region) const;
+
+  /// Current extents of an age ({} rank-`rank` zeros when never touched).
+  nd::Extents extents(Age age) const;
+
+  /// Copies (age, region) into a densely packed buffer of the field's type.
+  /// All elements must have been written.
+  nd::AnyBuffer fetch(Age age, const nd::Region& region) const;
+
+  /// Copies the whole content of a complete age.
+  nd::AnyBuffer fetch_whole(Age age) const;
+
+  /// Number of elements written so far at this age.
+  int64_t written_count(Age age) const;
+
+  /// Releases the storage of an age (garbage collection of old ages).
+  void release_age(Age age);
+
+  /// Ages currently held (for reports/tests).
+  std::vector<Age> live_ages() const;
+
+  /// Total bytes currently allocated across live ages.
+  size_t memory_bytes() const;
+
+ private:
+  struct AgeData {
+    nd::AnyBuffer buffer;
+    DynamicBitset written;
+    bool sealed = false;
+    /// Final extents once sealed. The buffer itself grows lazily (an age
+    /// that is sealed but never stored — e.g. the elided intermediate of a
+    /// fused pipeline — costs no memory).
+    nd::Extents sealed_extents;
+
+    nd::Extents current_extents() const {
+      return sealed ? sealed_extents : buffer.extents();
+    }
+  };
+
+  AgeData& age_data(Age age);           // creates on demand (locked caller)
+  const AgeData* find_age(Age age) const;
+
+  /// Grows buffer + written-bitmap to new extents, remapping set bits.
+  void grow(AgeData& data, const nd::Extents& new_extents);
+
+  FieldDecl decl_;
+  mutable std::mutex mutex_;
+  std::map<Age, AgeData> ages_;
+};
+
+}  // namespace p2g

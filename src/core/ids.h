@@ -1,0 +1,52 @@
+// Identifier types shared across the P2G runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nd/extents.h"
+
+namespace p2g {
+
+using FieldId = int32_t;
+using KernelId = int32_t;
+
+/// Iteration number of a field (the paper's "age"). Ages start at 0 and the
+/// write-once rule holds per (field, age, element).
+using Age = int64_t;
+
+constexpr FieldId kInvalidField = -1;
+constexpr KernelId kInvalidKernel = -1;
+
+/// Identity of one kernel instance: kernel, age, and index-variable values.
+struct InstanceKey {
+  KernelId kernel = kInvalidKernel;
+  Age age = 0;
+  nd::Coord indices;  // one entry per index variable of the kernel
+
+  bool operator==(const InstanceKey&) const = default;
+
+  std::string to_string() const;
+};
+
+struct InstanceKeyHash {
+  size_t operator()(const InstanceKey& key) const {
+    size_t h = std::hash<int64_t>{}(
+        (static_cast<int64_t>(key.kernel) << 40) ^ key.age);
+    for (int64_t v : key.indices) {
+      h ^= std::hash<int64_t>{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+inline std::string InstanceKey::to_string() const {
+  std::string out = "kernel#" + std::to_string(kernel) + "@age" +
+                    std::to_string(age) + nd::to_string(indices);
+  return out;
+}
+
+}  // namespace p2g

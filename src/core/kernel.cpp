@@ -1,0 +1,28 @@
+#include "core/kernel.h"
+
+namespace p2g {
+
+int KernelDef::fetch_slot(std::string_view slot_name) const {
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    if (fetches[i].name == slot_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int KernelDef::store_slot(std::string_view slot_name) const {
+  for (size_t i = 0; i < stores.size(); ++i) {
+    if (stores[i].name == slot_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<KernelDef::VarBinding> KernelDef::binding_of_var(int var) const {
+  for (size_t f = 0; f < fetches.size(); ++f) {
+    if (auto dim = fetches[f].slice.dim_of_var(var)) {
+      return VarBinding{f, *dim};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace p2g

@@ -1,0 +1,112 @@
+// Kernel definitions: the static description of a computation step.
+//
+// A kernel definition declares which slices of which fields it fetches and
+// stores (the paper's fetch/store statements) plus a body. The dependency
+// analyzer derives everything else — instance domains, the implicit static
+// dependency graph, and seal propagation — from these declarations.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.h"
+#include "nd/buffer.h"
+#include "nd/slice.h"
+
+namespace p2g {
+
+class KernelContext;
+
+/// Age expression of a fetch/store statement: either relative to the kernel
+/// instance's age (`a + offset`) or a constant age (`0`).
+struct AgeExpr {
+  enum class Kind { kRelative, kConst };
+
+  Kind kind = Kind::kRelative;
+  int64_t value = 0;  ///< offset for kRelative, absolute age for kConst
+
+  static AgeExpr relative(int64_t offset = 0) {
+    return AgeExpr{Kind::kRelative, offset};
+  }
+  static AgeExpr constant(Age age) { return AgeExpr{Kind::kConst, age}; }
+
+  /// Concrete age for an instance at age `a`; negative result = unsatisfiable.
+  Age resolve(Age a) const {
+    return kind == Kind::kRelative ? a + value : value;
+  }
+
+  /// Instance age(s) consistent with a statement touching concrete age `g`.
+  /// For relative exprs there is exactly one (g - offset, possibly negative);
+  /// for const exprs any instance age is consistent iff g == value.
+  bool matches_concrete(Age g) const {
+    return kind == Kind::kConst ? g == value : true;
+  }
+
+  bool operator==(const AgeExpr&) const = default;
+};
+
+/// One fetch statement: `fetch <name> = field(age)[slice]`.
+struct FetchDecl {
+  std::string name;    ///< slot name used by the body to access the data
+  FieldId field = kInvalidField;
+  AgeExpr age;
+  nd::SliceSpec slice;
+};
+
+/// One store statement: `store field(age)[slice] = <name>`.
+struct StoreDecl {
+  std::string name;
+  FieldId field = kInvalidField;
+  AgeExpr age;
+  nd::SliceSpec slice;
+};
+
+using KernelBody = std::function<void(KernelContext&)>;
+
+/// Static definition of a kernel (the paper's "kernel definition").
+struct KernelDef {
+  KernelId id = kInvalidKernel;
+  std::string name;
+
+  /// Index-variable names; variable ids are positions in this vector.
+  std::vector<std::string> index_vars;
+
+  std::vector<FetchDecl> fetches;
+  std::vector<StoreDecl> stores;
+
+  KernelBody body;
+
+  /// True when the kernel has an `age` variable and therefore one instance
+  /// domain per age. Kernels without an age (the paper's `init`) run once.
+  bool has_age = true;
+
+  /// Serial kernels execute their instances in strictly increasing age
+  /// order (e.g. a kernel appending frames to an output stream).
+  bool serial = false;
+
+  /// A source kernel has an age but no fetches; instance a+1 runs only if
+  /// instance a called KernelContext::continue_next_age() (the paper's
+  /// read kernel, which stops storing at end-of-file).
+  bool is_source() const { return has_age && fetches.empty(); }
+
+  /// Run-once kernels have no age variable (and no fetches).
+  bool is_run_once() const { return !has_age; }
+
+  /// Position of a fetch slot by name, or -1.
+  int fetch_slot(std::string_view slot_name) const;
+  /// Position of a store slot by name, or -1.
+  int store_slot(std::string_view slot_name) const;
+
+  /// The fetch that binds index variable `var` (first match), with the
+  /// dimension it binds, or nullopt when the variable is unbound.
+  struct VarBinding {
+    size_t fetch_index;
+    size_t dim;
+  };
+  std::optional<VarBinding> binding_of_var(int var) const;
+};
+
+}  // namespace p2g

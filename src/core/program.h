@@ -1,0 +1,158 @@
+// Program: the validated static description of a P2G workload, and the
+// fluent builder used to construct one from C++ (the kernel-language front
+// end in src/lang produces Programs through the same builder).
+//
+// Example (the paper's mul2 kernel):
+//
+//   ProgramBuilder pb;
+//   pb.field("m_data", nd::ElementType::kInt32, 1);
+//   pb.field("p_data", nd::ElementType::kInt32, 1);
+//   pb.kernel("mul2")
+//       .index("x")
+//       .fetch("value", "m_data", AgeExpr::relative(0), Slice().var("x"))
+//       .store("out", "p_data", AgeExpr::relative(0), Slice().var("x"))
+//       .body([](KernelContext& ctx) {
+//         ctx.store_scalar<int32_t>("out", ctx.fetch_scalar<int32_t>("value") * 2);
+//       });
+//   Program prog = pb.build();
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/field.h"
+#include "core/kernel.h"
+
+namespace p2g {
+
+/// Builder-side slice: dimensions address index variables by *name*;
+/// ProgramBuilder::build() resolves names to variable ids.
+class Slice {
+ public:
+  struct Dim {
+    enum class Kind { kAll, kVar, kConst };
+    Kind kind = Kind::kAll;
+    std::string var;
+    int64_t value = 0;
+  };
+
+  /// Default-constructed slice addresses the whole field.
+  Slice() = default;
+
+  static Slice whole() { return Slice(); }
+
+  /// Appends a dimension addressed by index variable `name`.
+  Slice& var(std::string name);
+  /// Appends a dimension covering the full extent.
+  Slice& all();
+  /// Appends a dimension fixed at a constant index.
+  Slice& at(int64_t index);
+
+  bool is_whole() const { return dims_.empty(); }
+  const std::vector<Dim>& dims() const { return dims_; }
+
+ private:
+  std::vector<Dim> dims_;
+};
+
+class ProgramBuilder;
+
+/// Accumulates one kernel definition; obtained from ProgramBuilder::kernel.
+class KernelBuilder {
+ public:
+  /// Declares an index variable (the paper's `index x;`).
+  KernelBuilder& index(std::string name);
+
+  /// Adds a fetch statement: `fetch <slot> = field(age)[slice]`.
+  KernelBuilder& fetch(std::string slot, std::string field, AgeExpr age,
+                       Slice slice);
+
+  /// Adds a store statement: `store field(age)[slice] = <slot>`.
+  KernelBuilder& store(std::string slot, std::string field, AgeExpr age,
+                       Slice slice);
+
+  KernelBuilder& body(KernelBody fn);
+
+  /// Marks the kernel as ageless: it runs exactly once (the paper's init).
+  KernelBuilder& run_once();
+
+  /// Serial kernels execute at most one instance at a time, in strictly
+  /// increasing age order (e.g. writing frames to an output stream).
+  KernelBuilder& serial();
+
+ private:
+  friend class ProgramBuilder;
+
+  struct FetchSpec {
+    std::string slot, field;
+    AgeExpr age;
+    Slice slice;
+  };
+  struct StoreSpec {
+    std::string slot, field;
+    AgeExpr age;
+    Slice slice;
+  };
+
+  std::string name_;
+  std::vector<std::string> index_vars_;
+  std::vector<FetchSpec> fetches_;
+  std::vector<StoreSpec> stores_;
+  KernelBody body_;
+  bool has_age_ = true;
+  bool serial_ = false;
+};
+
+/// Validated, immutable workload description.
+class Program {
+ public:
+  const std::vector<FieldDecl>& fields() const { return fields_; }
+  const std::vector<KernelDef>& kernels() const { return kernels_; }
+
+  const FieldDecl& field(FieldId id) const;
+  const KernelDef& kernel(KernelId id) const;
+
+  /// Id lookup by name; returns kInvalidField / kInvalidKernel when absent.
+  FieldId find_field(std::string_view name) const;
+  KernelId find_kernel(std::string_view name) const;
+
+  /// Kernels fetching from a field, as (kernel, fetch index) pairs.
+  struct Use {
+    KernelId kernel;
+    size_t statement;  ///< index into fetches/stores of the kernel
+  };
+  const std::vector<Use>& consumers_of(FieldId field) const;
+  const std::vector<Use>& producers_of(FieldId field) const;
+
+ private:
+  friend class ProgramBuilder;
+
+  std::vector<FieldDecl> fields_;
+  std::vector<KernelDef> kernels_;
+  std::vector<std::vector<Use>> consumers_;  // indexed by FieldId
+  std::vector<std::vector<Use>> producers_;
+};
+
+/// Builds and validates Programs.
+class ProgramBuilder {
+ public:
+  /// Declares a field with element type and rank (number of dimensions).
+  ProgramBuilder& field(std::string name, nd::ElementType type, size_t rank);
+
+  /// Starts a kernel definition; the returned builder stays valid until
+  /// build() is called.
+  KernelBuilder& kernel(std::string name);
+
+  /// Validates everything and produces the Program. Throws
+  /// ErrorKind::kSema on inconsistencies (unknown fields, unbound index
+  /// variables, rank mismatches, ...).
+  Program build();
+
+ private:
+  std::vector<FieldDecl> fields_;
+  std::vector<std::unique_ptr<KernelBuilder>> kernels_;
+};
+
+}  // namespace p2g

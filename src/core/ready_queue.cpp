@@ -1,0 +1,36 @@
+#include "core/ready_queue.h"
+
+namespace p2g {
+
+void ReadyQueue::push(WorkItem item) {
+  {
+    std::scoped_lock lock(mutex_);
+    item.seq = next_seq_++;
+    items_.push(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+std::optional<WorkItem> ReadyQueue::pop() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;
+  WorkItem item = items_.top();
+  items_.pop();
+  return item;
+}
+
+void ReadyQueue::close() {
+  {
+    std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t ReadyQueue::size() const {
+  std::scoped_lock lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace p2g

@@ -1,0 +1,69 @@
+// The per-node ready queue of runnable kernel instances.
+//
+// The paper's low-level scheduler prefers kernel instances with lower age
+// ("older" instances) so that kernels satisfying their own dependencies in
+// aging cycles cannot starve others (§VI-B). We implement that as a
+// priority queue ordered by (age, enqueue sequence).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/ids.h"
+#include "nd/extents.h"
+
+namespace p2g {
+
+/// One dispatchable unit: a kernel instance, or a chunk of instances of the
+/// same kernel and age when the scheduler decreased data parallelism.
+struct WorkItem {
+  KernelId kernel = kInvalidKernel;
+  Age age = 0;
+  /// Index bindings of each body in the chunk; empty Coord for kernels
+  /// without index variables. Always at least one entry.
+  std::vector<nd::Coord> coords;
+  int64_t enqueue_ns = 0;
+  uint64_t seq = 0;
+};
+
+/// Blocking, age-ordered queue feeding the worker pool.
+class ReadyQueue {
+ public:
+  /// `age_priority` = false degrades to plain FIFO (the ablation baseline
+  /// for the paper's oldest-first rule).
+  explicit ReadyQueue(bool age_priority = true)
+      : age_priority_(age_priority) {}
+
+  void push(WorkItem item);
+
+  /// Blocks for the lowest-age item; nullopt after close() drains.
+  std::optional<WorkItem> pop();
+
+  void close();
+  size_t size() const;
+
+ private:
+  struct Compare {
+    bool age_priority;
+    bool operator()(const WorkItem& a, const WorkItem& b) const {
+      if (age_priority && a.age != b.age) {
+        return a.age > b.age;  // lower age first
+      }
+      return a.seq > b.seq;  // FIFO otherwise
+    }
+  };
+
+  bool age_priority_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<WorkItem, std::vector<WorkItem>, Compare> items_{
+      Compare{age_priority_}};
+  uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace p2g

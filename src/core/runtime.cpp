@@ -1,0 +1,552 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/context.h"
+#include "core/dependency.h"
+
+namespace p2g {
+
+Runtime::Runtime(Program program, RunOptions options)
+    : program_(std::move(program)),
+      options_(std::move(options)),
+      ready_(options_.age_priority),
+      instr_(program_.kernels().size()) {
+  storages_.reserve(program_.fields().size());
+  for (const FieldDecl& decl : program_.fields()) {
+    storages_.push_back(std::make_unique<FieldStorage>(decl));
+  }
+  kcfg_.resize(program_.kernels().size());
+  if (options_.trace_path) trace_ = std::make_unique<TraceCollector>();
+  resolve_options();
+  analyzer_ = std::make_unique<DependencyAnalyzer>(*this);
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::resolve_options() {
+  const Age global_cap = options_.max_age.value_or(
+      std::numeric_limits<Age>::max());
+  for (const KernelDef& k : program_.kernels()) {
+    KernelRunCfg& cfg = kcfg_[static_cast<size_t>(k.id)];
+    cfg.cap = global_cap;
+  }
+  for (const std::string& name : options_.disabled_kernels) {
+    const KernelId id = program_.find_kernel(name);
+    check_argument(id != kInvalidKernel,
+                   "disabled_kernels lists unknown kernel '" + name + "'");
+    kcfg_[static_cast<size_t>(id)].enabled = false;
+  }
+  for (const auto& [name, sched] : options_.kernel_schedules) {
+    const KernelId id = program_.find_kernel(name);
+    check_argument(id != kInvalidKernel,
+                   "kernel schedule for unknown kernel '" + name + "'");
+    KernelRunCfg& cfg = kcfg_[static_cast<size_t>(id)];
+    check_argument(sched.chunk >= 1, "chunk must be >= 1");
+    cfg.chunk = sched.chunk;
+    cfg.chunk_explicit = sched.chunk != 1;
+    if (sched.max_age) cfg.cap = std::min(cfg.cap, *sched.max_age);
+  }
+  fusions_.reserve(options_.fusions.size());
+  for (const FusionRule& rule : options_.fusions) {
+    resolve_fusion(rule);
+  }
+  for (const ResolvedFusion& fu : fusions_) {
+    KernelRunCfg& cfg = kcfg_[static_cast<size_t>(fu.upstream)];
+    check_argument(cfg.fusion == nullptr,
+                   "kernel '" + program_.kernel(fu.upstream).name +
+                       "' is upstream of more than one fusion");
+    cfg.fusion = &fu;
+  }
+  // No fusion chains: a downstream kernel may not be fused into, or be the
+  // upstream of, another fusion (the dispatched-set marking would race).
+  for (const ResolvedFusion& fu : fusions_) {
+    check_argument(kcfg_[static_cast<size_t>(fu.downstream)].fusion == nullptr,
+                   "fusion chains are not supported ('" +
+                       program_.kernel(fu.downstream).name +
+                       "' is both downstream and upstream)");
+    int as_downstream = 0;
+    for (const ResolvedFusion& other : fusions_) {
+      if (other.downstream == fu.downstream) ++as_downstream;
+    }
+    check_argument(as_downstream == 1,
+                   "kernel '" + program_.kernel(fu.downstream).name +
+                       "' is downstream of more than one fusion");
+  }
+}
+
+void Runtime::resolve_fusion(const FusionRule& rule) {
+  const KernelId up_id = program_.find_kernel(rule.upstream);
+  const KernelId down_id = program_.find_kernel(rule.downstream);
+  check_argument(up_id != kInvalidKernel && down_id != kInvalidKernel,
+                 "fusion references unknown kernel(s) '" + rule.upstream +
+                     "' -> '" + rule.downstream + "'");
+  const KernelDef& up = program_.kernel(up_id);
+  const KernelDef& down = program_.kernel(down_id);
+
+  check_argument(!down.serial && !down.is_source() && !down.is_run_once(),
+                 "fusion downstream '" + down.name +
+                     "' must be a plain data-parallel kernel");
+  check_argument(down.fetches.size() == 1,
+                 "fusion downstream '" + down.name +
+                     "' must have exactly one fetch");
+  const FetchDecl& df = down.fetches[0];
+  check_argument(df.slice.is_elementwise() &&
+                     df.age.kind == AgeExpr::Kind::kRelative,
+                 "fusion downstream fetch must be elementwise with a "
+                 "relative age");
+
+  // Find the upstream store feeding that fetch.
+  const StoreDecl* matched = nullptr;
+  size_t matched_index = 0;
+  for (size_t s = 0; s < up.stores.size(); ++s) {
+    const StoreDecl& d = up.stores[s];
+    if (d.field != df.field) continue;
+    if (!d.slice.is_elementwise() || d.age.kind != AgeExpr::Kind::kRelative) {
+      continue;
+    }
+    if (d.slice.dims().size() != df.slice.dims().size()) continue;
+    bool compatible = true;
+    for (size_t i = 0; i < d.slice.dims().size() && compatible; ++i) {
+      const nd::SliceDim& a = d.slice.dims()[i];
+      const nd::SliceDim& b = df.slice.dims()[i];
+      if (a.kind != b.kind) compatible = false;
+      if (a.kind == nd::SliceDim::Kind::kConst && a.value != b.value) {
+        compatible = false;
+      }
+    }
+    if (compatible) {
+      matched = &d;
+      matched_index = s;
+      break;
+    }
+  }
+  check_argument(matched != nullptr,
+                 "fusion: no elementwise store of '" + up.name +
+                     "' matches the fetch of '" + down.name + "'");
+
+  ResolvedFusion fu;
+  fu.upstream = up_id;
+  fu.downstream = down_id;
+  fu.upstream_store_decl = matched_index;
+  fu.age_delta = matched->age.value - df.age.value;
+
+  // Per-dimension variable correspondence: downstream var at dim i takes
+  // the value of the upstream var at dim i.
+  fu.coord_map.assign(down.index_vars.size(), SIZE_MAX);
+  for (size_t i = 0; i < df.slice.dims().size(); ++i) {
+    if (df.slice.dims()[i].kind == nd::SliceDim::Kind::kVar) {
+      fu.coord_map[static_cast<size_t>(df.slice.dims()[i].var)] =
+          static_cast<size_t>(matched->slice.dims()[i].var);
+    }
+  }
+  for (size_t v = 0; v < fu.coord_map.size(); ++v) {
+    check_argument(fu.coord_map[v] != SIZE_MAX,
+                   "fusion: downstream index variable '" +
+                       down.index_vars[v] + "' is not covered by the fused "
+                       "fetch");
+  }
+
+  // The intermediate store can be elided when the fused downstream is the
+  // field's only consumer (paper: "storing to m_data could be circumvented
+  // in its entirety").
+  const auto& consumers = program_.consumers_of(df.field);
+  fu.elide = consumers.size() == 1 && consumers[0].kernel == down_id;
+
+  fusions_.push_back(std::move(fu));
+}
+
+FieldStorage& Runtime::storage(FieldId field) {
+  check_argument(field >= 0 &&
+                     static_cast<size_t>(field) < storages_.size(),
+                 "unknown field id");
+  return *storages_[static_cast<size_t>(field)];
+}
+
+FieldStorage& Runtime::storage(std::string_view field_name) {
+  const FieldId id = program_.find_field(field_name);
+  check_argument(id != kInvalidField,
+                 "unknown field '" + std::string(field_name) + "'");
+  return storage(id);
+}
+
+InstrumentationReport Runtime::instrumentation() const {
+  return instr_.snapshot(program_);
+}
+
+void Runtime::complete_outstanding() {
+  if (outstanding_.fetch_sub(1) == 1 && !options_.keep_alive) {
+    begin_shutdown();
+  }
+}
+
+void Runtime::inject_store(FieldId field, Age age, const nd::Region& region,
+                           KernelId producer, size_t store_decl, bool whole,
+                           const std::byte* payload) {
+  storage(field).store(age, region, payload);
+  StoreEvent event;
+  event.field = field;
+  event.age = age;
+  event.region = region;
+  event.producer = producer;
+  event.store_decl = store_decl;
+  event.whole = whole;
+  push_event(std::move(event));
+}
+
+void Runtime::submit(WorkItem item, bool already_counted) {
+  if (!already_counted) add_outstanding(1);
+  ready_.push(std::move(item));
+}
+
+void Runtime::push_event(Event event) {
+  add_outstanding(1);
+  events_.push(std::move(event));
+}
+
+void Runtime::adapt_granularity() {
+  if (!options_.adaptive_chunking) return;
+  constexpr int64_t kMaxChunk = 256;
+  const InstrumentationReport report = instr_.snapshot(program_);
+  for (const KernelDef& k : program_.kernels()) {
+    KernelRunCfg& cfg = kcfg_[static_cast<size_t>(k.id)];
+    if (cfg.chunk_explicit || cfg.chunk >= kMaxChunk) continue;
+    if (k.serial || k.is_source() || k.is_run_once()) continue;
+    const KernelStats* stats = report.find(k.name);
+    if (stats == nullptr || stats->dispatches < 64) continue;
+    // Dispatch-bound kernels get coarser slices (Fig. 4, Age=2).
+    if (stats->avg_dispatch_us() > stats->avg_kernel_us()) {
+      cfg.chunk = std::min<int64_t>(cfg.chunk * 2, kMaxChunk);
+      P2G_DEBUG << "adaptive LLS: kernel '" << k.name << "' chunk -> "
+                << cfg.chunk;
+    }
+  }
+}
+
+void Runtime::begin_shutdown() {
+  {
+    std::scoped_lock lock(done_mutex_);
+    done_ = true;
+  }
+  events_.close();
+  ready_.close();
+  done_cv_.notify_all();
+}
+
+void Runtime::fail(std::exception_ptr error) {
+  {
+    std::scoped_lock lock(error_mutex_);
+    if (!error_) error_ = std::move(error);
+  }
+  begin_shutdown();
+}
+
+void Runtime::analyzer_loop() {
+  while (auto event = events_.pop()) {
+    const int64_t start = now_ns();
+    try {
+      analyzer_->handle(*event);
+    } catch (...) {
+      fail(std::current_exception());
+    }
+    if (trace_) {
+      trace_->record(TraceCollector::Span{"analyze", start,
+                                          now_ns() - start, -1, 0, 0});
+    }
+    complete_outstanding();
+  }
+}
+
+void Runtime::worker_loop(int worker_index) {
+  while (auto item = ready_.pop()) {
+    try {
+      execute(*item, worker_index);
+    } catch (...) {
+      fail(std::current_exception());
+      complete_outstanding();  // the failed instance's unit
+    }
+  }
+}
+
+void Runtime::prepare_fetches(KernelContext& ctx) {
+  const KernelDef& def = ctx.def();
+  for (size_t i = 0; i < def.fetches.size(); ++i) {
+    const FetchDecl& f = def.fetches[i];
+    const Age ga = f.age.resolve(ctx.age());
+    check_internal(ga >= 0, "dispatched instance with negative fetch age");
+    FieldStorage& fs = storage(f.field);
+    if (f.slice.is_whole()) {
+      ctx.set_fetch(i, fs.fetch_whole(ga));
+    } else {
+      const nd::Region region = f.slice.resolve(ctx.indices(),
+                                                fs.extents(ga));
+      ctx.set_fetch(i, fs.fetch(ga, region));
+    }
+  }
+}
+
+void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
+                            std::vector<StoreEvent>& events) {
+  const KernelDef& def = ctx.def();
+  for (const KernelContext::PendingStore& p : ctx.pending_stores()) {
+    if (fusion != nullptr && p.decl == fusion->upstream_store_decl &&
+        fusion->elide) {
+      continue;  // intermediate field circumvented entirely
+    }
+    const StoreDecl& d = def.stores[p.decl];
+    const FieldDecl& fd = program_.field(d.field);
+    check_argument(p.data.type() == fd.type,
+                   "kernel '" + def.name + "' stored " +
+                       std::string(nd::to_string(p.data.type())) +
+                       " into field '" + fd.name + "' of type " +
+                       std::string(nd::to_string(fd.type)));
+    const Age ga = d.age.resolve(ctx.age());
+    check_argument(ga >= 0, "kernel '" + def.name +
+                                "' stored to a negative age");
+    FieldStorage& fs = storage(d.field);
+
+    StoreEvent event;
+    event.field = d.field;
+    event.age = ga;
+    event.producer = def.id;
+    event.store_decl = p.decl;
+
+    if (d.slice.is_whole()) {
+      check_argument(p.data.extents().rank() == fd.rank,
+                     "kernel '" + def.name + "' whole-store rank mismatch "
+                     "on field '" + fd.name + "'");
+      fs.store_whole(ga, p.data);
+      event.region = nd::Region::whole(p.data.extents());
+      event.whole = true;
+    } else {
+      // Resolve the target region: index variables and constants from the
+      // declaration, all() dimensions from the payload's shape.
+      const auto& dims = d.slice.dims();
+      const size_t all_count = static_cast<size_t>(
+          std::count_if(dims.begin(), dims.end(), [](const nd::SliceDim& sd) {
+            return sd.kind == nd::SliceDim::Kind::kAll;
+          }));
+      const bool payload_is_field_shaped =
+          p.data.extents().rank() == dims.size();
+      check_argument(
+          all_count == 0 || payload_is_field_shaped ||
+              p.data.extents().rank() == all_count,
+          "kernel '" + def.name + "': payload rank does not determine the "
+          "all() dimensions of the store to '" + fd.name + "'");
+
+      std::vector<nd::Interval> intervals(dims.size());
+      size_t next_all = 0;
+      for (size_t i = 0; i < dims.size(); ++i) {
+        switch (dims[i].kind) {
+          case nd::SliceDim::Kind::kVar: {
+            const int64_t v =
+                ctx.indices()[static_cast<size_t>(dims[i].var)];
+            intervals[i] = nd::Interval{v, v + 1};
+            break;
+          }
+          case nd::SliceDim::Kind::kConst:
+            intervals[i] = nd::Interval{dims[i].value, dims[i].value + 1};
+            break;
+          case nd::SliceDim::Kind::kAll: {
+            const int64_t len =
+                payload_is_field_shaped
+                    ? p.data.extents().dim(i)
+                    : p.data.extents().dim(next_all++);
+            intervals[i] = nd::Interval{0, len};
+            break;
+          }
+        }
+      }
+      nd::Region region(std::move(intervals));
+      check_argument(region.element_count() == p.data.element_count(),
+                     "kernel '" + def.name + "': payload holds " +
+                         std::to_string(p.data.element_count()) +
+                         " elements but the store region " +
+                         region.to_string() + " needs " +
+                         std::to_string(region.element_count()));
+      fs.store(ga, region, p.data.raw());
+      event.region = std::move(region);
+    }
+    if (options_.store_tap) options_.store_tap(event);
+    events.push_back(std::move(event));
+  }
+}
+
+void Runtime::push_store_events(std::vector<StoreEvent> events) {
+  size_t i = 0;
+  while (i < events.size()) {
+    StoreEvent merged = std::move(events[i]);
+    if (!merged.whole) {
+      nd::Region box = merged.region;
+      int64_t covered = box.element_count();
+      size_t j = i + 1;
+      while (j < events.size()) {
+        const StoreEvent& next = events[j];
+        if (next.whole || next.field != merged.field ||
+            next.age != merged.age || next.producer != merged.producer ||
+            next.store_decl != merged.store_decl) {
+          break;
+        }
+        const nd::Region candidate = box.bounding_union(next.region);
+        const int64_t grown = covered + next.region.element_count();
+        if (candidate.element_count() != grown) break;  // not a clean tile
+        box = candidate;
+        covered = grown;
+        ++j;
+      }
+      merged.region = std::move(box);
+      i = j;
+    } else {
+      ++i;
+    }
+    push_event(std::move(merged));
+  }
+}
+
+void Runtime::run_fused_downstream(const KernelContext& up_ctx,
+                                   const ResolvedFusion& fusion,
+                                   std::vector<StoreEvent>& events) {
+  const KernelContext::PendingStore* feed =
+      up_ctx.pending_store(fusion.upstream_store_decl);
+  if (feed == nullptr) return;  // upstream took an alternate path
+
+  const KernelDef& down = program_.kernel(fusion.downstream);
+  nd::Coord coord(fusion.coord_map.size());
+  for (size_t v = 0; v < fusion.coord_map.size(); ++v) {
+    coord[v] = up_ctx.indices()[fusion.coord_map[v]];
+  }
+  const Age age = up_ctx.age() + fusion.age_delta;
+
+  int64_t dispatch_ns = 0;
+  int64_t kernel_ns = 0;
+  KernelContext ctx(down, age, std::move(coord), &timers_);
+  {
+    ScopedTimerNs t(dispatch_ns);
+    ctx.set_fetch(0, feed->data);  // handed over in memory, no field access
+  }
+  {
+    ScopedTimerNs t(kernel_ns);
+    down.body(ctx);
+  }
+  {
+    ScopedTimerNs t(dispatch_ns);
+    commit_stores(ctx, kcfg_[static_cast<size_t>(down.id)].fusion, events);
+  }
+  instr_.record(down.id, dispatch_ns, 1, kernel_ns);
+}
+
+void Runtime::execute(const WorkItem& item, int worker_index) {
+  const int64_t trace_start = trace_ ? now_ns() : 0;
+  const KernelDef& def = program_.kernel(item.kernel);
+  const ResolvedFusion* fusion = kcfg_[static_cast<size_t>(def.id)].fusion;
+
+  int64_t dispatch_ns = 0;
+  int64_t kernel_ns = 0;
+  int64_t bodies = 0;
+  bool continue_flag = false;
+  std::vector<StoreEvent> events;
+
+  for (const nd::Coord& coord : item.coords) {
+    KernelContext ctx(def, item.age, coord, &timers_);
+    {
+      ScopedTimerNs t(dispatch_ns);
+      prepare_fetches(ctx);
+    }
+    {
+      ScopedTimerNs t(kernel_ns);
+      def.body(ctx);
+    }
+    ++bodies;
+    {
+      ScopedTimerNs t(dispatch_ns);
+      commit_stores(ctx, fusion, events);
+    }
+    if (fusion != nullptr) {
+      run_fused_downstream(ctx, *fusion, events);
+    }
+    if (ctx.continue_requested()) continue_flag = true;
+  }
+
+  {
+    ScopedTimerNs t(dispatch_ns);
+    push_store_events(std::move(events));
+  }
+  instr_.record(def.id, dispatch_ns, bodies, kernel_ns);
+  if (trace_) {
+    trace_->record(TraceCollector::Span{def.name, trace_start,
+                                        now_ns() - trace_start,
+                                        worker_index, item.age, bodies});
+  }
+
+  if (needs_done_event(def)) {
+    InstanceDoneEvent done;
+    done.kernel = def.id;
+    done.age = item.age;
+    done.continue_next_age = continue_flag;
+    push_event(done);
+  }
+  complete_outstanding();
+}
+
+RunReport Runtime::run() {
+  check_argument(!started_, "Runtime::run() may only be called once");
+  started_ = true;
+
+  Stopwatch stopwatch;
+  analyzer_->bootstrap();
+
+  RunReport report;
+  if (outstanding_.load() == 0 && !options_.keep_alive) {
+    // Nothing to run (no run-once or source kernels).
+    report.wall_s = stopwatch.elapsed_s();
+    report.instrumentation = instrumentation();
+    return report;
+  }
+
+  int workers = options_.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 2;
+  }
+
+  std::thread analyzer_thread([this] { analyzer_loop(); });
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    worker_threads.emplace_back([this, i] { worker_loop(i); });
+  }
+
+  {
+    std::unique_lock lock(done_mutex_);
+    if (options_.watchdog) {
+      if (!done_cv_.wait_for(lock, *options_.watchdog,
+                             [&] { return done_; })) {
+        report.timed_out = true;
+        P2G_WARN << "watchdog expired; aborting run";
+      }
+    } else {
+      done_cv_.wait(lock, [&] { return done_; });
+    }
+  }
+  if (report.timed_out) begin_shutdown();
+
+  analyzer_thread.join();
+  for (std::thread& t : worker_threads) t.join();
+
+  {
+    std::scoped_lock lock(error_mutex_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  if (trace_ && options_.trace_path) {
+    trace_->write_file(*options_.trace_path);
+  }
+  report.wall_s = stopwatch.elapsed_s();
+  report.instrumentation = instrumentation();
+  return report;
+}
+
+}  // namespace p2g

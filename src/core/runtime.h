@@ -1,0 +1,237 @@
+// Runtime: a P2G execution node for multi-core machines (paper §VI-B).
+//
+// The runtime owns field storage, a dedicated dependency-analyzer thread,
+// an age-ordered ready queue and a pool of worker threads. Kernel
+// instances run on workers and emit store events; the analyzer consumes
+// events, discovers newly runnable instances and dispatches each instance
+// exactly once (write-once semantics make this sound). The run terminates
+// at quiescence: no pending events, no ready or running instances.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "core/events.h"
+#include "core/field.h"
+#include "core/instrumentation.h"
+#include "core/program.h"
+#include "core/ready_queue.h"
+#include "core/timer.h"
+#include "core/trace.h"
+
+namespace p2g {
+
+class DependencyAnalyzer;
+class KernelContext;
+
+/// Requests fusing a downstream kernel into its upstream producer — the
+/// paper's "decrease task parallelism" (Fig. 4, Age=3). The downstream
+/// kernel must have exactly one fetch, elementwise on a field the upstream
+/// stores elementwise with a matching slice.
+struct FusionRule {
+  std::string upstream;
+  std::string downstream;
+};
+
+/// Per-kernel low-level-scheduler knobs.
+struct KernelSchedule {
+  /// Data-granularity control (Fig. 4, Age=2): up to `chunk` instances of
+  /// the same kernel and age are dispatched as one work item.
+  int64_t chunk = 1;
+  /// Last age at which instances of this kernel may run.
+  std::optional<Age> max_age;
+};
+
+struct RunOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int workers = 0;
+  /// Adaptive data-granularity control (paper §V-A): the analyzer watches
+  /// the instrumented dispatch/kernel-time ratio and doubles a kernel's
+  /// chunk size while dispatch overhead dominates (kernels with an
+  /// explicit chunk in kernel_schedules are left alone).
+  bool adaptive_chunking = false;
+  /// Global cap on instance ages (required for cyclic programs with no
+  /// natural termination, e.g. the paper's mul2/plus5 loop).
+  std::optional<Age> max_age;
+  std::map<std::string, KernelSchedule> kernel_schedules;
+  std::vector<FusionRule> fusions;
+  /// Aborts the run if quiescence is not reached in time (hang detection).
+  std::optional<std::chrono::milliseconds> watchdog;
+  /// Oldest-first dispatch (paper §VI-B). false = plain FIFO (ablation).
+  bool age_priority = true;
+
+  // --- hooks for distributed operation (src/dist) --------------------------
+
+  /// Kernels this execution node does *not* run (they belong to another
+  /// partition). Their stores arrive through Runtime::inject_store.
+  std::set<std::string> disabled_kernels;
+  /// Keep running at quiescence and wait for injected stores; the run only
+  /// ends via Runtime::stop() (or the watchdog).
+  bool keep_alive = false;
+  /// Called after every committed store (worker thread) — the execution
+  /// node uses it to forward stores to remote consumers.
+  std::function<void(const StoreEvent&)> store_tap;
+
+  /// When set, every dispatched work item and analyzer batch is recorded
+  /// and written as Chrome trace-event JSON to this path after the run
+  /// (open in chrome://tracing or Perfetto). Meant for small runs — one
+  /// span per work item.
+  std::optional<std::string> trace_path;
+};
+
+struct RunReport {
+  double wall_s = 0.0;
+  bool timed_out = false;
+  InstrumentationReport instrumentation;
+};
+
+/// A single execution node. Construct, run() once, then inspect field
+/// storage and instrumentation.
+class Runtime {
+ public:
+  explicit Runtime(Program program, RunOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes the program to quiescence (blocking). May be called once.
+  RunReport run();
+
+  /// Applies a store produced on another execution node: writes the region
+  /// payload into local field storage and feeds the analyzer the same
+  /// event a local store would have produced. Thread-safe; usable before
+  /// and during run().
+  void inject_store(FieldId field, Age age, const nd::Region& region,
+                    KernelId producer, size_t store_decl, bool whole,
+                    const std::byte* payload);
+
+  /// Ends a keep-alive run (or aborts a normal one). Thread-safe.
+  void stop() { begin_shutdown(); }
+
+  /// True when no events, ready instances or running instances exist.
+  bool idle() const { return outstanding_.load() == 0; }
+
+  const Program& program() const { return program_; }
+  FieldStorage& storage(FieldId field);
+  FieldStorage& storage(std::string_view field_name);
+  TimerSet& timers() { return timers_; }
+
+  /// Instrumentation snapshot (also embedded in the RunReport).
+  InstrumentationReport instrumentation() const;
+
+  /// The execution trace (nullptr unless RunOptions::trace_path was set).
+  const TraceCollector* trace() const { return trace_.get(); }
+
+ private:
+  friend class DependencyAnalyzer;
+
+  /// Resolved fusion of a downstream kernel into its upstream producer.
+  struct ResolvedFusion {
+    KernelId upstream = kInvalidKernel;
+    KernelId downstream = kInvalidKernel;
+    size_t upstream_store_decl = 0;
+    int64_t age_delta = 0;  ///< downstream age = upstream age + age_delta
+    /// downstream coord[v] = upstream coord[coord_map[v]]
+    std::vector<size_t> coord_map;
+    /// Skip committing the intermediate store (sole consumer is fused).
+    bool elide = false;
+  };
+
+  /// Per-kernel resolved schedule. `chunk` is only ever read and adapted
+  /// from the analyzer thread.
+  struct KernelRunCfg {
+    int64_t chunk = 1;
+    bool chunk_explicit = false;  ///< user-set; adaptive control skips it
+    Age cap = std::numeric_limits<Age>::max();
+    const ResolvedFusion* fusion = nullptr;  ///< as upstream
+    bool enabled = true;  ///< false: kernel runs on another node
+  };
+
+  /// Analyzer-thread hook: revisits chunk sizes from instrumentation.
+  void adapt_granularity();
+
+  void resolve_options();
+  void resolve_fusion(const FusionRule& rule);
+
+  // Work accounting: every event and every created instance holds one unit;
+  // quiescence (= shutdown) happens when the count returns to zero.
+  void add_outstanding(int64_t n) { outstanding_.fetch_add(n); }
+  void complete_outstanding();
+
+  /// Enqueues a work item. When `already_counted`, the instance already
+  /// holds an outstanding unit (it was parked by the serial gate).
+  void submit(WorkItem item, bool already_counted = false);
+
+  void push_event(Event event);
+
+  void begin_shutdown();
+  void fail(std::exception_ptr error);
+
+  void worker_loop(int worker_index);
+  void analyzer_loop();
+
+  /// Runs all bodies of a work item: fetch prep, body, store commit, fused
+  /// downstream execution, instrumentation, done-event emission.
+  void execute(const WorkItem& item, int worker_index);
+  void prepare_fetches(KernelContext& ctx);
+  /// Commits buffered stores into field storage; appends the store events
+  /// to `events` (pushed, possibly coalesced, by execute()).
+  void commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
+                     std::vector<StoreEvent>& events);
+  void run_fused_downstream(const KernelContext& up_ctx,
+                            const ResolvedFusion& fusion,
+                            std::vector<StoreEvent>& events);
+  /// Merges runs of events from the same store statement whose regions
+  /// tile an exact rectangle (chunked instances over consecutive indices),
+  /// then pushes them. Cuts analyzer load proportionally to the chunk
+  /// size.
+  void push_store_events(std::vector<StoreEvent> events);
+
+  Age cap_of(KernelId kernel) const {
+    return kcfg_[static_cast<size_t>(kernel)].cap;
+  }
+
+  bool kernel_enabled(KernelId kernel) const {
+    return kcfg_[static_cast<size_t>(kernel)].enabled;
+  }
+
+  static bool needs_done_event(const KernelDef& def) {
+    return def.serial || def.is_source();
+  }
+
+  Program program_;
+  RunOptions options_;
+  std::vector<std::unique_ptr<FieldStorage>> storages_;
+  std::vector<KernelRunCfg> kcfg_;
+  std::vector<ResolvedFusion> fusions_;
+
+  ReadyQueue ready_;
+  BlockingQueue<Event> events_;
+  Instrumentation instr_;
+  TimerSet timers_;
+  std::unique_ptr<TraceCollector> trace_;
+  std::unique_ptr<DependencyAnalyzer> analyzer_;
+
+  std::atomic<int64_t> outstanding_{0};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+  bool started_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace p2g

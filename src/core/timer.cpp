@@ -1,0 +1,38 @@
+#include "core/timer.h"
+
+namespace p2g {
+
+void TimerSet::set_now(const std::string& name) {
+  set(name, SteadyClock::now());
+}
+
+void TimerSet::set(const std::string& name, TimePoint at) {
+  std::scoped_lock lock(mutex_);
+  timers_[name] = at;
+}
+
+TimePoint TimerSet::base_of(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? epoch_ : it->second;
+}
+
+bool TimerSet::expired(const std::string& name,
+                       std::chrono::milliseconds offset) const {
+  return SteadyClock::now() >= base_of(name) + offset;
+}
+
+double TimerSet::elapsed_ms(const std::string& name) const {
+  const auto delta = SteadyClock::now() - base_of(name);
+  return std::chrono::duration<double, std::milli>(delta).count();
+}
+
+double TimerSet::remaining_ms(const std::string& name,
+                              std::chrono::milliseconds offset) const {
+  const auto deadline = base_of(name) + offset;
+  return std::chrono::duration<double, std::milli>(deadline -
+                                                   SteadyClock::now())
+      .count();
+}
+
+}  // namespace p2g

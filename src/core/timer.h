@@ -1,0 +1,49 @@
+// Deadline timers (paper §V-B).
+//
+// The kernel language lets a workload declare a global timer (`timer t1`),
+// poll it, move it (`t1 = now`), and branch on deadline expressions such as
+// `t1 + 100ms`. A kernel that misses a deadline stores to an alternate
+// field, which gives downstream kernels different dependencies — the
+// "alternate code path" of the paper.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+
+namespace p2g {
+
+/// Named global timers shared by all kernel instances of a runtime.
+class TimerSet {
+ public:
+  /// (Re)arms a timer at the current time (`t1 = now`).
+  void set_now(const std::string& name);
+
+  /// Arms a timer at an explicit point.
+  void set(const std::string& name, TimePoint at);
+
+  /// True when the timer exists and `name + offset` lies in the past
+  /// (the deadline expression `t1 + offset` has expired). A timer that was
+  /// never set is treated as armed at runtime start.
+  bool expired(const std::string& name,
+               std::chrono::milliseconds offset) const;
+
+  /// Milliseconds elapsed since the timer was (last) set.
+  double elapsed_ms(const std::string& name) const;
+
+  /// Time remaining until `name + offset`; negative when already expired.
+  double remaining_ms(const std::string& name,
+                      std::chrono::milliseconds offset) const;
+
+ private:
+  TimePoint base_of(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, TimePoint> timers_;
+  TimePoint epoch_ = SteadyClock::now();
+};
+
+}  // namespace p2g

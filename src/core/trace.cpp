@@ -1,0 +1,55 @@
+#include "core/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace p2g {
+
+void TraceCollector::record(Span span) {
+  std::scoped_lock lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+size_t TraceCollector::span_count() const {
+  std::scoped_lock lock(mutex_);
+  return spans_.size();
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  std::scoped_lock lock(mutex_);
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  // Normalize to the earliest span so timestamps start near zero.
+  int64_t epoch = 0;
+  for (const Span& span : spans_) {
+    if (epoch == 0 || span.start_ns < epoch) epoch = span.start_ns;
+  }
+  for (const Span& span : spans_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Chrome trace "complete" events: ph=X, ts/dur in microseconds.
+    os << "  {\"name\": \"" << span.name << "\", \"cat\": \"p2g\", "
+       << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << span.thread_id
+       << ", \"ts\": " << (span.start_ns - epoch) / 1000.0
+       << ", \"dur\": " << span.duration_ns / 1000.0
+       << ", \"args\": {\"age\": " << span.age
+       << ", \"bodies\": " << span.bodies << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void TraceCollector::write_file(const std::string& path) const {
+  const std::string json = to_chrome_json();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw_error(ErrorKind::kIo, "cannot open '" + path + "' for writing");
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace p2g

@@ -1,0 +1,48 @@
+// Execution tracing: a timeline of every dispatched work item in Chrome
+// trace-event JSON (load in chrome://tracing or Perfetto).
+//
+// The paper's execution nodes feed instrumentation to the schedulers; the
+// aggregate view is Tables II/III, and this is the per-instance view —
+// one lane per worker thread plus the analyzer, showing dispatch gaps,
+// chunk widths and the serial-analyzer bottleneck of Fig. 10 visually.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace p2g {
+
+/// Thread-safe collector of trace spans. Enabled via
+/// RunOptions::trace_path; workers record one span per executed work item
+/// and the analyzer one span per processed event batch.
+class TraceCollector {
+ public:
+  struct Span {
+    std::string name;   ///< kernel name or analyzer phase
+    int64_t start_ns;   ///< monotonic
+    int64_t duration_ns;
+    int64_t thread_id;  ///< worker index; -1 = analyzer
+    Age age;
+    int64_t bodies;     ///< kernel bodies covered (chunk width)
+  };
+
+  void record(Span span);
+
+  /// Serializes all spans as a Chrome trace-event JSON array document.
+  std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to a file (throws kIo on failure).
+  void write_file(const std::string& path) const;
+
+  size_t span_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace p2g

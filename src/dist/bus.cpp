@@ -1,0 +1,52 @@
+#include "dist/bus.h"
+
+#include "common/error.h"
+
+namespace p2g::dist {
+
+std::shared_ptr<MessageBus::Mailbox> MessageBus::register_endpoint(
+    const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  check_argument(!endpoints_.count(name),
+                 "endpoint '" + name + "' already registered");
+  auto mailbox = std::make_shared<Mailbox>();
+  endpoints_.emplace(name, mailbox);
+  return mailbox;
+}
+
+void MessageBus::send(const std::string& to, Message message) {
+  std::shared_ptr<Mailbox> mailbox;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      throw_error(ErrorKind::kProtocol, "unknown endpoint '" + to + "'");
+    }
+    mailbox = it->second;
+    ++delivered_;
+  }
+  mailbox->push(std::move(message));
+}
+
+void MessageBus::broadcast(Message message) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, mailbox] : endpoints_) {
+    if (name == message.from) continue;
+    ++delivered_;
+    mailbox->push(message);
+  }
+}
+
+void MessageBus::close_all() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, mailbox] : endpoints_) {
+    mailbox->close();
+  }
+}
+
+int64_t MessageBus::delivered() const {
+  std::scoped_lock lock(mutex_);
+  return delivered_;
+}
+
+}  // namespace p2g::dist

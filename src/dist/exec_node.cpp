@@ -1,0 +1,140 @@
+#include "dist/exec_node.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace p2g::dist {
+
+ExecutionNode::ExecutionNode(
+    std::string name, Program program,
+    const std::map<std::string, std::string>& kernel_owner, MessageBus& bus,
+    RunOptions base_options)
+    : name_(std::move(name)), bus_(bus) {
+  mailbox_ = bus_.register_endpoint(name_);
+
+  // Enable only this node's kernels.
+  RunOptions options = std::move(base_options);
+  options.keep_alive = true;
+  for (const KernelDef& k : program.kernels()) {
+    const auto it = kernel_owner.find(k.name);
+    check_argument(it != kernel_owner.end(),
+                   "kernel '" + k.name + "' has no owner");
+    if (it->second != name_) {
+      options.disabled_kernels.insert(k.name);
+    }
+  }
+
+  // Forwarding map: for every field, the remote nodes hosting consumers.
+  forward_targets_.resize(program.fields().size());
+  for (const FieldDecl& f : program.fields()) {
+    std::vector<std::string>& targets =
+        forward_targets_[static_cast<size_t>(f.id)];
+    for (const Program::Use& use : program.consumers_of(f.id)) {
+      const std::string& owner =
+          kernel_owner.at(program.kernel(use.kernel).name);
+      if (owner != name_ &&
+          std::find(targets.begin(), targets.end(), owner) ==
+              targets.end()) {
+        targets.push_back(owner);
+      }
+    }
+  }
+
+  options.store_tap = [this](const StoreEvent& event) {
+    forward_store(event);
+  };
+
+  runtime_ = std::make_unique<Runtime>(std::move(program),
+                                       std::move(options));
+}
+
+void ExecutionNode::announce(const std::string& master_endpoint) {
+  TopologyReport report;
+  report.topology = graph::NodeTopology::local_machine(name_);
+  Message message;
+  message.type = MessageType::kTopologyReport;
+  message.from = name_;
+  message.payload = report.encode();
+  bus_.send(master_endpoint, std::move(message));
+}
+
+void ExecutionNode::forward_store(const StoreEvent& event) {
+  const auto& targets = forward_targets_[static_cast<size_t>(event.field)];
+  if (targets.empty()) return;
+
+  RemoteStore remote;
+  remote.field = event.field;
+  remote.age = event.age;
+  remote.region = event.region;
+  remote.producer = event.producer;
+  remote.store_decl = static_cast<uint32_t>(event.store_decl);
+  remote.whole = event.whole;
+  // Pull the freshly written payload back out of local storage.
+  const nd::AnyBuffer data =
+      runtime_->storage(event.field).fetch(event.age, event.region);
+  const auto* raw = reinterpret_cast<const uint8_t*>(data.raw());
+  remote.payload.assign(
+      raw, raw + static_cast<size_t>(data.element_count()) *
+                     nd::element_size(data.type()));
+
+  Message message;
+  message.type = MessageType::kRemoteStore;
+  message.from = name_;
+  message.payload = remote.encode();
+  for (const std::string& target : targets) {
+    stores_sent_.fetch_add(1);
+    bus_.send(target, message);
+  }
+}
+
+void ExecutionNode::start() {
+  runtime_thread_ = std::thread([this] {
+    try {
+      report_ = runtime_->run();
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  });
+  receiver_thread_ = std::thread([this] { receiver_loop(); });
+}
+
+void ExecutionNode::receiver_loop() {
+  while (auto message = mailbox_->pop()) {
+    try {
+      switch (message->type) {
+        case MessageType::kRemoteStore: {
+          const RemoteStore remote = RemoteStore::decode(message->payload);
+          runtime_->inject_store(
+              remote.field, remote.age, remote.region, remote.producer,
+              remote.store_decl, remote.whole,
+              reinterpret_cast<const std::byte*>(remote.payload.data()));
+          stores_received_.fetch_add(1);
+          break;
+        }
+        case MessageType::kShutdown:
+          runtime_->stop();
+          return;
+        default:
+          P2G_WARN << "node " << name_ << ": unexpected message type";
+          break;
+      }
+    } catch (...) {
+      if (!error_) error_ = std::current_exception();
+      runtime_->stop();
+      return;
+    }
+  }
+}
+
+bool ExecutionNode::idle() const { return runtime_->idle(); }
+
+void ExecutionNode::join() {
+  if (runtime_thread_.joinable()) runtime_thread_.join();
+  mailbox_->close();
+  if (receiver_thread_.joinable()) receiver_thread_.join();
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace p2g::dist

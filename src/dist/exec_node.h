@@ -1,0 +1,76 @@
+// A simulated P2G execution node (paper Fig. 1).
+//
+// Each node owns a full Runtime but only *enables* the kernels of its
+// partition. Stores produced locally on fields that remote kernels consume
+// are serialized and forwarded over the message bus; incoming remote
+// stores are injected into local field storage, feeding the local
+// dependency analyzer exactly like a local store. Every node also reports
+// its local topology to the master.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/program.h"
+#include "core/runtime.h"
+#include "dist/bus.h"
+#include "graph/topology.h"
+
+namespace p2g::dist {
+
+class ExecutionNode {
+ public:
+  /// `kernel_owner` maps every kernel name to the name of the node that
+  /// runs it (the master's partitioning decision).
+  ExecutionNode(std::string name, Program program,
+                const std::map<std::string, std::string>& kernel_owner,
+                MessageBus& bus, RunOptions base_options);
+
+  /// Registers on the bus and reports the local topology to the master.
+  void announce(const std::string& master_endpoint);
+
+  /// Starts the runtime and the mailbox receiver threads.
+  void start();
+
+  /// Waits for both threads (after the master broadcast a shutdown).
+  void join();
+
+  const std::string& name() const { return name_; }
+  Runtime& runtime() { return *runtime_; }
+
+  bool idle() const;
+  int64_t stores_sent() const { return stores_sent_.load(); }
+  int64_t stores_received() const { return stores_received_.load(); }
+  bool mailbox_empty() const { return mailbox_->empty(); }
+
+  /// The node's run report (valid after join()).
+  const std::optional<RunReport>& report() const { return report_; }
+
+ private:
+  void receiver_loop();
+  void forward_store(const StoreEvent& event);
+
+  std::string name_;
+  MessageBus& bus_;
+  std::shared_ptr<MessageBus::Mailbox> mailbox_;
+  std::unique_ptr<Runtime> runtime_;
+
+  /// field id -> remote node names that host consumers of the field.
+  std::vector<std::vector<std::string>> forward_targets_;
+
+  std::atomic<int64_t> stores_sent_{0};
+  std::atomic<int64_t> stores_received_{0};
+
+  std::thread runtime_thread_;
+  std::thread receiver_thread_;
+  std::optional<RunReport> report_;
+  std::exception_ptr error_;
+};
+
+}  // namespace p2g::dist

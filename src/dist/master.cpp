@@ -1,0 +1,153 @@
+#include "dist/master.h"
+
+#include <thread>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace p2g::dist {
+
+Master::Master(MasterOptions options)
+    : options_(std::move(options)),
+      reference_program_(options_.program_factory
+                             ? options_.program_factory()
+                             : Program{}),
+      final_graph_(graph::FinalGraph::from_program(reference_program_)) {
+  check_argument(static_cast<bool>(options_.program_factory),
+                 "MasterOptions::program_factory is required");
+  check_argument(options_.nodes >= 1, "need at least one execution node");
+}
+
+DistributedRunReport Master::run() {
+  DistributedRunReport result;
+  Stopwatch stopwatch;
+
+  // 1. Partition the final static dependency graph.
+  result.partition =
+      options_.use_tabu
+          ? graph::tabu_partition(final_graph_, options_.nodes)
+          : graph::partition_graph(final_graph_, options_.nodes);
+
+  // 2. Spin up the simulated cluster and gather topology reports.
+  MessageBus bus;
+  auto master_mailbox = bus.register_endpoint("master");
+
+  std::vector<std::string> node_names;
+  for (int i = 0; i < options_.nodes; ++i) {
+    node_names.push_back("node" + std::to_string(i));
+  }
+
+  // 3. Place partitions on nodes by capacity. (Topology reports arrive
+  // after registration; for the simulation all nodes look alike, so the
+  // placement is computed from the local machine description.)
+  graph::GlobalTopology topology;
+  for (const std::string& name : node_names) {
+    topology.add_node(graph::NodeTopology::local_machine(name));
+  }
+  result.placement =
+      topology.place_partitions(result.partition.part_weights(final_graph_));
+
+  std::map<std::string, std::string> kernel_owner;
+  for (size_t k = 0; k < final_graph_.kernel_count(); ++k) {
+    const int part = result.partition.assignment[k];
+    const size_t node = result.placement[static_cast<size_t>(part)];
+    kernel_owner[final_graph_.kernel_names[k]] = node_names[node];
+  }
+
+  RunOptions base = options_.base_options;
+  base.workers = options_.workers_per_node;
+
+  std::vector<std::unique_ptr<ExecutionNode>> nodes;
+  for (const std::string& name : node_names) {
+    nodes.push_back(std::make_unique<ExecutionNode>(
+        name, options_.program_factory(), kernel_owner, bus, base));
+  }
+  for (auto& node : nodes) node->announce("master");
+  for (auto& node : nodes) node->start();
+
+  // Merge the announced topologies (the paper's global topology).
+  while (auto message = master_mailbox->try_pop()) {
+    if (message->type == MessageType::kTopologyReport) {
+      result.topology.add_node(
+          TopologyReport::decode(message->payload).topology);
+    }
+  }
+
+  // 4. Termination detection: two consecutive observations of
+  // "every node idle, no messages in flight, send/receive counts
+  // conserved and unchanged" mean global quiescence.
+  const int64_t deadline_ns =
+      now_ns() + options_.watchdog.count() * 1'000'000;
+  int stable_rounds = 0;
+  int64_t last_sent = -1;
+  while (stable_rounds < 2) {
+    if (now_ns() > deadline_ns) {
+      result.timed_out = true;
+      break;
+    }
+    bool all_idle = true;
+    int64_t sent = 0;
+    int64_t received = 0;
+    for (const auto& node : nodes) {
+      all_idle = all_idle && node->idle() && node->mailbox_empty();
+      sent += node->stores_sent();
+      received += node->stores_received();
+    }
+    if (all_idle && sent == received && sent == last_sent) {
+      ++stable_rounds;
+    } else {
+      stable_rounds = 0;
+    }
+    last_sent = sent;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // 5. Shut the cluster down and collect profiles.
+  Message shutdown;
+  shutdown.type = MessageType::kShutdown;
+  shutdown.from = "master";
+  bus.broadcast(std::move(shutdown));
+  for (auto& node : nodes) node->join();
+
+  for (auto& node : nodes) {
+    InstrumentationReport report = node->runtime().instrumentation();
+    // Serialize through the profile message to exercise the wire format.
+    ProfileReport profile;
+    profile.report = report;
+    const InstrumentationReport round_tripped =
+        ProfileReport::decode(profile.encode()).report;
+    result.node_reports.emplace(node->name(), round_tripped);
+  }
+
+  // Merge: each kernel ran on exactly one node.
+  result.combined.kernels.clear();
+  for (const std::string& kernel_name : final_graph_.kernel_names) {
+    KernelStats merged;
+    merged.name = kernel_name;
+    for (const auto& [node_name, report] : result.node_reports) {
+      if (const KernelStats* stats = report.find(kernel_name)) {
+        merged.dispatches += stats->dispatches;
+        merged.instances += stats->instances;
+        merged.dispatch_ns += stats->dispatch_ns;
+        merged.kernel_ns += stats->kernel_ns;
+      }
+    }
+    result.combined.kernels.push_back(std::move(merged));
+  }
+
+  result.messages_delivered = bus.delivered();
+  result.wall_s = stopwatch.elapsed_s();
+  return result;
+}
+
+graph::Partition Master::repartition(
+    const DistributedRunReport& previous) const {
+  graph::FinalGraph weighted = final_graph_;
+  weighted.apply_instrumentation(previous.combined);
+  return options_.use_tabu
+             ? graph::tabu_partition(weighted, options_.nodes)
+             : graph::partition_graph(weighted, options_.nodes);
+}
+
+}  // namespace p2g::dist

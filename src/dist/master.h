@@ -1,0 +1,79 @@
+// The master node / high-level scheduler (paper §IV, Fig. 1).
+//
+// The master derives the final implicit static dependency graph from the
+// program, partitions it (greedy + Kernighan-Lin, or tabu search), places
+// the partitions on the global topology assembled from the execution
+// nodes' reports, runs the simulated cluster to completion (a two-round
+// quiescence+message-conservation termination detector — the distributed
+// analogue of the single-node outstanding counter), and collects
+// instrumentation for repartitioning.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "core/runtime.h"
+#include "dist/bus.h"
+#include "dist/exec_node.h"
+#include "graph/partition.h"
+#include "graph/static_graph.h"
+#include "graph/tabu.h"
+#include "graph/topology.h"
+
+namespace p2g::dist {
+
+struct MasterOptions {
+  /// Number of execution nodes to simulate.
+  int nodes = 2;
+  /// Worker threads per node.
+  int workers_per_node = 1;
+  /// Use tabu search instead of greedy+KL for the partitioning.
+  bool use_tabu = false;
+  /// Extra runtime options applied to every node (schedules, caps, ...).
+  RunOptions base_options;
+  /// Abort if the cluster does not terminate in time.
+  std::chrono::milliseconds watchdog{30000};
+  /// Program factory: each node needs its own Program instance because
+  /// kernel bodies may capture per-run state.
+  std::function<Program()> program_factory;
+};
+
+struct DistributedRunReport {
+  double wall_s = 0.0;
+  bool timed_out = false;
+  graph::Partition partition;
+  /// Which node each partition landed on.
+  std::vector<size_t> placement;
+  /// Per-node instrumentation (kernels that ran elsewhere show zeroes).
+  std::map<std::string, InstrumentationReport> node_reports;
+  /// Merged instrumentation across the cluster.
+  InstrumentationReport combined;
+  int64_t messages_delivered = 0;
+  graph::GlobalTopology topology;
+};
+
+class Master {
+ public:
+  explicit Master(MasterOptions options);
+
+  /// Partitions, places, runs the simulated cluster and collects profiles.
+  DistributedRunReport run();
+
+  /// HLS repartitioning input: reweights the final graph with the profile
+  /// data of a finished run and partitions again (the paper repartitions
+  /// to improve throughput; live task migration is future work there too).
+  graph::Partition repartition(const DistributedRunReport& previous) const;
+
+  const graph::FinalGraph& final_graph() const { return final_graph_; }
+
+ private:
+  MasterOptions options_;
+  Program reference_program_;  ///< used for graph derivation only
+  graph::FinalGraph final_graph_;
+};
+
+}  // namespace p2g::dist

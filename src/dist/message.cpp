@@ -1,0 +1,141 @@
+#include "dist/message.h"
+
+namespace p2g::dist {
+
+namespace {
+
+void encode_region(Writer& w, const nd::Region& region) {
+  w.u32(static_cast<uint32_t>(region.rank()));
+  for (const nd::Interval& iv : region.intervals()) {
+    w.i64(iv.begin);
+    w.i64(iv.end);
+  }
+}
+
+nd::Region decode_region(Reader& r) {
+  const uint32_t rank = r.u32();
+  std::vector<nd::Interval> intervals(rank);
+  for (uint32_t i = 0; i < rank; ++i) {
+    intervals[i].begin = r.i64();
+    intervals[i].end = r.i64();
+  }
+  return nd::Region(std::move(intervals));
+}
+
+}  // namespace
+
+std::vector<uint8_t> RemoteStore::encode() const {
+  Writer w;
+  w.u32(static_cast<uint32_t>(field));
+  w.i64(age);
+  encode_region(w, region);
+  w.u32(static_cast<uint32_t>(producer));
+  w.u32(store_decl);
+  w.u8(whole ? 1 : 0);
+  w.blob(payload.data(), payload.size());
+  return w.take();
+}
+
+RemoteStore RemoteStore::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  RemoteStore out;
+  out.field = static_cast<int32_t>(r.u32());
+  out.age = r.i64();
+  out.region = decode_region(r);
+  out.producer = static_cast<int32_t>(r.u32());
+  out.store_decl = r.u32();
+  out.whole = r.u8() != 0;
+  out.payload = r.blob();
+  return out;
+}
+
+std::vector<uint8_t> TopologyReport::encode() const {
+  Writer w;
+  w.str(topology.name);
+  w.f64(topology.memory_gb);
+  w.u32(static_cast<uint32_t>(topology.units.size()));
+  for (const graph::ProcessingUnit& unit : topology.units) {
+    w.u8(static_cast<uint8_t>(unit.type));
+    w.f64(unit.relative_speed);
+  }
+  w.u32(static_cast<uint32_t>(topology.buses.size()));
+  for (const graph::Link& bus : topology.buses) {
+    w.u32(static_cast<uint32_t>(bus.a));
+    w.u32(static_cast<uint32_t>(bus.b));
+    w.f64(bus.bandwidth_mbps);
+    w.f64(bus.latency_us);
+  }
+  return w.take();
+}
+
+TopologyReport TopologyReport::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  TopologyReport out;
+  out.topology.name = r.str();
+  out.topology.memory_gb = r.f64();
+  const uint32_t units = r.u32();
+  for (uint32_t i = 0; i < units; ++i) {
+    graph::ProcessingUnit unit;
+    unit.type = static_cast<graph::ProcessingUnit::Type>(r.u8());
+    unit.relative_speed = r.f64();
+    out.topology.units.push_back(unit);
+  }
+  const uint32_t buses = r.u32();
+  for (uint32_t i = 0; i < buses; ++i) {
+    graph::Link bus;
+    bus.a = r.u32();
+    bus.b = r.u32();
+    bus.bandwidth_mbps = r.f64();
+    bus.latency_us = r.f64();
+    out.topology.buses.push_back(bus);
+  }
+  return out;
+}
+
+std::vector<uint8_t> ProfileReport::encode() const {
+  Writer w;
+  w.u32(static_cast<uint32_t>(report.kernels.size()));
+  for (const KernelStats& k : report.kernels) {
+    w.str(k.name);
+    w.i64(k.dispatches);
+    w.i64(k.instances);
+    w.i64(k.dispatch_ns);
+    w.i64(k.kernel_ns);
+  }
+  return w.take();
+}
+
+ProfileReport ProfileReport::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  ProfileReport out;
+  const uint32_t kernels = r.u32();
+  for (uint32_t i = 0; i < kernels; ++i) {
+    KernelStats k;
+    k.name = r.str();
+    k.dispatches = r.i64();
+    k.instances = r.i64();
+    k.dispatch_ns = r.i64();
+    k.kernel_ns = r.i64();
+    out.report.kernels.push_back(std::move(k));
+  }
+  return out;
+}
+
+std::vector<uint8_t> IdleReport::encode() const {
+  Writer w;
+  w.u8(idle ? 1 : 0);
+  w.i64(stores_sent);
+  w.i64(stores_received);
+  return w.take();
+}
+
+IdleReport IdleReport::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  IdleReport out;
+  out.idle = r.u8() != 0;
+  out.stores_sent = r.i64();
+  out.stores_received = r.i64();
+  return out;
+}
+
+}  // namespace p2g::dist

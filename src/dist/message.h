@@ -1,0 +1,72 @@
+// Cluster message types (paper §IV: topology reports, partition
+// assignment, data distribution via publish-subscribe, profiling feedback).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "core/instrumentation.h"
+#include "dist/serialize.h"
+#include "graph/topology.h"
+#include "nd/region.h"
+
+namespace p2g::dist {
+
+enum class MessageType : uint8_t {
+  kTopologyReport = 1,  ///< execution node -> master: local topology
+  kRemoteStore = 2,     ///< node -> node: a store crossing the partition
+  kProfileReport = 3,   ///< node -> master: instrumentation snapshot
+  kIdleReport = 4,      ///< node -> master: quiescence probe answer
+  kShutdown = 5,        ///< master -> nodes: stop
+};
+
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  std::string from;
+  std::vector<uint8_t> payload;
+};
+
+/// A store forwarded across the partition boundary. Carries everything the
+/// remote dependency analyzer needs for seal bookkeeping.
+struct RemoteStore {
+  int32_t field = -1;
+  int64_t age = 0;
+  nd::Region region;
+  int32_t producer = -1;
+  uint32_t store_decl = 0;
+  bool whole = false;
+  std::vector<uint8_t> payload;  ///< densely packed region elements
+
+  std::vector<uint8_t> encode() const;
+  static RemoteStore decode(const std::vector<uint8_t>& bytes);
+};
+
+/// An execution node's topology report.
+struct TopologyReport {
+  graph::NodeTopology topology;
+
+  std::vector<uint8_t> encode() const;
+  static TopologyReport decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Instrumentation snapshot (for HLS reweighting / repartitioning).
+struct ProfileReport {
+  InstrumentationReport report;
+
+  std::vector<uint8_t> encode() const;
+  static ProfileReport decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Quiescence probe answer used by the master's termination detection.
+struct IdleReport {
+  bool idle = false;
+  int64_t stores_sent = 0;      ///< remote stores this node has sent
+  int64_t stores_received = 0;  ///< remote stores it has applied
+
+  std::vector<uint8_t> encode() const;
+  static IdleReport decode(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace p2g::dist

@@ -1,0 +1,92 @@
+// Minimal binary serialization for cluster messages.
+//
+// Little-endian fixed-width scalars, length-prefixed strings/blobs. The
+// simulated cluster is in-process, but every message still round-trips
+// through bytes so the wire format (and its failure modes) is exercised.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace p2g::dist {
+
+class Writer {
+ public:
+  void u8(uint8_t v) { bytes_.push_back(v); }
+  void u32(uint32_t v) { append(&v, sizeof(v)); }
+  void i64(int64_t v) { append(&v, sizeof(v)); }
+  void f64(double v) { append(&v, sizeof(v)); }
+
+  void str(const std::string& s) {
+    u32(static_cast<uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+
+  void blob(const void* data, size_t size) {
+    u32(static_cast<uint32_t>(size));
+    append(data, size);
+  }
+
+  std::vector<uint8_t> take() { return std::move(bytes_); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  void append(const void* data, size_t size) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<uint8_t>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  uint8_t u8() { return *take(1); }
+  uint32_t u32() { return read_as<uint32_t>(); }
+  int64_t i64() { return read_as<int64_t>(); }
+  double f64() { return read_as<double>(); }
+
+  std::string str() {
+    const uint32_t n = u32();
+    const uint8_t* p = take(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::vector<uint8_t> blob() {
+    const uint32_t n = u32();
+    const uint8_t* p = take(n);
+    return std::vector<uint8_t>(p, p + n);
+  }
+
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  template <typename T>
+  T read_as() {
+    T v;
+    std::memcpy(&v, take(sizeof(T)), sizeof(T));
+    return v;
+  }
+
+  const uint8_t* take(size_t n) {
+    if (pos_ + n > size_) {
+      throw_error(ErrorKind::kProtocol, "truncated message");
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace p2g::dist

@@ -1,0 +1,47 @@
+// Graph partitioning for the high-level scheduler (§IV, ref [17]).
+//
+// The HLS splits the weighted final dependency graph into components that
+// can be distributed across execution nodes. We implement the classic
+// combination: greedy region growth for an initial balanced partition,
+// refined with Kernighan–Lin style boundary moves that reduce the weight
+// of cut edges while respecting a balance constraint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/static_graph.h"
+
+namespace p2g::graph {
+
+/// An assignment of every kernel to one of `parts` components.
+struct Partition {
+  int parts = 1;
+  std::vector<int> assignment;  ///< kernel index -> part
+
+  /// Total weight of edges whose endpoints live in different parts.
+  double cut_weight(const FinalGraph& graph) const;
+
+  /// Node weight of each part.
+  std::vector<double> part_weights(const FinalGraph& graph) const;
+
+  /// max(part weight) / ideal weight; 1.0 = perfectly balanced.
+  double imbalance(const FinalGraph& graph) const;
+};
+
+/// Greedy growth: seeds each part with the heaviest unassigned kernel and
+/// grows along the strongest edges until the part reaches its weight
+/// budget.
+Partition greedy_partition(const FinalGraph& graph, int parts);
+
+/// Kernighan–Lin style refinement: repeatedly moves the boundary kernel
+/// with the best cut-weight gain to a neighboring part, while keeping
+/// imbalance under `max_imbalance`. Stops after `max_passes` passes with
+/// no improvement.
+void kl_refine(const FinalGraph& graph, Partition& partition,
+               int max_passes = 8, double max_imbalance = 1.5);
+
+/// The HLS default: greedy + KL.
+Partition partition_graph(const FinalGraph& graph, int parts);
+
+}  // namespace p2g::graph

@@ -1,0 +1,86 @@
+#include "graph/tabu.h"
+
+#include <limits>
+#include <vector>
+
+namespace p2g::graph {
+
+namespace {
+
+double objective(const FinalGraph& graph, const Partition& partition,
+                 double imbalance_penalty) {
+  return partition.cut_weight(graph) +
+         imbalance_penalty * (partition.imbalance(graph) - 1.0) *
+             partition.cut_weight(graph);
+}
+
+}  // namespace
+
+Partition tabu_partition(const FinalGraph& graph, int parts,
+                         const TabuOptions& options) {
+  Partition current = greedy_partition(graph, parts);
+  Partition best = current;
+  const size_t n = graph.kernel_count();
+  if (n == 0 || parts <= 1) return best;
+
+  double best_score = objective(graph, best, options.imbalance_penalty);
+
+  // tabu_until[kernel][part]: iteration until which moving `kernel` to
+  // `part` is forbidden.
+  std::vector<std::vector<int>> tabu_until(
+      n, std::vector<int>(static_cast<size_t>(parts), -1));
+
+  uint64_t rng = options.seed == 0 ? 1 : options.seed;
+  auto next_random = [&rng] {
+    rng ^= rng >> 12;
+    rng ^= rng << 25;
+    rng ^= rng >> 27;
+    return rng * 0x2545F4914F6CDD1DULL;
+  };
+
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    // Evaluate all single moves; pick the best non-tabu one (or a tabu
+    // move that beats the global best — aspiration).
+    double best_move_score = std::numeric_limits<double>::max();
+    size_t move_kernel = n;
+    int move_part = -1;
+
+    for (size_t v = 0; v < n; ++v) {
+      const int from = current.assignment[v];
+      for (int p = 0; p < parts; ++p) {
+        if (p == from) continue;
+        current.assignment[v] = p;
+        const double score =
+            objective(graph, current, options.imbalance_penalty);
+        current.assignment[v] = from;
+
+        const bool tabu =
+            tabu_until[v][static_cast<size_t>(p)] > iteration;
+        const bool aspiration = score < best_score;
+        if (tabu && !aspiration) continue;
+        // Break score ties randomly to diversify.
+        if (score < best_move_score ||
+            (score == best_move_score && (next_random() & 1) != 0)) {
+          best_move_score = score;
+          move_kernel = v;
+          move_part = p;
+        }
+      }
+    }
+    if (move_kernel == n) break;  // everything tabu, search exhausted
+
+    const int from = current.assignment[move_kernel];
+    current.assignment[move_kernel] = move_part;
+    // Moving back is tabu for `tenure` iterations.
+    tabu_until[move_kernel][static_cast<size_t>(from)] =
+        iteration + options.tenure;
+
+    if (best_move_score < best_score) {
+      best_score = best_move_score;
+      best = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace p2g::graph

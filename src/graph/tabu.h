@@ -1,0 +1,27 @@
+// Tabu-search partitioner (paper §IV, ref [14] — Glover's tabu search as
+// the "search based" alternative to graph partitioning for the HLS).
+//
+// Local search over single-kernel moves with a recency-based tabu list and
+// an aspiration criterion (a tabu move is allowed when it beats the best
+// solution seen). The objective mixes cut weight and imbalance.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/partition.h"
+
+namespace p2g::graph {
+
+struct TabuOptions {
+  int iterations = 500;
+  int tenure = 12;              ///< moves stay tabu for this many rounds
+  double imbalance_penalty = 2.0;
+  uint64_t seed = 1;
+};
+
+/// Runs tabu search from a greedy initial partition; returns the best
+/// partition found.
+Partition tabu_partition(const FinalGraph& graph, int parts,
+                         const TabuOptions& options = {});
+
+}  // namespace p2g::graph

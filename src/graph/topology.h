@@ -1,0 +1,81 @@
+// The resource topology model (paper §IV, Fig. 1).
+//
+// Each execution node reports its local topology — a graph of multi-core
+// and single-core CPUs and GPUs connected by buses — to the master node,
+// which merges them into a global topology. The HLS uses the global
+// topology to decide how many components to partition a workload into and
+// where to place them; the topology changes at runtime as nodes join and
+// leave.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2g::graph {
+
+/// One processing unit inside an execution node.
+struct ProcessingUnit {
+  enum class Type { kCpuCore, kGpu, kDsp };
+  Type type = Type::kCpuCore;
+  /// Throughput relative to a reference CPU core (GPUs > 1 for data-
+  /// parallel kernels).
+  double relative_speed = 1.0;
+};
+
+/// Interconnect between two units of one node, or between nodes.
+struct Link {
+  size_t a = 0;
+  size_t b = 0;
+  double bandwidth_mbps = 1000.0;
+  double latency_us = 10.0;
+};
+
+/// The local topology one execution node reports.
+struct NodeTopology {
+  std::string name;
+  std::vector<ProcessingUnit> units;
+  std::vector<Link> buses;  ///< indices into `units`
+  double memory_gb = 1.0;
+
+  double compute_capacity() const;
+
+  /// Describes the machine this process runs on (CPU cores only).
+  static NodeTopology local_machine(const std::string& name = "local");
+};
+
+/// The master's merged view of all execution nodes.
+class GlobalTopology {
+ public:
+  /// Adds (or replaces, by name) a node's reported topology.
+  void add_node(NodeTopology node);
+
+  /// Removes a node when it leaves; false when unknown.
+  bool remove_node(const std::string& name);
+
+  const std::vector<NodeTopology>& nodes() const { return nodes_; }
+  const std::vector<Link>& interconnects() const { return interconnects_; }
+
+  /// Connects two nodes (by index) with a network link.
+  void connect(size_t a, size_t b, double bandwidth_mbps,
+               double latency_us);
+
+  double total_compute() const;
+
+  /// Suggested partition count: one component per execution node.
+  int suggested_parts() const { return static_cast<int>(nodes_.size()); }
+
+  /// Maps partition ids to node indices proportionally to compute
+  /// capacity (heaviest partition to the fastest node). `part_weights`
+  /// come from Partition::part_weights.
+  std::vector<size_t> place_partitions(
+      const std::vector<double>& part_weights) const;
+
+  std::string to_dot() const;
+
+ private:
+  std::vector<NodeTopology> nodes_;
+  std::vector<Link> interconnects_;  ///< indices into `nodes_`
+};
+
+}  // namespace p2g::graph

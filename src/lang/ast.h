@@ -1,0 +1,158 @@
+// Abstract syntax tree of the kernel language.
+//
+// Following the paper's Fig. 5, a kernel definition mixes declarative
+// clauses (age/index/local declarations, fetch and store statements) with
+// %{ ... %} code blocks. The fetch/store statements are what the runtime's
+// dependency analysis consumes; the code manipulates locals and the
+// fetched slices.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace p2g::lang {
+
+// --- expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+struct Expr {
+  enum class Kind {
+    kIntLit, kFloatLit, kStringLit, kBoolLit,
+    kVarRef, kIndex, kUnary, kBinary, kCall,
+  };
+
+  Kind kind;
+  int line = 0;
+
+  // kIntLit / kBoolLit
+  int64_t int_value = 0;
+  // kFloatLit
+  double float_value = 0.0;
+  // kStringLit
+  std::string string_value;
+  // kVarRef / kIndex (array name) / kCall (callee)
+  std::string name;
+  // kIndex (indices), kCall (arguments)
+  std::vector<ExprPtr> args;
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+// --- field access (fetch/store statements) ----------------------------------
+
+/// Age expression inside a field access: `f(a)`, `f(a+1)`, `f(0)`.
+struct AgeRef {
+  enum class Kind { kRelative, kConst };
+  Kind kind = Kind::kRelative;
+  std::string var;     ///< the kernel's age variable (kRelative)
+  int64_t offset = 0;  ///< offset for kRelative, age for kConst
+};
+
+/// One `[...]` dimension of a field access.
+struct SliceElem {
+  enum class Kind { kVar, kConst, kAll };
+  Kind kind = Kind::kVar;
+  std::string name;   ///< index-variable name (kVar)
+  int64_t value = 0;  ///< kConst
+};
+
+struct FieldAccess {
+  std::string field;
+  AgeRef age;
+  std::vector<SliceElem> slices;  ///< empty = whole field
+};
+
+// --- statements --------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+enum class AssignOp { kAssign, kAdd, kSub, kMul, kDiv };
+
+struct Stmt {
+  enum class Kind {
+    kLocalDecl,  // local int32 v; / local int32[] arr; / int32 v = e;
+    kAssign,     // v = e; arr[i] = e; v += e; v++;
+    kExpr,       // put(...); print(...);
+    kIf,
+    kWhile,
+    kFor,
+    kReturn,
+    kFetch,      // fetch v = field(a)[x];
+    kStore,      // store field(a)[x] = e;
+  };
+
+  Kind kind;
+  int line = 0;
+
+  // kLocalDecl
+  std::string type_name;
+  int rank = 0;  ///< 0 = scalar, 1 = [], 2 = [][]
+  // kLocalDecl (name), kAssign (target), kFetch (target variable)
+  std::string name;
+  // kAssign: optional element indices (empty = scalar variable)
+  std::vector<ExprPtr> indices;
+  AssignOp assign_op = AssignOp::kAssign;
+  // kLocalDecl initializer, kAssign value, kExpr expression, kIf/kWhile
+  // condition, kStore value
+  ExprPtr expr;
+  // kIf / kWhile / kFor bodies
+  Block body;
+  Block else_body;  // kIf
+  // kFor
+  StmtPtr for_init;
+  StmtPtr for_step;
+  // kFetch / kStore
+  FieldAccess access;
+};
+
+// --- top-level declarations ---------------------------------------------------
+
+struct FieldDefAst {
+  std::string type_name;  ///< "int32", "float64", ...
+  int rank = 1;
+  std::string name;
+  bool aged = true;  ///< the `age` suffix of the paper's field definitions
+  int line = 0;
+};
+
+struct TimerDefAst {
+  std::string name;
+  int line = 0;
+};
+
+struct KernelDefAst {
+  std::string name;
+  bool once = false;
+  bool serial = false;
+  std::string age_var;  ///< empty when `once`
+  std::vector<std::string> index_vars;
+  /// All clauses in source order: local decls, fetch/store statements and
+  /// the statements of %{ %} blocks.
+  Block body;
+  int line = 0;
+};
+
+struct ModuleAst {
+  std::vector<FieldDefAst> fields;
+  std::vector<TimerDefAst> timers;
+  std::vector<KernelDefAst> kernels;
+};
+
+}  // namespace p2g::lang

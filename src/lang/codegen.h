@@ -1,0 +1,34 @@
+// C++ code generator: the paper's compiler pipeline (§VI-A).
+//
+// "We decided to compile P2G programs into C++ files, which can be further
+// compiled and linked with native code blocks ... resulting in a
+// lightweight P2G compiler." generate_cpp() emits a translation unit that
+// builds the same Program through the public C++ API, with kernel bodies
+// translated statement by statement; with_main adds a main() so the result
+// links into a complete binary against the P2G libraries.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/sema.h"
+
+namespace p2g::lang {
+
+struct CodegenOptions {
+  /// Emit a main() that runs the program (argv[1] = max age, argv[2] =
+  /// worker count) and prints the instrumentation table.
+  bool with_main = false;
+  /// Name used in the generated header comment.
+  std::string source_name = "<memory>";
+};
+
+/// Emits a complete C++ translation unit for the analyzed module.
+std::string generate_cpp(const ModuleAst& module, const ModuleInfo& info,
+                         const CodegenOptions& options = {});
+
+/// Convenience: parse + analyze + generate.
+std::string generate_cpp_from_source(const std::string& source,
+                                     const CodegenOptions& options = {});
+
+}  // namespace p2g::lang

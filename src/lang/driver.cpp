@@ -1,0 +1,35 @@
+#include "lang/driver.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "lang/parser.h"
+
+namespace p2g::lang {
+
+std::string read_file(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw_error(ErrorKind::kIo, "cannot open '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string source(static_cast<size_t>(size), '\0');
+  const size_t got = std::fread(source.data(), 1, source.size(), f);
+  std::fclose(f);
+  if (got != source.size()) {
+    throw_error(ErrorKind::kIo, "short read on '" + path + "'");
+  }
+  return source;
+}
+
+CompiledModule compile_source(const std::string& source) {
+  return compile_to_program(parse_module(source));
+}
+
+CompiledModule compile_file(const std::string& path) {
+  return compile_source(read_file(path));
+}
+
+}  // namespace p2g::lang

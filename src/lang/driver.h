@@ -1,0 +1,19 @@
+// Front-end driver: .p2g source -> runnable Program (interpreter backend)
+// or generated C++ (codegen backend, see codegen.h).
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/interp.h"
+
+namespace p2g::lang {
+
+/// Reads a file into a string; throws kIo.
+std::string read_file(const std::string& path);
+
+/// Parse + analyze + build with interpreted kernel bodies.
+CompiledModule compile_source(const std::string& source);
+CompiledModule compile_file(const std::string& path);
+
+}  // namespace p2g::lang

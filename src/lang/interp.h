@@ -1,0 +1,46 @@
+// Interpreter backend: turns a parsed + analyzed kernel-language module
+// into a runnable p2g::Program whose kernel bodies execute the AST
+// directly. This is the quickest path from .p2g source to execution; the
+// codegen backend (codegen.h) reproduces the paper's compile-to-C++
+// pipeline instead.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "lang/ast.h"
+#include "lang/sema.h"
+
+namespace p2g::lang {
+
+/// Lines produced by the language's print(...) builtin, in execution
+/// order. Thread-safe (kernel instances run on worker threads).
+class PrintSink {
+ public:
+  void append(std::string line) {
+    std::scoped_lock lock(mutex_);
+    lines_.push_back(std::move(line));
+  }
+  std::vector<std::string> snapshot() const {
+    std::scoped_lock lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+struct CompiledModule {
+  Program program;
+  std::shared_ptr<PrintSink> printed = std::make_shared<PrintSink>();
+};
+
+/// Parses nothing — takes ownership of an already parsed module, runs
+/// semantic analysis and builds the Program with interpreted bodies.
+CompiledModule compile_to_program(ModuleAst module);
+
+}  // namespace p2g::lang

@@ -1,0 +1,304 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace p2g::lang {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kKwAge: return "'age'";
+    case TokenKind::kKwIndex: return "'index'";
+    case TokenKind::kKwLocal: return "'local'";
+    case TokenKind::kKwFetch: return "'fetch'";
+    case TokenKind::kKwStore: return "'store'";
+    case TokenKind::kKwTimer: return "'timer'";
+    case TokenKind::kKwOnce: return "'once'";
+    case TokenKind::kKwSerial: return "'serial'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwTrue: return "'true'";
+    case TokenKind::kKwFalse: return "'false'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kCodeOpen: return "'%{'";
+    case TokenKind::kCodeClose: return "'%}'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind>& keywords() {
+  static const std::map<std::string, TokenKind> map = {
+      {"age", TokenKind::kKwAge},       {"index", TokenKind::kKwIndex},
+      {"local", TokenKind::kKwLocal},   {"fetch", TokenKind::kKwFetch},
+      {"store", TokenKind::kKwStore},   {"timer", TokenKind::kKwTimer},
+      {"once", TokenKind::kKwOnce},     {"serial", TokenKind::kKwSerial},
+      {"if", TokenKind::kKwIf},         {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},   {"for", TokenKind::kKwFor},
+      {"return", TokenKind::kKwReturn}, {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+  };
+  return map;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      Token token = next_token();
+      const bool end = token.kind == TokenKind::kEnd;
+      tokens.push_back(std::move(token));
+      if (end) break;
+    }
+    return tokens;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw_error(ErrorKind::kParse,
+                format("line %d:%d: %s", line_, column_, message.c_str()));
+  }
+
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (true) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') fail("unterminated block comment");
+          advance();
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(TokenKind kind, std::string text = {}) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = line_;
+    token.column = column_;
+    return token;
+  }
+
+  Token next_token() {
+    if (peek() == '\0') return make(TokenKind::kEnd);
+    const int line = line_;
+    const int column = column_;
+    const char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        text.push_back(advance());
+      }
+      Token token;
+      const auto kw = keywords().find(text);
+      token.kind =
+          kw != keywords().end() ? kw->second : TokenKind::kIdentifier;
+      token.text = std::move(text);
+      token.line = line;
+      token.column = column;
+      return token;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      bool is_float = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+      if (peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        text.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          text.push_back(advance());
+        }
+      }
+      Token token;
+      token.kind =
+          is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral;
+      token.text = text;
+      if (is_float) {
+        token.float_value = std::stod(text);
+      } else {
+        token.int_value = std::stoll(text);
+      }
+      token.line = line;
+      token.column = column;
+      return token;
+    }
+
+    if (c == '"') {
+      advance();
+      std::string text;
+      while (peek() != '"') {
+        if (peek() == '\0') fail("unterminated string literal");
+        if (peek() == '\\') {
+          advance();
+          const char esc = advance();
+          switch (esc) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '\\': text.push_back('\\'); break;
+            case '"': text.push_back('"'); break;
+            default: fail("unknown escape sequence");
+          }
+        } else {
+          text.push_back(advance());
+        }
+      }
+      advance();
+      Token token = make(TokenKind::kStringLiteral, text);
+      token.line = line;
+      token.column = column;
+      return token;
+    }
+
+    auto two = [&](char second, TokenKind double_kind,
+                   TokenKind single_kind) {
+      advance();
+      if (peek() == second) {
+        advance();
+        return make(double_kind);
+      }
+      return make(single_kind);
+    };
+
+    switch (c) {
+      case '%':
+        if (peek(1) == '{') {
+          advance();
+          advance();
+          return make(TokenKind::kCodeOpen);
+        }
+        if (peek(1) == '}') {
+          advance();
+          advance();
+          return make(TokenKind::kCodeClose);
+        }
+        advance();
+        return make(TokenKind::kPercent);
+      case '(': advance(); return make(TokenKind::kLParen);
+      case ')': advance(); return make(TokenKind::kRParen);
+      case '[': advance(); return make(TokenKind::kLBracket);
+      case ']': advance(); return make(TokenKind::kRBracket);
+      case '{': advance(); return make(TokenKind::kLBrace);
+      case '}': advance(); return make(TokenKind::kRBrace);
+      case ';': advance(); return make(TokenKind::kSemicolon);
+      case ',': advance(); return make(TokenKind::kComma);
+      case ':': advance(); return make(TokenKind::kColon);
+      case '+':
+        advance();
+        if (peek() == '=') { advance(); return make(TokenKind::kPlusAssign); }
+        if (peek() == '+') { advance(); return make(TokenKind::kPlusPlus); }
+        return make(TokenKind::kPlus);
+      case '-':
+        advance();
+        if (peek() == '=') { advance(); return make(TokenKind::kMinusAssign); }
+        if (peek() == '-') { advance(); return make(TokenKind::kMinusMinus); }
+        return make(TokenKind::kMinus);
+      case '*': return two('=', TokenKind::kStarAssign, TokenKind::kStar);
+      case '/': return two('=', TokenKind::kSlashAssign, TokenKind::kSlash);
+      case '=': return two('=', TokenKind::kEq, TokenKind::kAssign);
+      case '!': return two('=', TokenKind::kNe, TokenKind::kNot);
+      case '<': return two('=', TokenKind::kLe, TokenKind::kLt);
+      case '>': return two('=', TokenKind::kGe, TokenKind::kGt);
+      case '&':
+        advance();
+        if (peek() == '&') { advance(); return make(TokenKind::kAndAnd); }
+        fail("unexpected '&'");
+      case '|':
+        advance();
+        if (peek() == '|') { advance(); return make(TokenKind::kOrOr); }
+        fail("unexpected '|'");
+      default:
+        fail(format("unexpected character '%c'", c));
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace p2g::lang

@@ -1,0 +1,16 @@
+// Lexer for the kernel language. Handles //- and /* */ comments and the
+// %{ %} code-block markers of the paper's syntax.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace p2g::lang {
+
+/// Tokenizes a whole source string; throws ErrorKind::kParse with
+/// line/column on lexical errors. The final token is kEnd.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace p2g::lang

@@ -1,0 +1,605 @@
+#include "lang/parser.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "lang/lexer.h"
+#include "nd/buffer.h"
+
+namespace p2g::lang {
+
+namespace {
+
+bool is_type_name(const std::string& text) {
+  try {
+    nd::parse_element_type(text);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ModuleAst run() {
+    ModuleAst module;
+    while (!at(TokenKind::kEnd)) {
+      if (at(TokenKind::kKwTimer)) {
+        module.timers.push_back(parse_timer());
+      } else if (at(TokenKind::kIdentifier) &&
+                 is_type_name(peek().text)) {
+        module.fields.push_back(parse_field());
+      } else if (at(TokenKind::kIdentifier) &&
+                 peek(1).kind == TokenKind::kColon) {
+        module.kernels.push_back(parse_kernel());
+      } else {
+        fail("expected a field definition, timer or kernel definition");
+      }
+    }
+    return module;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+
+  Token advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Token expect(TokenKind kind, const char* context) {
+    if (!at(kind)) {
+      fail(format("expected %s %s, found %s", token_kind_name(kind),
+                  context, token_kind_name(peek().kind)));
+    }
+    return advance();
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw_error(ErrorKind::kParse, format("line %d:%d: %s", peek().line,
+                                          peek().column, message.c_str()));
+  }
+
+  // --- top level ------------------------------------------------------------
+
+  TimerDefAst parse_timer() {
+    TimerDefAst timer;
+    timer.line = peek().line;
+    expect(TokenKind::kKwTimer, "to start a timer definition");
+    timer.name = expect(TokenKind::kIdentifier, "as timer name").text;
+    expect(TokenKind::kSemicolon, "after timer definition");
+    return timer;
+  }
+
+  /// TYPE brackets IDENT ["age"] ";"  e.g. `int32[] m_data age;`
+  FieldDefAst parse_field() {
+    FieldDefAst field;
+    field.line = peek().line;
+    field.type_name = advance().text;
+    field.rank = parse_brackets();
+    if (field.rank == 0) {
+      fail("field definitions need at least one [] dimension");
+    }
+    field.name = expect(TokenKind::kIdentifier, "as field name").text;
+    if (at(TokenKind::kKwAge)) {
+      advance();
+      field.aged = true;
+    }
+    expect(TokenKind::kSemicolon, "after field definition");
+    return field;
+  }
+
+  int parse_brackets() {
+    int rank = 0;
+    while (at(TokenKind::kLBracket)) {
+      advance();
+      expect(TokenKind::kRBracket, "to close []");
+      ++rank;
+    }
+    return rank;
+  }
+
+  KernelDefAst parse_kernel() {
+    KernelDefAst kernel;
+    kernel.line = peek().line;
+    kernel.name = expect(TokenKind::kIdentifier, "as kernel name").text;
+    expect(TokenKind::kColon, "after kernel name");
+
+    while (true) {
+      if (at(TokenKind::kEnd)) break;
+      // A new kernel definition starts.
+      if (at(TokenKind::kIdentifier) &&
+          peek(1).kind == TokenKind::kColon) {
+        break;
+      }
+      // A new field/timer definition starts.
+      if (at(TokenKind::kKwTimer) ||
+          (at(TokenKind::kIdentifier) && is_type_name(peek().text) &&
+           peek(1).kind == TokenKind::kLBracket)) {
+        break;
+      }
+
+      if (at(TokenKind::kKwAge)) {
+        advance();
+        kernel.age_var =
+            expect(TokenKind::kIdentifier, "as age variable").text;
+        expect(TokenKind::kSemicolon, "after age declaration");
+      } else if (at(TokenKind::kKwIndex)) {
+        advance();
+        kernel.index_vars.push_back(
+            expect(TokenKind::kIdentifier, "as index variable").text);
+        while (at(TokenKind::kComma)) {
+          advance();
+          kernel.index_vars.push_back(
+              expect(TokenKind::kIdentifier, "as index variable").text);
+        }
+        expect(TokenKind::kSemicolon, "after index declaration");
+      } else if (at(TokenKind::kKwOnce)) {
+        advance();
+        kernel.once = true;
+        expect(TokenKind::kSemicolon, "after 'once'");
+      } else if (at(TokenKind::kKwSerial)) {
+        advance();
+        kernel.serial = true;
+        expect(TokenKind::kSemicolon, "after 'serial'");
+      } else if (at(TokenKind::kKwLocal)) {
+        kernel.body.push_back(parse_local());
+      } else if (at(TokenKind::kKwFetch)) {
+        kernel.body.push_back(parse_fetch());
+      } else if (at(TokenKind::kKwStore)) {
+        kernel.body.push_back(parse_store());
+      } else if (at(TokenKind::kCodeOpen)) {
+        advance();
+        while (!at(TokenKind::kCodeClose)) {
+          if (at(TokenKind::kEnd)) fail("unterminated %{ block");
+          kernel.body.push_back(parse_statement());
+        }
+        advance();
+      } else {
+        fail("expected a kernel clause (age/index/local/fetch/store/"
+             "once/serial or a %{ block)");
+      }
+    }
+    return kernel;
+  }
+
+  // --- statements -------------------------------------------------------------
+
+  StmtPtr parse_local() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kLocalDecl;
+    stmt->line = peek().line;
+    expect(TokenKind::kKwLocal, "to start a local declaration");
+    stmt->type_name =
+        expect(TokenKind::kIdentifier, "as local type").text;
+    if (!is_type_name(stmt->type_name)) {
+      fail("unknown type '" + stmt->type_name + "'");
+    }
+    stmt->rank = parse_brackets();
+    stmt->name = expect(TokenKind::kIdentifier, "as local name").text;
+    if (at(TokenKind::kAssign)) {
+      advance();
+      stmt->expr = parse_expression();
+    }
+    expect(TokenKind::kSemicolon, "after local declaration");
+    return stmt;
+  }
+
+  StmtPtr parse_fetch() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kFetch;
+    stmt->line = peek().line;
+    expect(TokenKind::kKwFetch, "to start a fetch statement");
+    stmt->name =
+        expect(TokenKind::kIdentifier, "as fetch target").text;
+    expect(TokenKind::kAssign, "in fetch statement");
+    stmt->access = parse_field_access();
+    expect(TokenKind::kSemicolon, "after fetch statement");
+    return stmt;
+  }
+
+  StmtPtr parse_store() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kStore;
+    stmt->line = peek().line;
+    expect(TokenKind::kKwStore, "to start a store statement");
+    stmt->access = parse_field_access();
+    expect(TokenKind::kAssign, "in store statement");
+    stmt->expr = parse_expression();
+    expect(TokenKind::kSemicolon, "after store statement");
+    return stmt;
+  }
+
+  FieldAccess parse_field_access() {
+    FieldAccess access;
+    access.field =
+        expect(TokenKind::kIdentifier, "as field name").text;
+    expect(TokenKind::kLParen, "for the age expression");
+    if (at(TokenKind::kIntLiteral)) {
+      access.age.kind = AgeRef::Kind::kConst;
+      access.age.offset = advance().int_value;
+    } else {
+      access.age.kind = AgeRef::Kind::kRelative;
+      access.age.var =
+          expect(TokenKind::kIdentifier, "as age variable").text;
+      if (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+        const bool negative = advance().kind == TokenKind::kMinus;
+        const int64_t value =
+            expect(TokenKind::kIntLiteral, "as age offset").int_value;
+        access.age.offset = negative ? -value : value;
+      }
+    }
+    expect(TokenKind::kRParen, "after the age expression");
+
+    while (at(TokenKind::kLBracket)) {
+      advance();
+      SliceElem elem;
+      if (at(TokenKind::kStar)) {
+        advance();
+        elem.kind = SliceElem::Kind::kAll;
+      } else if (at(TokenKind::kIntLiteral)) {
+        elem.kind = SliceElem::Kind::kConst;
+        elem.value = advance().int_value;
+      } else {
+        elem.kind = SliceElem::Kind::kVar;
+        elem.name =
+            expect(TokenKind::kIdentifier, "as slice index").text;
+      }
+      expect(TokenKind::kRBracket, "to close the slice");
+      access.slices.push_back(std::move(elem));
+    }
+    return access;
+  }
+
+  StmtPtr parse_statement() {
+    switch (peek().kind) {
+      case TokenKind::kKwLocal: return parse_local();
+      case TokenKind::kKwFetch: return parse_fetch();
+      case TokenKind::kKwStore: return parse_store();
+      case TokenKind::kKwIf: return parse_if();
+      case TokenKind::kKwWhile: return parse_while();
+      case TokenKind::kKwFor: return parse_for();
+      case TokenKind::kKwReturn: {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kReturn;
+        stmt->line = peek().line;
+        advance();
+        expect(TokenKind::kSemicolon, "after return");
+        return stmt;
+      }
+      case TokenKind::kLBrace: {
+        // Brace blocks are flattened into an if(true) for simplicity.
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kIf;
+        stmt->line = peek().line;
+        stmt->expr = std::make_unique<Expr>();
+        stmt->expr->kind = Expr::Kind::kBoolLit;
+        stmt->expr->int_value = 1;
+        stmt->body = parse_block();
+        return stmt;
+      }
+      case TokenKind::kIdentifier: {
+        // Declaration (`int32 v = e;`) or assignment/expression statement.
+        if (is_type_name(peek().text) &&
+            (peek(1).kind == TokenKind::kIdentifier ||
+             peek(1).kind == TokenKind::kLBracket)) {
+          auto stmt = std::make_unique<Stmt>();
+          stmt->kind = Stmt::Kind::kLocalDecl;
+          stmt->line = peek().line;
+          stmt->type_name = advance().text;
+          stmt->rank = parse_brackets();
+          stmt->name =
+              expect(TokenKind::kIdentifier, "as variable name").text;
+          if (at(TokenKind::kAssign)) {
+            advance();
+            stmt->expr = parse_expression();
+          }
+          expect(TokenKind::kSemicolon, "after declaration");
+          return stmt;
+        }
+        return parse_assignment_or_call();
+      }
+      default:
+        fail("expected a statement");
+    }
+  }
+
+  Block parse_block() {
+    Block block;
+    expect(TokenKind::kLBrace, "to open a block");
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) fail("unterminated block");
+      block.push_back(parse_statement());
+    }
+    advance();
+    return block;
+  }
+
+  Block parse_body_or_single() {
+    if (at(TokenKind::kLBrace)) return parse_block();
+    Block block;
+    block.push_back(parse_statement());
+    return block;
+  }
+
+  StmtPtr parse_if() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = peek().line;
+    expect(TokenKind::kKwIf, "");
+    expect(TokenKind::kLParen, "after if");
+    stmt->expr = parse_expression();
+    expect(TokenKind::kRParen, "after if condition");
+    stmt->body = parse_body_or_single();
+    if (at(TokenKind::kKwElse)) {
+      advance();
+      stmt->else_body = parse_body_or_single();
+    }
+    return stmt;
+  }
+
+  StmtPtr parse_while() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kWhile;
+    stmt->line = peek().line;
+    expect(TokenKind::kKwWhile, "");
+    expect(TokenKind::kLParen, "after while");
+    stmt->expr = parse_expression();
+    expect(TokenKind::kRParen, "after while condition");
+    stmt->body = parse_body_or_single();
+    return stmt;
+  }
+
+  StmtPtr parse_for() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kFor;
+    stmt->line = peek().line;
+    expect(TokenKind::kKwFor, "");
+    expect(TokenKind::kLParen, "after for");
+    if (!at(TokenKind::kSemicolon)) {
+      stmt->for_init = parse_statement();  // consumes its semicolon
+    } else {
+      advance();
+    }
+    if (!at(TokenKind::kSemicolon)) {
+      stmt->expr = parse_expression();
+    }
+    expect(TokenKind::kSemicolon, "after for condition");
+    if (!at(TokenKind::kRParen)) {
+      stmt->for_step = parse_assignment_or_call(/*expect_semicolon=*/false);
+    }
+    expect(TokenKind::kRParen, "after for header");
+    stmt->body = parse_body_or_single();
+    return stmt;
+  }
+
+  StmtPtr parse_assignment_or_call(bool expect_semicolon = true) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+    const std::string name =
+        expect(TokenKind::kIdentifier, "to start a statement").text;
+
+    if (at(TokenKind::kLParen)) {
+      // Call statement: print(...), put(...), continue_age(), ...
+      stmt->kind = Stmt::Kind::kExpr;
+      stmt->expr = parse_call(name);
+    } else {
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->name = name;
+      while (at(TokenKind::kLBracket)) {
+        advance();
+        stmt->indices.push_back(parse_expression());
+        expect(TokenKind::kRBracket, "to close index");
+      }
+      switch (peek().kind) {
+        case TokenKind::kAssign:
+          advance();
+          stmt->assign_op = AssignOp::kAssign;
+          stmt->expr = parse_expression();
+          break;
+        case TokenKind::kPlusAssign:
+          advance();
+          stmt->assign_op = AssignOp::kAdd;
+          stmt->expr = parse_expression();
+          break;
+        case TokenKind::kMinusAssign:
+          advance();
+          stmt->assign_op = AssignOp::kSub;
+          stmt->expr = parse_expression();
+          break;
+        case TokenKind::kStarAssign:
+          advance();
+          stmt->assign_op = AssignOp::kMul;
+          stmt->expr = parse_expression();
+          break;
+        case TokenKind::kSlashAssign:
+          advance();
+          stmt->assign_op = AssignOp::kDiv;
+          stmt->expr = parse_expression();
+          break;
+        case TokenKind::kPlusPlus:
+        case TokenKind::kMinusMinus: {
+          const bool inc = advance().kind == TokenKind::kPlusPlus;
+          stmt->assign_op = inc ? AssignOp::kAdd : AssignOp::kSub;
+          stmt->expr = std::make_unique<Expr>();
+          stmt->expr->kind = Expr::Kind::kIntLit;
+          stmt->expr->int_value = 1;
+          break;
+        }
+        default:
+          fail("expected an assignment operator");
+      }
+    }
+    if (expect_semicolon) {
+      expect(TokenKind::kSemicolon, "after statement");
+    }
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) --------------------------------------
+
+  ExprPtr parse_expression() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(TokenKind::kOrOr)) {
+      advance();
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_comparison();
+    while (at(TokenKind::kAndAnd)) {
+      advance();
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs), parse_comparison());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    while (true) {
+      BinaryOp op;
+      switch (peek().kind) {
+        case TokenKind::kEq: op = BinaryOp::kEq; break;
+        case TokenKind::kNe: op = BinaryOp::kNe; break;
+        case TokenKind::kLt: op = BinaryOp::kLt; break;
+        case TokenKind::kLe: op = BinaryOp::kLe; break;
+        case TokenKind::kGt: op = BinaryOp::kGt; break;
+        case TokenKind::kGe: op = BinaryOp::kGe; break;
+        default: return lhs;
+      }
+      advance();
+      lhs = make_binary(op, std::move(lhs), parse_additive());
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const BinaryOp op =
+          advance().kind == TokenKind::kPlus ? BinaryOp::kAdd
+                                             : BinaryOp::kSub;
+      lhs = make_binary(op, std::move(lhs), parse_multiplicative());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash) ||
+           at(TokenKind::kPercent)) {
+      BinaryOp op = BinaryOp::kMul;
+      if (peek().kind == TokenKind::kSlash) op = BinaryOp::kDiv;
+      if (peek().kind == TokenKind::kPercent) op = BinaryOp::kMod;
+      advance();
+      lhs = make_binary(op, std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::kMinus) || at(TokenKind::kNot)) {
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kUnary;
+      expr->line = peek().line;
+      expr->unary_op = advance().kind == TokenKind::kMinus ? UnaryOp::kNeg
+                                                           : UnaryOp::kNot;
+      expr->lhs = parse_unary();
+      return expr;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto expr = std::make_unique<Expr>();
+    expr->line = peek().line;
+    switch (peek().kind) {
+      case TokenKind::kIntLiteral:
+        expr->kind = Expr::Kind::kIntLit;
+        expr->int_value = advance().int_value;
+        return expr;
+      case TokenKind::kFloatLiteral:
+        expr->kind = Expr::Kind::kFloatLit;
+        expr->float_value = advance().float_value;
+        return expr;
+      case TokenKind::kStringLiteral:
+        expr->kind = Expr::Kind::kStringLit;
+        expr->string_value = advance().text;
+        return expr;
+      case TokenKind::kKwTrue:
+      case TokenKind::kKwFalse:
+        expr->kind = Expr::Kind::kBoolLit;
+        expr->int_value = advance().kind == TokenKind::kKwTrue ? 1 : 0;
+        return expr;
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = parse_expression();
+        expect(TokenKind::kRParen, "to close parenthesis");
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        const std::string name = advance().text;
+        if (at(TokenKind::kLParen)) return parse_call(name);
+        if (at(TokenKind::kLBracket)) {
+          expr->kind = Expr::Kind::kIndex;
+          expr->name = name;
+          while (at(TokenKind::kLBracket)) {
+            advance();
+            expr->args.push_back(parse_expression());
+            expect(TokenKind::kRBracket, "to close index");
+          }
+          return expr;
+        }
+        expr->kind = Expr::Kind::kVarRef;
+        expr->name = name;
+        return expr;
+      }
+      default:
+        fail("expected an expression");
+    }
+  }
+
+  ExprPtr parse_call(const std::string& callee) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kCall;
+    expr->line = peek().line;
+    expr->name = callee;
+    expect(TokenKind::kLParen, "after call name");
+    if (!at(TokenKind::kRParen)) {
+      expr->args.push_back(parse_expression());
+      while (at(TokenKind::kComma)) {
+        advance();
+        expr->args.push_back(parse_expression());
+      }
+    }
+    expect(TokenKind::kRParen, "to close call");
+    return expr;
+  }
+
+  ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kBinary;
+    expr->line = lhs->line;
+    expr->binary_op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ModuleAst parse_module(const std::string& source) {
+  return Parser(tokenize(source)).run();
+}
+
+}  // namespace p2g::lang

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the kernel language.
+//
+// Grammar sketch (see Fig. 5 of the paper):
+//   module      := (field_def | timer_def | kernel_def)*
+//   field_def   := TYPE brackets IDENT ["age"] ";"
+//   timer_def   := "timer" IDENT ";"
+//   kernel_def  := IDENT ":" clause*
+//   clause      := "age" IDENT ";" | "index" IDENT {"," IDENT} ";"
+//                | "once" ";" | "serial" ";"
+//                | local_decl | fetch_stmt | store_stmt
+//                | "%{" stmt* "%}"
+//   fetch_stmt  := "fetch" IDENT "=" field_access ";"
+//   store_stmt  := "store" field_access "=" expr ";"
+//   field_access:= IDENT "(" age_expr ")" {"[" slice "]"}
+//   age_expr    := IDENT [("+"|"-") INT] | INT
+//   slice       := IDENT | INT | "*"        (* = all elements)
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace p2g::lang {
+
+/// Parses a whole module; throws ErrorKind::kParse with positions.
+ModuleAst parse_module(const std::string& source);
+
+}  // namespace p2g::lang

@@ -1,0 +1,346 @@
+#include "lang/sema.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "nd/buffer.h"
+
+namespace p2g::lang {
+
+const std::map<std::string, Builtin>& builtins() {
+  static const std::map<std::string, Builtin> map = {
+      {"get", {2, -1}},       {"put", {3, -1}},
+      {"extent", {2, 2}},     {"print", {0, -1}},
+      {"now_ms", {1, 1}},     {"expired", {2, 2}},
+      {"set_timer", {1, 1}},  {"continue_age", {0, 0}},
+      {"sqrt", {1, 1}},       {"abs", {1, 1}},
+      {"min", {2, 2}},        {"max", {2, 2}},
+      {"int", {1, 1}},        {"float", {1, 1}},
+  };
+  return map;
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  explicit Analyzer(ModuleAst& module) : module_(module) {}
+
+  ModuleInfo run() {
+    check_fields();
+    ModuleInfo info;
+    for (KernelDefAst& kernel : module_.kernels) {
+      info.kernels.push_back(analyze_kernel(kernel));
+    }
+    return info;
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& message) const {
+    throw_error(ErrorKind::kSema,
+                format("line %d: %s", line, message.c_str()));
+  }
+
+  void check_fields() {
+    std::set<std::string> names;
+    for (const FieldDefAst& field : module_.fields) {
+      if (!names.insert(field.name).second) {
+        fail(field.line, "duplicate field '" + field.name + "'");
+      }
+      nd::parse_element_type(field.type_name);  // throws on bad type
+    }
+    names.clear();
+    for (const TimerDefAst& timer : module_.timers) {
+      if (!names.insert(timer.name).second) {
+        fail(timer.line, "duplicate timer '" + timer.name + "'");
+      }
+    }
+    names.clear();
+    for (const KernelDefAst& kernel : module_.kernels) {
+      if (!names.insert(kernel.name).second) {
+        fail(kernel.line, "duplicate kernel '" + kernel.name + "'");
+      }
+    }
+  }
+
+  const FieldDefAst* find_field(const std::string& name) const {
+    for (const FieldDefAst& field : module_.fields) {
+      if (field.name == name) return &field;
+    }
+    return nullptr;
+  }
+
+  bool is_timer(const std::string& name) const {
+    for (const TimerDefAst& timer : module_.timers) {
+      if (timer.name == name) return true;
+    }
+    return false;
+  }
+
+  KernelInfo analyze_kernel(KernelDefAst& kernel) {
+    kernel_ = &kernel;
+    info_ = KernelInfo{};
+
+    if (kernel.once && !kernel.age_var.empty()) {
+      fail(kernel.line, "kernel '" + kernel.name +
+                            "' cannot be 'once' and have an age variable");
+    }
+    if (kernel.serial && !kernel.index_vars.empty()) {
+      fail(kernel.line, "serial kernel '" + kernel.name +
+                            "' cannot declare index variables");
+    }
+    {
+      std::set<std::string> vars(kernel.index_vars.begin(),
+                                 kernel.index_vars.end());
+      if (vars.size() != kernel.index_vars.size()) {
+        fail(kernel.line, "duplicate index variables");
+      }
+      if (!kernel.age_var.empty() && vars.count(kernel.age_var)) {
+        fail(kernel.line, "age variable shadows an index variable");
+      }
+    }
+
+    // Pass 1: collect top-level fetches and all locals; fetches nested in
+    // control flow are rejected (the dependency graph must be static).
+    for (size_t i = 0; i < kernel.body.size(); ++i) {
+      if (kernel.body[i]->kind == Stmt::Kind::kFetch) {
+        info_.fetch_statements.push_back(i);
+      }
+    }
+    collect_locals(kernel.body);
+
+    // Pass 2: walk everything, checking and numbering stores.
+    size_t store_slot = 0;
+    check_block(kernel.body, /*top_level=*/true, store_slot);
+    info_.store_count = store_slot;
+    return info_;
+  }
+
+  void collect_locals(const Block& block) {
+    for (const StmtPtr& stmt : block) {
+      if (stmt->kind == Stmt::Kind::kLocalDecl) {
+        info_.locals[stmt->name] = {stmt->type_name, stmt->rank};
+      }
+      collect_locals(stmt->body);
+      collect_locals(stmt->else_body);
+      if (stmt->for_init) collect_locals_single(*stmt->for_init);
+    }
+  }
+
+  void collect_locals_single(const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kLocalDecl) {
+      info_.locals[stmt.name] = {stmt.type_name, stmt.rank};
+    }
+  }
+
+  bool is_variable(const std::string& name) const {
+    if (info_.locals.count(name)) return true;
+    if (name == kernel_->age_var) return true;
+    for (const std::string& var : kernel_->index_vars) {
+      if (var == name) return true;
+    }
+    return false;
+  }
+
+  void check_access(const FieldAccess& access, int line,
+                    bool is_store) const {
+    const FieldDefAst* field = find_field(access.field);
+    if (field == nullptr) {
+      fail(line, "unknown field '" + access.field + "'");
+    }
+    if (access.age.kind == AgeRef::Kind::kRelative) {
+      if (kernel_->age_var.empty()) {
+        fail(line, "kernel '" + kernel_->name +
+                       "' has no age variable but uses a relative age");
+      }
+      if (access.age.var != kernel_->age_var) {
+        fail(line, "unknown age variable '" + access.age.var + "'");
+      }
+    }
+    if (!access.slices.empty() &&
+        access.slices.size() != static_cast<size_t>(field->rank)) {
+      fail(line, format("field '%s' has rank %d but the access has %zu "
+                        "slice dimensions",
+                        access.field.c_str(), field->rank,
+                        access.slices.size()));
+    }
+    for (const SliceElem& elem : access.slices) {
+      if (elem.kind != SliceElem::Kind::kVar) continue;
+      bool found = false;
+      for (const std::string& var : kernel_->index_vars) {
+        if (var == elem.name) found = true;
+      }
+      if (!found) {
+        fail(line, "slice index '" + elem.name +
+                       "' is not a declared index variable");
+      }
+    }
+    (void)is_store;
+  }
+
+  void check_expr(const Expr& expr) const {
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+      case Expr::Kind::kFloatLit:
+      case Expr::Kind::kStringLit:
+      case Expr::Kind::kBoolLit:
+        return;
+      case Expr::Kind::kVarRef:
+        if (!is_variable(expr.name)) {
+          fail(expr.line, "unknown variable '" + expr.name + "'");
+        }
+        return;
+      case Expr::Kind::kIndex:
+        if (!info_.locals.count(expr.name)) {
+          fail(expr.line,
+               "unknown array variable '" + expr.name + "'");
+        }
+        for (const ExprPtr& arg : expr.args) check_expr(*arg);
+        return;
+      case Expr::Kind::kUnary:
+        check_expr(*expr.lhs);
+        return;
+      case Expr::Kind::kBinary:
+        check_expr(*expr.lhs);
+        check_expr(*expr.rhs);
+        return;
+      case Expr::Kind::kCall: {
+        const auto it = builtins().find(expr.name);
+        if (it == builtins().end()) {
+          fail(expr.line, "unknown function '" + expr.name + "'");
+        }
+        const int argc = static_cast<int>(expr.args.size());
+        if (argc < it->second.min_args ||
+            (it->second.max_args >= 0 && argc > it->second.max_args)) {
+          fail(expr.line,
+               "wrong number of arguments to '" + expr.name + "'");
+        }
+        // Timer builtins name the timer with their first argument.
+        if (expr.name == "now_ms" || expr.name == "expired" ||
+            expr.name == "set_timer") {
+          const Expr& timer = *expr.args[0];
+          if (timer.kind != Expr::Kind::kVarRef || !is_timer(timer.name)) {
+            fail(expr.line, "'" + expr.name +
+                                "' expects a declared timer as its first "
+                                "argument");
+          }
+          // Remaining args are ordinary expressions.
+          for (size_t i = 1; i < expr.args.size(); ++i) {
+            check_expr(*expr.args[i]);
+          }
+          return;
+        }
+        // get/put/extent take an array variable first.
+        if (expr.name == "get" || expr.name == "put" ||
+            expr.name == "extent") {
+          const Expr& arr = *expr.args[0];
+          if (arr.kind != Expr::Kind::kVarRef ||
+              !info_.locals.count(arr.name)) {
+            fail(expr.line, "'" + expr.name +
+                                "' expects a local array as its first "
+                                "argument");
+          }
+          for (size_t i = 1; i < expr.args.size(); ++i) {
+            check_expr(*expr.args[i]);
+          }
+          return;
+        }
+        for (const ExprPtr& arg : expr.args) check_expr(*arg);
+        return;
+      }
+    }
+  }
+
+  void check_block(Block& block, bool top_level, size_t& store_slot) {
+    for (StmtPtr& stmt : block) {
+      switch (stmt->kind) {
+        case Stmt::Kind::kLocalDecl:
+          if (stmt->expr) check_expr(*stmt->expr);
+          break;
+        case Stmt::Kind::kAssign:
+          if (!is_variable(stmt->name)) {
+            fail(stmt->line,
+                 "assignment to unknown variable '" + stmt->name + "'");
+          }
+          for (const ExprPtr& index : stmt->indices) check_expr(*index);
+          check_expr(*stmt->expr);
+          break;
+        case Stmt::Kind::kExpr:
+          check_expr(*stmt->expr);
+          break;
+        case Stmt::Kind::kIf:
+          check_expr(*stmt->expr);
+          check_block(stmt->body, false, store_slot);
+          check_block(stmt->else_body, false, store_slot);
+          break;
+        case Stmt::Kind::kWhile:
+          check_expr(*stmt->expr);
+          check_block(stmt->body, false, store_slot);
+          break;
+        case Stmt::Kind::kFor: {
+          if (stmt->for_init) {
+            Block init;
+            init.push_back(std::move(stmt->for_init));
+            check_block(init, false, store_slot);
+            stmt->for_init = std::move(init[0]);
+          }
+          if (stmt->expr) check_expr(*stmt->expr);
+          if (stmt->for_step) {
+            Block step;
+            step.push_back(std::move(stmt->for_step));
+            check_block(step, false, store_slot);
+            stmt->for_step = std::move(step[0]);
+          }
+          check_block(stmt->body, false, store_slot);
+          break;
+        }
+        case Stmt::Kind::kReturn:
+          break;
+        case Stmt::Kind::kFetch: {
+          if (!top_level) {
+            fail(stmt->line,
+                 "fetch statements must be unconditional (top level of "
+                 "the kernel): the dependency graph is static");
+          }
+          check_access(stmt->access, stmt->line, false);
+          if (!info_.locals.count(stmt->name)) {
+            fail(stmt->line, "fetch target '" + stmt->name +
+                                 "' is not a declared local");
+          }
+          break;
+        }
+        case Stmt::Kind::kStore: {
+          check_access(stmt->access, stmt->line, true);
+          check_expr(*stmt->expr);
+          // Whole-field (and all()-containing) stores need an array local.
+          bool has_all = stmt->access.slices.empty();
+          for (const SliceElem& elem : stmt->access.slices) {
+            if (elem.kind == SliceElem::Kind::kAll) has_all = true;
+          }
+          if (has_all) {
+            if (stmt->expr->kind != Expr::Kind::kVarRef ||
+                !info_.locals.count(stmt->expr->name) ||
+                info_.locals.at(stmt->expr->name).second == 0) {
+              fail(stmt->line,
+                   "whole-field stores need a local array value");
+            }
+          }
+          // Annotate the slot (rank is unused for store statements).
+          stmt->rank = static_cast<int>(store_slot++);
+          break;
+        }
+      }
+    }
+  }
+
+  ModuleAst& module_;
+  KernelDefAst* kernel_ = nullptr;
+  KernelInfo info_;
+};
+
+}  // namespace
+
+ModuleInfo analyze(ModuleAst& module) { return Analyzer(module).run(); }
+
+}  // namespace p2g::lang

@@ -1,0 +1,45 @@
+// Semantic analysis of a parsed kernel-language module.
+//
+// Validates field/kernel references, slice ranks, age expressions, index
+// variables, local declarations, fetch placement (fetch statements must be
+// unconditional — they define the static dependency graph) and builtin
+// calls; annotates every store statement with its store-declaration slot.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace p2g::lang {
+
+/// Per-kernel results of analysis.
+struct KernelInfo {
+  /// Indices into the kernel body of the top-level fetch statements, in
+  /// order; the slot name of fetch i is its target variable.
+  std::vector<size_t> fetch_statements;
+  /// Number of store statements (slots "s0".."sN-1", assigned in
+  /// Stmt::int-annotated order via store_slots below).
+  size_t store_count = 0;
+  /// Locals declared anywhere in the kernel: name -> (type name, rank).
+  std::map<std::string, std::pair<std::string, int>> locals;
+};
+
+struct ModuleInfo {
+  std::vector<KernelInfo> kernels;  ///< parallel to ModuleAst::kernels
+};
+
+/// Validates the module (throws ErrorKind::kSema) and annotates store
+/// statements: after this call every kStore Stmt's `rank` field holds its
+/// store slot index (reusing the otherwise unused field for stores).
+ModuleInfo analyze(ModuleAst& module);
+
+/// Known builtin functions with their arity ranges (min, max; -1 = any).
+struct Builtin {
+  int min_args;
+  int max_args;
+};
+const std::map<std::string, Builtin>& builtins();
+
+}  // namespace p2g::lang

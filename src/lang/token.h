@@ -1,0 +1,79 @@
+// Tokens of the P2G kernel language (paper §V-B, Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p2g::lang {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+
+  // Keywords.
+  kKwAge,
+  kKwIndex,
+  kKwLocal,
+  kKwFetch,
+  kKwStore,
+  kKwTimer,
+  kKwOnce,
+  kKwSerial,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwTrue,
+  kKwFalse,
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kCodeOpen,   // %{
+  kCodeClose,  // %}
+  kSemicolon,
+  kComma,
+  kColon,
+  kAssign,      // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kPlusAssign,  // +=
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kEq,   // ==
+  kNe,   // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kNot,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace p2g::lang

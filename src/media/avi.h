@@ -1,0 +1,40 @@
+// AVI (RIFF) container for MJPEG streams.
+//
+// Raw concatenated JPEGs (mjpeg.h) are convenient inside the framework,
+// but real tools expect MJPEG wrapped in AVI: a RIFF file with an 'hdrl'
+// header list (avih + one 'vids'/'MJPG' stream), a 'movi' list of '00dc'
+// chunks (one JPEG per frame) and an 'idx1' index. This writer/reader
+// implements exactly that profile, so `mjpeg_encode --avi` output plays in
+// ffplay/VLC and any AVI produced by this writer round-trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2g::media {
+
+struct AviInfo {
+  int width = 0;
+  int height = 0;
+  int fps = 25;
+};
+
+/// Serializes JPEG frames into an AVI byte stream.
+std::vector<uint8_t> write_avi(const std::vector<std::vector<uint8_t>>& frames,
+                               const AviInfo& info);
+
+/// Writes the AVI to disk.
+void write_avi_file(const std::string& path,
+                    const std::vector<std::vector<uint8_t>>& frames,
+                    const AviInfo& info);
+
+/// Parses an AVI produced by this writer (or any MJPG AVI without odd
+/// extensions): returns the per-frame JPEG buffers and fills `info`.
+std::vector<std::vector<uint8_t>> read_avi(const std::vector<uint8_t>& bytes,
+                                           AviInfo* info = nullptr);
+
+std::vector<std::vector<uint8_t>> read_avi_file(const std::string& path,
+                                                AviInfo* info = nullptr);
+
+}  // namespace p2g::media

@@ -1,0 +1,161 @@
+#include "media/dct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace p2g::media {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// cos((2x+1) u pi / 16) lookup, filled once.
+struct CosTable {
+  double c[kBlockDim][kBlockDim];  // [x][u]
+  CosTable() {
+    for (int x = 0; x < kBlockDim; ++x) {
+      for (int u = 0; u < kBlockDim; ++u) {
+        c[x][u] = std::cos((2.0 * x + 1.0) * u * kPi / 16.0);
+      }
+    }
+  }
+};
+const CosTable kCos;
+
+inline double alpha(int u) { return u == 0 ? 1.0 / std::sqrt(2.0) : 1.0; }
+
+}  // namespace
+
+void forward_dct_naive(const uint8_t pixels[kBlockSize],
+                       double out[kBlockSize]) {
+  // Deliberately the textbook formula with live cosine evaluation, exactly
+  // like the paper's prototype encoder ("both the standalone and P2G
+  // versions of the MJPEG encoder use a naive DCT calculation", §VIII-A).
+  // The cost profile — a few thousand cos() calls per block — is what puts
+  // the paper's DCT kernels at ~170 us/block on 2011 hardware.
+  double shifted[kBlockSize];
+  for (int i = 0; i < kBlockSize; ++i) {
+    shifted[i] = static_cast<double>(pixels[i]) - 128.0;
+  }
+  for (int u = 0; u < kBlockDim; ++u) {
+    for (int v = 0; v < kBlockDim; ++v) {
+      double sum = 0.0;
+      for (int x = 0; x < kBlockDim; ++x) {
+        for (int y = 0; y < kBlockDim; ++y) {
+          sum += shifted[x * kBlockDim + y] *
+                 std::cos((2.0 * x + 1.0) * u * kPi / 16.0) *
+                 std::cos((2.0 * y + 1.0) * v * kPi / 16.0);
+        }
+      }
+      out[u * kBlockDim + v] = 0.25 * alpha(u) * alpha(v) * sum;
+    }
+  }
+}
+
+namespace {
+
+/// One-dimensional AAN butterfly over 8 samples (in place).
+void aan_1d(double* d, std::ptrdiff_t stride) {
+  const double c2 = 0.541196100;   // sqrt(2) * cos(3pi/8)... AAN constants
+  const double c4 = 0.707106781;   // cos(pi/4)
+  const double c6 = 1.306562965;   // sqrt(2) * cos(pi/8)
+
+  double d0 = d[0 * stride], d1 = d[1 * stride], d2 = d[2 * stride],
+         d3 = d[3 * stride], d4 = d[4 * stride], d5 = d[5 * stride],
+         d6 = d[6 * stride], d7 = d[7 * stride];
+
+  const double tmp0 = d0 + d7, tmp7 = d0 - d7;
+  const double tmp1 = d1 + d6, tmp6 = d1 - d6;
+  const double tmp2 = d2 + d5, tmp5 = d2 - d5;
+  const double tmp3 = d3 + d4, tmp4 = d3 - d4;
+
+  // Even part.
+  const double tmp10 = tmp0 + tmp3, tmp13 = tmp0 - tmp3;
+  const double tmp11 = tmp1 + tmp2, tmp12 = tmp1 - tmp2;
+
+  d0 = tmp10 + tmp11;
+  d4 = tmp10 - tmp11;
+
+  const double z1 = (tmp12 + tmp13) * c4;
+  d2 = tmp13 + z1;
+  d6 = tmp13 - z1;
+
+  // Odd part.
+  const double tmp10o = tmp4 + tmp5;
+  const double tmp11o = tmp5 + tmp6;
+  const double tmp12o = tmp6 + tmp7;
+
+  const double z5 = (tmp10o - tmp12o) * 0.382683433;
+  const double z2 = c2 * tmp10o + z5;
+  const double z4 = c6 * tmp12o + z5;
+  const double z3 = tmp11o * c4;
+
+  const double z11 = tmp7 + z3;
+  const double z13 = tmp7 - z3;
+
+  d5 = z13 + z2;
+  d3 = z13 - z2;
+  d1 = z11 + z4;
+  d7 = z11 - z4;
+
+  d[0 * stride] = d0;
+  d[1 * stride] = d1;
+  d[2 * stride] = d2;
+  d[3 * stride] = d3;
+  d[4 * stride] = d4;
+  d[5 * stride] = d5;
+  d[6 * stride] = d6;
+  d[7 * stride] = d7;
+}
+
+struct AanScales {
+  double s[kBlockSize];
+  AanScales() {
+    // Per-dimension AAN output scales.
+    static const double aan[kBlockDim] = {
+        1.0, 1.387039845, 1.306562965, 1.175875602,
+        1.0, 0.785694958, 0.541196100, 0.275899379};
+    for (int u = 0; u < kBlockDim; ++u) {
+      for (int v = 0; v < kBlockDim; ++v) {
+        s[u * kBlockDim + v] = aan[u] * aan[v] * 8.0;
+      }
+    }
+  }
+};
+const AanScales kAanScales;
+
+}  // namespace
+
+void forward_dct_aan(const uint8_t pixels[kBlockSize],
+                     double out[kBlockSize]) {
+  for (int i = 0; i < kBlockSize; ++i) {
+    out[i] = static_cast<double>(pixels[i]) - 128.0;
+  }
+  for (int r = 0; r < kBlockDim; ++r) aan_1d(out + r * kBlockDim, 1);
+  for (int c = 0; c < kBlockDim; ++c) aan_1d(out + c, kBlockDim);
+}
+
+double aan_scale_factor(int u, int v) {
+  return kAanScales.s[u * kBlockDim + v];
+}
+
+void inverse_dct_naive(const double coeffs[kBlockSize],
+                       uint8_t pixels[kBlockSize]) {
+  for (int x = 0; x < kBlockDim; ++x) {
+    for (int y = 0; y < kBlockDim; ++y) {
+      double sum = 0.0;
+      for (int u = 0; u < kBlockDim; ++u) {
+        for (int v = 0; v < kBlockDim; ++v) {
+          sum += alpha(u) * alpha(v) * coeffs[u * kBlockDim + v] *
+                 kCos.c[x][u] * kCos.c[y][v];
+        }
+      }
+      const double value = 0.25 * sum + 128.0;
+      pixels[x * kBlockDim + y] = static_cast<uint8_t>(
+          std::clamp(static_cast<int>(std::lround(value)), 0, 255));
+    }
+  }
+}
+
+}  // namespace p2g::media

@@ -1,0 +1,35 @@
+// 8x8 forward and inverse discrete cosine transforms.
+//
+// The paper's prototype deliberately uses a *naive* DCT ("there are
+// versions of DCT that can significantly improve performance, such as
+// FastDCT [2]") — we provide both: the naive O(n^4) transform used in the
+// evaluation and the AAN fast scaled DCT (Arai, Agui, Nakajima '88, the
+// paper's reference [2]) for the deadline/adaptive examples and ablations.
+#pragma once
+
+#include <cstdint>
+
+namespace p2g::media {
+
+constexpr int kBlockDim = 8;
+constexpr int kBlockSize = 64;
+
+/// Naive 2-D DCT-II of a level-shifted 8x8 block (exactly the textbook
+/// double loop the paper's encoder uses). `pixels` are raw 0..255 samples
+/// in row-major order; the -128 level shift happens inside.
+void forward_dct_naive(const uint8_t pixels[kBlockSize],
+                       double out[kBlockSize]);
+
+/// AAN fast scaled forward DCT. Output is *scaled*: each coefficient must
+/// be divided by aan_scale_factor(u, v) (fold it into the quantizer).
+void forward_dct_aan(const uint8_t pixels[kBlockSize],
+                     double out[kBlockSize]);
+
+/// Scale factor the AAN transform leaves on coefficient (u=row, v=col).
+double aan_scale_factor(int u, int v);
+
+/// Naive 2-D inverse DCT; adds the +128 level shift and clamps to 0..255.
+void inverse_dct_naive(const double coeffs[kBlockSize],
+                       uint8_t pixels[kBlockSize]);
+
+}  // namespace p2g::media

@@ -1,0 +1,65 @@
+// JPEG baseline Huffman entropy coding (the paper's "VLC" stage).
+//
+// Implements canonical Huffman tables from (BITS, HUFFVAL) pairs, the four
+// standard Annex K.3 tables, and per-block encode/decode with DC
+// prediction, zero-run coding, ZRL and EOB.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "media/bitstream.h"
+#include "media/dct.h"
+
+namespace p2g::media {
+
+/// A canonical Huffman table built from JPEG's BITS/HUFFVAL representation.
+class HuffTable {
+ public:
+  /// `bits[i]` = number of codes of length i+1 (16 entries); `values` =
+  /// symbols in code order.
+  HuffTable(const std::array<uint8_t, 16>& bits,
+            const std::vector<uint8_t>& values);
+
+  /// Encoder-side lookup; throws kInternal for symbols without a code.
+  void encode(BitWriter& writer, uint8_t symbol) const;
+
+  /// Decoder-side sequential canonical decode.
+  uint8_t decode(BitReader& reader) const;
+
+  /// The DHT segment payload (BITS then HUFFVAL), for headers.
+  std::vector<uint8_t> dht_payload() const;
+
+ private:
+  std::array<uint8_t, 16> bits_;
+  std::vector<uint8_t> values_;
+  // Encoder: per-symbol code/length.
+  std::array<uint16_t, 256> code_of_{};
+  std::array<int8_t, 256> length_of_{};
+  // Decoder: canonical ranges per length.
+  std::array<int32_t, 17> min_code_{};
+  std::array<int32_t, 17> max_code_{};  // -1 = no codes at this length
+  std::array<int32_t, 17> val_offset_{};
+};
+
+/// The four standard tables (ITU-T T.81 Annex K.3).
+const HuffTable& std_dc_luma();
+const HuffTable& std_dc_chroma();
+const HuffTable& std_ac_luma();
+const HuffTable& std_ac_chroma();
+
+/// Number of bits needed to represent |value| (JPEG "category"/SSSS).
+int bit_category(int value);
+
+/// Encodes one quantized 8x8 block (raster order) into the bit stream.
+/// `prev_dc` carries the DC predictor and is updated.
+void encode_block(const int16_t coeffs[kBlockSize], int& prev_dc,
+                  const HuffTable& dc_table, const HuffTable& ac_table,
+                  BitWriter& writer);
+
+/// Decodes one block (inverse of encode_block), raster order output.
+void decode_block(BitReader& reader, int& prev_dc, const HuffTable& dc_table,
+                  const HuffTable& ac_table, int16_t coeffs[kBlockSize]);
+
+}  // namespace p2g::media

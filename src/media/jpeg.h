@@ -1,0 +1,85 @@
+// Baseline JPEG (4:2:0) frame encoder and decoder.
+//
+// The encoder is split along the paper's MJPEG pipeline (Fig. 8):
+//   stage 1  dct_quantize_*: pixels -> quantized coefficient grids
+//            (what the yDCT/uDCT/vDCT kernels do, one 8x8 block each),
+//   stage 2  encode_jpeg_from_coeffs: headers + Huffman VLC
+//            (what the VLC/write kernel does).
+// encode_jpeg() runs both stages for the standalone/baseline encoder, and
+// decode_jpeg() reverses the whole thing for round-trip testing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/dct.h"
+#include "media/huffman.h"
+#include "media/quant.h"
+#include "media/yuv.h"
+
+namespace p2g::media {
+
+/// Quantized DCT coefficients of one plane: blocks in raster order, 64
+/// raster-order coefficients per block.
+struct CoeffGrid {
+  int blocks_h = 0;  ///< block rows
+  int blocks_w = 0;  ///< block columns
+  std::vector<int16_t> coeffs;
+
+  CoeffGrid() = default;
+  CoeffGrid(int bh, int bw)
+      : blocks_h(bh),
+        blocks_w(bw),
+        coeffs(static_cast<size_t>(bh) * static_cast<size_t>(bw) *
+               kBlockSize) {}
+
+  int16_t* block(int by, int bx) {
+    return coeffs.data() +
+           (static_cast<size_t>(by) * static_cast<size_t>(blocks_w) +
+            static_cast<size_t>(bx)) *
+               kBlockSize;
+  }
+  const int16_t* block(int by, int bx) const {
+    return const_cast<CoeffGrid*>(this)->block(by, bx);
+  }
+};
+
+struct EncoderConfig {
+  int quality = 50;
+  bool fast_dct = false;  ///< AAN instead of the paper's naive DCT
+};
+
+/// Copies the 8x8 block at block coordinates (by, bx) out of a plane,
+/// replicating edge pixels when the plane is not a multiple of 8.
+void extract_block(const uint8_t* plane, int width, int height, int by,
+                   int bx, uint8_t out[kBlockSize]);
+
+/// DCT + quantization of one extracted block.
+void dct_quantize_block(const uint8_t pixels[kBlockSize],
+                        const QuantTable& table, bool fast_dct,
+                        int16_t out[kBlockSize]);
+
+/// Full plane: extract + DCT + quantize every block.
+CoeffGrid dct_quantize_plane(const uint8_t* plane, int width, int height,
+                             const QuantTable& table, bool fast_dct);
+
+/// Stage 2: headers + entropy coding of pre-quantized coefficient grids.
+/// The chroma grids must be exactly half the luma grid in both dimensions
+/// (4:2:0, 2x2/1x1 sampling).
+std::vector<uint8_t> encode_jpeg_from_coeffs(
+    int width, int height, const CoeffGrid& y, const CoeffGrid& u,
+    const CoeffGrid& v, const QuantTable& luma_table,
+    const QuantTable& chroma_table);
+
+/// Both stages: one YUV 4:2:0 frame to a JFIF byte stream.
+std::vector<uint8_t> encode_jpeg(const YuvFrame& frame,
+                                 const EncoderConfig& config = {});
+
+/// Decodes a baseline 4:2:0 JPEG produced by this encoder (also accepts
+/// generic three-component baseline streams without restart markers).
+YuvFrame decode_jpeg(const uint8_t* data, size_t size);
+inline YuvFrame decode_jpeg(const std::vector<uint8_t>& bytes) {
+  return decode_jpeg(bytes.data(), bytes.size());
+}
+
+}  // namespace p2g::media

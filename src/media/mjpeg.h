@@ -1,0 +1,38 @@
+// Motion JPEG container: a sequence of independently compressed JPEG
+// frames concatenated into one stream (the format the paper's MJPEG
+// workload produces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2g::media {
+
+/// Accumulates encoded frames in memory; optionally writes them to disk.
+class MjpegWriter {
+ public:
+  void add_frame(std::vector<uint8_t> jpeg_bytes);
+
+  size_t frame_count() const { return offsets_.size(); }
+  size_t byte_count() const { return stream_.size(); }
+  const std::vector<uint8_t>& stream() const { return stream_; }
+
+  /// Writes the accumulated stream to a file (".mjpeg" concatenation).
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> stream_;
+  std::vector<size_t> offsets_;
+};
+
+/// Splits a concatenated MJPEG stream back into per-frame JPEG buffers by
+/// scanning for SOI/EOI marker pairs (0xFF byte stuffing guarantees no
+/// false EOI inside entropy-coded data).
+std::vector<std::vector<uint8_t>> split_mjpeg(
+    const std::vector<uint8_t>& stream);
+
+/// Reads a whole MJPEG file and splits it into frames.
+std::vector<std::vector<uint8_t>> read_mjpeg_file(const std::string& path);
+
+}  // namespace p2g::media

@@ -1,0 +1,39 @@
+// JPEG quantization tables, quality scaling and zig-zag ordering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "media/dct.h"
+
+namespace p2g::media {
+
+using QuantTable = std::array<uint16_t, kBlockSize>;
+
+/// Annex K luminance/chrominance tables (quality 50 reference).
+const QuantTable& standard_luma_table();
+const QuantTable& standard_chroma_table();
+
+/// IJG quality scaling: 1 (worst) .. 100 (best); 50 = the standard table.
+QuantTable scale_table(const QuantTable& base, int quality);
+
+/// Zig-zag scan order: zigzag_order()[k] = raster index of the k-th
+/// coefficient in scan order.
+const std::array<int, kBlockSize>& zigzag_order();
+/// Inverse: raster index -> position in the zig-zag scan.
+const std::array<int, kBlockSize>& zigzag_inverse();
+
+/// Quantizes raw DCT coefficients (rounly divided by the table).
+void quantize(const double dct[kBlockSize], const QuantTable& table,
+              int16_t out[kBlockSize]);
+
+/// Quantizes AAN-scaled coefficients (folds aan_scale_factor into the
+/// divisor).
+void quantize_aan(const double scaled_dct[kBlockSize],
+                  const QuantTable& table, int16_t out[kBlockSize]);
+
+/// Multiplies quantized coefficients back up (decoder side).
+void dequantize(const int16_t quantized[kBlockSize], const QuantTable& table,
+                double out[kBlockSize]);
+
+}  // namespace p2g::media

@@ -1,0 +1,54 @@
+// Planar YUV 4:2:0 frames, raw-file I/O and a deterministic synthetic
+// sequence generator.
+//
+// The paper evaluates MJPEG on the *Foreman* CIF test sequence (352x288,
+// 50 frames). That clip is not redistributable here, so the generator
+// produces a deterministic synthetic CIF sequence (moving gradients,
+// textured blocks and pseudo-noise) with the same geometry — identical
+// macro-block counts and therefore identical P2G instance counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2g::media {
+
+/// One planar YUV 4:2:0 frame. Chroma planes are half size in both
+/// dimensions (CIF 352x288 -> 176x144 chroma).
+struct YuvFrame {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> y;  ///< width * height
+  std::vector<uint8_t> u;  ///< (width/2) * (height/2)
+  std::vector<uint8_t> v;  ///< (width/2) * (height/2)
+
+  YuvFrame() = default;
+  YuvFrame(int w, int h);
+
+  int chroma_width() const { return width / 2; }
+  int chroma_height() const { return height / 2; }
+};
+
+/// A sequence of frames with uniform geometry.
+struct YuvVideo {
+  int width = 0;
+  int height = 0;
+  std::vector<YuvFrame> frames;
+
+  size_t frame_count() const { return frames.size(); }
+};
+
+/// Deterministic synthetic sequence: per-frame moving gradient + block
+/// texture + hash-noise. Same seed -> identical bytes.
+YuvVideo generate_synthetic_video(int width, int height, int frames,
+                                  uint32_t seed = 1);
+
+/// Raw planar I420 file I/O (the layout used by the standard test clips).
+void write_yuv_file(const std::string& path, const YuvVideo& video);
+YuvVideo read_yuv_file(const std::string& path, int width, int height);
+
+/// Peak signal-to-noise ratio between two equally sized planes (dB).
+double psnr(const std::vector<uint8_t>& a, const std::vector<uint8_t>& b);
+
+}  // namespace p2g::media

@@ -1,0 +1,115 @@
+// Type-erased, shaped element storage for fields.
+//
+// Field payloads live in AnyBuffer: a contiguous row-major allocation with a
+// runtime element type. Kernels obtain typed views; the kernel-language
+// interpreter uses the generic scalar accessors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "nd/extents.h"
+#include "nd/region.h"
+
+namespace p2g::nd {
+
+/// Runtime element types supported by P2G fields.
+enum class ElementType : uint8_t {
+  kInt8,
+  kUInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat32,
+  kFloat64,
+};
+
+/// Size in bytes of one element.
+size_t element_size(ElementType type);
+
+/// Stable lowercase name ("int32", "float64", ...), as used by the kernel
+/// language's field definitions.
+std::string_view to_string(ElementType type);
+
+/// Parses a kernel-language type name; throws kParse on unknown names.
+ElementType parse_element_type(std::string_view name);
+
+/// Maps C++ arithmetic types to ElementType at compile time.
+template <typename T>
+constexpr ElementType element_type_of();
+
+template <> constexpr ElementType element_type_of<int8_t>() { return ElementType::kInt8; }
+template <> constexpr ElementType element_type_of<uint8_t>() { return ElementType::kUInt8; }
+template <> constexpr ElementType element_type_of<int16_t>() { return ElementType::kInt16; }
+template <> constexpr ElementType element_type_of<int32_t>() { return ElementType::kInt32; }
+template <> constexpr ElementType element_type_of<int64_t>() { return ElementType::kInt64; }
+template <> constexpr ElementType element_type_of<float>() { return ElementType::kFloat32; }
+template <> constexpr ElementType element_type_of<double>() { return ElementType::kFloat64; }
+
+/// Shaped, type-erased, resizable element storage (row-major).
+class AnyBuffer {
+ public:
+  AnyBuffer() : type_(ElementType::kInt32) {}
+  AnyBuffer(ElementType type, Extents extents);
+
+  ElementType type() const { return type_; }
+  const Extents& extents() const { return extents_; }
+  int64_t element_count() const { return extents_.element_count(); }
+
+  /// Grows the buffer to `new_extents`, relocating existing elements so each
+  /// coordinate keeps its value (implicit-resize support). Dimensions may
+  /// only grow.
+  void resize(const Extents& new_extents);
+
+  /// Raw storage (row-major). Size is element_count() * element_size(type()).
+  std::byte* raw() { return bytes_.data(); }
+  const std::byte* raw() const { return bytes_.data(); }
+
+  /// Typed pointer to the full buffer; throws kTypeMismatch on wrong T.
+  template <typename T>
+  T* data() {
+    require_type(element_type_of<T>());
+    return reinterpret_cast<T*>(bytes_.data());
+  }
+  template <typename T>
+  const T* data() const {
+    require_type(element_type_of<T>());
+    return reinterpret_cast<const T*>(bytes_.data());
+  }
+
+  template <typename T>
+  T at(int64_t flat) const {
+    return data<T>()[check_flat(flat)];
+  }
+  template <typename T>
+  void set(int64_t flat, T value) {
+    data<T>()[check_flat(flat)] = value;
+  }
+
+  /// Generic scalar accessors (used by the language interpreter).
+  double get_as_double(int64_t flat) const;
+  int64_t get_as_int(int64_t flat) const;
+  void set_from_double(int64_t flat, double value);
+  void set_from_int(int64_t flat, int64_t value);
+
+  /// Copies a densely packed region payload into this buffer. `src` holds
+  /// region.element_count() elements of this buffer's type in row-major
+  /// order of the region. The region must lie within the current extents.
+  void scatter(const Region& region, const std::byte* src);
+
+  /// Extracts a region into a densely packed payload (inverse of scatter).
+  void gather(const Region& region, std::byte* dst) const;
+
+ private:
+  void require_type(ElementType expected) const;
+  int64_t check_flat(int64_t flat) const;
+
+  ElementType type_;
+  Extents extents_;
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace p2g::nd

@@ -1,0 +1,63 @@
+// The paper's K-means workload (§VII-A, Fig. 7) as a P2G program, plus a
+// sequential reference implementation.
+//
+// P2G kernels and fields:
+//   init (run-once): generates n random datapoints, stores them to
+//       datapoints(0) and the first k of them to centroids(0).
+//   assign (per datapoint x, per centroid j, per age): fetches datapoint x
+//       and centroid j of age a, stores the squared euclidean distance to
+//       dist(a)[x][j]. This is the finest-granularity decomposition —
+//       n*k instances per iteration, the load that saturates the paper's
+//       serial dependency analyzer (Fig. 10).
+//   refine (per centroid j, per age): fetches the whole distance matrix,
+//       all datapoints and the previous centroid j; computes the mean of
+//       the points whose arg-min centroid is j and stores centroids(a+1)[j]
+//       (previous centroid kept for empty clusters).
+//   print (serial, per age): snapshots centroids(a).
+//
+// The aging loop assign -> dist -> refine -> centroids(a+1) -> assign is
+// the paper's "kernel definitions of assign and refine form a loop".
+// Like the paper we do not run to convergence: the iteration count is a
+// fixed break-point enforced with per-kernel age caps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/program.h"
+#include "core/runtime.h"
+
+namespace p2g::workloads {
+
+struct KmeansConfig {
+  int n = 2000;         ///< datapoints (paper: 2000)
+  int k = 100;          ///< clusters (paper: K=100)
+  int dim = 2;          ///< point dimensionality
+  int iterations = 10;  ///< fixed break-point (paper: 10)
+  uint32_t seed = 42;
+};
+
+struct KmeansWorkload {
+  KmeansConfig config;
+  /// Centroid snapshots captured by print, one per age (k*dim doubles).
+  std::shared_ptr<std::vector<std::vector<double>>> snapshots =
+      std::make_shared<std::vector<std::vector<double>>>();
+
+  Program build() const;
+
+  /// Age caps that stop the loop after `iterations` iterations: assign and
+  /// refine run for ages 0..iterations-1, print observes 0..iterations.
+  void apply_schedule(RunOptions& options) const;
+};
+
+/// Deterministic dataset generation shared by the P2G and sequential
+/// implementations.
+std::vector<double> generate_points(const KmeansConfig& config);
+
+/// Sequential reference: returns the centroids after `iterations`
+/// iterations (identical arithmetic and tie-breaking as the P2G kernels,
+/// so results must match exactly).
+std::vector<double> kmeans_sequential(const KmeansConfig& config);
+
+}  // namespace p2g::workloads

@@ -1,0 +1,48 @@
+// The paper's MJPEG workload (§VII-B, Fig. 8) expressed as a P2G program.
+//
+// Kernels and fields:
+//   read/splityuv (source, serial by construction)
+//       reads frame `a`, splits it into block-major planes and stores
+//       yInput(a), uInput(a), vInput(a) as whole fields; stops storing at
+//       end of stream (the 51st instance on a 50-frame clip).
+//   yDCT / uDCT / vDCT (one instance per 8x8 macro-block)
+//       fetch input(a)[by][bx], DCT + quantize, store result(a)[by][bx].
+//       CIF 352x288 yields 44x36 = 1584 luma and 22x18 = 396 chroma
+//       blocks per frame — exactly the instance counts of Table II.
+//   vlc/write (serial)
+//       fetches the three whole result fields of age `a`, entropy-codes
+//       the frame (Huffman VLC) and appends it to the MJPEG stream.
+//
+// Fields are 3-D: [block row][block col][64 coefficients], which lets the
+// block slices use plain (var, var, all) addressing.
+#pragma once
+
+#include <memory>
+
+#include "core/program.h"
+#include "core/runtime.h"
+#include "media/jpeg.h"
+#include "media/mjpeg.h"
+#include "media/yuv.h"
+
+namespace p2g::workloads {
+
+struct MjpegWorkloadConfig {
+  int quality = 50;
+  bool fast_dct = false;  ///< the paper's evaluation uses the naive DCT
+};
+
+struct MjpegWorkload {
+  std::shared_ptr<const media::YuvVideo> video;
+  std::shared_ptr<media::MjpegWriter> output =
+      std::make_shared<media::MjpegWriter>();
+  MjpegWorkloadConfig config;
+
+  Program build() const;
+};
+
+/// Block-major conversion used by read/splityuv: plane pixels -> a
+/// [blocks_h][blocks_w][64] uint8 buffer.
+nd::AnyBuffer plane_to_blocks(const uint8_t* plane, int width, int height);
+
+}  // namespace p2g::workloads

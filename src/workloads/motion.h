@@ -1,0 +1,58 @@
+// Block-based motion estimation across consecutive frames.
+//
+// The paper's introduction motivates P2G with workloads beyond plain
+// coding — "extracting features in pictures", "calculation of 3D depth
+// information from camera arrays" — all of which reduce to per-block
+// analysis against neighboring frames. This workload is the classic
+// building block: full-search block matching (the motion-estimation core
+// of every MPEG-style encoder).
+//
+// P2G structure:
+//   read (source)   stores each frame's luma twice: as a whole plane
+//                   (planes(a), rank 2) and block-major (blocks(a),
+//                   rank 3) — fields are views chosen per consumer.
+//   motion          one instance per 16x16 block per frame a >= 1:
+//                   fetches its block, the *whole previous plane*
+//                   (a cross-age whole-field fetch) and performs a full
+//                   search in a +-search window; stores the best (dx, dy)
+//                   into vectors(a)[by][bx].
+//   trace (serial)  per frame: mean motion magnitude (a scene-activity
+//                   signal), appended to a shared trace.
+//
+// motion(1..) instances only exist from age 1 (the a-1 fetch is
+// structurally infeasible at age 0), exercising the first-feasible-age
+// machinery.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/program.h"
+#include "media/yuv.h"
+
+namespace p2g::workloads {
+
+struct MotionConfig {
+  int block = 16;   ///< block edge in pixels
+  int search = 8;   ///< search radius in pixels
+};
+
+struct MotionWorkload {
+  std::shared_ptr<const media::YuvVideo> video;
+  MotionConfig config;
+  /// Mean motion magnitude per frame (ages 1..frames-1), by trace.
+  std::shared_ptr<std::vector<double>> activity =
+      std::make_shared<std::vector<double>>();
+
+  Program build() const;
+};
+
+/// Sequential reference: best (dx, dy) per block of `cur` against `prev`
+/// (SAD, ties broken in scan order dy-major). Returned vector is
+/// block-row-major, two entries (dx, dy) per block.
+std::vector<int> motion_estimate_frame(const uint8_t* cur,
+                                       const uint8_t* prev, int width,
+                                       int height,
+                                       const MotionConfig& config);
+
+}  // namespace p2g::workloads

@@ -1,0 +1,65 @@
+#include "workloads/mul2plus5.h"
+
+#include "core/context.h"
+
+namespace p2g::workloads {
+
+Program Mul2Plus5::build() const {
+  ProgramBuilder pb;
+  pb.field("m_data", nd::ElementType::kInt32, 1);
+  pb.field("p_data", nd::ElementType::kInt32, 1);
+
+  const int n = elements;
+  pb.kernel("init")
+      .run_once()
+      .store("values", "m_data", AgeExpr::constant(0), Slice::whole())
+      .body([n](KernelContext& ctx) {
+        nd::AnyBuffer values(nd::ElementType::kInt32, nd::Extents({n}));
+        for (int i = 0; i < n; ++i) {
+          values.data<int32_t>()[i] = i + 10;  // put(values, i+10, i)
+        }
+        ctx.store_array("values", std::move(values));
+      });
+
+  pb.kernel("mul2")
+      .index("x")
+      .fetch("value", "m_data", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "p_data", AgeExpr::relative(0), Slice().var("x"))
+      .body([](KernelContext& ctx) {
+        ctx.store_scalar<int32_t>("out",
+                                  ctx.fetch_scalar<int32_t>("value") * 2);
+      });
+
+  pb.kernel("plus5")
+      .index("x")
+      .fetch("value", "p_data", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "m_data", AgeExpr::relative(1), Slice().var("x"))
+      .body([](KernelContext& ctx) {
+        ctx.store_scalar<int32_t>("out",
+                                  ctx.fetch_scalar<int32_t>("value") + 5);
+      });
+
+  auto sink = printed;
+  pb.kernel("print")
+      .serial()
+      .fetch("m", "m_data", AgeExpr::relative(0), Slice::whole())
+      .fetch("p", "p_data", AgeExpr::relative(0), Slice::whole())
+      .body([sink](KernelContext& ctx) {
+        const nd::AnyBuffer& m = ctx.fetch_array("m");
+        const nd::AnyBuffer& p = ctx.fetch_array("p");
+        std::vector<int32_t> row;
+        row.reserve(static_cast<size_t>(m.element_count() +
+                                        p.element_count()));
+        for (int64_t i = 0; i < m.element_count(); ++i) {
+          row.push_back(m.at<int32_t>(i));
+        }
+        for (int64_t i = 0; i < p.element_count(); ++i) {
+          row.push_back(p.at<int32_t>(i));
+        }
+        sink->push_back(std::move(row));
+      });
+
+  return pb.build();
+}
+
+}  // namespace p2g::workloads

@@ -1,0 +1,28 @@
+// The paper's running example (Figs. 2-6): an init kernel seeds
+// m_data(0) = {10..14}; mul2 doubles each element into p_data(a); plus5
+// adds 5 into m_data(a+1); print observes both fields per age. mul2 and
+// plus5 form an aging cycle with no termination condition — cap it with
+// RunOptions::max_age.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/program.h"
+
+namespace p2g::workloads {
+
+struct Mul2Plus5 {
+  /// Rows captured by the print kernel, one per age:
+  /// {m_data..., p_data...}.
+  std::shared_ptr<std::vector<std::vector<int32_t>>> printed =
+      std::make_shared<std::vector<std::vector<int32_t>>>();
+
+  /// Number of elements in the fields (the paper uses 5).
+  int elements = 5;
+
+  Program build() const;
+};
+
+}  // namespace p2g::workloads

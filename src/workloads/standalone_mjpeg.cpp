@@ -1,0 +1,14 @@
+#include "workloads/standalone_mjpeg.h"
+
+namespace p2g::workloads {
+
+media::MjpegWriter encode_mjpeg_standalone(
+    const media::YuvVideo& video, const media::EncoderConfig& config) {
+  media::MjpegWriter writer;
+  for (const media::YuvFrame& frame : video.frames) {
+    writer.add_frame(media::encode_jpeg(frame, config));
+  }
+  return writer;
+}
+
+}  // namespace p2g::workloads

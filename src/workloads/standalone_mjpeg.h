@@ -1,0 +1,16 @@
+// The paper's comparison baseline: "the standalone single threaded MJPEG
+// encoder on which the P2G version is based" (§VIII-A). A plain loop over
+// frames, naive DCT, no framework.
+#pragma once
+
+#include "media/jpeg.h"
+#include "media/mjpeg.h"
+#include "media/yuv.h"
+
+namespace p2g::workloads {
+
+/// Encodes the whole video single-threaded; returns the MJPEG stream.
+media::MjpegWriter encode_mjpeg_standalone(
+    const media::YuvVideo& video, const media::EncoderConfig& config = {});
+
+}  // namespace p2g::workloads

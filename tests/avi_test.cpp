@@ -1,0 +1,95 @@
+// Tests for the AVI (RIFF/MJPG) container.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "media/avi.h"
+#include "media/jpeg.h"
+#include "media/yuv.h"
+
+namespace p2g::media {
+namespace {
+
+std::vector<std::vector<uint8_t>> encode_frames(const YuvVideo& video) {
+  std::vector<std::vector<uint8_t>> frames;
+  for (const YuvFrame& frame : video.frames) {
+    frames.push_back(encode_jpeg(frame, {.quality = 60}));
+  }
+  return frames;
+}
+
+TEST(Avi, RoundTripPreservesFramesAndInfo) {
+  const YuvVideo video = generate_synthetic_video(64, 48, 4);
+  const auto frames = encode_frames(video);
+  AviInfo info;
+  info.width = 64;
+  info.height = 48;
+  info.fps = 30;
+  const std::vector<uint8_t> avi = write_avi(frames, info);
+
+  // RIFF magic + declared size covers the file.
+  ASSERT_GE(avi.size(), 12u);
+  EXPECT_EQ(std::string(avi.begin(), avi.begin() + 4), "RIFF");
+  EXPECT_EQ(std::string(avi.begin() + 8, avi.begin() + 12), "AVI ");
+
+  AviInfo parsed;
+  const auto back = read_avi(avi, &parsed);
+  ASSERT_EQ(back.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(back[i], frames[i]) << "frame " << i;
+  }
+  EXPECT_EQ(parsed.width, 64);
+  EXPECT_EQ(parsed.height, 48);
+  EXPECT_EQ(parsed.fps, 30);
+}
+
+TEST(Avi, FramesAreDecodableAfterRoundTrip) {
+  const YuvVideo video = generate_synthetic_video(48, 32, 2);
+  const std::vector<uint8_t> avi =
+      write_avi(encode_frames(video), AviInfo{48, 32, 25});
+  const auto frames = read_avi(avi);
+  ASSERT_EQ(frames.size(), 2u);
+  const YuvFrame decoded = decode_jpeg(frames[1]);
+  EXPECT_GT(psnr(video.frames[1].y, decoded.y), 28.0);
+}
+
+TEST(Avi, OddSizedFramesArePadded) {
+  // Force odd frame sizes to exercise the RIFF even-padding rule.
+  std::vector<std::vector<uint8_t>> frames;
+  frames.push_back({0xFF, 0xD8, 0x01, 0xFF, 0xD9});        // 5 bytes (odd)
+  frames.push_back({0xFF, 0xD8, 0x01, 0x02, 0xFF, 0xD9});  // 6 bytes
+  const std::vector<uint8_t> avi = write_avi(frames, AviInfo{16, 16, 10});
+  const auto back = read_avi(avi);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], frames[0]);
+  EXPECT_EQ(back[1], frames[1]);
+}
+
+TEST(Avi, FileRoundTrip) {
+  const YuvVideo video = generate_synthetic_video(32, 32, 3);
+  const auto frames = encode_frames(video);
+  const std::string path = std::string(::testing::TempDir()) + "rt.avi";
+  write_avi_file(path, frames, AviInfo{32, 32, 15});
+  AviInfo info;
+  const auto back = read_avi_file(path, &info);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(info.width, 32);
+  std::remove(path.c_str());
+}
+
+TEST(Avi, RejectsGarbage) {
+  EXPECT_THROW(read_avi({1, 2, 3, 4}), Error);
+  std::vector<uint8_t> not_avi(64, 0);
+  std::memcpy(not_avi.data(), "RIFF", 4);
+  std::memcpy(not_avi.data() + 8, "WAVE", 4);
+  EXPECT_THROW(read_avi(not_avi), Error);
+}
+
+TEST(Avi, EmptyVideoIsValid) {
+  const std::vector<uint8_t> avi = write_avi({}, AviInfo{16, 16, 25});
+  EXPECT_TRUE(read_avi(avi).empty());
+}
+
+}  // namespace
+}  // namespace p2g::media

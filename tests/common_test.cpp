@@ -1,0 +1,200 @@
+// Unit tests for src/common: errors, stats, bitsets, queues, strings.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "common/dynamic_bitset.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace p2g {
+namespace {
+
+TEST(Error, CarriesKindAndMessage) {
+  try {
+    throw_error(ErrorKind::kWriteOnceViolation, "cell (1,2)");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kWriteOnceViolation);
+    EXPECT_NE(std::string(e.what()).find("write-once-violation"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cell (1,2)"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckArgumentThrowsInvalidArgument) {
+  EXPECT_NO_THROW(check_argument(true, "ok"));
+  try {
+    check_argument(false, "bad input");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInvalidArgument);
+  }
+}
+
+TEST(RunningStat, MeanAndStddev) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 5;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentile, NearestRankInterpolation) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+}
+
+TEST(DynamicBitset, SetAndCount) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.none());
+  EXPECT_TRUE(b.set(0));
+  EXPECT_TRUE(b.set(64));
+  EXPECT_TRUE(b.set(129));
+  EXPECT_FALSE(b.set(64)) << "second set reports already-set";
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(128));
+}
+
+TEST(DynamicBitset, SetRangeCrossingWords) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.set_range(10, 150), 140u);
+  EXPECT_EQ(b.count(), 140u);
+  EXPECT_TRUE(b.all_in_range(10, 150));
+  EXPECT_FALSE(b.all_in_range(9, 150));
+  EXPECT_EQ(b.set_range(0, 200), 60u) << "only fresh bits counted";
+  EXPECT_TRUE(b.all());
+}
+
+TEST(DynamicBitset, FindFirstUnset) {
+  DynamicBitset b(70);
+  b.set_range(0, 70);
+  EXPECT_EQ(b.find_first_unset(), 70u);
+  DynamicBitset c(70);
+  c.set_range(0, 65);
+  EXPECT_EQ(c.find_first_unset(), 65u);
+}
+
+TEST(DynamicBitset, ResizeGrowKeepsBits) {
+  DynamicBitset b(10);
+  b.set(3);
+  b.resize(100);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynamicBitset, ResizeShrinkDropsBits) {
+  DynamicBitset b(100);
+  b.set(3);
+  b.set(90);
+  b.resize(10);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(b.test(3));
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CrossThreadDelivery) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) q.push(i);
+    q.close();
+  });
+  int received = 0;
+  int last = -1;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, last + 1);
+    last = *v;
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, 1000);
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  const auto pieces = split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(join(pieces, "-"), "a-b--c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(StringUtil, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(2024251), "2,024,251");
+  EXPECT_EQ(with_thousands(-1234567), "-1,234,567");
+}
+
+TEST(Clock, Monotonic) {
+  const int64_t a = now_ns();
+  const int64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, ScopedTimerAccumulates) {
+  int64_t acc = 0;
+  {
+    ScopedTimerNs t(acc);
+  }
+  EXPECT_GE(acc, 0);
+}
+
+}  // namespace
+}  // namespace p2g

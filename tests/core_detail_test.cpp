@@ -1,0 +1,223 @@
+// Focused unit tests for runtime internals: contiguous-span detection,
+// ready-queue ordering, store-event coalescing, instrumentation report
+// formatting and context behavior.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/context.h"
+#include "core/ready_queue.h"
+#include "core/runtime.h"
+#include "nd/region.h"
+
+namespace p2g {
+namespace {
+
+using nd::Extents;
+using nd::Interval;
+using nd::Region;
+
+TEST(ContiguousSpan, WholeFieldIsOneSpan) {
+  const Extents ext({4, 6});
+  const auto span = Region::whole(ext).contiguous_span(ext);
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(span->offset, 0);
+  EXPECT_EQ(span->length, 24);
+}
+
+TEST(ContiguousSpan, SingleElement) {
+  const Extents ext({4, 6});
+  const auto span = Region::point({2, 3}).contiguous_span(ext);
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(span->offset, 2 * 6 + 3);
+  EXPECT_EQ(span->length, 1);
+}
+
+TEST(ContiguousSpan, TrailingBlockDimension) {
+  // The MJPEG layout: [bh][bw][64] with a (by, bx, all) slice.
+  const Extents ext({36, 44, 64});
+  const Region block(std::vector<Interval>{{10, 11}, {20, 21}, {0, 64}});
+  const auto span = block.contiguous_span(ext);
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(span->offset, (10 * 44 + 20) * 64);
+  EXPECT_EQ(span->length, 64);
+}
+
+TEST(ContiguousSpan, FullRowsAreContiguous) {
+  const Extents ext({8, 5});
+  const Region rows(std::vector<Interval>{{2, 5}, {0, 5}});
+  const auto span = rows.contiguous_span(ext);
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(span->offset, 10);
+  EXPECT_EQ(span->length, 15);
+}
+
+TEST(ContiguousSpan, PartialColumnIsNot) {
+  const Extents ext({8, 5});
+  const Region column(std::vector<Interval>{{0, 8}, {2, 3}});
+  EXPECT_FALSE(column.contiguous_span(ext).has_value());
+  const Region box(std::vector<Interval>{{0, 2}, {0, 3}});
+  EXPECT_FALSE(box.contiguous_span(ext).has_value());
+}
+
+TEST(ContiguousSpan, OutsideExtentsIsNot) {
+  const Extents ext({4});
+  const Region region(std::vector<Interval>{{2, 6}});
+  EXPECT_FALSE(region.contiguous_span(ext).has_value());
+}
+
+TEST(ReadyQueueTest, AgePriorityOrder) {
+  ReadyQueue queue(/*age_priority=*/true);
+  auto item = [](KernelId k, Age a) {
+    WorkItem w;
+    w.kernel = k;
+    w.age = a;
+    w.coords = {nd::Coord{}};
+    return w;
+  };
+  queue.push(item(0, 5));
+  queue.push(item(1, 2));
+  queue.push(item(2, 2));
+  queue.push(item(3, 0));
+  EXPECT_EQ(queue.pop()->kernel, 3);  // age 0 first
+  EXPECT_EQ(queue.pop()->kernel, 1);  // FIFO within age 2
+  EXPECT_EQ(queue.pop()->kernel, 2);
+  EXPECT_EQ(queue.pop()->kernel, 0);
+}
+
+TEST(ReadyQueueTest, FifoModeIgnoresAges) {
+  ReadyQueue queue(/*age_priority=*/false);
+  auto item = [](KernelId k, Age a) {
+    WorkItem w;
+    w.kernel = k;
+    w.age = a;
+    return w;
+  };
+  queue.push(item(0, 9));
+  queue.push(item(1, 1));
+  EXPECT_EQ(queue.pop()->kernel, 0);
+  EXPECT_EQ(queue.pop()->kernel, 1);
+}
+
+TEST(ReadyQueueTest, CloseUnblocksWaiters) {
+  ReadyQueue queue;
+  std::thread waiter([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  queue.close();
+  waiter.join();
+}
+
+TEST(InstrumentationTable, FormatsLikeThePaper) {
+  InstrumentationReport report;
+  KernelStats stats;
+  stats.name = "yDCT";
+  stats.dispatches = 80784;
+  stats.instances = 80784;
+  stats.dispatch_ns = 80784LL * 3070;
+  stats.kernel_ns = 80784LL * 170300;
+  report.kernels.push_back(stats);
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("Kernel"), std::string::npos);
+  EXPECT_NE(table.find("Dispatch Time"), std::string::npos);
+  EXPECT_NE(table.find("80,784"), std::string::npos);
+  EXPECT_NE(table.find("3.07 us"), std::string::npos);
+  EXPECT_NE(table.find("170.30 us"), std::string::npos);
+  EXPECT_EQ(report.find("yDCT"), &report.kernels[0]);
+  EXPECT_EQ(report.find("nope"), nullptr);
+}
+
+TEST(StoreEventCoalescing, ChunkedScalarStoresMergeIntoOneEvent) {
+  // A chunked elementwise kernel writing consecutive cells should reach
+  // the analyzer as O(1) merged events per chunk; indirectly observable
+  // through correctness plus the absence of per-element analyzer work,
+  // and directly through the field's written state after the run.
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 1);
+  pb.field("dst", nd::ElementType::kInt32, 1);
+  pb.kernel("init")
+      .run_once()
+      .store("v", "src", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        nd::AnyBuffer v(nd::ElementType::kInt32, nd::Extents({64}));
+        for (int i = 0; i < 64; ++i) v.data<int32_t>()[i] = i;
+        ctx.store_array("v", std::move(v));
+      });
+  pb.kernel("stage")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "dst", AgeExpr::relative(0), Slice().var("x"))
+      .body([](KernelContext& ctx) {
+        ctx.store_scalar<int32_t>("out",
+                                  ctx.fetch_scalar<int32_t>("in") + 1);
+      });
+  RunOptions opts;
+  opts.max_age = 0;
+  opts.kernel_schedules["stage"].chunk = 64;
+  Runtime rt(pb.build(), opts);
+  const RunReport report = rt.run();
+  EXPECT_EQ(report.instrumentation.find("stage")->dispatches, 1);
+  const nd::AnyBuffer out = rt.storage("dst").fetch_whole(0);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out.at<int32_t>(i), i + 1);
+}
+
+TEST(KernelContextTest, SlotLookupsAndErrors) {
+  ProgramBuilder pb;
+  pb.field("f", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "f", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "f", AgeExpr::relative(1), Slice().var("x"))
+      .body([](KernelContext&) {});
+  const Program program = pb.build();
+  TimerSet timers;
+  KernelContext ctx(program.kernel(0), 3, {7}, &timers);
+
+  EXPECT_EQ(ctx.age(), 3);
+  EXPECT_EQ(ctx.index(0), 7);
+  EXPECT_EQ(ctx.index("x"), 7);
+  EXPECT_THROW(ctx.index("y"), Error);
+  EXPECT_THROW(ctx.fetch_array("nope"), Error);
+  EXPECT_THROW(ctx.store_scalar<int32_t>("nope", 1), Error);
+
+  // Double store to one slot in one instance is a write-once violation.
+  ctx.store_scalar<int32_t>("out", 1);
+  try {
+    ctx.store_scalar<int32_t>("out", 2);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kWriteOnceViolation);
+  }
+  EXPECT_EQ(ctx.pending_stores().size(), 1u);
+  EXPECT_NE(ctx.pending_store(0), nullptr);
+  EXPECT_EQ(ctx.pending_store(1), nullptr);
+
+  EXPECT_FALSE(ctx.continue_requested());
+  ctx.continue_next_age();
+  EXPECT_TRUE(ctx.continue_requested());
+}
+
+TEST(RunOptionsValidation, UnknownNamesAreRejected) {
+  ProgramBuilder pb;
+  pb.field("f", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .run_once()
+      .store("v", "f", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext&) {});
+  {
+    RunOptions opts;
+    opts.kernel_schedules["ghost"].chunk = 4;
+    EXPECT_THROW(Runtime(pb.build(), opts), Error);
+  }
+  {
+    RunOptions opts;
+    opts.disabled_kernels.insert("ghost");
+    EXPECT_THROW(Runtime(pb.build(), opts), Error);
+  }
+  {
+    RunOptions opts;
+    opts.fusions.push_back(FusionRule{"k", "ghost"});
+    EXPECT_THROW(Runtime(pb.build(), opts), Error);
+  }
+}
+
+}  // namespace
+}  // namespace p2g

@@ -1,0 +1,242 @@
+// Tests for the simulated cluster: serialization, bus, execution nodes,
+// master/HLS, distributed runs of the paper's workloads.
+#include <gtest/gtest.h>
+
+#include "dist/bus.h"
+#include "dist/master.h"
+#include "dist/message.h"
+#include "dist/serialize.h"
+#include "workloads/kmeans.h"
+#include "workloads/mul2plus5.h"
+
+namespace p2g::dist {
+namespace {
+
+TEST(Serialize, ScalarAndStringRoundTrip) {
+  Writer w;
+  w.u8(7);
+  w.u32(123456);
+  w.i64(-42);
+  w.f64(3.25);
+  w.str("hello");
+  const std::vector<uint8_t> data{1, 2, 3};
+  w.blob(data.data(), data.size());
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.blob(), data);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, TruncatedMessageThrowsProtocolError) {
+  Writer w;
+  w.str("hello");
+  std::vector<uint8_t> bytes = w.take();
+  bytes.resize(bytes.size() - 2);
+  Reader r(bytes);
+  try {
+    r.str();
+    FAIL() << "expected protocol error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kProtocol);
+  }
+}
+
+TEST(Messages, RemoteStoreRoundTrip) {
+  RemoteStore store;
+  store.field = 3;
+  store.age = 17;
+  store.region = nd::Region(std::vector<nd::Interval>{{2, 3}, {0, 64}});
+  store.producer = 5;
+  store.store_decl = 1;
+  store.whole = false;
+  store.payload = {10, 20, 30};
+
+  const RemoteStore back = RemoteStore::decode(store.encode());
+  EXPECT_EQ(back.field, 3);
+  EXPECT_EQ(back.age, 17);
+  EXPECT_EQ(back.region, store.region);
+  EXPECT_EQ(back.producer, 5);
+  EXPECT_EQ(back.store_decl, 1u);
+  EXPECT_FALSE(back.whole);
+  EXPECT_EQ(back.payload, store.payload);
+}
+
+TEST(Messages, TopologyReportRoundTrip) {
+  TopologyReport report;
+  report.topology.name = "node7";
+  report.topology.memory_gb = 16.0;
+  report.topology.units.push_back(
+      graph::ProcessingUnit{graph::ProcessingUnit::Type::kGpu, 16.0});
+  report.topology.buses.push_back(graph::Link{0, 0, 5000.0, 1.5});
+
+  const TopologyReport back = TopologyReport::decode(report.encode());
+  EXPECT_EQ(back.topology.name, "node7");
+  EXPECT_DOUBLE_EQ(back.topology.memory_gb, 16.0);
+  ASSERT_EQ(back.topology.units.size(), 1u);
+  EXPECT_EQ(back.topology.units[0].type,
+            graph::ProcessingUnit::Type::kGpu);
+  ASSERT_EQ(back.topology.buses.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.topology.buses[0].bandwidth_mbps, 5000.0);
+}
+
+TEST(Messages, ProfileAndIdleReportRoundTrip) {
+  ProfileReport profile;
+  KernelStats stats;
+  stats.name = "assign";
+  stats.dispatches = 11;
+  stats.instances = 12;
+  stats.dispatch_ns = 13;
+  stats.kernel_ns = 14;
+  profile.report.kernels.push_back(stats);
+  const ProfileReport back = ProfileReport::decode(profile.encode());
+  ASSERT_EQ(back.report.kernels.size(), 1u);
+  EXPECT_EQ(back.report.kernels[0].name, "assign");
+  EXPECT_EQ(back.report.kernels[0].kernel_ns, 14);
+
+  IdleReport idle{true, 100, 100};
+  const IdleReport idle_back = IdleReport::decode(idle.encode());
+  EXPECT_TRUE(idle_back.idle);
+  EXPECT_EQ(idle_back.stores_sent, 100);
+}
+
+TEST(Bus, DirectedSendAndBroadcast) {
+  MessageBus bus;
+  auto a = bus.register_endpoint("a");
+  auto b = bus.register_endpoint("b");
+  auto c = bus.register_endpoint("c");
+
+  Message m;
+  m.type = MessageType::kShutdown;
+  m.from = "a";
+  bus.send("b", m);
+  EXPECT_EQ(b->pop()->from, "a");
+  EXPECT_TRUE(c->empty());
+
+  bus.broadcast(m);  // from "a": delivered to b and c only
+  EXPECT_TRUE(a->empty());
+  EXPECT_FALSE(b->empty());
+  EXPECT_FALSE(c->empty());
+  EXPECT_EQ(bus.delivered(), 3);
+}
+
+TEST(Bus, UnknownEndpointThrows) {
+  MessageBus bus;
+  Message m;
+  EXPECT_THROW(bus.send("nobody", m), Error);
+}
+
+TEST(Bus, DuplicateRegistrationThrows) {
+  MessageBus bus;
+  bus.register_endpoint("a");
+  EXPECT_THROW(bus.register_endpoint("a"), Error);
+}
+
+TEST(DistributedRun, Mul2Plus5AcrossTwoNodes) {
+  workloads::Mul2Plus5 workload;  // shared print sink across node programs
+
+  MasterOptions options;
+  options.nodes = 2;
+  options.workers_per_node = 2;
+  options.base_options.max_age = 3;
+  options.program_factory = [&workload] { return workload.build(); };
+
+  Master master(options);
+  const DistributedRunReport report = master.run();
+  EXPECT_FALSE(report.timed_out);
+
+  // The paper's golden sequence survives distribution.
+  ASSERT_EQ(workload.printed->size(), 4u);
+  EXPECT_EQ((*workload.printed)[0],
+            (std::vector<int32_t>{10, 11, 12, 13, 14, 20, 22, 24, 26, 28}));
+  EXPECT_EQ((*workload.printed)[1],
+            (std::vector<int32_t>{25, 27, 29, 31, 33, 50, 54, 58, 62, 66}));
+
+  // Every kernel ran somewhere, exactly once per expected instance.
+  const KernelStats* mul2 = report.combined.find("mul2");
+  ASSERT_NE(mul2, nullptr);
+  EXPECT_EQ(mul2->instances, 4 * 5);
+  EXPECT_EQ(report.combined.find("print")->instances, 4);
+
+  // If the partition actually split the graph, stores crossed the bus.
+  const bool split =
+      report.partition.cut_weight(master.final_graph()) > 0.0;
+  if (split) {
+    EXPECT_GT(report.messages_delivered, 0);
+  }
+  EXPECT_EQ(report.topology.nodes().size(), 2u);
+}
+
+TEST(DistributedRun, KmeansMatchesSequential) {
+  workloads::KmeansWorkload workload;
+  workload.config = workloads::KmeansConfig{.n = 40, .k = 4, .dim = 2,
+                                            .iterations = 3, .seed = 5};
+
+  MasterOptions options;
+  options.nodes = 2;
+  options.workers_per_node = 1;
+  workload.apply_schedule(options.base_options);
+  options.program_factory = [&workload] { return workload.build(); };
+
+  Master master(options);
+  const DistributedRunReport report = master.run();
+  EXPECT_FALSE(report.timed_out);
+
+  ASSERT_FALSE(workload.snapshots->empty());
+  EXPECT_EQ(workload.snapshots->back(),
+            workloads::kmeans_sequential(workload.config))
+      << "distribution must not change the result (determinism)";
+}
+
+TEST(DistributedRun, SingleNodeDegeneratesToLocalRun) {
+  workloads::Mul2Plus5 workload;
+  MasterOptions options;
+  options.nodes = 1;
+  options.base_options.max_age = 2;
+  options.program_factory = [&workload] { return workload.build(); };
+
+  Master master(options);
+  const DistributedRunReport report = master.run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(workload.printed->size(), 3u);
+  EXPECT_DOUBLE_EQ(report.partition.cut_weight(master.final_graph()), 0.0);
+}
+
+TEST(DistributedRun, RepartitionUsesProfileWeights) {
+  workloads::Mul2Plus5 workload;
+  MasterOptions options;
+  options.nodes = 2;
+  options.base_options.max_age = 5;
+  options.program_factory = [&workload] { return workload.build(); };
+
+  Master master(options);
+  const DistributedRunReport report = master.run();
+  const graph::Partition refined = master.repartition(report);
+  EXPECT_EQ(refined.assignment.size(),
+            master.final_graph().kernel_count());
+  // The reweighted partition is still sane.
+  graph::FinalGraph weighted = master.final_graph();
+  weighted.apply_instrumentation(report.combined);
+  EXPECT_LE(refined.imbalance(weighted), 2.0);
+}
+
+TEST(DistributedRun, TabuPartitionerWorksEndToEnd) {
+  workloads::Mul2Plus5 workload;
+  MasterOptions options;
+  options.nodes = 2;
+  options.use_tabu = true;
+  options.base_options.max_age = 2;
+  options.program_factory = [&workload] { return workload.build(); };
+
+  Master master(options);
+  const DistributedRunReport report = master.run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(workload.printed->size(), 3u);
+}
+
+}  // namespace
+}  // namespace p2g::dist

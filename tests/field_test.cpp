@@ -1,0 +1,168 @@
+// Unit tests for field storage: write-once, aging, implicit resize, seal.
+#include <gtest/gtest.h>
+
+#include "core/field.h"
+
+namespace p2g {
+namespace {
+
+FieldDecl decl1d(const std::string& name = "f") {
+  FieldDecl d;
+  d.id = 0;
+  d.name = name;
+  d.type = nd::ElementType::kInt32;
+  d.rank = 1;
+  return d;
+}
+
+nd::AnyBuffer ints(std::initializer_list<int32_t> values) {
+  nd::AnyBuffer buf(nd::ElementType::kInt32,
+                    nd::Extents({static_cast<int64_t>(values.size())}));
+  int64_t i = 0;
+  for (int32_t v : values) buf.data<int32_t>()[i++] = v;
+  return buf;
+}
+
+TEST(FieldStorage, StoreWholeAndFetch) {
+  FieldStorage fs(decl1d());
+  fs.store_whole(0, ints({10, 11, 12, 13, 14}));
+  EXPECT_EQ(fs.extents(0), nd::Extents({5}));
+  EXPECT_EQ(fs.written_count(0), 5);
+  const nd::AnyBuffer out = fs.fetch_whole(0);
+  EXPECT_EQ(out.at<int32_t>(3), 13);
+}
+
+TEST(FieldStorage, WriteOnceViolationThrows) {
+  FieldStorage fs(decl1d());
+  const int32_t v = 7;
+  fs.store(0, nd::Region::point({2}),
+           reinterpret_cast<const std::byte*>(&v));
+  try {
+    fs.store(0, nd::Region::point({2}),
+             reinterpret_cast<const std::byte*>(&v));
+    FAIL() << "expected write-once violation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kWriteOnceViolation);
+  }
+}
+
+TEST(FieldStorage, SameElementDifferentAgeIsFine) {
+  FieldStorage fs(decl1d());
+  const int32_t v = 7;
+  fs.store(0, nd::Region::point({2}),
+           reinterpret_cast<const std::byte*>(&v));
+  EXPECT_NO_THROW(fs.store(1, nd::Region::point({2}),
+                           reinterpret_cast<const std::byte*>(&v)));
+  EXPECT_EQ(fs.live_ages(), (std::vector<Age>{0, 1}));
+}
+
+TEST(FieldStorage, ImplicitResizeGrowsExtents) {
+  FieldStorage fs(decl1d());
+  const int32_t a = 1;
+  const int32_t b = 2;
+  fs.store(0, nd::Region::point({0}),
+           reinterpret_cast<const std::byte*>(&a));
+  EXPECT_EQ(fs.extents(0), nd::Extents({1}));
+  StoreResult r = fs.store(0, nd::Region::point({9}),
+                           reinterpret_cast<const std::byte*>(&b));
+  EXPECT_TRUE(r.resized);
+  EXPECT_EQ(fs.extents(0), nd::Extents({10}));
+  // Existing data survives the resize.
+  const nd::AnyBuffer out = fs.fetch(0, nd::Region::point({0}));
+  EXPECT_EQ(out.at<int32_t>(0), 1);
+}
+
+TEST(FieldStorage, Resize2DRemapsWrittenBits) {
+  FieldDecl d;
+  d.id = 0;
+  d.name = "grid";
+  d.type = nd::ElementType::kInt32;
+  d.rank = 2;
+  FieldStorage fs(d);
+  const int32_t v1 = 11;
+  fs.store(0, nd::Region::point({1, 1}),
+           reinterpret_cast<const std::byte*>(&v1));
+  const int32_t v2 = 22;
+  fs.store(0, nd::Region::point({3, 5}),
+           reinterpret_cast<const std::byte*>(&v2));
+  EXPECT_EQ(fs.extents(0), nd::Extents({4, 6}));
+  EXPECT_TRUE(fs.region_written(0, nd::Region::point({1, 1})));
+  EXPECT_TRUE(fs.region_written(0, nd::Region::point({3, 5})));
+  EXPECT_FALSE(fs.region_written(0, nd::Region::point({0, 0})));
+  EXPECT_EQ(fs.fetch(0, nd::Region::point({1, 1})).at<int32_t>(0), 11);
+  // Re-storing a remapped cell still violates write-once.
+  EXPECT_THROW(fs.store(0, nd::Region::point({1, 1}),
+                        reinterpret_cast<const std::byte*>(&v1)),
+               Error);
+}
+
+TEST(FieldStorage, SealMakesExtentsFinal) {
+  FieldStorage fs(decl1d());
+  fs.seal(0, nd::Extents({3}));
+  EXPECT_TRUE(fs.is_sealed(0));
+  EXPECT_FALSE(fs.is_complete(0));
+  const int32_t v = 1;
+  fs.store(0, nd::Region::point({1}),
+           reinterpret_cast<const std::byte*>(&v));
+  try {
+    fs.store(0, nd::Region::point({5}),
+             reinterpret_cast<const std::byte*>(&v));
+    FAIL() << "store beyond sealed extents must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kOutOfRange);
+  }
+}
+
+TEST(FieldStorage, CompletenessRequiresSealAndAllWritten) {
+  FieldStorage fs(decl1d());
+  const int32_t v = 9;
+  fs.store(0, nd::Region::point({0}),
+           reinterpret_cast<const std::byte*>(&v));
+  fs.store(0, nd::Region::point({1}),
+           reinterpret_cast<const std::byte*>(&v));
+  EXPECT_FALSE(fs.is_complete(0)) << "not sealed yet";
+  fs.seal(0, nd::Extents({2}));
+  EXPECT_TRUE(fs.is_complete(0));
+  fs.seal(0, nd::Extents({2}));  // idempotent
+  EXPECT_TRUE(fs.is_complete(0));
+}
+
+TEST(FieldStorage, SealAtUnionWhenDataExceedsProposal) {
+  FieldStorage fs(decl1d());
+  const int32_t v = 9;
+  fs.store(0, nd::Region::point({7}),
+           reinterpret_cast<const std::byte*>(&v));
+  fs.seal(0, nd::Extents({3}));
+  EXPECT_EQ(fs.extents(0), nd::Extents({8}));
+}
+
+TEST(FieldStorage, RegionWrittenPartial) {
+  FieldStorage fs(decl1d());
+  fs.store_whole(0, ints({1, 2, 3}));
+  EXPECT_TRUE(fs.region_written(0, nd::Region({nd::Interval{0, 3}})));
+  EXPECT_FALSE(fs.region_written(0, nd::Region({nd::Interval{0, 4}})))
+      << "outside current extents";
+  EXPECT_FALSE(fs.region_written(1, nd::Region::point({0})))
+      << "untouched age";
+}
+
+TEST(FieldStorage, ReleaseAgeFreesMemory) {
+  FieldStorage fs(decl1d());
+  fs.store_whole(0, ints({1, 2, 3}));
+  fs.store_whole(1, ints({4, 5, 6}));
+  const size_t before = fs.memory_bytes();
+  fs.release_age(0);
+  EXPECT_LT(fs.memory_bytes(), before);
+  EXPECT_EQ(fs.live_ages(), (std::vector<Age>{1}));
+}
+
+TEST(FieldStorage, NegativeAgeRejected) {
+  FieldStorage fs(decl1d());
+  const int32_t v = 1;
+  EXPECT_THROW(fs.store(-1, nd::Region::point({0}),
+                        reinterpret_cast<const std::byte*>(&v)),
+               Error);
+}
+
+}  // namespace
+}  // namespace p2g

@@ -1,0 +1,237 @@
+// Unit tests for the static dependency graphs, partitioners and topology.
+#include <gtest/gtest.h>
+
+#include "graph/partition.h"
+#include "graph/static_graph.h"
+#include "graph/tabu.h"
+#include "graph/topology.h"
+#include "workloads/kmeans.h"
+#include "workloads/mul2plus5.h"
+
+namespace p2g::graph {
+namespace {
+
+Program mul2plus5_program() {
+  workloads::Mul2Plus5 workload;
+  return workload.build();
+}
+
+TEST(IntermediateGraphTest, BipartiteStructureOfThePaperExample) {
+  const Program program = mul2plus5_program();
+  const IntermediateGraph g = IntermediateGraph::from_program(program);
+  // 4 kernels + 2 fields.
+  EXPECT_EQ(g.nodes.size(), 6u);
+  // init:1 store, mul2:1+1, plus5:1+1, print:2 fetches => 7 edges.
+  EXPECT_EQ(g.edges.size(), 7u);
+  // Every edge connects a kernel to a field (bipartite).
+  for (const auto& e : g.edges) {
+    EXPECT_NE(g.nodes[e.from].kind, g.nodes[e.to].kind);
+  }
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("mul2"), std::string::npos);
+  EXPECT_NE(dot.find("m_data"), std::string::npos);
+  EXPECT_NE(dot.find("age+1"), std::string::npos) << "aging edge labeled";
+}
+
+TEST(FinalGraphTest, MergesFieldVerticesAway) {
+  const Program program = mul2plus5_program();
+  const FinalGraph g = FinalGraph::from_program(program);
+  EXPECT_EQ(g.kernel_count(), 4u);
+
+  auto has_edge = [&](const char* from, const char* to) {
+    const KernelId f = program.find_kernel(from);
+    const KernelId t = program.find_kernel(to);
+    for (const auto& e : g.edges) {
+      if (e.from == f && e.to == t) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_edge("init", "mul2"));    // via m_data
+  EXPECT_TRUE(has_edge("init", "print"));   // via m_data
+  EXPECT_TRUE(has_edge("mul2", "plus5"));   // via p_data
+  EXPECT_TRUE(has_edge("mul2", "print"));   // via p_data
+  EXPECT_TRUE(has_edge("plus5", "mul2"));   // via m_data (cycle!)
+  EXPECT_TRUE(has_edge("plus5", "print"));  // via m_data
+  EXPECT_FALSE(has_edge("print", "mul2"));  // print stores nothing
+}
+
+TEST(FinalGraphTest, AgingCycleIsNotZeroOffset) {
+  const Program program = mul2plus5_program();
+  const FinalGraph g = FinalGraph::from_program(program);
+  // mul2 -> plus5 -> mul2 is a cycle, but the plus5 -> mul2 edge carries
+  // age offset +1, so it unrolls into a DAG at runtime.
+  EXPECT_FALSE(g.has_zero_offset_cycle());
+}
+
+TEST(FinalGraphTest, DetectsZeroOffsetCycle) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.field("b", nd::ElementType::kInt32, 1);
+  auto body = [](KernelContext&) {};
+  pb.kernel("k1")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "b", AgeExpr::relative(0), Slice().var("x"))
+      .body(body);
+  pb.kernel("k2")
+      .index("x")
+      .fetch("in", "b", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "a", AgeExpr::relative(0), Slice().var("x"))
+      .body(body);
+  const FinalGraph g = FinalGraph::from_program(pb.build());
+  EXPECT_TRUE(g.has_zero_offset_cycle());
+}
+
+TEST(FinalGraphTest, InstrumentationWeights) {
+  const Program program = mul2plus5_program();
+  FinalGraph g = FinalGraph::from_program(program);
+  InstrumentationReport report;
+  KernelStats mul2;
+  mul2.name = "mul2";
+  mul2.instances = 500;
+  mul2.kernel_ns = 4'000'000;
+  report.kernels.push_back(mul2);
+  g.apply_instrumentation(report);
+
+  const auto mul2_id = static_cast<size_t>(program.find_kernel("mul2"));
+  EXPECT_DOUBLE_EQ(g.node_weights[mul2_id], 4000.0);  // us
+  for (const auto& e : g.edges) {
+    if (static_cast<size_t>(e.from) == mul2_id) {
+      EXPECT_DOUBLE_EQ(e.weight, 500.0);
+    }
+  }
+}
+
+TEST(PartitionTest, SinglePartIsTrivial) {
+  const FinalGraph g = FinalGraph::from_program(mul2plus5_program());
+  const Partition p = partition_graph(g, 1);
+  for (int part : p.assignment) EXPECT_EQ(part, 0);
+  EXPECT_DOUBLE_EQ(p.cut_weight(g), 0.0);
+}
+
+/// A graph with two obvious clusters joined by one light edge.
+FinalGraph two_cluster_graph() {
+  FinalGraph g;
+  for (int i = 0; i < 8; ++i) {
+    g.kernel_names.push_back("k" + std::to_string(i));
+    g.node_weights.push_back(1.0);
+  }
+  auto edge = [&](int a, int b, double w) {
+    g.edges.push_back(FinalGraph::Edge{a, b, 0, 0, w});
+  };
+  // Cluster A: 0-3, cluster B: 4-7, heavy internal edges.
+  for (int i = 0; i < 3; ++i) edge(i, i + 1, 10.0);
+  for (int i = 4; i < 7; ++i) edge(i, i + 1, 10.0);
+  edge(3, 4, 1.0);  // the bridge
+  return g;
+}
+
+TEST(PartitionTest, GreedyPlusKlFindsTheBridgeCut) {
+  const FinalGraph g = two_cluster_graph();
+  const Partition p = partition_graph(g, 2);
+  EXPECT_DOUBLE_EQ(p.cut_weight(g), 1.0) << "only the bridge is cut";
+  EXPECT_LE(p.imbalance(g), 1.01);
+  // All of cluster A in one part, all of B in the other.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(p.assignment[static_cast<size_t>(i)], p.assignment[0]);
+  }
+  for (int i = 5; i < 8; ++i) {
+    EXPECT_EQ(p.assignment[static_cast<size_t>(i)], p.assignment[4]);
+  }
+  EXPECT_NE(p.assignment[0], p.assignment[4]);
+}
+
+TEST(PartitionTest, TabuMatchesOrBeatsGreedyKl) {
+  const FinalGraph g = two_cluster_graph();
+  const Partition kl = partition_graph(g, 2);
+  const Partition tabu = tabu_partition(g, 2);
+  EXPECT_LE(tabu.cut_weight(g), kl.cut_weight(g) + 1e-9);
+}
+
+TEST(PartitionTest, KlRespectsBalanceCap) {
+  FinalGraph g;
+  for (int i = 0; i < 6; ++i) {
+    g.kernel_names.push_back("k" + std::to_string(i));
+    g.node_weights.push_back(1.0);
+  }
+  // A clique: any cut is equally bad, so KL is tempted to collapse
+  // everything into one part; the balance cap must prevent that.
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      g.edges.push_back(FinalGraph::Edge{a, b, 0, 0, 1.0});
+    }
+  }
+  Partition p = greedy_partition(g, 2);
+  kl_refine(g, p, 8, 1.5);
+  EXPECT_LE(p.imbalance(g), 1.5 + 1e-9);
+}
+
+TEST(PartitionTest, KmeansGraphPartitions) {
+  workloads::KmeansWorkload workload;
+  const FinalGraph g = FinalGraph::from_program(workload.build());
+  const Partition p = partition_graph(g, 2);
+  EXPECT_EQ(p.assignment.size(), g.kernel_count());
+  EXPECT_GE(p.cut_weight(g), 0.0);
+}
+
+TEST(TopologyTest, LocalMachineHasCores) {
+  const NodeTopology node = NodeTopology::local_machine("host");
+  EXPECT_GE(node.units.size(), 1u);
+  EXPECT_GT(node.compute_capacity(), 0.0);
+}
+
+TEST(TopologyTest, AddRemoveAndMerge) {
+  GlobalTopology topo;
+  NodeTopology a;
+  a.name = "a";
+  a.units.assign(4, ProcessingUnit{});
+  NodeTopology b;
+  b.name = "b";
+  b.units.assign(8, ProcessingUnit{});
+  topo.add_node(a);
+  topo.add_node(b);
+  topo.connect(0, 1, 10000.0, 50.0);
+  EXPECT_EQ(topo.nodes().size(), 2u);
+  EXPECT_DOUBLE_EQ(topo.total_compute(), 12.0);
+  EXPECT_EQ(topo.suggested_parts(), 2);
+
+  // Replacing by name keeps the count.
+  a.units.assign(2, ProcessingUnit{});
+  topo.add_node(a);
+  EXPECT_EQ(topo.nodes().size(), 2u);
+  EXPECT_DOUBLE_EQ(topo.total_compute(), 10.0);
+
+  EXPECT_TRUE(topo.remove_node("a"));
+  EXPECT_FALSE(topo.remove_node("a"));
+  EXPECT_EQ(topo.nodes().size(), 1u);
+  EXPECT_TRUE(topo.interconnects().empty()) << "dangling link dropped";
+}
+
+TEST(TopologyTest, PlacementPrefersFastNodesAndBalances) {
+  GlobalTopology topo;
+  NodeTopology fast;
+  fast.name = "fast";
+  fast.units.assign(8, ProcessingUnit{});
+  NodeTopology slow;
+  slow.name = "slow";
+  slow.units.assign(2, ProcessingUnit{});
+  topo.add_node(fast);
+  topo.add_node(slow);
+
+  const std::vector<double> part_weights{100.0, 10.0};
+  const std::vector<size_t> placement =
+      topo.place_partitions(part_weights);
+  EXPECT_EQ(placement[0], 0u) << "heaviest partition on the fastest node";
+  EXPECT_EQ(placement[1], 1u);
+}
+
+TEST(TopologyTest, GpuUnitsRaiseCapacity) {
+  NodeTopology node;
+  node.name = "gpu-node";
+  node.units.push_back(ProcessingUnit{ProcessingUnit::Type::kCpuCore, 1.0});
+  node.units.push_back(ProcessingUnit{ProcessingUnit::Type::kGpu, 16.0});
+  EXPECT_DOUBLE_EQ(node.compute_capacity(), 17.0);
+}
+
+}  // namespace
+}  // namespace p2g::graph

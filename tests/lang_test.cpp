@@ -1,0 +1,459 @@
+// Tests for the kernel language: lexer, parser, sema, interpreter backend
+// (running the paper's Fig. 5 program end-to-end) and the C++ codegen.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/runtime.h"
+#include "lang/codegen.h"
+#include "lang/driver.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace p2g::lang {
+namespace {
+
+/// The paper's Fig. 5 example in kernel-language syntax.
+const char* kMul2Plus5 = R"(
+int32[] m_data age;
+int32[] p_data age;
+
+init:
+  local int32[] values;
+  %{
+    int32 i = 0;
+    for (; i < 5; i++) {
+      put(values, i + 10, i);
+    }
+  %}
+  store m_data(0) = values;
+
+mul2:
+  age a;
+  index x;
+  local int32 value;
+  fetch value = m_data(a)[x];
+  %{ value *= 2; %}
+  store p_data(a)[x] = value;
+
+plus5:
+  age a;
+  index x;
+  local int32 value;
+  fetch value = p_data(a)[x];
+  %{ value += 5; %}
+  store m_data(a+1)[x] = value;
+
+print:
+  age a;
+  serial;
+  local int32[] m;
+  local int32[] p;
+  fetch m = m_data(a);
+  fetch p = p_data(a);
+  %{
+    print(m);
+    print(p);
+  %}
+)";
+
+TEST(Lexer, TokenizesRepresentativeInput) {
+  const auto tokens = tokenize("fetch value = m_data(a+1)[x]; %{ x *= 2; %}");
+  ASSERT_GE(tokens.size(), 17u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwFetch);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "value");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+  // %{ and %} lex as single tokens.
+  int code_open = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kCodeOpen) ++code_open;
+  }
+  EXPECT_EQ(code_open, 1);
+}
+
+TEST(Lexer, CommentsAndLiterals) {
+  const auto tokens = tokenize(
+      "// line comment\n/* block */ 42 3.5 \"hi\\n\" true");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[2].text, "hi\n");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kKwTrue);
+}
+
+TEST(Lexer, ErrorsCarryPosition) {
+  try {
+    tokenize("a\n  @");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParse);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, ParsesTheFig5Module) {
+  const ModuleAst module = parse_module(kMul2Plus5);
+  ASSERT_EQ(module.fields.size(), 2u);
+  EXPECT_EQ(module.fields[0].name, "m_data");
+  EXPECT_EQ(module.fields[0].rank, 1);
+  ASSERT_EQ(module.kernels.size(), 4u);
+
+  const KernelDefAst& mul2 = module.kernels[1];
+  EXPECT_EQ(mul2.name, "mul2");
+  EXPECT_EQ(mul2.age_var, "a");
+  ASSERT_EQ(mul2.index_vars.size(), 1u);
+  EXPECT_EQ(mul2.index_vars[0], "x");
+  EXPECT_FALSE(mul2.serial);
+
+  const KernelDefAst& print = module.kernels[3];
+  EXPECT_TRUE(print.serial);
+  EXPECT_TRUE(module.kernels[0].age_var.empty()) << "init is run-once";
+}
+
+TEST(Parser, FieldAccessForms) {
+  const ModuleAst module = parse_module(R"(
+int32[][] grid age;
+k:
+  age t;
+  index i, j;
+  local int32 v;
+  fetch v = grid(t - 1)[i][j];
+  store grid(t)[i][j] = v;
+)");
+  const KernelDefAst& k = module.kernels[0];
+  const Stmt& fetch = *k.body[1];
+  ASSERT_EQ(fetch.kind, Stmt::Kind::kFetch);
+  EXPECT_EQ(fetch.access.age.kind, AgeRef::Kind::kRelative);
+  EXPECT_EQ(fetch.access.age.offset, -1);
+  ASSERT_EQ(fetch.access.slices.size(), 2u);
+  EXPECT_EQ(fetch.access.slices[0].name, "i");
+}
+
+TEST(Parser, SyntaxErrorsThrow) {
+  EXPECT_THROW(parse_module("int32[] x"), Error);           // missing ;
+  EXPECT_THROW(parse_module("k:\n  bogus;"), Error);        // bad clause
+  EXPECT_THROW(parse_module("k:\n  %{ x = ; %}"), Error);   // bad expr
+  EXPECT_THROW(parse_module("k:\n  %{ if (x) %}"), Error);  // cut block
+}
+
+TEST(Sema, RejectsUnknownFieldAndVariables) {
+  EXPECT_THROW(compile_source(R"(
+k:
+  age a;
+  local int32 v;
+  fetch v = nothing(a)[0];
+)"),
+               Error);
+  EXPECT_THROW(compile_source(R"(
+int32[] f age;
+k:
+  age a;
+  index x;
+  local int32 v;
+  fetch v = f(a)[y];
+  store f(a+1)[x] = v;
+)"),
+               Error);
+}
+
+TEST(Sema, RejectsConditionalFetch) {
+  try {
+    compile_source(R"(
+int32[] f age;
+k:
+  age a;
+  index x;
+  local int32 v;
+  %{
+    if (x > 0) {
+      fetch v = f(a)[x];
+    }
+  %}
+  store f(a+1)[x] = v;
+)");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSema);
+    EXPECT_NE(std::string(e.what()).find("unconditional"),
+              std::string::npos);
+  }
+}
+
+TEST(Sema, RejectsRankMismatch) {
+  EXPECT_THROW(compile_source(R"(
+int32[][] f age;
+k:
+  age a;
+  index x;
+  local int32 v;
+  fetch v = f(a)[x];
+  store f(a+1)[x] = v;
+)"),
+               Error);
+}
+
+TEST(Sema, RejectsWholeStoreOfScalar) {
+  EXPECT_THROW(compile_source(R"(
+int32[] f age;
+init:
+  local int32 v;
+  store f(0) = v;
+)"),
+               Error);
+}
+
+TEST(Interp, Fig5ProgramReproducesThePaperSequence) {
+  CompiledModule compiled = compile_source(kMul2Plus5);
+  RunOptions options;
+  options.max_age = 1;
+  options.workers = 2;
+  Runtime runtime(std::move(compiled.program), options);
+  runtime.run();
+
+  const std::vector<std::string> lines = compiled.printed->snapshot();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "{10, 11, 12, 13, 14}");
+  EXPECT_EQ(lines[1], "{20, 22, 24, 26, 28}");
+  EXPECT_EQ(lines[2], "{25, 27, 29, 31, 33}");
+  EXPECT_EQ(lines[3], "{50, 54, 58, 62, 66}");
+}
+
+TEST(Interp, SourceKernelWithContinueAge) {
+  CompiledModule compiled = compile_source(R"(
+int32[] frames age;
+int32[] out age;
+
+reader:
+  age a;
+  local int32[] frame;
+  %{
+    if (a < 3) {
+      put(frame, a * 100, 0);
+      put(frame, a * 100 + 1, 1);
+      store frames(a) = frame;
+      continue_age();
+    }
+  %}
+
+double_it:
+  age a;
+  index x;
+  local int32 v;
+  fetch v = frames(a)[x];
+  %{ v *= 2; %}
+  store out(a)[x] = v;
+)");
+  Runtime runtime(std::move(compiled.program), RunOptions{});
+  const RunReport report = runtime.run();
+  EXPECT_EQ(report.instrumentation.find("reader")->instances, 4);
+  EXPECT_EQ(report.instrumentation.find("double_it")->instances, 6);
+  EXPECT_EQ(runtime.storage("out").fetch_whole(2).at<int32_t>(1), 402);
+}
+
+TEST(Interp, FloatFieldsAndMathBuiltins) {
+  CompiledModule compiled = compile_source(R"(
+float64[] data age;
+float64[] result age;
+
+init:
+  local float64[] values;
+  %{
+    put(values, 9.0, 0);
+    put(values, 16.0, 1);
+  %}
+  store data(0) = values;
+
+root:
+  age a;
+  index x;
+  local float64 v;
+  fetch v = data(a)[x];
+  %{ v = sqrt(v); %}
+  store result(a)[x] = v;
+)");
+  RunOptions options;
+  options.max_age = 0;
+  Runtime runtime(std::move(compiled.program), options);
+  runtime.run();
+  EXPECT_DOUBLE_EQ(runtime.storage("result").fetch_whole(0).at<double>(0),
+                   3.0);
+  EXPECT_DOUBLE_EQ(runtime.storage("result").fetch_whole(0).at<double>(1),
+                   4.0);
+}
+
+TEST(Interp, WhileLoopAndExtent) {
+  CompiledModule compiled = compile_source(R"(
+int32[] data age;
+int32[] sums age;
+
+init:
+  local int32[] values;
+  %{
+    int32 i = 0;
+    while (i < 10) {
+      put(values, i, i);
+      i++;
+    }
+  %}
+  store data(0) = values;
+
+sum:
+  age a;
+  local int32[] d;
+  local int32[] total;
+  fetch d = data(a);
+  %{
+    int32 acc = 0;
+    int32 i = 0;
+    for (; i < extent(d, 0); i++) {
+      acc += get(d, i);
+    }
+    put(total, acc, 0);
+  %}
+  store sums(a) = total;
+)");
+  RunOptions options;
+  options.max_age = 0;
+  Runtime runtime(std::move(compiled.program), options);
+  runtime.run();
+  EXPECT_EQ(runtime.storage("sums").fetch_whole(0).at<int32_t>(0), 45);
+}
+
+TEST(Interp, RuntimeDivisionByZeroSurfaces) {
+  CompiledModule compiled = compile_source(R"(
+int32[] f age;
+init:
+  local int32[] v;
+  %{
+    int32 zero = 0;
+    put(v, 1 / zero, 0);
+  %}
+  store f(0) = v;
+)");
+  Runtime runtime(std::move(compiled.program), RunOptions{});
+  EXPECT_THROW(runtime.run(), Error);
+}
+
+TEST(Codegen, EmitsBuilderCallsForFig5) {
+  const std::string cpp = generate_cpp_from_source(kMul2Plus5);
+  EXPECT_NE(cpp.find("pb.field(\"m_data\""), std::string::npos);
+  EXPECT_NE(cpp.find("pb.kernel(\"mul2\")"), std::string::npos);
+  EXPECT_NE(cpp.find(".fetch(\"value\", \"m_data\", "
+                     "p2g::AgeExpr::relative(0), "
+                     "p2g::Slice().var(\"x\"))"),
+            std::string::npos);
+  EXPECT_NE(cpp.find("p2g::AgeExpr::relative(1)"), std::string::npos)
+      << "plus5 stores to age a+1";
+  EXPECT_NE(cpp.find(".serial()"), std::string::npos);
+  EXPECT_NE(cpp.find(".run_once()"), std::string::npos);
+  EXPECT_EQ(cpp.find("with_main"), std::string::npos);
+}
+
+TEST(Codegen, GeneratedCodeTypeChecks) {
+#ifndef P2G_SOURCE_DIR
+  GTEST_SKIP() << "source dir not configured";
+#else
+  CodegenOptions options;
+  options.with_main = true;
+  options.source_name = "fig5.p2g";
+  const std::string cpp = generate_cpp_from_source(kMul2Plus5, options);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/p2g_codegen_test.cpp";
+  std::ofstream(path) << cpp;
+  const std::string command = "g++ -std=c++20 -fsyntax-only -I " +
+                              std::string(P2G_SOURCE_DIR) + "/src " + path +
+                              " 2> " + dir + "/p2g_codegen_err.txt";
+  const int rc = std::system(command.c_str());
+  if (rc != 0) {
+    std::ifstream err(dir + "/p2g_codegen_err.txt");
+    std::string details((std::istreambuf_iterator<char>(err)),
+                        std::istreambuf_iterator<char>());
+    FAIL() << "generated code does not compile:\n" << details << "\n"
+           << cpp;
+  }
+  std::remove(path.c_str());
+#endif
+}
+
+TEST(Driver, CompileFileRoundTrip) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/fig5_driver.p2g";
+  std::ofstream(path) << kMul2Plus5;
+  CompiledModule compiled = compile_file(path);
+  RunOptions options;
+  options.max_age = 0;
+  Runtime runtime(std::move(compiled.program), options);
+  runtime.run();
+  EXPECT_EQ(compiled.printed->snapshot().size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_THROW(compile_file("/nonexistent/file.p2g"), Error);
+}
+
+TEST(Programs, KmeansInTheKernelLanguage) {
+#ifndef P2G_SOURCE_DIR
+  GTEST_SKIP() << "source dir not configured";
+#else
+  const std::string path =
+      std::string(P2G_SOURCE_DIR) + "/examples/programs/kmeans.p2g";
+  std::vector<std::string> reference;
+  for (int workers : {1, 2}) {
+    CompiledModule compiled = compile_file(path);
+    RunOptions options;
+    options.max_age = 6;
+    options.workers = workers;
+    options.kernel_schedules["assign"].max_age = 5;
+    options.kernel_schedules["refine"].max_age = 5;
+    Runtime runtime(std::move(compiled.program), options);
+    const RunReport report = runtime.run();
+    EXPECT_FALSE(report.timed_out);
+
+    // 60 points x 5 centroids x 6 iterations of assign; 5 x 6 refine.
+    EXPECT_EQ(report.instrumentation.find("assign")->instances,
+              60 * 5 * 6);
+    EXPECT_EQ(report.instrumentation.find("refine")->instances, 5 * 6);
+    EXPECT_EQ(report.instrumentation.find("report")->instances, 7);
+
+    const std::vector<std::string> lines = compiled.printed->snapshot();
+    ASSERT_EQ(lines.size(), 7u);
+    auto centroids_of = [](const std::string& line) {
+      return line.substr(line.find('{'));
+    };
+    EXPECT_EQ(centroids_of(lines.back()),
+              centroids_of(lines[lines.size() - 2]))
+        << "k-means converged on this dataset";
+    if (reference.empty()) {
+      reference = lines;
+    } else {
+      EXPECT_EQ(lines, reference) << "language programs are deterministic";
+    }
+  }
+#endif
+}
+
+TEST(Programs, SmoothingInTheKernelLanguage) {
+#ifndef P2G_SOURCE_DIR
+  GTEST_SKIP() << "source dir not configured";
+#else
+  const std::string path =
+      std::string(P2G_SOURCE_DIR) + "/examples/programs/smoothing.p2g";
+  CompiledModule compiled = compile_file(path);
+  Runtime runtime(std::move(compiled.program), RunOptions{});
+  const RunReport report = runtime.run();
+  EXPECT_FALSE(report.timed_out);
+  // 12 sensor samples, smoothing starts at age 1 -> 11 reports.
+  const std::vector<std::string> lines = compiled.printed->snapshot();
+  ASSERT_EQ(lines.size(), 11u);
+  EXPECT_EQ(lines[0], "age mean: 9");
+#endif
+}
+
+}  // namespace
+}  // namespace p2g::lang

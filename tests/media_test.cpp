@@ -1,0 +1,347 @@
+// Unit tests for the JPEG/MJPEG substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "media/bitstream.h"
+#include "media/dct.h"
+#include "media/huffman.h"
+#include "media/jpeg.h"
+#include "media/mjpeg.h"
+#include "media/quant.h"
+#include "media/yuv.h"
+
+namespace p2g::media {
+namespace {
+
+TEST(BitStream, WriteReadRoundTrip) {
+  BitWriter w(false);
+  w.put_bits(0b101, 3);
+  w.put_bits(0xABCD, 16);
+  w.put_bits(0, 5);
+  w.flush();
+  const auto bytes = w.bytes();
+  BitReader r(bytes.data(), bytes.size(), false);
+  EXPECT_EQ(r.get_bits(3), 0b101u);
+  EXPECT_EQ(r.get_bits(16), 0xABCDu);
+  EXPECT_EQ(r.get_bits(5), 0u);
+}
+
+TEST(BitStream, ByteStuffing) {
+  BitWriter w(true);
+  w.put_bits(0xFF, 8);
+  w.flush();
+  ASSERT_EQ(w.bytes().size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0xFF);
+  EXPECT_EQ(w.bytes()[1], 0x00);
+
+  BitReader r(w.bytes().data(), w.bytes().size(), true);
+  EXPECT_EQ(r.get_bits(8), 0xFFu);
+}
+
+TEST(BitStream, ExhaustionThrows) {
+  BitWriter w(false);
+  w.put_bits(1, 1);
+  w.flush();
+  BitReader r(w.bytes().data(), w.bytes().size(), false);
+  r.get_bits(8);
+  EXPECT_THROW(r.get_bits(8), Error);
+}
+
+TEST(Dct, FlatBlockHasOnlyDc) {
+  uint8_t pixels[kBlockSize];
+  for (auto& p : pixels) p = 200;
+  double out[kBlockSize];
+  forward_dct_naive(pixels, out);
+  EXPECT_NEAR(out[0], (200.0 - 128.0) * 8.0, 1e-9);
+  for (int i = 1; i < kBlockSize; ++i) EXPECT_NEAR(out[i], 0.0, 1e-9);
+}
+
+TEST(Dct, NaiveRoundTripIsLossless) {
+  uint8_t pixels[kBlockSize];
+  for (int i = 0; i < kBlockSize; ++i) {
+    pixels[i] = static_cast<uint8_t>((i * 37 + 11) % 256);
+  }
+  double coeffs[kBlockSize];
+  forward_dct_naive(pixels, coeffs);
+  uint8_t back[kBlockSize];
+  inverse_dct_naive(coeffs, back);
+  for (int i = 0; i < kBlockSize; ++i) {
+    EXPECT_NEAR(back[i], pixels[i], 1) << "pixel " << i;
+  }
+}
+
+TEST(Dct, AanMatchesNaiveAfterUnscaling) {
+  uint8_t pixels[kBlockSize];
+  for (int i = 0; i < kBlockSize; ++i) {
+    pixels[i] = static_cast<uint8_t>((i * 53 + 7) % 256);
+  }
+  double naive[kBlockSize];
+  double aan[kBlockSize];
+  forward_dct_naive(pixels, naive);
+  forward_dct_aan(pixels, aan);
+  for (int u = 0; u < kBlockDim; ++u) {
+    for (int v = 0; v < kBlockDim; ++v) {
+      const int i = u * kBlockDim + v;
+      EXPECT_NEAR(aan[i] / aan_scale_factor(u, v), naive[i], 1e-6)
+          << "coefficient (" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(Quant, ScaleTableQualityMonotonicity) {
+  const QuantTable q50 = scale_table(standard_luma_table(), 50);
+  const QuantTable q90 = scale_table(standard_luma_table(), 90);
+  const QuantTable q10 = scale_table(standard_luma_table(), 10);
+  EXPECT_EQ(q50, standard_luma_table()) << "quality 50 is the base table";
+  for (int i = 0; i < kBlockSize; ++i) {
+    EXPECT_LE(q90[static_cast<size_t>(i)], q50[static_cast<size_t>(i)]);
+    EXPECT_GE(q10[static_cast<size_t>(i)], q50[static_cast<size_t>(i)]);
+  }
+  EXPECT_THROW(scale_table(standard_luma_table(), 0), Error);
+  EXPECT_THROW(scale_table(standard_luma_table(), 101), Error);
+}
+
+TEST(Quant, ZigzagIsAPermutationWithKnownPrefix) {
+  const auto& order = zigzag_order();
+  std::array<int, kBlockSize> seen{};
+  for (int k = 0; k < kBlockSize; ++k) {
+    ++seen[static_cast<size_t>(order[static_cast<size_t>(k)])];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // First few entries are the classic 0, 1, 8, 16, 9, 2.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 8);
+  EXPECT_EQ(order[3], 16);
+  // Inverse really is the inverse.
+  const auto& inv = zigzag_inverse();
+  for (int k = 0; k < kBlockSize; ++k) {
+    EXPECT_EQ(inv[static_cast<size_t>(order[static_cast<size_t>(k)])], k);
+  }
+}
+
+TEST(Quant, QuantizeDequantizeApproximates) {
+  double dct[kBlockSize];
+  for (int i = 0; i < kBlockSize; ++i) dct[i] = i * 7.3 - 200.0;
+  int16_t q[kBlockSize];
+  quantize(dct, standard_luma_table(), q);
+  double back[kBlockSize];
+  dequantize(q, standard_luma_table(), back);
+  for (int i = 0; i < kBlockSize; ++i) {
+    EXPECT_NEAR(back[i], dct[i],
+                standard_luma_table()[static_cast<size_t>(i)] / 2.0 + 1e-9);
+  }
+}
+
+TEST(Huffman, BitCategory) {
+  EXPECT_EQ(bit_category(0), 0);
+  EXPECT_EQ(bit_category(1), 1);
+  EXPECT_EQ(bit_category(-1), 1);
+  EXPECT_EQ(bit_category(2), 2);
+  EXPECT_EQ(bit_category(-3), 2);
+  EXPECT_EQ(bit_category(255), 8);
+  EXPECT_EQ(bit_category(-1024), 11);
+}
+
+TEST(Huffman, SymbolRoundTripAllTables) {
+  for (const HuffTable* table : {&std_dc_luma(), &std_dc_chroma()}) {
+    for (int s = 0; s < 12; ++s) {
+      BitWriter w(false);
+      table->encode(w, static_cast<uint8_t>(s));
+      w.flush();
+      BitReader r(w.bytes().data(), w.bytes().size(), false);
+      EXPECT_EQ(table->decode(r), s);
+    }
+  }
+  // AC tables: every (run, size) symbol that has a code.
+  for (const HuffTable* table : {&std_ac_luma(), &std_ac_chroma()}) {
+    for (int run = 0; run < 16; ++run) {
+      for (int size = (run == 0 || run == 15) ? 0 : 1; size <= 10; ++size) {
+        if (run == 15 && size == 0) size = 0;  // ZRL
+        if (run != 0 && run != 15 && size == 0) continue;
+        const uint8_t symbol = static_cast<uint8_t>((run << 4) | size);
+        if (run == 0 && size == 0) {
+          // EOB exists.
+        }
+        BitWriter w(false);
+        table->encode(w, symbol);
+        w.flush();
+        BitReader r(w.bytes().data(), w.bytes().size(), false);
+        EXPECT_EQ(table->decode(r), symbol);
+        if (run == 0 && size == 0) break;
+      }
+    }
+  }
+}
+
+TEST(Huffman, BlockRoundTrip) {
+  int16_t coeffs[kBlockSize] = {};
+  coeffs[0] = -57;  // DC
+  coeffs[1] = 45;
+  coeffs[8] = -30;
+  coeffs[16] = 4;
+  coeffs[63] = 2;  // forces a long zero run + final coefficient
+  int enc_dc = 0;
+  BitWriter w(true);
+  encode_block(coeffs, enc_dc, std_dc_luma(), std_ac_luma(), w);
+  w.flush();
+
+  int dec_dc = 0;
+  BitReader r(w.bytes().data(), w.bytes().size(), true);
+  int16_t out[kBlockSize];
+  decode_block(r, dec_dc, std_dc_luma(), std_ac_luma(), out);
+  for (int i = 0; i < kBlockSize; ++i) {
+    EXPECT_EQ(out[i], coeffs[i]) << "coefficient " << i;
+  }
+}
+
+TEST(Huffman, MultiBlockDcPrediction) {
+  int16_t block_a[kBlockSize] = {};
+  int16_t block_b[kBlockSize] = {};
+  block_a[0] = 100;
+  block_b[0] = 90;
+  int enc_dc = 0;
+  BitWriter w(true);
+  encode_block(block_a, enc_dc, std_dc_luma(), std_ac_luma(), w);
+  encode_block(block_b, enc_dc, std_dc_luma(), std_ac_luma(), w);
+  w.flush();
+  EXPECT_EQ(enc_dc, 90);
+
+  int dec_dc = 0;
+  BitReader r(w.bytes().data(), w.bytes().size(), true);
+  int16_t out[kBlockSize];
+  decode_block(r, dec_dc, std_dc_luma(), std_ac_luma(), out);
+  EXPECT_EQ(out[0], 100);
+  decode_block(r, dec_dc, std_dc_luma(), std_ac_luma(), out);
+  EXPECT_EQ(out[0], 90);
+}
+
+TEST(Yuv, SyntheticVideoDeterministic) {
+  const YuvVideo a = generate_synthetic_video(64, 48, 3, 7);
+  const YuvVideo b = generate_synthetic_video(64, 48, 3, 7);
+  ASSERT_EQ(a.frames.size(), 3u);
+  EXPECT_EQ(a.frames[1].y, b.frames[1].y);
+  EXPECT_EQ(a.frames[2].u, b.frames[2].u);
+  // Frames differ over time (motion).
+  EXPECT_NE(a.frames[0].y, a.frames[2].y);
+}
+
+TEST(Yuv, FileRoundTrip) {
+  const YuvVideo video = generate_synthetic_video(32, 16, 2);
+  const std::string path = std::string(::testing::TempDir()) + "rt.yuv";
+  write_yuv_file(path, video);
+  const YuvVideo back = read_yuv_file(path, 32, 16);
+  ASSERT_EQ(back.frames.size(), 2u);
+  EXPECT_EQ(back.frames[0].y, video.frames[0].y);
+  EXPECT_EQ(back.frames[1].v, video.frames[1].v);
+  std::remove(path.c_str());
+}
+
+TEST(Yuv, PsnrIdenticalIsInfinite) {
+  std::vector<uint8_t> plane(100, 42);
+  EXPECT_TRUE(std::isinf(psnr(plane, plane)));
+  std::vector<uint8_t> other = plane;
+  other[0] = 43;
+  EXPECT_GT(psnr(plane, other), 40.0);
+}
+
+TEST(Jpeg, EncodeDecodeRoundTripPsnr) {
+  const YuvVideo video = generate_synthetic_video(64, 48, 1);
+  const YuvFrame& frame = video.frames[0];
+  const std::vector<uint8_t> bytes = encode_jpeg(frame, {.quality = 75});
+  ASSERT_GT(bytes.size(), 100u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0xD8);
+  EXPECT_EQ(bytes[bytes.size() - 2], 0xFF);
+  EXPECT_EQ(bytes.back(), 0xD9);
+
+  const YuvFrame decoded = decode_jpeg(bytes);
+  ASSERT_EQ(decoded.width, frame.width);
+  ASSERT_EQ(decoded.height, frame.height);
+  EXPECT_GT(psnr(frame.y, decoded.y), 30.0) << "luma PSNR too low";
+  EXPECT_GT(psnr(frame.u, decoded.u), 30.0);
+  EXPECT_GT(psnr(frame.v, decoded.v), 30.0);
+}
+
+TEST(Jpeg, FastDctMatchesNaiveQuality) {
+  const YuvVideo video = generate_synthetic_video(64, 48, 1);
+  const YuvFrame& frame = video.frames[0];
+  const YuvFrame slow = decode_jpeg(encode_jpeg(frame, {.quality = 75,
+                                                        .fast_dct = false}));
+  const YuvFrame fast = decode_jpeg(encode_jpeg(frame, {.quality = 75,
+                                                        .fast_dct = true}));
+  // The two DCTs quantize almost identically; reconstructions agree.
+  EXPECT_GT(psnr(slow.y, fast.y), 45.0);
+}
+
+TEST(Jpeg, HigherQualityMeansMoreBytesAndBetterPsnr) {
+  const YuvVideo video = generate_synthetic_video(64, 48, 1);
+  const YuvFrame& frame = video.frames[0];
+  const auto lo = encode_jpeg(frame, {.quality = 20});
+  const auto hi = encode_jpeg(frame, {.quality = 90});
+  EXPECT_GT(hi.size(), lo.size());
+  EXPECT_GT(psnr(frame.y, decode_jpeg(hi).y),
+            psnr(frame.y, decode_jpeg(lo).y));
+}
+
+TEST(Jpeg, StageSplitMatchesMonolithicEncoder) {
+  // Stage 1 + stage 2 (the P2G pipeline split) must produce the same bytes
+  // as the all-in-one encoder.
+  const YuvVideo video = generate_synthetic_video(48, 32, 1);
+  const YuvFrame& frame = video.frames[0];
+  const QuantTable luma = scale_table(standard_luma_table(), 50);
+  const QuantTable chroma = scale_table(standard_chroma_table(), 50);
+  const CoeffGrid y = dct_quantize_plane(frame.y.data(), frame.width,
+                                         frame.height, luma, false);
+  const CoeffGrid u = dct_quantize_plane(frame.u.data(), frame.chroma_width(),
+                                         frame.chroma_height(), chroma,
+                                         false);
+  const CoeffGrid v = dct_quantize_plane(frame.v.data(), frame.chroma_width(),
+                                         frame.chroma_height(), chroma,
+                                         false);
+  const auto split = encode_jpeg_from_coeffs(frame.width, frame.height, y, u,
+                                             v, luma, chroma);
+  const auto mono = encode_jpeg(frame, {.quality = 50});
+  EXPECT_EQ(split, mono);
+}
+
+TEST(Mjpeg, WriterAndSplitRoundTrip) {
+  const YuvVideo video = generate_synthetic_video(32, 32, 3);
+  MjpegWriter writer;
+  std::vector<size_t> sizes;
+  for (const YuvFrame& frame : video.frames) {
+    auto bytes = encode_jpeg(frame, {.quality = 50});
+    sizes.push_back(bytes.size());
+    writer.add_frame(std::move(bytes));
+  }
+  EXPECT_EQ(writer.frame_count(), 3u);
+  EXPECT_EQ(writer.byte_count(), std::accumulate(sizes.begin(), sizes.end(),
+                                                 size_t{0}));
+  const auto frames = split_mjpeg(writer.stream());
+  ASSERT_EQ(frames.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(frames[i].size(), sizes[i]);
+    const YuvFrame decoded = decode_jpeg(frames[i]);
+    EXPECT_GT(psnr(video.frames[i].y, decoded.y), 28.0);
+  }
+}
+
+TEST(Mjpeg, RejectsGarbageFrame) {
+  MjpegWriter writer;
+  EXPECT_THROW(writer.add_frame({0x00, 0x01}), Error);
+}
+
+TEST(Mjpeg, TruncatedStreamThrows) {
+  const YuvVideo video = generate_synthetic_video(32, 32, 1);
+  MjpegWriter writer;
+  writer.add_frame(encode_jpeg(video.frames[0]));
+  std::vector<uint8_t> truncated = writer.stream();
+  truncated.resize(truncated.size() - 2);
+  EXPECT_THROW(split_mjpeg(truncated), Error);
+}
+
+}  // namespace
+}  // namespace p2g::media

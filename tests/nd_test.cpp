@@ -1,0 +1,209 @@
+// Unit tests for the multi-dimensional array substrate (src/nd).
+#include <gtest/gtest.h>
+
+#include "nd/buffer.h"
+#include "nd/extents.h"
+#include "nd/region.h"
+#include "nd/slice.h"
+
+namespace p2g::nd {
+namespace {
+
+TEST(Extents, ElementCountAndStrides) {
+  Extents e({3, 4, 5});
+  EXPECT_EQ(e.rank(), 3u);
+  EXPECT_EQ(e.element_count(), 60);
+  const auto s = e.strides();
+  EXPECT_EQ(s, (std::vector<int64_t>{20, 5, 1}));
+}
+
+TEST(Extents, FlattenUnflattenRoundTrip) {
+  Extents e({3, 4, 5});
+  for (int64_t flat = 0; flat < e.element_count(); ++flat) {
+    EXPECT_EQ(e.flatten(e.unflatten(flat)), flat);
+  }
+}
+
+TEST(Extents, FlattenOutOfRangeThrows) {
+  Extents e({3, 4});
+  EXPECT_THROW(e.flatten({3, 0}), Error);
+  EXPECT_THROW(e.flatten({0, -1}), Error);
+  EXPECT_THROW(e.flatten({0}), Error);  // rank mismatch
+}
+
+TEST(Extents, MaxWithAndFitsIn) {
+  Extents a({3, 4});
+  Extents b({5, 2});
+  EXPECT_EQ(a.max_with(b), Extents({5, 4}));
+  EXPECT_TRUE(a.fits_in(Extents({3, 4})));
+  EXPECT_TRUE(a.fits_in(Extents({4, 4})));
+  EXPECT_FALSE(a.fits_in(Extents({2, 4})));
+}
+
+TEST(Extents, ZeroDimensionIsEmpty) {
+  Extents e({0, 5});
+  EXPECT_EQ(e.element_count(), 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Region, WholeAndPoint) {
+  Extents e({2, 3});
+  Region w = Region::whole(e);
+  EXPECT_EQ(w.element_count(), 6);
+  EXPECT_TRUE(w.within(e));
+  Region p = Region::point({1, 2});
+  EXPECT_EQ(p.element_count(), 1);
+  EXPECT_TRUE(p.contains({1, 2}));
+  EXPECT_FALSE(p.contains({1, 1}));
+}
+
+TEST(Region, IntersectAndUnion) {
+  Region a(std::vector<Interval>{Interval{0, 4}, Interval{0, 4}});
+  Region b(std::vector<Interval>{Interval{2, 6}, Interval{3, 5}});
+  Region i = a.intersect(b);
+  EXPECT_EQ(i.interval(0), (Interval{2, 4}));
+  EXPECT_EQ(i.interval(1), (Interval{3, 4}));
+  Region u = a.bounding_union(b);
+  EXPECT_EQ(u.interval(0), (Interval{0, 6}));
+  EXPECT_EQ(u.interval(1), (Interval{0, 5}));
+}
+
+TEST(Region, EmptyIntersection) {
+  Region a(std::vector<Interval>{Interval{0, 2}});
+  Region b(std::vector<Interval>{Interval{5, 9}});
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Region, ForEachRowMajorOrder) {
+  Region r(std::vector<Interval>{Interval{1, 3}, Interval{4, 6}});
+  std::vector<Coord> seen;
+  r.for_each([&](const Coord& c) { seen.push_back(c); });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (Coord{1, 4}));
+  EXPECT_EQ(seen[1], (Coord{1, 5}));
+  EXPECT_EQ(seen[2], (Coord{2, 4}));
+  EXPECT_EQ(seen[3], (Coord{2, 5}));
+}
+
+TEST(Region, RequiredExtents) {
+  Region r(std::vector<Interval>{Interval{1, 3}, Interval{0, 7}});
+  EXPECT_EQ(r.required_extents(), Extents({3, 7}));
+}
+
+TEST(ElementTypes, SizesAndNames) {
+  EXPECT_EQ(element_size(ElementType::kInt8), 1u);
+  EXPECT_EQ(element_size(ElementType::kInt32), 4u);
+  EXPECT_EQ(element_size(ElementType::kFloat64), 8u);
+  EXPECT_EQ(to_string(ElementType::kInt32), "int32");
+  EXPECT_EQ(parse_element_type("float64"), ElementType::kFloat64);
+  EXPECT_EQ(parse_element_type("uint8"), ElementType::kUInt8);
+  EXPECT_THROW(parse_element_type("bogus"), Error);
+}
+
+TEST(AnyBuffer, TypedAccess) {
+  AnyBuffer buf(ElementType::kInt32, Extents({2, 3}));
+  EXPECT_EQ(buf.element_count(), 6);
+  for (int i = 0; i < 6; ++i) buf.data<int32_t>()[i] = i * 10;
+  EXPECT_EQ(buf.at<int32_t>(4), 40);
+  EXPECT_THROW(buf.data<float>(), Error);
+}
+
+TEST(AnyBuffer, GenericScalarAccess) {
+  AnyBuffer buf(ElementType::kFloat32, Extents({2}));
+  buf.set_from_double(0, 1.5);
+  buf.set_from_int(1, 7);
+  EXPECT_DOUBLE_EQ(buf.get_as_double(0), 1.5);
+  EXPECT_EQ(buf.get_as_int(1), 7);
+}
+
+TEST(AnyBuffer, ResizePreservesCoordinates) {
+  AnyBuffer buf(ElementType::kInt32, Extents({2, 3}));
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      buf.data<int32_t>()[buf.extents().flatten({r, c})] =
+          static_cast<int32_t>(r * 100 + c);
+    }
+  }
+  buf.resize(Extents({4, 5}));
+  EXPECT_EQ(buf.extents(), Extents({4, 5}));
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(buf.at<int32_t>(buf.extents().flatten({r, c})),
+                r * 100 + c);
+    }
+  }
+}
+
+TEST(AnyBuffer, ResizeShrinkThrows) {
+  AnyBuffer buf(ElementType::kInt32, Extents({4}));
+  EXPECT_THROW(buf.resize(Extents({2})), Error);
+}
+
+TEST(AnyBuffer, ScatterGatherRoundTrip) {
+  AnyBuffer buf(ElementType::kInt32, Extents({4, 4}));
+  Region region(std::vector<Interval>{Interval{1, 3}, Interval{2, 4}});
+  AnyBuffer payload(ElementType::kInt32, Extents({2, 2}));
+  for (int i = 0; i < 4; ++i) payload.data<int32_t>()[i] = 100 + i;
+  buf.scatter(region, payload.raw());
+  EXPECT_EQ(buf.at<int32_t>(buf.extents().flatten({1, 2})), 100);
+  EXPECT_EQ(buf.at<int32_t>(buf.extents().flatten({2, 3})), 103);
+
+  AnyBuffer out(ElementType::kInt32, Extents({4}));
+  buf.gather(region, out.raw());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out.at<int32_t>(i), 100 + i);
+}
+
+TEST(SliceSpec, WholeResolvesToFullExtents) {
+  SliceSpec s = SliceSpec::whole();
+  EXPECT_TRUE(s.is_whole());
+  Region r = s.resolve({}, Extents({3, 4}));
+  EXPECT_EQ(r.element_count(), 12);
+}
+
+TEST(SliceSpec, VarConstAllResolve) {
+  SliceSpec s({SliceDim::variable(0), SliceDim::constant(2),
+               SliceDim::all()});
+  Bindings b{5};
+  Region r = s.resolve(b, Extents({10, 10, 7}));
+  EXPECT_EQ(r.interval(0), (Interval{5, 6}));
+  EXPECT_EQ(r.interval(1), (Interval{2, 3}));
+  EXPECT_EQ(r.interval(2), (Interval{0, 7}));
+  EXPECT_FALSE(s.is_elementwise());
+  SliceSpec ew({SliceDim::variable(0), SliceDim::constant(1)});
+  EXPECT_TRUE(ew.is_elementwise());
+}
+
+TEST(SliceSpec, VarsAndDimOfVar) {
+  SliceSpec s({SliceDim::variable(1), SliceDim::variable(0),
+               SliceDim::variable(1)});
+  EXPECT_EQ(s.vars(), (std::vector<int>{1, 0}));
+  EXPECT_EQ(s.dim_of_var(1).value(), 0u);
+  EXPECT_EQ(s.dim_of_var(0).value(), 1u);
+  EXPECT_FALSE(s.dim_of_var(7).has_value());
+}
+
+TEST(SliceSpec, ConstrainNarrowsVarRanges) {
+  SliceSpec s({SliceDim::variable(0), SliceDim::variable(1)});
+  std::vector<Interval> ranges{{0, 100}, {0, 100}};
+  Region written(std::vector<Interval>{Interval{3, 5}, Interval{7, 8}});
+  ASSERT_TRUE(s.constrain(written, ranges).has_value());
+  EXPECT_EQ(ranges[0], (Interval{3, 5}));
+  EXPECT_EQ(ranges[1], (Interval{7, 8}));
+}
+
+TEST(SliceSpec, ConstrainConstMissReturnsNull) {
+  SliceSpec s({SliceDim::constant(9)});
+  std::vector<Interval> ranges;
+  Region written(std::vector<Interval>{Interval{0, 5}});
+  EXPECT_FALSE(s.constrain(written, ranges).has_value());
+}
+
+TEST(SliceSpec, ConstrainDisjointVarReturnsNull) {
+  SliceSpec s({SliceDim::variable(0)});
+  std::vector<Interval> ranges{{10, 20}};
+  Region written(std::vector<Interval>{Interval{0, 5}});
+  EXPECT_FALSE(s.constrain(written, ranges).has_value());
+}
+
+}  // namespace
+}  // namespace p2g::nd

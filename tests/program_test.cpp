@@ -1,0 +1,210 @@
+// Unit tests for Program building and validation (the C++-side "sema").
+#include <gtest/gtest.h>
+
+#include "core/program.h"
+
+namespace p2g {
+namespace {
+
+void noop_body(KernelContext&) {}
+
+TEST(ProgramBuilder, BuildsFieldAndKernelIds) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.field("b", nd::ElementType::kFloat64, 2);
+  pb.kernel("src").body(noop_body);  // source: age, no fetches
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "a", AgeExpr::relative(1), Slice().var("x"))
+      .body(noop_body);
+  Program p = pb.build();
+
+  EXPECT_EQ(p.fields().size(), 2u);
+  EXPECT_EQ(p.kernels().size(), 2u);
+  EXPECT_EQ(p.find_field("b"), 1);
+  EXPECT_EQ(p.find_field("zzz"), kInvalidField);
+  EXPECT_EQ(p.find_kernel("k"), 1);
+  EXPECT_TRUE(p.kernel(0).is_source());
+  EXPECT_FALSE(p.kernel(1).is_source());
+
+  ASSERT_EQ(p.consumers_of(0).size(), 1u);
+  EXPECT_EQ(p.consumers_of(0)[0].kernel, 1);
+  ASSERT_EQ(p.producers_of(0).size(), 1u);
+  EXPECT_EQ(p.producers_of(0)[0].kernel, 1);
+  EXPECT_TRUE(p.consumers_of(1).empty());
+}
+
+TEST(ProgramBuilder, DuplicateFieldNameThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  EXPECT_THROW(pb.field("a", nd::ElementType::kInt32, 1), Error);
+}
+
+TEST(ProgramBuilder, DuplicateKernelNameThrows) {
+  ProgramBuilder pb;
+  pb.kernel("k").body(noop_body);
+  EXPECT_THROW(pb.kernel("k"), Error);
+}
+
+TEST(ProgramBuilder, UnknownFieldThrows) {
+  ProgramBuilder pb;
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "nope", AgeExpr::relative(0), Slice().var("x"))
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, MissingBodyThrows) {
+  ProgramBuilder pb;
+  pb.kernel("k");
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, SliceRankMismatchThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 2);
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))  // rank 1
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, UndeclaredSliceVariableThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("y"))
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, UnboundIndexVariableThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().all())
+      .store("out", "a", AgeExpr::relative(1), Slice().var("x"))
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, RunOnceWithRelativeAgeThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("init")
+      .run_once()
+      .store("out", "a", AgeExpr::relative(0), Slice::whole())
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, RunOnceWithIndexVarsThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("init").run_once().index("x").body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, SourceWithIndexVarsThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("src")
+      .index("x")
+      .store("out", "a", AgeExpr::relative(0), Slice().var("x"))
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, SerialWithIndexVarsThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .serial()
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, AgedKernelNeedsRelativeFetch) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .fetch("in", "a", AgeExpr::constant(0), Slice::whole())
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, AgedKernelConstStoreThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.field("b", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "b", AgeExpr::constant(0), Slice().var("x"))
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, DuplicateSlotNamesThrow) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .body(noop_body);
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(ProgramBuilder, RunOnceAggregatorWithConstFetchIsValid) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("agg")
+      .run_once()
+      .fetch("in", "a", AgeExpr::constant(3), Slice::whole())
+      .body(noop_body);
+  EXPECT_NO_THROW(pb.build());
+}
+
+TEST(KernelDef, SlotAndBindingLookups) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 2);
+  pb.kernel("k")
+      .index("i")
+      .index("j")
+      .fetch("in", "a", AgeExpr::relative(0),
+             Slice().var("i").var("j"))
+      .store("out", "a", AgeExpr::relative(1),
+             Slice().var("i").var("j"))
+      .body(noop_body);
+  Program p = pb.build();
+  const KernelDef& k = p.kernel(0);
+  EXPECT_EQ(k.fetch_slot("in"), 0);
+  EXPECT_EQ(k.fetch_slot("nope"), -1);
+  EXPECT_EQ(k.store_slot("out"), 0);
+  const auto b0 = k.binding_of_var(0);
+  ASSERT_TRUE(b0.has_value());
+  EXPECT_EQ(b0->fetch_index, 0u);
+  EXPECT_EQ(b0->dim, 0u);
+  const auto b1 = k.binding_of_var(1);
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->dim, 1u);
+}
+
+TEST(AgeExprTest, ResolveAndMatch) {
+  EXPECT_EQ(AgeExpr::relative(2).resolve(3), 5);
+  EXPECT_EQ(AgeExpr::relative(-1).resolve(0), -1);
+  EXPECT_EQ(AgeExpr::constant(7).resolve(100), 7);
+  EXPECT_TRUE(AgeExpr::constant(7).matches_concrete(7));
+  EXPECT_FALSE(AgeExpr::constant(7).matches_concrete(8));
+  EXPECT_TRUE(AgeExpr::relative(1).matches_concrete(42));
+}
+
+}  // namespace
+}  // namespace p2g

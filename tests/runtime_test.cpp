@@ -1,0 +1,345 @@
+// Integration tests for the execution node: the paper's mul2/plus5 cycle,
+// sources, chunking, fusion, serial ordering and failure handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/context.h"
+#include "core/runtime.h"
+
+namespace p2g {
+namespace {
+
+/// Builds the paper's example program (Fig. 5): init seeds m_data(0) with
+/// {10..14}; mul2 doubles into p_data(a); plus5 adds 5 into m_data(a+1);
+/// print captures both fields per age.
+struct Mul2Plus5 {
+  std::shared_ptr<std::vector<std::vector<int32_t>>> printed =
+      std::make_shared<std::vector<std::vector<int32_t>>>();
+
+  Program build() {
+    ProgramBuilder pb;
+    pb.field("m_data", nd::ElementType::kInt32, 1);
+    pb.field("p_data", nd::ElementType::kInt32, 1);
+
+    pb.kernel("init")
+        .run_once()
+        .store("values", "m_data", AgeExpr::constant(0), Slice::whole())
+        .body([](KernelContext& ctx) {
+          nd::AnyBuffer values(nd::ElementType::kInt32, nd::Extents({5}));
+          for (int i = 0; i < 5; ++i) {
+            values.data<int32_t>()[i] = i + 10;
+          }
+          ctx.store_array("values", std::move(values));
+        });
+
+    pb.kernel("mul2")
+        .index("x")
+        .fetch("value", "m_data", AgeExpr::relative(0), Slice().var("x"))
+        .store("out", "p_data", AgeExpr::relative(0), Slice().var("x"))
+        .body([](KernelContext& ctx) {
+          ctx.store_scalar<int32_t>("out",
+                                    ctx.fetch_scalar<int32_t>("value") * 2);
+        });
+
+    pb.kernel("plus5")
+        .index("x")
+        .fetch("value", "p_data", AgeExpr::relative(0), Slice().var("x"))
+        .store("out", "m_data", AgeExpr::relative(1), Slice().var("x"))
+        .body([](KernelContext& ctx) {
+          ctx.store_scalar<int32_t>("out",
+                                    ctx.fetch_scalar<int32_t>("value") + 5);
+        });
+
+    auto printed_ref = printed;
+    pb.kernel("print")
+        .serial()
+        .fetch("m", "m_data", AgeExpr::relative(0), Slice::whole())
+        .fetch("p", "p_data", AgeExpr::relative(0), Slice::whole())
+        .body([printed_ref](KernelContext& ctx) {
+          const nd::AnyBuffer& m = ctx.fetch_array("m");
+          const nd::AnyBuffer& p = ctx.fetch_array("p");
+          std::vector<int32_t> row;
+          for (int64_t i = 0; i < m.element_count(); ++i) {
+            row.push_back(m.at<int32_t>(i));
+          }
+          for (int64_t i = 0; i < p.element_count(); ++i) {
+            row.push_back(p.at<int32_t>(i));
+          }
+          printed_ref->push_back(std::move(row));
+        });
+
+    return pb.build();
+  }
+};
+
+TEST(RuntimeMul2Plus5, ReproducesThePaperSequence) {
+  Mul2Plus5 workload;
+  RunOptions opts;
+  opts.workers = 2;
+  opts.max_age = 2;
+  Runtime rt(workload.build(), opts);
+  RunReport report = rt.run();
+  EXPECT_FALSE(report.timed_out);
+
+  // Paper §V: first age prints {10..14} and {20,22,24,26,28}; second age
+  // {25,27,29,31,33} and {50,54,58,62,66}.
+  ASSERT_EQ(workload.printed->size(), 3u);
+  EXPECT_EQ((*workload.printed)[0],
+            (std::vector<int32_t>{10, 11, 12, 13, 14, 20, 22, 24, 26, 28}));
+  EXPECT_EQ((*workload.printed)[1],
+            (std::vector<int32_t>{25, 27, 29, 31, 33, 50, 54, 58, 62, 66}));
+  EXPECT_EQ((*workload.printed)[2],
+            (std::vector<int32_t>{55, 59, 63, 67, 71, 110, 118, 126, 134,
+                                  142}));
+}
+
+TEST(RuntimeMul2Plus5, InstanceCountsMatchUnrolledDag) {
+  Mul2Plus5 workload;
+  RunOptions opts;
+  opts.workers = 3;
+  opts.max_age = 9;
+  Runtime rt(workload.build(), opts);
+  RunReport report = rt.run();
+
+  const auto* init = report.instrumentation.find("init");
+  const auto* mul2 = report.instrumentation.find("mul2");
+  const auto* plus5 = report.instrumentation.find("plus5");
+  const auto* print = report.instrumentation.find("print");
+  ASSERT_NE(init, nullptr);
+  EXPECT_EQ(init->instances, 1);
+  EXPECT_EQ(mul2->instances, 10 * 5);   // ages 0..9, 5 elements
+  EXPECT_EQ(plus5->instances, 10 * 5);  // stores m_data(1..10)
+  EXPECT_EQ(print->instances, 10);
+}
+
+TEST(RuntimeMul2Plus5, DeterministicAcrossWorkerCounts) {
+  std::vector<std::vector<std::vector<int32_t>>> outputs;
+  for (int workers : {1, 2, 4}) {
+    Mul2Plus5 workload;
+    RunOptions opts;
+    opts.workers = workers;
+    opts.max_age = 5;
+    Runtime rt(workload.build(), opts);
+    rt.run();
+    outputs.push_back(*workload.printed);
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[1], outputs[2]);
+}
+
+TEST(RuntimeMul2Plus5, ChunkingPreservesResults) {
+  Mul2Plus5 baseline;
+  {
+    RunOptions opts;
+    opts.workers = 2;
+    opts.max_age = 4;
+    Runtime rt(baseline.build(), opts);
+    rt.run();
+  }
+  Mul2Plus5 chunked;
+  {
+    RunOptions opts;
+    opts.workers = 2;
+    opts.max_age = 4;
+    opts.kernel_schedules["mul2"].chunk = 5;
+    opts.kernel_schedules["plus5"].chunk = 3;
+    Runtime rt(chunked.build(), opts);
+    RunReport report = rt.run();
+    // 5 bodies per age but fewer dispatches for mul2.
+    const auto* mul2 = report.instrumentation.find("mul2");
+    EXPECT_EQ(mul2->instances, 5 * 5);
+    EXPECT_LT(mul2->dispatches, mul2->instances);
+  }
+  EXPECT_EQ(*baseline.printed, *chunked.printed);
+}
+
+TEST(RuntimeMul2Plus5, FusionPreservesResults) {
+  Mul2Plus5 baseline;
+  {
+    RunOptions opts;
+    opts.workers = 2;
+    opts.max_age = 4;
+    Runtime rt(baseline.build(), opts);
+    rt.run();
+  }
+  Mul2Plus5 fused;
+  {
+    RunOptions opts;
+    opts.workers = 2;
+    opts.max_age = 4;
+    opts.fusions.push_back(FusionRule{"mul2", "plus5"});
+    Runtime rt(fused.build(), opts);
+    RunReport report = rt.run();
+    const auto* plus5 = report.instrumentation.find("plus5");
+    EXPECT_EQ(plus5->instances, 5 * 5) << "fused bodies still instrumented";
+  }
+  EXPECT_EQ(*baseline.printed, *fused.printed);
+}
+
+TEST(Runtime, SourceKernelStopsWhenItStopsContinuing) {
+  ProgramBuilder pb;
+  pb.field("frames", nd::ElementType::kInt32, 1);
+  pb.field("out", nd::ElementType::kInt32, 1);
+
+  pb.kernel("reader")
+      .store("frame", "frames", AgeExpr::relative(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        if (ctx.age() < 5) {  // "end of file" after 5 frames
+          nd::AnyBuffer frame(nd::ElementType::kInt32, nd::Extents({4}));
+          for (int i = 0; i < 4; ++i) {
+            frame.data<int32_t>()[i] = static_cast<int32_t>(ctx.age());
+          }
+          ctx.store_array("frame", std::move(frame));
+          ctx.continue_next_age();
+        }
+      });
+
+  pb.kernel("stage")
+      .index("x")
+      .fetch("v", "frames", AgeExpr::relative(0), Slice().var("x"))
+      .store("o", "out", AgeExpr::relative(0), Slice().var("x"))
+      .body([](KernelContext& ctx) {
+        ctx.store_scalar<int32_t>("o", ctx.fetch_scalar<int32_t>("v") + 1);
+      });
+
+  Runtime rt(pb.build(), RunOptions{});
+  RunReport report = rt.run();
+  const auto* reader = report.instrumentation.find("reader");
+  const auto* stage = report.instrumentation.find("stage");
+  EXPECT_EQ(reader->instances, 6) << "5 frames + 1 EOF probe";
+  EXPECT_EQ(stage->instances, 5 * 4);
+  EXPECT_EQ(rt.storage("out").fetch_whole(4).at<int32_t>(0), 5);
+}
+
+TEST(Runtime, WriteOnceViolationSurfacesFromRun) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.field("b", nd::ElementType::kInt32, 1);
+  pb.kernel("init")
+      .run_once()
+      .store("v", "a", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        nd::AnyBuffer v(nd::ElementType::kInt32, nd::Extents({2}));
+        ctx.store_array("v", std::move(v));
+      });
+  // Both consumers store to the same cells of b(0).
+  for (const char* name : {"k1", "k2"}) {
+    pb.kernel(name)
+        .index("x")
+        .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+        .store("out", "b", AgeExpr::relative(0), Slice().var("x"))
+        .body([](KernelContext& ctx) {
+          ctx.store_scalar<int32_t>("out", 1);
+        });
+  }
+  RunOptions opts;
+  opts.max_age = 0;
+  Runtime rt(pb.build(), opts);
+  try {
+    rt.run();
+    FAIL() << "expected write-once violation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kWriteOnceViolation);
+  }
+}
+
+TEST(Runtime, BodyExceptionPropagates) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("boom")
+      .run_once()
+      .store("v", "a", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext&) { throw std::runtime_error("kaboom"); });
+  Runtime rt(pb.build(), RunOptions{});
+  EXPECT_THROW(rt.run(), std::runtime_error);
+}
+
+TEST(Runtime, WatchdogAbortsSlowRun) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("slow")
+      .run_once()
+      .store("v", "a", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        nd::AnyBuffer v(nd::ElementType::kInt32, nd::Extents({1}));
+        ctx.store_array("v", std::move(v));
+      });
+  RunOptions opts;
+  opts.watchdog = std::chrono::milliseconds(50);
+  Runtime rt(pb.build(), opts);
+  RunReport report = rt.run();
+  EXPECT_TRUE(report.timed_out);
+}
+
+TEST(Runtime, RunOnceAggregatorWithConstFetch) {
+  ProgramBuilder pb;
+  pb.field("data", nd::ElementType::kInt32, 1);
+  pb.field("sum", nd::ElementType::kInt32, 1);
+  pb.kernel("init")
+      .run_once()
+      .store("v", "data", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        nd::AnyBuffer v(nd::ElementType::kInt32, nd::Extents({4}));
+        for (int i = 0; i < 4; ++i) v.data<int32_t>()[i] = i + 1;
+        ctx.store_array("v", std::move(v));
+      });
+  pb.kernel("agg")
+      .run_once()
+      .fetch("in", "data", AgeExpr::constant(0), Slice::whole())
+      .store("out", "sum", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        const nd::AnyBuffer& in = ctx.fetch_array("in");
+        int32_t total = 0;
+        for (int64_t i = 0; i < in.element_count(); ++i) {
+          total += in.at<int32_t>(i);
+        }
+        nd::AnyBuffer out(nd::ElementType::kInt32, nd::Extents({1}));
+        out.data<int32_t>()[0] = total;
+        ctx.store_array("out", std::move(out));
+      });
+  Runtime rt(pb.build(), RunOptions{});
+  rt.run();
+  EXPECT_EQ(rt.storage("sum").fetch_whole(0).at<int32_t>(0), 10);
+}
+
+TEST(Runtime, RunTwiceThrows) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.kernel("init")
+      .run_once()
+      .store("v", "a", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        nd::AnyBuffer v(nd::ElementType::kInt32, nd::Extents({1}));
+        ctx.store_array("v", std::move(v));
+      });
+  Runtime rt(pb.build(), RunOptions{});
+  rt.run();
+  EXPECT_THROW(rt.run(), Error);
+}
+
+TEST(Runtime, EmptyProgramReturnsImmediately) {
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  Program p = pb.build();
+  Runtime rt(std::move(p), RunOptions{});
+  RunReport report = rt.run();
+  EXPECT_FALSE(report.timed_out);
+}
+
+TEST(TimerSetTest, ElapsedAndExpired) {
+  TimerSet timers;
+  timers.set_now("t1");
+  EXPECT_FALSE(timers.expired("t1", std::chrono::milliseconds(10000)));
+  EXPECT_TRUE(timers.expired("t1", std::chrono::milliseconds(0)));
+  EXPECT_GE(timers.elapsed_ms("t1"), 0.0);
+  EXPECT_GT(timers.remaining_ms("t1", std::chrono::milliseconds(10000)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace p2g

@@ -1,0 +1,68 @@
+// Tests for the execution-trace exporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/runtime.h"
+#include "workloads/mul2plus5.h"
+
+namespace p2g {
+namespace {
+
+TEST(TraceCollector, SpansSerializeAsChromeEvents) {
+  TraceCollector trace;
+  trace.record(TraceCollector::Span{"mul2", 1'000'000, 5'000, 0, 3, 2});
+  trace.record(TraceCollector::Span{"analyze", 1'002'000, 500, -1, 0, 0});
+  EXPECT_EQ(trace.span_count(), 2u);
+
+  const std::string json = trace.to_chrome_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"mul2\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": -1"), std::string::npos);
+  EXPECT_NE(json.find("\"age\": 3"), std::string::npos);
+  // Timestamps are normalized: the earliest span starts at ts 0.
+  EXPECT_NE(json.find("\"ts\": 0"), std::string::npos);
+}
+
+TEST(TraceCollector, RuntimeWritesTraceFile) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "p2g_trace.json";
+  workloads::Mul2Plus5 workload;
+  RunOptions options;
+  options.workers = 2;
+  options.max_age = 2;
+  options.trace_path = path;
+  Runtime runtime(workload.build(), options);
+  runtime.run();
+
+  ASSERT_NE(runtime.trace(), nullptr);
+  EXPECT_GT(runtime.trace()->span_count(), 10u)
+      << "every work item and analyzer batch is a span";
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file written after the run";
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"mul2\""), std::string::npos);
+  EXPECT_NE(content.find("\"plus5\""), std::string::npos);
+  EXPECT_NE(content.find("\"print\""), std::string::npos);
+  EXPECT_NE(content.find("\"analyze\""), std::string::npos);
+  // Balanced JSON array.
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_EQ(content[content.size() - 2], ']');
+  std::remove(path.c_str());
+}
+
+TEST(TraceCollector, DisabledByDefault) {
+  workloads::Mul2Plus5 workload;
+  RunOptions options;
+  options.max_age = 1;
+  Runtime runtime(workload.build(), options);
+  runtime.run();
+  EXPECT_EQ(runtime.trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace p2g

@@ -1,0 +1,231 @@
+// Integration tests: the paper's workloads end-to-end on the runtime.
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "media/jpeg.h"
+#include "workloads/kmeans.h"
+#include "workloads/mjpeg_workload.h"
+#include "workloads/mul2plus5.h"
+#include "workloads/standalone_mjpeg.h"
+
+namespace p2g::workloads {
+namespace {
+
+TEST(Mul2Plus5Workload, GoldenFirstAges) {
+  Mul2Plus5 workload;
+  RunOptions opts;
+  opts.workers = 2;
+  opts.max_age = 1;
+  Runtime rt(workload.build(), opts);
+  rt.run();
+  ASSERT_EQ(workload.printed->size(), 2u);
+  EXPECT_EQ((*workload.printed)[0],
+            (std::vector<int32_t>{10, 11, 12, 13, 14, 20, 22, 24, 26, 28}));
+  EXPECT_EQ((*workload.printed)[1],
+            (std::vector<int32_t>{25, 27, 29, 31, 33, 50, 54, 58, 62, 66}));
+}
+
+class MjpegWorkloadTest : public ::testing::Test {
+ protected:
+  static constexpr int kWidth = 64;
+  static constexpr int kHeight = 48;
+  static constexpr int kFrames = 5;
+
+  std::shared_ptr<media::YuvVideo> make_video() {
+    return std::make_shared<media::YuvVideo>(
+        media::generate_synthetic_video(kWidth, kHeight, kFrames));
+  }
+};
+
+TEST_F(MjpegWorkloadTest, EncodesAllFramesWithExpectedInstanceCounts) {
+  MjpegWorkload workload;
+  workload.video = make_video();
+  RunOptions opts;
+  opts.workers = 2;
+  Runtime rt(workload.build(), opts);
+  RunReport report = rt.run();
+  EXPECT_FALSE(report.timed_out);
+
+  EXPECT_EQ(workload.output->frame_count(), static_cast<size_t>(kFrames));
+
+  // Geometry: 64x48 -> 8x6 = 48 luma blocks, 32x24 -> 4x3 = 12 chroma.
+  const auto* read = report.instrumentation.find("read_splityuv");
+  const auto* ydct = report.instrumentation.find("yDCT");
+  const auto* udct = report.instrumentation.find("uDCT");
+  const auto* vdct = report.instrumentation.find("vDCT");
+  const auto* vlc = report.instrumentation.find("vlc_write");
+  EXPECT_EQ(read->instances, kFrames + 1) << "frames + the EOF probe";
+  EXPECT_EQ(ydct->instances, 48 * kFrames);
+  EXPECT_EQ(udct->instances, 12 * kFrames);
+  EXPECT_EQ(vdct->instances, 12 * kFrames);
+  EXPECT_EQ(vlc->instances, kFrames);
+}
+
+TEST_F(MjpegWorkloadTest, BitExactWithStandaloneEncoder) {
+  auto video = make_video();
+  MjpegWorkload workload;
+  workload.video = video;
+  RunOptions opts;
+  opts.workers = 4;
+  Runtime rt(workload.build(), opts);
+  rt.run();
+
+  const media::MjpegWriter standalone = encode_mjpeg_standalone(*video);
+  EXPECT_EQ(workload.output->stream(), standalone.stream())
+      << "the P2G pipeline must be bit-exact with the single-threaded "
+         "encoder it parallelizes";
+}
+
+TEST_F(MjpegWorkloadTest, DeterministicAcrossWorkerCounts) {
+  auto video = make_video();
+  std::vector<uint8_t> reference;
+  for (int workers : {1, 3}) {
+    MjpegWorkload workload;
+    workload.video = video;
+    RunOptions opts;
+    opts.workers = workers;
+    Runtime rt(workload.build(), opts);
+    rt.run();
+    if (reference.empty()) {
+      reference = workload.output->stream();
+    } else {
+      EXPECT_EQ(workload.output->stream(), reference);
+    }
+  }
+}
+
+TEST_F(MjpegWorkloadTest, DecodedFramesAreFaithful) {
+  auto video = make_video();
+  MjpegWorkload workload;
+  workload.video = video;
+  workload.config.quality = 75;
+  Runtime rt(workload.build(), RunOptions{});
+  rt.run();
+  const auto frames = media::split_mjpeg(workload.output->stream());
+  ASSERT_EQ(frames.size(), static_cast<size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    const media::YuvFrame decoded =
+        media::decode_jpeg(frames[static_cast<size_t>(i)]);
+    EXPECT_GT(media::psnr(video->frames[static_cast<size_t>(i)].y,
+                          decoded.y),
+              30.0)
+        << "frame " << i;
+  }
+}
+
+TEST_F(MjpegWorkloadTest, ChunkedDctMatchesUnchunked) {
+  auto video = make_video();
+  std::vector<uint8_t> reference;
+  for (int chunk : {1, 16}) {
+    MjpegWorkload workload;
+    workload.video = video;
+    RunOptions opts;
+    opts.workers = 2;
+    opts.kernel_schedules["yDCT"].chunk = chunk;
+    opts.kernel_schedules["uDCT"].chunk = chunk;
+    opts.kernel_schedules["vDCT"].chunk = chunk;
+    Runtime rt(workload.build(), opts);
+    RunReport report = rt.run();
+    if (chunk > 1) {
+      const auto* ydct = report.instrumentation.find("yDCT");
+      EXPECT_LT(ydct->dispatches, ydct->instances);
+    }
+    if (reference.empty()) {
+      reference = workload.output->stream();
+    } else {
+      EXPECT_EQ(workload.output->stream(), reference);
+    }
+  }
+}
+
+TEST(KmeansWorkload, MatchesSequentialReferenceExactly) {
+  KmeansWorkload workload;
+  workload.config = KmeansConfig{.n = 60, .k = 5, .dim = 2,
+                                 .iterations = 4, .seed = 7};
+  RunOptions opts;
+  opts.workers = 2;
+  workload.apply_schedule(opts);
+  Runtime rt(workload.build(), opts);
+  RunReport report = rt.run();
+  EXPECT_FALSE(report.timed_out);
+
+  ASSERT_EQ(workload.snapshots->size(),
+            static_cast<size_t>(workload.config.iterations + 1));
+  const std::vector<double> expected =
+      kmeans_sequential(workload.config);
+  EXPECT_EQ(workload.snapshots->back(), expected)
+      << "P2G and sequential k-means must agree bit-for-bit";
+}
+
+TEST(KmeansWorkload, InstanceCountsFollowTheDecomposition) {
+  KmeansWorkload workload;
+  workload.config = KmeansConfig{.n = 40, .k = 4, .dim = 2,
+                                 .iterations = 3, .seed = 1};
+  RunOptions opts;
+  opts.workers = 2;
+  workload.apply_schedule(opts);
+  Runtime rt(workload.build(), opts);
+  RunReport report = rt.run();
+
+  const auto& cfg = workload.config;
+  EXPECT_EQ(report.instrumentation.find("init")->instances, 1);
+  EXPECT_EQ(report.instrumentation.find("assign")->instances,
+            int64_t{cfg.n} * cfg.k * cfg.iterations);
+  EXPECT_EQ(report.instrumentation.find("refine")->instances,
+            int64_t{cfg.k} * cfg.iterations);
+  EXPECT_EQ(report.instrumentation.find("print")->instances,
+            cfg.iterations + 1);
+}
+
+TEST(KmeansWorkload, DeterministicAcrossWorkerCounts) {
+  std::vector<std::vector<double>> results;
+  for (int workers : {1, 4}) {
+    KmeansWorkload workload;
+    workload.config = KmeansConfig{.n = 50, .k = 6, .dim = 3,
+                                   .iterations = 3, .seed = 99};
+    RunOptions opts;
+    opts.workers = workers;
+    workload.apply_schedule(opts);
+    Runtime rt(workload.build(), opts);
+    rt.run();
+    results.push_back(workload.snapshots->back());
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(KmeansWorkload, CentroidsConvergeTowardLowerInertia) {
+  KmeansWorkload workload;
+  workload.config = KmeansConfig{.n = 200, .k = 8, .dim = 2,
+                                 .iterations = 6, .seed = 3};
+  RunOptions opts;
+  workload.apply_schedule(opts);
+  Runtime rt(workload.build(), opts);
+  rt.run();
+
+  const std::vector<double> points = generate_points(workload.config);
+  auto inertia = [&](const std::vector<double>& centroids) {
+    double total = 0.0;
+    const int dim = workload.config.dim;
+    for (int x = 0; x < workload.config.n; ++x) {
+      double best = 1e300;
+      for (int j = 0; j < workload.config.k; ++j) {
+        double d2 = 0;
+        for (int d = 0; d < dim; ++d) {
+          const double delta =
+              points[static_cast<size_t>(x * dim + d)] -
+              centroids[static_cast<size_t>(j * dim + d)];
+          d2 += delta * delta;
+        }
+        best = std::min(best, d2);
+      }
+      total += best;
+    }
+    return total;
+  };
+  const double first = inertia(workload.snapshots->front());
+  const double last = inertia(workload.snapshots->back());
+  EXPECT_LT(last, first) << "iterations must reduce within-cluster inertia";
+}
+
+}  // namespace
+}  // namespace p2g::workloads
