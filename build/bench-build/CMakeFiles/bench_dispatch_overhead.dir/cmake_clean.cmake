@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dispatch_overhead"
+  "../bench/bench_dispatch_overhead.pdb"
+  "CMakeFiles/bench_dispatch_overhead.dir/bench_dispatch_overhead.cpp.o"
+  "CMakeFiles/bench_dispatch_overhead.dir/bench_dispatch_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_kmeans.cpp" "bench-build/CMakeFiles/bench_fig10_kmeans.dir/bench_fig10_kmeans.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig10_kmeans.dir/bench_fig10_kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/p2g_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nd/CMakeFiles/p2g_nd.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/p2g_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_kmeans"
+  "../bench/bench_fig10_kmeans.pdb"
+  "CMakeFiles/bench_fig10_kmeans.dir/bench_fig10_kmeans.cpp.o"
+  "CMakeFiles/bench_fig10_kmeans.dir/bench_fig10_kmeans.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

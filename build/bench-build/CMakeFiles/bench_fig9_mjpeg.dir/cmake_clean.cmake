@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_mjpeg"
+  "../bench/bench_fig9_mjpeg.pdb"
+  "CMakeFiles/bench_fig9_mjpeg.dir/bench_fig9_mjpeg.cpp.o"
+  "CMakeFiles/bench_fig9_mjpeg.dir/bench_fig9_mjpeg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mjpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

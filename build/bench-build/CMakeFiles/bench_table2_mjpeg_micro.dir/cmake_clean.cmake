@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_mjpeg_micro"
+  "../bench/bench_table2_mjpeg_micro.pdb"
+  "CMakeFiles/bench_table2_mjpeg_micro.dir/bench_table2_mjpeg_micro.cpp.o"
+  "CMakeFiles/bench_table2_mjpeg_micro.dir/bench_table2_mjpeg_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mjpeg_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

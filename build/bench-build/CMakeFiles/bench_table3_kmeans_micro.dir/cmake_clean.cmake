@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_kmeans_micro"
+  "../bench/bench_table3_kmeans_micro.pdb"
+  "CMakeFiles/bench_table3_kmeans_micro.dir/bench_table3_kmeans_micro.cpp.o"
+  "CMakeFiles/bench_table3_kmeans_micro.dir/bench_table3_kmeans_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_kmeans_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_adaptive.dir/deadline_adaptive.cpp.o"
+  "CMakeFiles/deadline_adaptive.dir/deadline_adaptive.cpp.o.d"
+  "deadline_adaptive"
+  "deadline_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

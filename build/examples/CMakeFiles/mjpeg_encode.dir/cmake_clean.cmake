@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjpeg_encode.dir/mjpeg_encode.cpp.o"
+  "CMakeFiles/mjpeg_encode.dir/mjpeg_encode.cpp.o.d"
+  "mjpeg_encode"
+  "mjpeg_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjpeg_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/p2gc.cpp" "examples/CMakeFiles/p2gc.dir/p2gc.cpp.o" "gcc" "examples/CMakeFiles/p2gc.dir/p2gc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/p2g_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/p2g_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nd/CMakeFiles/p2g_nd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

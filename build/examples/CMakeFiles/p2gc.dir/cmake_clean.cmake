@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2gc.dir/p2gc.cpp.o"
+  "CMakeFiles/p2gc.dir/p2gc.cpp.o.d"
+  "p2gc"
+  "p2gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_common.dir/dynamic_bitset.cpp.o"
+  "CMakeFiles/p2g_common.dir/dynamic_bitset.cpp.o.d"
+  "CMakeFiles/p2g_common.dir/error.cpp.o"
+  "CMakeFiles/p2g_common.dir/error.cpp.o.d"
+  "CMakeFiles/p2g_common.dir/logging.cpp.o"
+  "CMakeFiles/p2g_common.dir/logging.cpp.o.d"
+  "CMakeFiles/p2g_common.dir/stats.cpp.o"
+  "CMakeFiles/p2g_common.dir/stats.cpp.o.d"
+  "CMakeFiles/p2g_common.dir/string_util.cpp.o"
+  "CMakeFiles/p2g_common.dir/string_util.cpp.o.d"
+  "libp2g_common.a"
+  "libp2g_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

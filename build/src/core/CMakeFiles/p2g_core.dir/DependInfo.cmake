@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/p2g_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/dependency.cpp" "src/core/CMakeFiles/p2g_core.dir/dependency.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/dependency.cpp.o.d"
+  "/root/repo/src/core/field.cpp" "src/core/CMakeFiles/p2g_core.dir/field.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/field.cpp.o.d"
+  "/root/repo/src/core/instrumentation.cpp" "src/core/CMakeFiles/p2g_core.dir/instrumentation.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/instrumentation.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/core/CMakeFiles/p2g_core.dir/kernel.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/kernel.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/p2g_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/program.cpp.o.d"
+  "/root/repo/src/core/ready_queue.cpp" "src/core/CMakeFiles/p2g_core.dir/ready_queue.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/ready_queue.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/p2g_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/timer.cpp" "src/core/CMakeFiles/p2g_core.dir/timer.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/timer.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/p2g_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/p2g_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nd/CMakeFiles/p2g_nd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

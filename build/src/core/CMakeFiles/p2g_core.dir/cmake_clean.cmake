@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_core.dir/context.cpp.o"
+  "CMakeFiles/p2g_core.dir/context.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/dependency.cpp.o"
+  "CMakeFiles/p2g_core.dir/dependency.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/field.cpp.o"
+  "CMakeFiles/p2g_core.dir/field.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/instrumentation.cpp.o"
+  "CMakeFiles/p2g_core.dir/instrumentation.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/kernel.cpp.o"
+  "CMakeFiles/p2g_core.dir/kernel.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/program.cpp.o"
+  "CMakeFiles/p2g_core.dir/program.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/ready_queue.cpp.o"
+  "CMakeFiles/p2g_core.dir/ready_queue.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/runtime.cpp.o"
+  "CMakeFiles/p2g_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/timer.cpp.o"
+  "CMakeFiles/p2g_core.dir/timer.cpp.o.d"
+  "CMakeFiles/p2g_core.dir/trace.cpp.o"
+  "CMakeFiles/p2g_core.dir/trace.cpp.o.d"
+  "libp2g_core.a"
+  "libp2g_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

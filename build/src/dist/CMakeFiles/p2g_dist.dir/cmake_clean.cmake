@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_dist.dir/bus.cpp.o"
+  "CMakeFiles/p2g_dist.dir/bus.cpp.o.d"
+  "CMakeFiles/p2g_dist.dir/exec_node.cpp.o"
+  "CMakeFiles/p2g_dist.dir/exec_node.cpp.o.d"
+  "CMakeFiles/p2g_dist.dir/master.cpp.o"
+  "CMakeFiles/p2g_dist.dir/master.cpp.o.d"
+  "CMakeFiles/p2g_dist.dir/message.cpp.o"
+  "CMakeFiles/p2g_dist.dir/message.cpp.o.d"
+  "libp2g_dist.a"
+  "libp2g_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

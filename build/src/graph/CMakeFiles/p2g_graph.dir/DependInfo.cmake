@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/p2g_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/p2g_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/static_graph.cpp" "src/graph/CMakeFiles/p2g_graph.dir/static_graph.cpp.o" "gcc" "src/graph/CMakeFiles/p2g_graph.dir/static_graph.cpp.o.d"
+  "/root/repo/src/graph/tabu.cpp" "src/graph/CMakeFiles/p2g_graph.dir/tabu.cpp.o" "gcc" "src/graph/CMakeFiles/p2g_graph.dir/tabu.cpp.o.d"
+  "/root/repo/src/graph/topology.cpp" "src/graph/CMakeFiles/p2g_graph.dir/topology.cpp.o" "gcc" "src/graph/CMakeFiles/p2g_graph.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nd/CMakeFiles/p2g_nd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_graph.dir/partition.cpp.o"
+  "CMakeFiles/p2g_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/p2g_graph.dir/static_graph.cpp.o"
+  "CMakeFiles/p2g_graph.dir/static_graph.cpp.o.d"
+  "CMakeFiles/p2g_graph.dir/tabu.cpp.o"
+  "CMakeFiles/p2g_graph.dir/tabu.cpp.o.d"
+  "CMakeFiles/p2g_graph.dir/topology.cpp.o"
+  "CMakeFiles/p2g_graph.dir/topology.cpp.o.d"
+  "libp2g_graph.a"
+  "libp2g_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/codegen.cpp" "src/lang/CMakeFiles/p2g_lang.dir/codegen.cpp.o" "gcc" "src/lang/CMakeFiles/p2g_lang.dir/codegen.cpp.o.d"
+  "/root/repo/src/lang/driver.cpp" "src/lang/CMakeFiles/p2g_lang.dir/driver.cpp.o" "gcc" "src/lang/CMakeFiles/p2g_lang.dir/driver.cpp.o.d"
+  "/root/repo/src/lang/interp.cpp" "src/lang/CMakeFiles/p2g_lang.dir/interp.cpp.o" "gcc" "src/lang/CMakeFiles/p2g_lang.dir/interp.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/lang/CMakeFiles/p2g_lang.dir/lexer.cpp.o" "gcc" "src/lang/CMakeFiles/p2g_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/lang/CMakeFiles/p2g_lang.dir/parser.cpp.o" "gcc" "src/lang/CMakeFiles/p2g_lang.dir/parser.cpp.o.d"
+  "/root/repo/src/lang/sema.cpp" "src/lang/CMakeFiles/p2g_lang.dir/sema.cpp.o" "gcc" "src/lang/CMakeFiles/p2g_lang.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nd/CMakeFiles/p2g_nd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

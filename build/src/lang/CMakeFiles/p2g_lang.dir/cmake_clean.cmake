@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_lang.dir/codegen.cpp.o"
+  "CMakeFiles/p2g_lang.dir/codegen.cpp.o.d"
+  "CMakeFiles/p2g_lang.dir/driver.cpp.o"
+  "CMakeFiles/p2g_lang.dir/driver.cpp.o.d"
+  "CMakeFiles/p2g_lang.dir/interp.cpp.o"
+  "CMakeFiles/p2g_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/p2g_lang.dir/lexer.cpp.o"
+  "CMakeFiles/p2g_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/p2g_lang.dir/parser.cpp.o"
+  "CMakeFiles/p2g_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/p2g_lang.dir/sema.cpp.o"
+  "CMakeFiles/p2g_lang.dir/sema.cpp.o.d"
+  "libp2g_lang.a"
+  "libp2g_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/avi.cpp" "src/media/CMakeFiles/p2g_media.dir/avi.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/avi.cpp.o.d"
+  "/root/repo/src/media/bitstream.cpp" "src/media/CMakeFiles/p2g_media.dir/bitstream.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/bitstream.cpp.o.d"
+  "/root/repo/src/media/dct.cpp" "src/media/CMakeFiles/p2g_media.dir/dct.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/dct.cpp.o.d"
+  "/root/repo/src/media/huffman.cpp" "src/media/CMakeFiles/p2g_media.dir/huffman.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/huffman.cpp.o.d"
+  "/root/repo/src/media/jpeg.cpp" "src/media/CMakeFiles/p2g_media.dir/jpeg.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/jpeg.cpp.o.d"
+  "/root/repo/src/media/mjpeg.cpp" "src/media/CMakeFiles/p2g_media.dir/mjpeg.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/mjpeg.cpp.o.d"
+  "/root/repo/src/media/quant.cpp" "src/media/CMakeFiles/p2g_media.dir/quant.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/quant.cpp.o.d"
+  "/root/repo/src/media/yuv.cpp" "src/media/CMakeFiles/p2g_media.dir/yuv.cpp.o" "gcc" "src/media/CMakeFiles/p2g_media.dir/yuv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

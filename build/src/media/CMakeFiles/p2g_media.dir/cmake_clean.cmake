@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_media.dir/avi.cpp.o"
+  "CMakeFiles/p2g_media.dir/avi.cpp.o.d"
+  "CMakeFiles/p2g_media.dir/bitstream.cpp.o"
+  "CMakeFiles/p2g_media.dir/bitstream.cpp.o.d"
+  "CMakeFiles/p2g_media.dir/dct.cpp.o"
+  "CMakeFiles/p2g_media.dir/dct.cpp.o.d"
+  "CMakeFiles/p2g_media.dir/huffman.cpp.o"
+  "CMakeFiles/p2g_media.dir/huffman.cpp.o.d"
+  "CMakeFiles/p2g_media.dir/jpeg.cpp.o"
+  "CMakeFiles/p2g_media.dir/jpeg.cpp.o.d"
+  "CMakeFiles/p2g_media.dir/mjpeg.cpp.o"
+  "CMakeFiles/p2g_media.dir/mjpeg.cpp.o.d"
+  "CMakeFiles/p2g_media.dir/quant.cpp.o"
+  "CMakeFiles/p2g_media.dir/quant.cpp.o.d"
+  "CMakeFiles/p2g_media.dir/yuv.cpp.o"
+  "CMakeFiles/p2g_media.dir/yuv.cpp.o.d"
+  "libp2g_media.a"
+  "libp2g_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nd/buffer.cpp" "src/nd/CMakeFiles/p2g_nd.dir/buffer.cpp.o" "gcc" "src/nd/CMakeFiles/p2g_nd.dir/buffer.cpp.o.d"
+  "/root/repo/src/nd/extents.cpp" "src/nd/CMakeFiles/p2g_nd.dir/extents.cpp.o" "gcc" "src/nd/CMakeFiles/p2g_nd.dir/extents.cpp.o.d"
+  "/root/repo/src/nd/region.cpp" "src/nd/CMakeFiles/p2g_nd.dir/region.cpp.o" "gcc" "src/nd/CMakeFiles/p2g_nd.dir/region.cpp.o.d"
+  "/root/repo/src/nd/slice.cpp" "src/nd/CMakeFiles/p2g_nd.dir/slice.cpp.o" "gcc" "src/nd/CMakeFiles/p2g_nd.dir/slice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_nd.dir/buffer.cpp.o"
+  "CMakeFiles/p2g_nd.dir/buffer.cpp.o.d"
+  "CMakeFiles/p2g_nd.dir/extents.cpp.o"
+  "CMakeFiles/p2g_nd.dir/extents.cpp.o.d"
+  "CMakeFiles/p2g_nd.dir/region.cpp.o"
+  "CMakeFiles/p2g_nd.dir/region.cpp.o.d"
+  "CMakeFiles/p2g_nd.dir/slice.cpp.o"
+  "CMakeFiles/p2g_nd.dir/slice.cpp.o.d"
+  "libp2g_nd.a"
+  "libp2g_nd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_nd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2g_workloads.dir/kmeans.cpp.o"
+  "CMakeFiles/p2g_workloads.dir/kmeans.cpp.o.d"
+  "CMakeFiles/p2g_workloads.dir/mjpeg_workload.cpp.o"
+  "CMakeFiles/p2g_workloads.dir/mjpeg_workload.cpp.o.d"
+  "CMakeFiles/p2g_workloads.dir/motion.cpp.o"
+  "CMakeFiles/p2g_workloads.dir/motion.cpp.o.d"
+  "CMakeFiles/p2g_workloads.dir/mul2plus5.cpp.o"
+  "CMakeFiles/p2g_workloads.dir/mul2plus5.cpp.o.d"
+  "CMakeFiles/p2g_workloads.dir/standalone_mjpeg.cpp.o"
+  "CMakeFiles/p2g_workloads.dir/standalone_mjpeg.cpp.o.d"
+  "libp2g_workloads.a"
+  "libp2g_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2g_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

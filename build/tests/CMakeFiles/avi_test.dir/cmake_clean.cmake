@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avi_test.dir/avi_test.cpp.o"
+  "CMakeFiles/avi_test.dir/avi_test.cpp.o.d"
+  "avi_test"
+  "avi_test.pdb"
+  "avi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

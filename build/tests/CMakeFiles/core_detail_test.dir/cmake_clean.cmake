@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_detail_test.dir/core_detail_test.cpp.o"
+  "CMakeFiles/core_detail_test.dir/core_detail_test.cpp.o.d"
+  "core_detail_test"
+  "core_detail_test.pdb"
+  "core_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_test.dir/nd_test.cpp.o"
+  "CMakeFiles/nd_test.dir/nd_test.cpp.o.d"
+  "nd_test"
+  "nd_test.pdb"
+  "nd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
