@@ -53,6 +53,29 @@ void BM_DispatchPerInstance(benchmark::State& state) {
 BENCHMARK(BM_DispatchPerInstance)->Arg(16)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
+/// Same pipeline with telemetry enabled: the delta against
+/// BM_DispatchPerInstance is the metrics hot-path cost (sharded atomics +
+/// two clock reads per instance) — the acceptance target is within ~5%.
+void BM_DispatchPerInstanceMetrics(benchmark::State& state) {
+  const int elements = static_cast<int>(state.range(0));
+  const int ages = 50;
+  int64_t instances = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.workers = 2;
+    opts.metrics.enabled = true;
+    Runtime rt(dispatch_program(elements, ages), opts);
+    const RunReport report = rt.run();
+    instances += report.instrumentation.find("stage")->instances;
+  }
+  state.SetItemsProcessed(instances);
+  state.counters["sec_per_instance"] = benchmark::Counter(
+      static_cast<double>(instances),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_DispatchPerInstanceMetrics)->Arg(16)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DispatchChunked(benchmark::State& state) {
   const int64_t chunk = state.range(0);
   int64_t instances = 0;

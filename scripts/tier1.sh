@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build and run the full test suite.
+#
+# Usage:
+#   scripts/tier1.sh                 # plain RelWithDebInfo build
+#   scripts/tier1.sh thread          # under ThreadSanitizer
+#   scripts/tier1.sh address         # under AddressSanitizer
+#
+# Sanitized builds go to build-tsan/ or build-asan/ so they never pollute
+# the regular build/ tree.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+sanitize="${1:-}"
+
+case "$sanitize" in
+  "")       build_dir="$repo/build" ;;
+  thread)   build_dir="$repo/build-tsan" ;;
+  address)  build_dir="$repo/build-asan" ;;
+  *)
+    echo "usage: $0 [thread|address]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -S "$repo" -B "$build_dir" -DP2G_SANITIZE="$sanitize"
+cmake --build "$build_dir" -j"$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"

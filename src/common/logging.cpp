@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "common/clock.h"
 
 namespace p2g {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_log_mutex;
+std::once_flag g_env_once;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,16 +26,57 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+void ensure_env_applied() {
+  std::call_once(g_env_once, [] { apply_log_env(); });
+}
+
+/// Seconds since the first log line of the process (monotonic).
+double uptime_s() {
+  static const int64_t epoch = now_ns();
+  return static_cast<double>(now_ns() - epoch) / 1e9;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void apply_log_env() {
+  const char* env = std::getenv("P2G_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) {
+    g_level.store(LogLevel::kDebug);
+  } else if (std::strcmp(env, "info") == 0) {
+    g_level.store(LogLevel::kInfo);
+  } else if (std::strcmp(env, "warn") == 0) {
+    g_level.store(LogLevel::kWarn);
+  } else if (std::strcmp(env, "error") == 0) {
+    g_level.store(LogLevel::kError);
+  } else if (std::strcmp(env, "off") == 0) {
+    g_level.store(LogLevel::kOff);
+  }
+}
 
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  ensure_env_applied();  // a later env re-read must not undo this override
+  g_level.store(level);
+}
 
-void log_message(LogLevel level, const std::string& message) {
+LogLevel log_level() {
+  ensure_env_applied();
+  return g_level.load();
+}
+
+void log_message(LogLevel level, std::string_view component,
+                 const std::string& message) {
+  ensure_env_applied();
   if (level < g_level.load()) return;
   std::scoped_lock lock(g_log_mutex);
-  std::fprintf(stderr, "[p2g %s] %s\n", level_name(level), message.c_str());
+  if (component.empty()) {
+    std::fprintf(stderr, "[p2g %s +%.3fs] %s\n", level_name(level),
+                 uptime_s(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[p2g %s +%.3fs %.*s] %s\n", level_name(level),
+                 uptime_s(), static_cast<int>(component.size()),
+                 component.data(), message.c_str());
+  }
 }
 
 }  // namespace p2g

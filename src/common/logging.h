@@ -1,9 +1,17 @@
 // Minimal leveled logger. Thread-safe, writes to stderr. The runtime logs
 // scheduling decisions at Debug level so tests stay quiet by default.
+//
+// Each line carries a monotonic timestamp (seconds since the first log
+// call) and an optional component tag:
+//   [p2g info +0.123s runtime] watchdog expired; aborting run
+// The threshold can be set without code changes via the P2G_LOG
+// environment variable (debug|info|warn|error|off); set_log_level()
+// overrides it.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace p2g {
 
@@ -13,15 +21,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Writes one formatted line ("[level] message") to stderr under a lock.
-void log_message(LogLevel level, const std::string& message);
+/// Re-reads the P2G_LOG environment variable and applies it as the
+/// threshold (unknown values are ignored). Called automatically once on
+/// first use; exposed for tests.
+void apply_log_env();
+
+/// Writes one formatted line to stderr under a lock. `component` may be
+/// empty (no tag printed).
+void log_message(LogLevel level, std::string_view component,
+                 const std::string& message);
+inline void log_message(LogLevel level, const std::string& message) {
+  log_message(level, {}, message);
+}
 
 namespace detail {
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, stream_.str()); }
+  explicit LogLine(LogLevel level, std::string_view component = {})
+      : level_(level), component_(component) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
@@ -31,6 +50,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  std::string_view component_;
   std::ostringstream stream_;
 };
 
@@ -42,7 +62,18 @@ class LogLine {
   } else                                    \
     ::p2g::detail::LogLine(level)
 
+/// Tagged variant: P2G_LOGC(LogLevel::kWarn, "runtime") << "...";
+#define P2G_LOGC(level, component)          \
+  if (::p2g::log_level() > (level)) {       \
+  } else                                    \
+    ::p2g::detail::LogLine(level, component)
+
 #define P2G_DEBUG P2G_LOG(::p2g::LogLevel::kDebug)
 #define P2G_INFO P2G_LOG(::p2g::LogLevel::kInfo)
 #define P2G_WARN P2G_LOG(::p2g::LogLevel::kWarn)
 #define P2G_ERROR P2G_LOG(::p2g::LogLevel::kError)
+
+#define P2G_DEBUGC(component) P2G_LOGC(::p2g::LogLevel::kDebug, component)
+#define P2G_INFOC(component) P2G_LOGC(::p2g::LogLevel::kInfo, component)
+#define P2G_WARNC(component) P2G_LOGC(::p2g::LogLevel::kWarn, component)
+#define P2G_ERRORC(component) P2G_LOGC(::p2g::LogLevel::kError, component)

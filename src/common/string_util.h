@@ -26,4 +26,9 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// Renders "1234567" as "1,234,567" for the micro-benchmark tables.
 std::string with_thousands(int64_t value);
 
+/// Escapes a string for embedding inside a JSON string literal: `"`, `\`
+/// and control characters (as \uXXXX). Shared by the trace and metrics
+/// serializers so kernel names with quotes stay valid JSON.
+std::string json_escape(std::string_view text);
+
 }  // namespace p2g

@@ -21,11 +21,77 @@ Runtime::Runtime(Program program, RunOptions options)
   }
   kcfg_.resize(program_.kernels().size());
   if (options_.trace_path) trace_ = std::make_unique<TraceCollector>();
+  if (options_.metrics.enabled) setup_metrics();
   resolve_options();
   analyzer_ = std::make_unique<DependencyAnalyzer>(*this);
 }
 
 Runtime::~Runtime() = default;
+
+void Runtime::setup_metrics() {
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  m_dispatch_ns_ = &metrics_->histogram("dispatch_latency_ns");
+  m_kernel_ns_ = &metrics_->histogram("kernel_body_ns");
+  m_analyzer_ns_ = &metrics_->histogram("analyzer_handle_ns");
+  m_store_batch_ = &metrics_->histogram("store_batch_events");
+  m_store_bytes_ = &metrics_->counter("store_commit_bytes_total");
+  m_busy_ns_ = &metrics_->counter("worker_busy_ns_total");
+  m_idle_ns_ = &metrics_->counter("worker_idle_ns_total");
+  m_events_ = &metrics_->counter("analyzer_events_total");
+}
+
+void Runtime::start_sampler() {
+  sampler_ = std::make_unique<obs::Sampler>(
+      std::chrono::milliseconds(options_.metrics.sample_period_ms));
+  sampler_->add_source("ready_queue_depth", [this] {
+    return static_cast<int64_t>(ready_.size());
+  });
+  sampler_->add_source("analyzer_backlog", [this] {
+    return static_cast<int64_t>(events_.size());
+  });
+  sampler_->add_source("field_memory_bytes", [this] {
+    int64_t total = 0;
+    for (const auto& fs : storages_) {
+      total += static_cast<int64_t>(fs->memory_bytes());
+    }
+    return total;
+  });
+  for (const auto& fs : storages_) {
+    sampler_->add_source(
+        "field_memory_bytes:" + fs->decl().name,
+        [raw = fs.get()] {
+          return static_cast<int64_t>(raw->memory_bytes());
+        });
+  }
+  // Utilization over the last sampling interval (sampler thread only).
+  sampler_->add_source(
+      "worker_utilization_pct",
+      [this, busy = int64_t{0}, idle = int64_t{0}]() mutable {
+        const int64_t b = m_busy_ns_->value();
+        const int64_t i = m_idle_ns_->value();
+        const int64_t db = b - busy;
+        const int64_t di = i - idle;
+        busy = b;
+        idle = i;
+        return db + di > 0 ? 100 * db / (db + di) : int64_t{0};
+      });
+  sampler_->start();
+}
+
+void Runtime::finalize_metrics() {
+  if (!sampler_) return;
+  sampler_->stop();
+  for (obs::TimeSeries& series : sampler_->take_series()) {
+    if (trace_) {
+      for (const obs::TimeSeriesSample& sample : series.samples) {
+        trace_->record_counter(TraceCollector::CounterSample{
+            series.name, sample.t_ns, sample.value});
+      }
+    }
+    metrics_->add_series(std::move(series));
+  }
+  sampler_.reset();
+}
 
 void Runtime::resolve_options() {
   const Age global_cap = options_.max_age.value_or(
@@ -220,8 +286,8 @@ void Runtime::adapt_granularity() {
     // Dispatch-bound kernels get coarser slices (Fig. 4, Age=2).
     if (stats->avg_dispatch_us() > stats->avg_kernel_us()) {
       cfg.chunk = std::min<int64_t>(cfg.chunk * 2, kMaxChunk);
-      P2G_DEBUG << "adaptive LLS: kernel '" << k.name << "' chunk -> "
-                << cfg.chunk;
+      P2G_DEBUGC("runtime") << "adaptive LLS: kernel '" << k.name
+                            << "' chunk -> " << cfg.chunk;
     }
   }
 }
@@ -244,6 +310,12 @@ void Runtime::fail(std::exception_ptr error) {
   begin_shutdown();
 }
 
+// GCC 12 falsely flags the moved-from variant inside the inlined
+// BlockingQueue::pop (-Wmaybe-uninitialized, PR 105562 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 void Runtime::analyzer_loop() {
   while (auto event = events_.pop()) {
     const int64_t start = now_ns();
@@ -256,17 +328,34 @@ void Runtime::analyzer_loop() {
       trace_->record(TraceCollector::Span{"analyze", start,
                                           now_ns() - start, -1, 0, 0});
     }
+    if (metrics_) {
+      m_analyzer_ns_->record(now_ns() - start);
+      m_events_->add(1);
+    }
     complete_outstanding();
   }
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void Runtime::worker_loop(int worker_index) {
+  int64_t wait_start = metrics_ ? now_ns() : 0;
   while (auto item = ready_.pop()) {
+    int64_t busy_start = 0;
+    if (metrics_) {
+      busy_start = now_ns();
+      m_idle_ns_->add(busy_start - wait_start);
+    }
     try {
       execute(*item, worker_index);
     } catch (...) {
       fail(std::current_exception());
       complete_outstanding();  // the failed instance's unit
+    }
+    if (metrics_) {
+      wait_start = now_ns();
+      m_busy_ns_->add(wait_start - busy_start);
     }
   }
 }
@@ -371,6 +460,11 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
       event.region = std::move(region);
     }
     if (options_.store_tap) options_.store_tap(event);
+    if (m_store_bytes_ != nullptr) {
+      m_store_bytes_->add(p.data.element_count() *
+                          static_cast<int64_t>(
+                              nd::element_size(p.data.type())));
+    }
     events.push_back(std::move(event));
   }
 }
@@ -378,6 +472,7 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
 void Runtime::push_store_events(std::vector<StoreEvent> events) {
   size_t i = 0;
   while (i < events.size()) {
+    const size_t batch_start = i;
     StoreEvent merged = std::move(events[i]);
     if (!merged.whole) {
       nd::Region box = merged.region;
@@ -401,6 +496,11 @@ void Runtime::push_store_events(std::vector<StoreEvent> events) {
       i = j;
     } else {
       ++i;
+    }
+    if (m_store_batch_ != nullptr) {
+      // Coalesced store events per analyzer batch — how much chunking
+      // relieves the serial analyzer.
+      m_store_batch_->record(static_cast<int64_t>(i - batch_start));
     }
     push_event(std::move(merged));
   }
@@ -475,6 +575,10 @@ void Runtime::execute(const WorkItem& item, int worker_index) {
     push_store_events(std::move(events));
   }
   instr_.record(def.id, dispatch_ns, bodies, kernel_ns);
+  if (metrics_) {
+    m_dispatch_ns_->record(dispatch_ns);
+    m_kernel_ns_->record(kernel_ns);
+  }
   if (trace_) {
     trace_->record(TraceCollector::Span{def.name, trace_start,
                                         now_ns() - trace_start,
@@ -503,6 +607,7 @@ RunReport Runtime::run() {
     // Nothing to run (no run-once or source kernels).
     report.wall_s = stopwatch.elapsed_s();
     report.instrumentation = instrumentation();
+    report.metrics = metrics_snapshot();
     return report;
   }
 
@@ -512,6 +617,7 @@ RunReport Runtime::run() {
     if (workers <= 0) workers = 2;
   }
 
+  if (metrics_) start_sampler();
   std::thread analyzer_thread([this] { analyzer_loop(); });
   std::vector<std::thread> worker_threads;
   worker_threads.reserve(static_cast<size_t>(workers));
@@ -525,7 +631,7 @@ RunReport Runtime::run() {
       if (!done_cv_.wait_for(lock, *options_.watchdog,
                              [&] { return done_; })) {
         report.timed_out = true;
-        P2G_WARN << "watchdog expired; aborting run";
+        P2G_WARNC("runtime") << "watchdog expired; aborting run";
       }
     } else {
       done_cv_.wait(lock, [&] { return done_; });
@@ -536,16 +642,35 @@ RunReport Runtime::run() {
   analyzer_thread.join();
   for (std::thread& t : worker_threads) t.join();
 
+  // Flush all telemetry *before* propagating a worker error or returning
+  // the watchdog-timeout report: failed and hung runs are exactly the
+  // ones whose trace/metrics matter most.
+  finalize_metrics();
+  report.wall_s = stopwatch.elapsed_s();
+  report.instrumentation = instrumentation();
+  report.metrics = metrics_snapshot();
+
+  std::exception_ptr error;
   {
     std::scoped_lock lock(error_mutex_);
-    if (error_) std::rethrow_exception(error_);
+    error = error_;
   }
 
   if (trace_ && options_.trace_path) {
-    trace_->write_file(*options_.trace_path);
+    if (error) {
+      // Best effort: an I/O failure must not mask the run's real error.
+      try {
+        trace_->write_file(*options_.trace_path);
+      } catch (const std::exception& e) {
+        P2G_WARNC("runtime") << "failed to write trace after run error: "
+                             << e.what();
+      }
+    } else {
+      trace_->write_file(*options_.trace_path);
+    }
   }
-  report.wall_s = stopwatch.elapsed_s();
-  report.instrumentation = instrumentation();
+
+  if (error) std::rethrow_exception(error);
   return report;
 }
 

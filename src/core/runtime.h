@@ -29,6 +29,8 @@
 #include "core/ready_queue.h"
 #include "core/timer.h"
 #include "core/trace.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
 
 namespace p2g {
 
@@ -88,12 +90,20 @@ struct RunOptions {
   /// (open in chrome://tracing or Perfetto). Meant for small runs — one
   /// span per work item.
   std::optional<std::string> trace_path;
+
+  /// Telemetry (src/obs): latency histograms, counters, and a sampler
+  /// thread turning queue depth / utilization / memory gauges into time
+  /// series. The snapshot lands in RunReport::metrics; combined with
+  /// trace_path, sampled gauges also become Perfetto counter tracks.
+  obs::MetricsOptions metrics;
 };
 
 struct RunReport {
   double wall_s = 0.0;
   bool timed_out = false;
   InstrumentationReport instrumentation;
+  /// Telemetry snapshot (empty unless RunOptions::metrics.enabled).
+  obs::MetricsSnapshot metrics;
 };
 
 /// A single execution node. Construct, run() once, then inspect field
@@ -134,6 +144,14 @@ class Runtime {
   /// The execution trace (nullptr unless RunOptions::trace_path was set).
   const TraceCollector* trace() const { return trace_.get(); }
 
+  /// The metrics registry (nullptr unless RunOptions::metrics.enabled).
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Telemetry snapshot; empty when metrics are disabled.
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return metrics_ ? metrics_->snapshot() : obs::MetricsSnapshot{};
+  }
+
  private:
   friend class DependencyAnalyzer;
 
@@ -161,6 +179,12 @@ class Runtime {
 
   /// Analyzer-thread hook: revisits chunk sizes from instrumentation.
   void adapt_granularity();
+
+  void setup_metrics();
+  void start_sampler();
+  /// Stops the sampler, folds its series into the registry and (with
+  /// tracing on) into Perfetto counter tracks. Safe to call repeatedly.
+  void finalize_metrics();
 
   void resolve_options();
   void resolve_fusion(const FusionRule& rule);
@@ -223,6 +247,19 @@ class Runtime {
   TimerSet timers_;
   std::unique_ptr<TraceCollector> trace_;
   std::unique_ptr<DependencyAnalyzer> analyzer_;
+
+  // Telemetry (null when RunOptions::metrics.enabled is false). The raw
+  // pointers are hot-path handles resolved once in setup_metrics().
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  obs::Histogram* m_dispatch_ns_ = nullptr;
+  obs::Histogram* m_kernel_ns_ = nullptr;
+  obs::Histogram* m_analyzer_ns_ = nullptr;
+  obs::Histogram* m_store_batch_ = nullptr;
+  obs::Counter* m_store_bytes_ = nullptr;
+  obs::Counter* m_busy_ns_ = nullptr;
+  obs::Counter* m_idle_ns_ = nullptr;
+  obs::Counter* m_events_ = nullptr;
 
   std::atomic<int64_t> outstanding_{0};
   std::mutex done_mutex_;

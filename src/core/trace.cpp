@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/string_util.h"
 
 namespace p2g {
 
@@ -12,9 +13,19 @@ void TraceCollector::record(Span span) {
   spans_.push_back(std::move(span));
 }
 
+void TraceCollector::record_counter(CounterSample sample) {
+  std::scoped_lock lock(mutex_);
+  counters_.push_back(std::move(sample));
+}
+
 size_t TraceCollector::span_count() const {
   std::scoped_lock lock(mutex_);
   return spans_.size();
+}
+
+size_t TraceCollector::counter_sample_count() const {
+  std::scoped_lock lock(mutex_);
+  return counters_.size();
 }
 
 std::string TraceCollector::to_chrome_json() const {
@@ -22,21 +33,35 @@ std::string TraceCollector::to_chrome_json() const {
   std::ostringstream os;
   os << "[\n";
   bool first = true;
-  // Normalize to the earliest span so timestamps start near zero.
+  // Normalize to the earliest event so timestamps start near zero.
   int64_t epoch = 0;
   for (const Span& span : spans_) {
     if (epoch == 0 || span.start_ns < epoch) epoch = span.start_ns;
+  }
+  for (const CounterSample& sample : counters_) {
+    if (epoch == 0 || sample.t_ns < epoch) epoch = sample.t_ns;
   }
   for (const Span& span : spans_) {
     if (!first) os << ",\n";
     first = false;
     // Chrome trace "complete" events: ph=X, ts/dur in microseconds.
-    os << "  {\"name\": \"" << span.name << "\", \"cat\": \"p2g\", "
+    os << "  {\"name\": \"" << json_escape(span.name)
+       << "\", \"cat\": \"p2g\", "
        << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << span.thread_id
        << ", \"ts\": " << (span.start_ns - epoch) / 1000.0
        << ", \"dur\": " << span.duration_ns / 1000.0
        << ", \"args\": {\"age\": " << span.age
        << ", \"bodies\": " << span.bodies << "}}";
+  }
+  for (const CounterSample& sample : counters_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Counter events: ph=C, one track per name, rendered by Perfetto as a
+    // filled curve above the span lanes.
+    os << "  {\"name\": \"" << json_escape(sample.track)
+       << "\", \"cat\": \"p2g\", \"ph\": \"C\", \"pid\": 1"
+       << ", \"ts\": " << (sample.t_ns - epoch) / 1000.0
+       << ", \"args\": {\"value\": " << sample.value << "}}";
   }
   os << "\n]\n";
   return os.str();

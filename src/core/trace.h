@@ -16,9 +16,11 @@
 
 namespace p2g {
 
-/// Thread-safe collector of trace spans. Enabled via
+/// Thread-safe collector of trace spans and counter samples. Enabled via
 /// RunOptions::trace_path; workers record one span per executed work item
-/// and the analyzer one span per processed event batch.
+/// and the analyzer one span per processed event batch. With metrics
+/// enabled, sampled gauges (queue depth, utilization, memory) become
+/// Perfetto counter tracks (ph:"C") rendered alongside the span lanes.
 class TraceCollector {
  public:
   struct Span {
@@ -30,19 +32,30 @@ class TraceCollector {
     int64_t bodies;     ///< kernel bodies covered (chunk width)
   };
 
-  void record(Span span);
+  /// One point of a counter track (a sampled gauge).
+  struct CounterSample {
+    std::string track;  ///< counter-track name, e.g. "ready_queue_depth"
+    int64_t t_ns;       ///< monotonic
+    int64_t value;
+  };
 
-  /// Serializes all spans as a Chrome trace-event JSON array document.
+  void record(Span span);
+  void record_counter(CounterSample sample);
+
+  /// Serializes all spans (ph:"X") and counter samples (ph:"C") as a
+  /// Chrome trace-event JSON array document.
   std::string to_chrome_json() const;
 
   /// Writes to_chrome_json() to a file (throws kIo on failure).
   void write_file(const std::string& path) const;
 
   size_t span_count() const;
+  size_t counter_sample_count() const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
+  std::vector<CounterSample> counters_;
 };
 
 }  // namespace p2g

@@ -23,16 +23,26 @@ void MessageBus::send(const std::string& to, Message message) {
       throw_error(ErrorKind::kProtocol, "unknown endpoint '" + to + "'");
     }
     mailbox = it->second;
-    ++delivered_;
+    const auto size = static_cast<int64_t>(message.payload.size());
+    ++stats_.delivered;
+    stats_.bytes += size;
+    EndpointStats& ep = stats_.per_endpoint[to];
+    ++ep.messages;
+    ep.bytes += size;
   }
   mailbox->push(std::move(message));
 }
 
 void MessageBus::broadcast(Message message) {
   std::scoped_lock lock(mutex_);
+  const auto size = static_cast<int64_t>(message.payload.size());
   for (auto& [name, mailbox] : endpoints_) {
     if (name == message.from) continue;
-    ++delivered_;
+    ++stats_.delivered;
+    stats_.bytes += size;
+    EndpointStats& ep = stats_.per_endpoint[name];
+    ++ep.messages;
+    ep.bytes += size;
     mailbox->push(message);
   }
 }
@@ -46,7 +56,12 @@ void MessageBus::close_all() {
 
 int64_t MessageBus::delivered() const {
   std::scoped_lock lock(mutex_);
-  return delivered_;
+  return stats_.delivered;
+}
+
+BusStats MessageBus::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
 }
 
 }  // namespace p2g::dist

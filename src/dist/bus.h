@@ -17,6 +17,21 @@
 
 namespace p2g::dist {
 
+/// Traffic counters of one bus endpoint (destination side).
+struct EndpointStats {
+  int64_t messages = 0;
+  int64_t bytes = 0;  ///< payload bytes delivered to this endpoint
+};
+
+/// Bus-wide traffic snapshot: the interconnect view the paper's HLS would
+/// consult when weighing edge cuts against link capacity.
+struct BusStats {
+  int64_t delivered = 0;
+  int64_t bytes = 0;
+  /// Per destination endpoint.
+  std::map<std::string, EndpointStats> per_endpoint;
+};
+
 class MessageBus {
  public:
   /// A registered endpoint's mailbox.
@@ -37,10 +52,13 @@ class MessageBus {
   /// Messages delivered so far (diagnostics).
   int64_t delivered() const;
 
+  /// Message/byte counters, total and per destination endpoint.
+  BusStats stats() const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Mailbox>> endpoints_;
-  int64_t delivered_ = 0;
+  BusStats stats_;
 };
 
 }  // namespace p2g::dist

@@ -51,6 +51,7 @@ ExecutionNode::ExecutionNode(
 }
 
 void ExecutionNode::announce(const std::string& master_endpoint) {
+  master_endpoint_ = master_endpoint;
   TopologyReport report;
   report.topology = graph::NodeTopology::local_machine(name_);
   Message message;
@@ -132,6 +133,18 @@ bool ExecutionNode::idle() const { return runtime_->idle(); }
 
 void ExecutionNode::join() {
   if (runtime_thread_.joinable()) runtime_thread_.join();
+  // The runtime has drained: ship the node's telemetry to the master over
+  // the wire (the paper's profile feedback, now with distributions).
+  if (!master_endpoint_.empty() && runtime_->metrics() != nullptr) {
+    MetricsReport metrics;
+    metrics.node = name_;
+    metrics.snapshot = runtime_->metrics_snapshot();
+    Message message;
+    message.type = MessageType::kMetricsReport;
+    message.from = name_;
+    message.payload = metrics.encode();
+    bus_.send(master_endpoint_, std::move(message));
+  }
   mailbox_->close();
   if (receiver_thread_.joinable()) receiver_thread_.join();
   if (error_) std::rethrow_exception(error_);

@@ -38,7 +38,9 @@ class ExecutionNode {
   /// Starts the runtime and the mailbox receiver threads.
   void start();
 
-  /// Waits for both threads (after the master broadcast a shutdown).
+  /// Waits for both threads (after the master broadcast a shutdown). When
+  /// the runtime collected metrics, ships a kMetricsReport snapshot to the
+  /// master endpoint before closing the mailbox.
   void join();
 
   const std::string& name() const { return name_; }
@@ -57,6 +59,7 @@ class ExecutionNode {
   void forward_store(const StoreEvent& event);
 
   std::string name_;
+  std::string master_endpoint_;  ///< set by announce()
   MessageBus& bus_;
   std::shared_ptr<MessageBus::Mailbox> mailbox_;
   std::unique_ptr<Runtime> runtime_;

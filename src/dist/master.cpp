@@ -57,6 +57,7 @@ DistributedRunReport Master::run() {
 
   RunOptions base = options_.base_options;
   base.workers = options_.workers_per_node;
+  if (options_.collect_node_metrics) base.metrics.enabled = true;
 
   std::vector<std::unique_ptr<ExecutionNode>> nodes;
   for (const std::string& name : node_names) {
@@ -110,6 +111,16 @@ DistributedRunReport Master::run() {
   bus.broadcast(std::move(shutdown));
   for (auto& node : nodes) node->join();
 
+  // Each node shipped its telemetry registry during join(); aggregate the
+  // snapshots into the cluster-wide view.
+  while (auto message = master_mailbox->try_pop()) {
+    if (message->type != MessageType::kMetricsReport) continue;
+    MetricsReport metrics = MetricsReport::decode(message->payload);
+    result.combined_metrics.merge(metrics.snapshot);
+    result.node_metrics.emplace(std::move(metrics.node),
+                                std::move(metrics.snapshot));
+  }
+
   for (auto& node : nodes) {
     InstrumentationReport report = node->runtime().instrumentation();
     // Serialize through the profile message to exercise the wire format.
@@ -136,7 +147,8 @@ DistributedRunReport Master::run() {
     result.combined.kernels.push_back(std::move(merged));
   }
 
-  result.messages_delivered = bus.delivered();
+  result.bus = bus.stats();
+  result.messages_delivered = result.bus.delivered;
   result.wall_s = stopwatch.elapsed_s();
   return result;
 }

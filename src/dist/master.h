@@ -33,6 +33,9 @@ struct MasterOptions {
   int workers_per_node = 1;
   /// Use tabu search instead of greedy+KL for the partitioning.
   bool use_tabu = false;
+  /// Enable telemetry on every node and aggregate the shipped snapshots
+  /// into DistributedRunReport (node_metrics / combined_metrics).
+  bool collect_node_metrics = true;
   /// Extra runtime options applied to every node (schedules, caps, ...).
   RunOptions base_options;
   /// Abort if the cluster does not terminate in time.
@@ -52,7 +55,15 @@ struct DistributedRunReport {
   std::map<std::string, InstrumentationReport> node_reports;
   /// Merged instrumentation across the cluster.
   InstrumentationReport combined;
+  /// Per-node telemetry snapshots, shipped over the bus as
+  /// kMetricsReport messages (empty unless collect_node_metrics).
+  std::map<std::string, obs::MetricsSnapshot> node_metrics;
+  /// Cross-node reduction of node_metrics: counters/gauges summed,
+  /// histograms merged bucket-wise (time series stay per node).
+  obs::MetricsSnapshot combined_metrics;
   int64_t messages_delivered = 0;
+  /// Interconnect traffic: messages/bytes per destination endpoint.
+  BusStats bus;
   graph::GlobalTopology topology;
 };
 

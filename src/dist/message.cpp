@@ -121,6 +121,96 @@ ProfileReport ProfileReport::decode(const std::vector<uint8_t>& bytes) {
   return out;
 }
 
+namespace {
+
+void encode_values(Writer& w, const std::vector<obs::CounterValue>& values) {
+  w.u32(static_cast<uint32_t>(values.size()));
+  for (const obs::CounterValue& v : values) {
+    w.str(v.name);
+    w.i64(v.value);
+  }
+}
+
+std::vector<obs::CounterValue> decode_values(Reader& r) {
+  std::vector<obs::CounterValue> out;
+  const uint32_t n = r.u32();
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    obs::CounterValue v;
+    v.name = r.str();
+    v.value = r.i64();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> MetricsReport::encode() const {
+  Writer w;
+  w.str(node);
+  encode_values(w, snapshot.counters);
+  encode_values(w, snapshot.gauges);
+  w.u32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    w.str(h.name);
+    w.i64(h.count);
+    w.i64(h.sum);
+    w.i64(h.min);
+    w.i64(h.max);
+    w.u32(static_cast<uint32_t>(h.buckets.size()));
+    for (int64_t bucket : h.buckets) w.i64(bucket);
+  }
+  w.u32(static_cast<uint32_t>(snapshot.series.size()));
+  for (const obs::TimeSeries& ts : snapshot.series) {
+    w.str(ts.name);
+    w.u32(static_cast<uint32_t>(ts.samples.size()));
+    for (const obs::TimeSeriesSample& s : ts.samples) {
+      w.i64(s.t_ns);
+      w.i64(s.value);
+    }
+  }
+  return w.take();
+}
+
+MetricsReport MetricsReport::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  MetricsReport out;
+  out.node = r.str();
+  out.snapshot.counters = decode_values(r);
+  out.snapshot.gauges = decode_values(r);
+  const uint32_t histograms = r.u32();
+  out.snapshot.histograms.reserve(histograms);
+  for (uint32_t i = 0; i < histograms; ++i) {
+    obs::HistogramSnapshot h;
+    h.name = r.str();
+    h.count = r.i64();
+    h.sum = r.i64();
+    h.min = r.i64();
+    h.max = r.i64();
+    const uint32_t buckets = r.u32();
+    h.buckets.reserve(buckets);
+    for (uint32_t b = 0; b < buckets; ++b) h.buckets.push_back(r.i64());
+    out.snapshot.histograms.push_back(std::move(h));
+  }
+  const uint32_t series = r.u32();
+  out.snapshot.series.reserve(series);
+  for (uint32_t i = 0; i < series; ++i) {
+    obs::TimeSeries ts;
+    ts.name = r.str();
+    const uint32_t samples = r.u32();
+    ts.samples.reserve(samples);
+    for (uint32_t s = 0; s < samples; ++s) {
+      obs::TimeSeriesSample sample;
+      sample.t_ns = r.i64();
+      sample.value = r.i64();
+      ts.samples.push_back(sample);
+    }
+    out.snapshot.series.push_back(std::move(ts));
+  }
+  return out;
+}
+
 std::vector<uint8_t> IdleReport::encode() const {
   Writer w;
   w.u8(idle ? 1 : 0);

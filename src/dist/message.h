@@ -11,6 +11,7 @@
 #include "dist/serialize.h"
 #include "graph/topology.h"
 #include "nd/region.h"
+#include "obs/metrics.h"
 
 namespace p2g::dist {
 
@@ -20,6 +21,7 @@ enum class MessageType : uint8_t {
   kProfileReport = 3,   ///< node -> master: instrumentation snapshot
   kIdleReport = 4,      ///< node -> master: quiescence probe answer
   kShutdown = 5,        ///< master -> nodes: stop
+  kMetricsReport = 6,   ///< node -> master: telemetry registry snapshot
 };
 
 struct Message {
@@ -57,6 +59,18 @@ struct ProfileReport {
 
   std::vector<uint8_t> encode() const;
   static ProfileReport decode(const std::vector<uint8_t>& bytes);
+};
+
+/// A node's full telemetry snapshot (counters, gauges, histograms, sampled
+/// time series), shipped to the master after the node's runtime drained.
+/// The master aggregates these into DistributedRunReport — the data side
+/// of the paper's "instrumentation feeds the high-level scheduler" loop.
+struct MetricsReport {
+  std::string node;
+  obs::MetricsSnapshot snapshot;
+
+  std::vector<uint8_t> encode() const;
+  static MetricsReport decode(const std::vector<uint8_t>& bytes);
 };
 
 /// Quiescence probe answer used by the master's termination detection.

@@ -1,0 +1,61 @@
+// Low-frequency gauge sampler.
+//
+// A dedicated thread polls registered sources (queue depths, memory
+// footprints, utilization ratios) on a fixed cadence and accumulates one
+// TimeSeries per source. The runtime converts the series into Perfetto
+// counter tracks (ph:"C" in the Chrome trace JSON) and embeds them in the
+// MetricsSnapshot, turning point counters into the queue/utilization
+// curves of the paper's Fig. 10 evaluation.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace p2g::obs {
+
+class Sampler {
+ public:
+  explicit Sampler(std::chrono::milliseconds period);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Registers a source. Must be called before start(); `sample` is
+  /// invoked from the sampler thread only.
+  void add_source(std::string name, std::function<int64_t()> sample);
+
+  void start();
+
+  /// Takes a final sample, stops and joins the thread. Idempotent.
+  void stop();
+
+  /// The collected series (valid after stop(); moves them out).
+  std::vector<TimeSeries> take_series();
+
+ private:
+  struct Source {
+    std::function<int64_t()> sample;
+    TimeSeries series;
+  };
+
+  void loop();
+  void sample_once();
+
+  std::chrono::milliseconds period_;
+  std::vector<Source> sources_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace p2g::obs

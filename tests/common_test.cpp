@@ -4,10 +4,13 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include "common/blocking_queue.h"
 #include "common/clock.h"
 #include "common/dynamic_bitset.h"
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 
@@ -59,6 +62,25 @@ TEST(RunningStat, MergeMatchesSequential) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat empty;
+  a.merge(empty);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+
+  RunningStat into;
+  into.merge(a);  // merging into empty copies
+  EXPECT_EQ(into.count(), 2);
+  EXPECT_DOUBLE_EQ(into.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(into.min(), 1.0);
+  EXPECT_DOUBLE_EQ(into.max(), 3.0);
+}
+
 TEST(RunningStat, EmptyIsZero) {
   RunningStat s;
   EXPECT_EQ(s.count(), 0);
@@ -71,6 +93,14 @@ TEST(Percentile, NearestRankInterpolation) {
   EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
   EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+}
+
+TEST(Percentile, EdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0) << "empty input is defined";
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 100), 42.0);
 }
 
 TEST(DynamicBitset, SetAndCount) {
@@ -180,6 +210,32 @@ TEST(StringUtil, WithThousands) {
   EXPECT_EQ(with_thousands(1000), "1,000");
   EXPECT_EQ(with_thousands(2024251), "2,024,251");
   EXPECT_EQ(with_thousands(-1234567), "-1,234,567");
+}
+
+TEST(StringUtil, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("line\nfeed"), "line\\nfeed");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(Logging, ApplyLogEnvSetsThreshold) {
+  const LogLevel before = log_level();
+  ::setenv("P2G_LOG", "error", 1);
+  apply_log_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ::setenv("P2G_LOG", "not-a-level", 1);
+  apply_log_env();
+  EXPECT_EQ(log_level(), LogLevel::kError) << "unknown values ignored";
+  ::setenv("P2G_LOG", "debug", 1);
+  apply_log_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  ::unsetenv("P2G_LOG");
+  set_log_level(before);
 }
 
 TEST(Clock, Monotonic) {

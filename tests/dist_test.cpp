@@ -104,6 +104,40 @@ TEST(Messages, ProfileAndIdleReportRoundTrip) {
   EXPECT_EQ(idle_back.stores_sent, 100);
 }
 
+TEST(Messages, MetricsReportRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("events_total").add(9);
+  registry.gauge("depth").set(-2);
+  obs::Histogram& h = registry.histogram("lat_ns");
+  h.record(5);
+  h.record(900);
+
+  MetricsReport report;
+  report.node = "node3";
+  report.snapshot = registry.snapshot();
+  report.snapshot.series.push_back(
+      obs::TimeSeries{"depth", {{100, 1}, {200, 4}}});
+
+  const MetricsReport back = MetricsReport::decode(report.encode());
+  EXPECT_EQ(back.node, "node3");
+  ASSERT_NE(back.snapshot.find_counter("events_total"), nullptr);
+  EXPECT_EQ(back.snapshot.find_counter("events_total")->value, 9);
+  ASSERT_NE(back.snapshot.find_gauge("depth"), nullptr);
+  EXPECT_EQ(back.snapshot.find_gauge("depth")->value, -2);
+  const obs::HistogramSnapshot* lat = back.snapshot.find_histogram("lat_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2);
+  EXPECT_EQ(lat->sum, 905);
+  EXPECT_EQ(lat->min, 5);
+  EXPECT_EQ(lat->max, 900);
+  EXPECT_EQ(lat->buckets, report.snapshot.find_histogram("lat_ns")->buckets);
+  const obs::TimeSeries* series = back.snapshot.find_series("depth");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->samples.size(), 2u);
+  EXPECT_EQ(series->samples[1].t_ns, 200);
+  EXPECT_EQ(series->samples[1].value, 4);
+}
+
 TEST(Bus, DirectedSendAndBroadcast) {
   MessageBus bus;
   auto a = bus.register_endpoint("a");
@@ -122,6 +156,27 @@ TEST(Bus, DirectedSendAndBroadcast) {
   EXPECT_FALSE(b->empty());
   EXPECT_FALSE(c->empty());
   EXPECT_EQ(bus.delivered(), 3);
+}
+
+TEST(Bus, TracksPerEndpointTraffic) {
+  MessageBus bus;
+  auto a = bus.register_endpoint("a");
+  auto b = bus.register_endpoint("b");
+
+  Message m;
+  m.type = MessageType::kRemoteStore;
+  m.from = "a";
+  m.payload = {1, 2, 3, 4};
+  bus.send("b", m);
+  bus.send("b", m);
+
+  const BusStats stats = bus.stats();
+  EXPECT_EQ(stats.delivered, 2);
+  EXPECT_EQ(stats.bytes, 8);
+  ASSERT_EQ(stats.per_endpoint.count("b"), 1u);
+  EXPECT_EQ(stats.per_endpoint.at("b").messages, 2);
+  EXPECT_EQ(stats.per_endpoint.at("b").bytes, 8);
+  EXPECT_EQ(stats.per_endpoint.count("a"), 0u);
 }
 
 TEST(Bus, UnknownEndpointThrows) {
@@ -169,6 +224,27 @@ TEST(DistributedRun, Mul2Plus5AcrossTwoNodes) {
     EXPECT_GT(report.messages_delivered, 0);
   }
   EXPECT_EQ(report.topology.nodes().size(), 2u);
+
+  // Telemetry: every node shipped a snapshot, the master aggregated them,
+  // and the bus accounted for the traffic per endpoint.
+  ASSERT_EQ(report.node_metrics.size(), 2u);
+  const obs::HistogramSnapshot* dispatch =
+      report.combined_metrics.find_histogram("dispatch_latency_ns");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_GT(dispatch->count, 0);
+  int64_t per_node_count = 0;
+  for (const auto& [node, snapshot] : report.node_metrics) {
+    if (const obs::HistogramSnapshot* h =
+            snapshot.find_histogram("dispatch_latency_ns")) {
+      per_node_count += h->count;
+    }
+  }
+  EXPECT_EQ(dispatch->count, per_node_count)
+      << "combined histogram is the bucket-wise sum of the node snapshots";
+  EXPECT_EQ(report.bus.delivered, report.messages_delivered);
+  ASSERT_EQ(report.bus.per_endpoint.count("master"), 1u);
+  EXPECT_GT(report.bus.per_endpoint.at("master").bytes, 0)
+      << "topology + metrics reports flow to the master";
 }
 
 TEST(DistributedRun, KmeansMatchesSequential) {

@@ -26,6 +26,31 @@ TEST(TraceCollector, SpansSerializeAsChromeEvents) {
   EXPECT_NE(json.find("\"ts\": 0"), std::string::npos);
 }
 
+// Regression (ISSUE 2): span names are escaped, so a kernel named with
+// quotes or backslashes cannot corrupt the JSON document.
+TEST(TraceCollector, SpanNamesAreJsonEscaped) {
+  TraceCollector trace;
+  trace.record(
+      TraceCollector::Span{"evil\"name\\here", 1'000, 10, 0, 0, 0});
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"name\": \"evil\\\"name\\\\here\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"evil\"name"), std::string::npos);
+}
+
+TEST(TraceCollector, CounterSamplesSerializeAsCounterEvents) {
+  TraceCollector trace;
+  trace.record_counter({"queue_depth", 1'000'000, 3});
+  trace.record_counter({"queue_depth", 1'005'000, 7});
+  EXPECT_EQ(trace.counter_sample_count(), 2u);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 7"), std::string::npos);
+  // Counter timestamps participate in epoch normalization.
+  EXPECT_NE(json.find("\"ts\": 0"), std::string::npos);
+}
+
 TEST(TraceCollector, RuntimeWritesTraceFile) {
   const std::string path =
       std::string(::testing::TempDir()) + "p2g_trace.json";
