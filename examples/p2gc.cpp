@@ -2,6 +2,10 @@
 //
 // Subcommands:
 //   p2gc run   <file.p2g> [max_age] [workers]   interpret on the runtime
+//              [--lint]  refuse to run a program with lint errors
+//              [--checked]  record writer provenance (double-write errors
+//                           name both offending kernel instances)
+//   p2gc lint  <file.p2g> [--json]              static analysis only
 //   p2gc emit  <file.p2g> [out.cpp]             generate C++ (with main)
 //   p2gc build <file.p2g> [binary]              generate + invoke g++,
 //                                               producing a complete
@@ -13,7 +17,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "analysis/lang_lint.h"
 #include "core/runtime.h"
 #include "graph/static_graph.h"
 #include "lang/codegen.h"
@@ -26,18 +32,52 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: p2gc run <file.p2g> [max_age] [workers]\n"
+               "usage: p2gc run <file.p2g> [max_age] [workers] "
+               "[--lint] [--checked]\n"
+               "       p2gc lint <file.p2g> [--json]\n"
                "       p2gc emit <file.p2g> [out.cpp]\n"
                "       p2gc build <file.p2g> [binary]\n"
                "       p2gc graph <file.p2g>\n");
   return 2;
 }
 
+int cmd_lint(const std::string& path, bool json) {
+  const analysis::LintReport report = analysis::lint_file(path);
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else if (report.empty()) {
+    std::printf("%s: clean\n", path.c_str());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  return report.has_errors() ? 1 : 0;
+}
+
 int cmd_run(const std::string& path, int argc, char** argv) {
-  lang::CompiledModule compiled = lang::compile_file(path);
+  bool lint = false;
   RunOptions options;
-  if (argc > 0) options.max_age = std::atoll(argv[0]);
-  if (argc > 1) options.workers = std::atoi(argv[1]);
+  std::vector<const char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--checked") {
+      options.checked = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (lint) {
+    const analysis::LintReport report = analysis::lint_file(path);
+    if (report.has_errors()) {
+      std::fprintf(stderr, "%s", report.to_text().c_str());
+      std::fprintf(stderr, "p2gc: refusing to run %s\n", path.c_str());
+      return 1;
+    }
+  }
+  lang::CompiledModule compiled = lang::compile_file(path);
+  if (positional.size() > 0) options.max_age = std::atoll(positional[0]);
+  if (positional.size() > 1) options.workers = std::atoi(positional[1]);
   Runtime runtime(std::move(compiled.program), options);
   const RunReport report = runtime.run();
   for (const std::string& line : compiled.printed->snapshot()) {
@@ -115,6 +155,10 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
   try {
     if (command == "run") return cmd_run(path, argc - 3, argv + 3);
+    if (command == "lint") {
+      return cmd_lint(path,
+                      argc > 3 && std::string(argv[3]) == "--json");
+    }
     if (command == "emit") {
       return cmd_emit(path, argc > 3 ? argv[3] : "out.cpp");
     }

@@ -6,6 +6,11 @@
 #   scripts/tier1.sh thread          # under ThreadSanitizer
 #   scripts/tier1.sh address         # under AddressSanitizer
 #
+# Environment:
+#   P2G_WERROR=ON       promote -Wall -Wextra to -Werror
+#   P2G_CLANG_TIDY=ON   run clang-tidy over every target (needs the binary
+#                       on PATH; the build warns and continues without it)
+#
 # Sanitized builds go to build-tsan/ or build-asan/ so they never pollute
 # the regular build/ tree.
 set -euo pipefail
@@ -23,6 +28,23 @@ case "$sanitize" in
     ;;
 esac
 
-cmake -S "$repo" -B "$build_dir" -DP2G_SANITIZE="$sanitize"
+cmake -S "$repo" -B "$build_dir" \
+  -DP2G_SANITIZE="$sanitize" \
+  -DP2G_WERROR="${P2G_WERROR:-OFF}" \
+  -DP2G_CLANG_TIDY="${P2G_CLANG_TIDY:-OFF}"
 cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+
+# A sanitizer report must fail the test that produced it, and that failure
+# must reach our caller. halt_on_error stops at the first report instead of
+# limping on; the explicit rc capture keeps the ctest exit code authoritative
+# even if this script later grows post-test steps.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-exitcode=1:halt_on_error=1:detect_leaks=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-exitcode=66:halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+rc=0
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "tier1: ctest failed with exit code $rc" >&2
+fi
+exit "$rc"

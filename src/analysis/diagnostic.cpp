@@ -1,0 +1,168 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace p2g::analysis {
+
+std::string_view to_string(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+Anchor Anchor::field(std::string name) {
+  Anchor a;
+  a.kind = Kind::kField;
+  a.name = std::move(name);
+  return a;
+}
+
+Anchor Anchor::kernel(std::string name) {
+  Anchor a;
+  a.kind = Kind::kKernel;
+  a.name = std::move(name);
+  return a;
+}
+
+Anchor Anchor::fetch(std::string kernel, size_t statement) {
+  Anchor a;
+  a.kind = Kind::kFetch;
+  a.name = std::move(kernel);
+  a.statement = statement;
+  return a;
+}
+
+Anchor Anchor::store(std::string kernel, size_t statement) {
+  Anchor a;
+  a.kind = Kind::kStore;
+  a.name = std::move(kernel);
+  a.statement = statement;
+  return a;
+}
+
+std::string Anchor::to_string() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kNone:
+      return out;
+    case Kind::kField:
+      out = "field '" + name + "'";
+      break;
+    case Kind::kKernel:
+      out = "kernel '" + name + "'";
+      break;
+    case Kind::kFetch:
+      out = "kernel '" + name + "' fetch #" + std::to_string(statement);
+      break;
+    case Kind::kStore:
+      out = "kernel '" + name + "' store #" + std::to_string(statement);
+      break;
+  }
+  if (line > 0) out += " (line " + std::to_string(line) + ")";
+  return out;
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = std::string(analysis::to_string(severity)) + " " + code;
+  const std::string at = primary.to_string();
+  if (!at.empty()) out += " at " + at;
+  const std::string vs = secondary.to_string();
+  if (!vs.empty()) out += " (vs " + vs + ")";
+  out += ": " + message;
+  return out;
+}
+
+namespace {
+
+const char* anchor_kind_name(Anchor::Kind kind) {
+  switch (kind) {
+    case Anchor::Kind::kNone: return "none";
+    case Anchor::Kind::kField: return "field";
+    case Anchor::Kind::kKernel: return "kernel";
+    case Anchor::Kind::kFetch: return "fetch";
+    case Anchor::Kind::kStore: return "store";
+  }
+  return "none";
+}
+
+void append_anchor_json(std::ostringstream& os, const Anchor& anchor) {
+  os << "{\"kind\":\"" << anchor_kind_name(anchor.kind) << "\"";
+  if (anchor.kind != Anchor::Kind::kNone) {
+    os << ",\"name\":\"" << json_escape(anchor.name) << "\"";
+    if (anchor.kind == Anchor::Kind::kFetch ||
+        anchor.kind == Anchor::Kind::kStore) {
+      os << ",\"statement\":" << anchor.statement;
+    }
+    if (anchor.line > 0) os << ",\"line\":" << anchor.line;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string Diagnostic::to_json() const {
+  std::ostringstream os;
+  os << "{\"code\":\"" << json_escape(code) << "\",\"severity\":\""
+     << analysis::to_string(severity) << "\",\"message\":\""
+     << json_escape(message) << "\",\"primary\":";
+  append_anchor_json(os, primary);
+  if (secondary.kind != Anchor::Kind::kNone) {
+    os << ",\"secondary\":";
+    append_anchor_json(os, secondary);
+  }
+  os << "}";
+  return os.str();
+}
+
+size_t LintReport::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t LintReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+size_t LintReport::count(std::string_view code) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* LintReport::find(std::string_view code) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::string LintReport::to_text() const {
+  if (diagnostics.empty()) return "";
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.to_string();
+    out += '\n';
+  }
+  out += std::to_string(error_count()) + " error(s), " +
+         std::to_string(warning_count()) + " warning(s)\n";
+  return out;
+}
+
+std::string LintReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) os << ",";
+    os << diagnostics[i].to_json();
+  }
+  os << "],\"errors\":" << error_count()
+     << ",\"warnings\":" << warning_count() << "}";
+  return os.str();
+}
+
+}  // namespace p2g::analysis

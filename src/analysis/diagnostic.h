@@ -1,0 +1,90 @@
+// Diagnostics emitted by p2g-lint (src/analysis/lint.h).
+//
+// Every diagnostic carries a stable code (P2G-Wxxx) so tests, editors and
+// CI can match on the class of problem without parsing message text. A
+// diagnostic anchors to a kernel, a field, or one fetch/store statement of
+// a kernel; conflict diagnostics (e.g. two stores racing on the same
+// elements) carry a secondary anchor naming the other party. The lang
+// front end (lang_lint.h) additionally annotates anchors with source line
+// numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2g::analysis {
+
+// Stable diagnostic codes. Never renumber: tests, suppression lists and
+// editor integrations key on these strings.
+inline constexpr const char* kWriteConflict = "P2G-W001";
+inline constexpr const char* kUndefinedFetch = "P2G-W002";
+inline constexpr const char* kZeroAgingCycle = "P2G-W003";
+inline constexpr const char* kBadConstIndex = "P2G-W004";
+inline constexpr const char* kUnusedField = "P2G-W005";
+inline constexpr const char* kUnreachableKernel = "P2G-W006";
+
+enum class Severity { kWarning, kError };
+
+std::string_view to_string(Severity severity);
+
+/// Program location a diagnostic points at.
+struct Anchor {
+  enum class Kind { kNone, kField, kKernel, kFetch, kStore };
+
+  Kind kind = Kind::kNone;
+  /// Kernel name for kKernel/kFetch/kStore, field name for kField.
+  std::string name;
+  /// Fetch/store declaration index within the kernel (kFetch/kStore only).
+  size_t statement = 0;
+  /// 1-based source line, when the program came from kernel-language
+  /// source (annotated by lang_lint); 0 = unknown / built via the C++ API.
+  int line = 0;
+
+  static Anchor none() { return Anchor{}; }
+  static Anchor field(std::string name);
+  static Anchor kernel(std::string name);
+  static Anchor fetch(std::string kernel, size_t statement);
+  static Anchor store(std::string kernel, size_t statement);
+
+  /// "kernel 'mul2' store #0", "field 'm_data'", with ":line N" appended
+  /// when a source line is known.
+  std::string to_string() const;
+};
+
+struct Diagnostic {
+  std::string code;  ///< one of the P2G-Wxxx constants above
+  Severity severity = Severity::kError;
+  std::string message;
+  Anchor primary;
+  /// Other party of a conflict (Kind::kNone when not applicable).
+  Anchor secondary;
+
+  /// "error P2G-W001 at kernel 'a' store #0 (vs kernel 'b' store #1): ..."
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+/// Result of a lint run: every diagnostic, in pass order.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool empty() const { return diagnostics.empty(); }
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool has_errors() const { return error_count() > 0; }
+
+  /// Number of diagnostics with the given code.
+  size_t count(std::string_view code) const;
+  /// First diagnostic with the given code, or nullptr.
+  const Diagnostic* find(std::string_view code) const;
+
+  /// One line per diagnostic plus a trailing summary line; empty string
+  /// when the report is clean.
+  std::string to_text() const;
+  /// {"diagnostics":[...],"errors":N,"warnings":M}
+  std::string to_json() const;
+};
+
+}  // namespace p2g::analysis

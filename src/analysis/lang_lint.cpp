@@ -1,0 +1,115 @@
+#include "analysis/lang_lint.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/driver.h"
+#include "lang/interp.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace p2g::analysis {
+namespace {
+
+/// Source lines of one kernel's declarations, indexed the same way the
+/// built Program indexes them: fetch decl i <-> i-th top-level fetch
+/// statement, store decl s <-> the store statement sema annotated with
+/// slot s (Stmt::rank).
+struct KernelLines {
+  int line = 0;
+  std::vector<int> fetch_lines;
+  std::vector<int> store_lines;
+};
+
+void collect_store_lines(const lang::Block& block,
+                         std::vector<int>& store_lines) {
+  for (const lang::StmtPtr& stmt : block) {
+    if (stmt->kind == lang::Stmt::Kind::kStore) {
+      const auto slot = static_cast<size_t>(stmt->rank);
+      if (slot >= store_lines.size()) store_lines.resize(slot + 1, 0);
+      store_lines[slot] = stmt->line;
+    }
+    collect_store_lines(stmt->body, store_lines);
+    collect_store_lines(stmt->else_body, store_lines);
+  }
+}
+
+struct LineTables {
+  std::map<std::string, int> fields;
+  std::map<std::string, KernelLines> kernels;
+};
+
+/// `module` must already be analyzed (store slots annotated).
+LineTables build_line_tables(const lang::ModuleAst& module,
+                             const lang::ModuleInfo& info) {
+  LineTables tables;
+  for (const lang::FieldDefAst& f : module.fields) {
+    tables.fields[f.name] = f.line;
+  }
+  for (size_t ki = 0; ki < module.kernels.size(); ++ki) {
+    const lang::KernelDefAst& k = module.kernels[ki];
+    KernelLines lines;
+    lines.line = k.line;
+    for (size_t fetch_stmt : info.kernels[ki].fetch_statements) {
+      lines.fetch_lines.push_back(k.body[fetch_stmt]->line);
+    }
+    collect_store_lines(k.body, lines.store_lines);
+    tables.kernels[k.name] = std::move(lines);
+  }
+  return tables;
+}
+
+void annotate(Anchor& anchor, const LineTables& tables) {
+  switch (anchor.kind) {
+    case Anchor::Kind::kNone:
+      return;
+    case Anchor::Kind::kField: {
+      const auto it = tables.fields.find(anchor.name);
+      if (it != tables.fields.end()) anchor.line = it->second;
+      return;
+    }
+    case Anchor::Kind::kKernel:
+    case Anchor::Kind::kFetch:
+    case Anchor::Kind::kStore: {
+      const auto it = tables.kernels.find(anchor.name);
+      if (it == tables.kernels.end()) return;
+      if (anchor.kind == Anchor::Kind::kKernel) {
+        anchor.line = it->second.line;
+      } else {
+        const std::vector<int>& lines = anchor.kind == Anchor::Kind::kFetch
+                                            ? it->second.fetch_lines
+                                            : it->second.store_lines;
+        if (anchor.statement < lines.size()) {
+          anchor.line = lines[anchor.statement];
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_source(const std::string& source, const LintOptions& options) {
+  lang::ModuleAst module = lang::parse_module(source);
+  const lang::ModuleInfo info = lang::analyze(module);
+  const LineTables tables = build_line_tables(module, info);
+
+  // compile_to_program re-runs analyze internally; the annotation it makes
+  // (store slots) is deterministic, so the tables above stay valid.
+  const lang::CompiledModule compiled =
+      lang::compile_to_program(std::move(module));
+  LintReport report = lint(compiled.program, options);
+  for (Diagnostic& d : report.diagnostics) {
+    annotate(d.primary, tables);
+    annotate(d.secondary, tables);
+  }
+  return report;
+}
+
+LintReport lint_file(const std::string& path, const LintOptions& options) {
+  return lint_source(lang::read_file(path), options);
+}
+
+}  // namespace p2g::analysis

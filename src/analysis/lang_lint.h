@@ -1,0 +1,22 @@
+// p2g-lint front end for kernel-language source: parses and compiles a
+// .p2g module, runs the static checks of lint.h over the resulting
+// Program, and annotates every diagnostic anchor with the source line of
+// the fetch/store statement (or kernel/field definition) it points at.
+#pragma once
+
+#include <string>
+
+#include "analysis/lint.h"
+
+namespace p2g::analysis {
+
+/// Lints kernel-language source. Parse and sema errors surface as the
+/// usual kParse/kSema exceptions — only a well-formed module reaches the
+/// lint passes.
+LintReport lint_source(const std::string& source,
+                       const LintOptions& options = {});
+
+/// Reads and lints a .p2g file; throws kIo when unreadable.
+LintReport lint_file(const std::string& path, const LintOptions& options = {});
+
+}  // namespace p2g::analysis

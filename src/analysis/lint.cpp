@@ -1,0 +1,581 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/dependency.h"
+
+namespace p2g::analysis {
+namespace {
+
+constexpr Age kInfeasible = DependencyAnalyzer::kInfeasible;
+
+/// Concrete ages a statement may touch: a point {lo} for constant ages, a
+/// half-open ray [lo, inf) for relative ages of a feasible kernel.
+struct AgeSet {
+  bool feasible = false;
+  Age lo = 0;
+  bool unbounded = false;
+};
+
+AgeSet age_set_of(const AgeExpr& age, Age kernel_first) {
+  AgeSet s;
+  if (age.kind == AgeExpr::Kind::kConst) {
+    s.feasible = age.value >= 0;
+    s.lo = age.value;
+    return s;
+  }
+  if (kernel_first >= kInfeasible) return s;  // kernel never runs
+  s.feasible = true;
+  s.lo = std::max<Age>(kernel_first + age.value, 0);
+  s.unbounded = true;
+  return s;
+}
+
+bool age_sets_intersect(const AgeSet& a, const AgeSet& b, Age* example) {
+  if (!a.feasible || !b.feasible) return false;
+  const Age lo = std::max(a.lo, b.lo);
+  const Age hi_a = a.unbounded ? std::numeric_limits<Age>::max() : a.lo;
+  const Age hi_b = b.unbounded ? std::numeric_limits<Age>::max() : b.lo;
+  if (lo > std::min(hi_a, hi_b)) return false;
+  if (example != nullptr) *example = lo;
+  return true;
+}
+
+bool contains_age(const AgeSet& s, Age v) {
+  return s.feasible && v >= s.lo && (s.unbounded || v == s.lo);
+}
+
+/// May the two slices address a common element? Per dimension, constants
+/// are points and variable/all dimensions cover the full (unknown) extent,
+/// so the only certain separation is two distinct constants.
+bool slices_may_overlap(const nd::SliceSpec& a, const nd::SliceSpec& b) {
+  if (a.is_whole() || b.is_whole()) return true;
+  if (a.rank() != b.rank()) return true;  // rank mismatch: stay conservative
+  for (size_t d = 0; d < a.rank(); ++d) {
+    const nd::SliceDim& x = a.dims()[d];
+    const nd::SliceDim& y = b.dims()[d];
+    if (x.kind == nd::SliceDim::Kind::kConst &&
+        y.kind == nd::SliceDim::Kind::kConst && x.value != y.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string age_to_string(const AgeExpr& age) {
+  if (age.kind == AgeExpr::Kind::kConst) return std::to_string(age.value);
+  if (age.value == 0) return "a";
+  if (age.value > 0) return "a+" + std::to_string(age.value);
+  return "a" + std::to_string(age.value);
+}
+
+std::string slice_to_string(const KernelDef& def, const nd::SliceSpec& slice) {
+  if (slice.is_whole()) return "";
+  std::string out;
+  for (const nd::SliceDim& d : slice.dims()) {
+    out += '[';
+    switch (d.kind) {
+      case nd::SliceDim::Kind::kAll:
+        out += '*';
+        break;
+      case nd::SliceDim::Kind::kVar:
+        out += def.index_vars[static_cast<size_t>(d.var)];
+        break;
+      case nd::SliceDim::Kind::kConst:
+        out += std::to_string(d.value);
+        break;
+    }
+    out += ']';
+  }
+  return out;
+}
+
+std::string store_to_string(const Program& program, const KernelDef& def,
+                            size_t statement) {
+  const StoreDecl& s = def.stores[statement];
+  return "store " + program.field(s.field).name + "(" +
+         age_to_string(s.age) + ")" + slice_to_string(def, s.slice);
+}
+
+std::string fetch_to_string(const Program& program, const KernelDef& def,
+                            size_t statement) {
+  const FetchDecl& f = def.fetches[statement];
+  return "fetch " + program.field(f.field).name + "(" +
+         age_to_string(f.age) + ")" + slice_to_string(def, f.slice);
+}
+
+// --- P2G-W001: write-once conflicts ----------------------------------------
+
+void check_write_conflicts(const Program& program,
+                           const std::vector<Age>& first_feasible,
+                           LintReport& report) {
+  for (const FieldDecl& field : program.fields()) {
+    const auto& producers = program.producers_of(field.id);
+
+    // One statement, many index instances: if a store slice leaves some of
+    // the kernel's index variables unaddressed, instances differing only in
+    // those variables write the same elements at the same age.
+    for (const Program::Use& p : producers) {
+      const KernelDef& def = program.kernel(p.kernel);
+      if (first_feasible[static_cast<size_t>(p.kernel)] >= kInfeasible) {
+        continue;
+      }
+      if (def.index_vars.empty()) continue;
+      const StoreDecl& s = def.stores[p.statement];
+      const std::vector<int> used =
+          s.slice.is_whole() ? std::vector<int>{} : s.slice.vars();
+      std::string missing;
+      for (size_t v = 0; v < def.index_vars.size(); ++v) {
+        if (std::find(used.begin(), used.end(), static_cast<int>(v)) ==
+            used.end()) {
+          if (!missing.empty()) missing += ", ";
+          missing += "'" + def.index_vars[v] + "'";
+        }
+      }
+      if (missing.empty()) continue;
+      Diagnostic d;
+      d.code = kWriteConflict;
+      d.severity = Severity::kError;
+      d.primary = Anchor::store(def.name, p.statement);
+      d.message = store_to_string(program, def, p.statement) +
+                  " does not address index variable(s) " + missing +
+                  "; instances of '" + def.name +
+                  "' that differ only there write overlapping slices of "
+                  "field '" +
+                  field.name + "' at the same age";
+      report.diagnostics.push_back(std::move(d));
+    }
+
+    // Pairs of store statements (across kernels or within one kernel)
+    // whose concrete-age sets intersect and whose slices may overlap.
+    for (size_t i = 0; i < producers.size(); ++i) {
+      const KernelDef& ki = program.kernel(producers[i].kernel);
+      const StoreDecl& si = ki.stores[producers[i].statement];
+      const AgeSet ages_i = age_set_of(
+          si.age, first_feasible[static_cast<size_t>(producers[i].kernel)]);
+      for (size_t j = i + 1; j < producers.size(); ++j) {
+        const KernelDef& kj = program.kernel(producers[j].kernel);
+        const StoreDecl& sj = kj.stores[producers[j].statement];
+        const AgeSet ages_j = age_set_of(
+            sj.age,
+            first_feasible[static_cast<size_t>(producers[j].kernel)]);
+        Age example = 0;
+        if (!age_sets_intersect(ages_i, ages_j, &example)) continue;
+        if (!slices_may_overlap(si.slice, sj.slice)) continue;
+        Diagnostic d;
+        d.code = kWriteConflict;
+        d.severity = Severity::kError;
+        d.primary = Anchor::store(ki.name, producers[i].statement);
+        d.secondary = Anchor::store(kj.name, producers[j].statement);
+        d.message =
+            store_to_string(program, ki, producers[i].statement) + " and " +
+            store_to_string(program, kj, producers[j].statement) +
+            " may write overlapping elements of field '" + field.name +
+            "' at the same concrete age (e.g. age " +
+            std::to_string(example) + ")";
+        report.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+// --- P2G-W002: fetch of a never-stored field -------------------------------
+
+void check_undefined_fetches(const Program& program, LintReport& report) {
+  for (const FieldDecl& field : program.fields()) {
+    if (!program.producers_of(field.id).empty()) continue;
+    for (const Program::Use& c : program.consumers_of(field.id)) {
+      const KernelDef& def = program.kernel(c.kernel);
+      Diagnostic d;
+      d.code = kUndefinedFetch;
+      d.severity = Severity::kError;
+      d.primary = Anchor::fetch(def.name, c.statement);
+      d.secondary = Anchor::field(field.name);
+      d.message = fetch_to_string(program, def, c.statement) +
+                  " reads field '" + field.name +
+                  "' which no kernel stores; instances of '" + def.name +
+                  "' can never run";
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
+// --- P2G-W004: constant ages/indices that can never be satisfied -----------
+
+void check_const_indices(const Program& program,
+                         const std::vector<Age>& first_feasible,
+                         LintReport& report) {
+  const auto negative_const_dims = [&](const nd::SliceSpec& slice,
+                                       const Anchor& anchor,
+                                       const std::string& what) {
+    if (slice.is_whole()) return;
+    for (size_t dim = 0; dim < slice.rank(); ++dim) {
+      const nd::SliceDim& d = slice.dims()[dim];
+      if (d.kind == nd::SliceDim::Kind::kConst && d.value < 0) {
+        Diagnostic diag;
+        diag.code = kBadConstIndex;
+        diag.severity = Severity::kError;
+        diag.primary = anchor;
+        diag.message = what + " uses constant index " +
+                       std::to_string(d.value) + " in dimension " +
+                       std::to_string(dim) + "; indices start at 0";
+        report.diagnostics.push_back(std::move(diag));
+      }
+    }
+  };
+
+  for (const KernelDef& def : program.kernels()) {
+    for (size_t i = 0; i < def.stores.size(); ++i) {
+      const StoreDecl& s = def.stores[i];
+      const Anchor anchor = Anchor::store(def.name, i);
+      if (s.age.kind == AgeExpr::Kind::kConst && s.age.value < 0) {
+        Diagnostic d;
+        d.code = kBadConstIndex;
+        d.severity = Severity::kError;
+        d.primary = anchor;
+        d.message = store_to_string(program, def, i) +
+                    " targets constant age " + std::to_string(s.age.value) +
+                    "; ages start at 0";
+        report.diagnostics.push_back(std::move(d));
+      }
+      negative_const_dims(s.slice, anchor, store_to_string(program, def, i));
+    }
+
+    for (size_t i = 0; i < def.fetches.size(); ++i) {
+      const FetchDecl& f = def.fetches[i];
+      const Anchor anchor = Anchor::fetch(def.name, i);
+      const std::string text = fetch_to_string(program, def, i);
+      if (f.age.kind == AgeExpr::Kind::kConst && f.age.value < 0) {
+        Diagnostic d;
+        d.code = kBadConstIndex;
+        d.severity = Severity::kError;
+        d.primary = anchor;
+        d.message = text + " reads constant age " +
+                    std::to_string(f.age.value) + "; ages start at 0";
+        report.diagnostics.push_back(std::move(d));
+        continue;
+      }
+      negative_const_dims(f.slice, anchor, text);
+
+      // Coverage of constant ages / constant indices against the field's
+      // feasible producers (skipped entirely when the field has none —
+      // that is W002's finding, or when every producer is unreachable —
+      // that is W006's).
+      std::vector<const StoreDecl*> feasible;
+      std::vector<AgeSet> feasible_ages;
+      for (const Program::Use& p : program.producers_of(f.field)) {
+        const Age ff = first_feasible[static_cast<size_t>(p.kernel)];
+        if (ff >= kInfeasible) continue;
+        const StoreDecl& s = program.kernel(p.kernel).stores[p.statement];
+        const AgeSet ages = age_set_of(s.age, ff);
+        if (!ages.feasible) continue;
+        feasible.push_back(&s);
+        feasible_ages.push_back(ages);
+      }
+      if (feasible.empty()) continue;
+
+      if (f.age.kind == AgeExpr::Kind::kConst) {
+        bool covered = false;
+        std::string produced;
+        for (size_t p = 0; p < feasible.size(); ++p) {
+          if (contains_age(feasible_ages[p], f.age.value)) covered = true;
+          if (!produced.empty()) produced += ", ";
+          produced += std::to_string(feasible_ages[p].lo);
+          if (feasible_ages[p].unbounded) produced += "+";
+        }
+        if (!covered) {
+          Diagnostic d;
+          d.code = kBadConstIndex;
+          d.severity = Severity::kError;
+          d.primary = anchor;
+          d.secondary = Anchor::field(program.field(f.field).name);
+          d.message = text + " reads constant age " +
+                      std::to_string(f.age.value) +
+                      " which no producer ever writes (produced ages: " +
+                      produced + ")";
+          report.diagnostics.push_back(std::move(d));
+        }
+      }
+
+      if (f.slice.is_whole()) continue;
+      for (size_t dim = 0; dim < f.slice.rank(); ++dim) {
+        const nd::SliceDim& d = f.slice.dims()[dim];
+        if (d.kind != nd::SliceDim::Kind::kConst || d.value < 0) continue;
+        bool covered = false;
+        std::string produced;
+        for (const StoreDecl* s : feasible) {
+          if (s->slice.is_whole() || dim >= s->slice.rank() ||
+              s->slice.dims()[dim].kind != nd::SliceDim::Kind::kConst) {
+            covered = true;  // variable/all extent may reach the index
+            break;
+          }
+          if (s->slice.dims()[dim].value == d.value) {
+            covered = true;
+            break;
+          }
+          if (!produced.empty()) produced += ", ";
+          produced += std::to_string(s->slice.dims()[dim].value);
+        }
+        if (!covered) {
+          Diagnostic diag;
+          diag.code = kBadConstIndex;
+          diag.severity = Severity::kError;
+          diag.primary = anchor;
+          diag.secondary = Anchor::field(program.field(f.field).name);
+          diag.message = text + " reads constant index " +
+                         std::to_string(d.value) + " in dimension " +
+                         std::to_string(dim) +
+                         " which no producer ever writes (stored indices: " +
+                         produced + ")";
+          report.diagnostics.push_back(std::move(diag));
+        }
+      }
+    }
+  }
+}
+
+// --- P2G-W003: dependency cycles with zero net aging -----------------------
+
+struct AgingEdge {
+  size_t from;  ///< producer kernel
+  size_t to;    ///< consumer kernel
+  int64_t offset;  ///< store offset - fetch offset (ages of slack per turn)
+  FieldId via;
+};
+
+/// Collects every (relative store, relative fetch) pair as a kernel->kernel
+/// edge. Constant ages on either side break the age recurrence (a fixed age
+/// is written/read once, not once per iteration) and are excluded.
+std::vector<AgingEdge> aging_edges(const Program& program) {
+  std::vector<AgingEdge> edges;
+  for (const FieldDecl& field : program.fields()) {
+    for (const Program::Use& p : program.producers_of(field.id)) {
+      const StoreDecl& s = program.kernel(p.kernel).stores[p.statement];
+      if (s.age.kind != AgeExpr::Kind::kRelative) continue;
+      for (const Program::Use& c : program.consumers_of(field.id)) {
+        const FetchDecl& f = program.kernel(c.kernel).fetches[c.statement];
+        if (f.age.kind != AgeExpr::Kind::kRelative) continue;
+        edges.push_back(AgingEdge{static_cast<size_t>(p.kernel),
+                                  static_cast<size_t>(c.kernel),
+                                  s.age.value - f.age.value, field.id});
+      }
+    }
+  }
+  return edges;
+}
+
+/// Strongly connected components over the aging edges (Tarjan).
+std::vector<std::vector<size_t>> components(size_t n,
+                                            const std::vector<AgingEdge>& edges) {
+  std::vector<std::vector<size_t>> adjacency(n);
+  for (const AgingEdge& e : edges) adjacency[e.from].push_back(e.to);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> sccs;
+  int next_index = 0;
+
+  std::function<void(size_t)> strongconnect = [&](size_t v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (size_t w : adjacency[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<size_t> scc;
+      size_t w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+      } while (w != v);
+      sccs.push_back(std::move(scc));
+    }
+  };
+  for (size_t v = 0; v < n; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+  return sccs;
+}
+
+void check_aging_cycles(const Program& program, LintReport& report,
+                        std::set<std::string>& cycle_kernels) {
+  const size_t n = program.kernels().size();
+  const std::vector<AgingEdge> edges = aging_edges(program);
+
+  for (const std::vector<size_t>& scc : components(n, edges)) {
+    // Local subgraph of the component.
+    std::map<size_t, size_t> local_of;
+    for (size_t i = 0; i < scc.size(); ++i) local_of[scc[i]] = i;
+    struct LocalEdge {
+      size_t from, to;
+      int64_t w;       ///< transformed weight
+      size_t global;   ///< index into `edges`
+    };
+    std::vector<LocalEdge> local;
+    const auto local_n = static_cast<int64_t>(scc.size());
+    for (size_t ei = 0; ei < edges.size(); ++ei) {
+      const auto fit = local_of.find(edges[ei].from);
+      const auto tit = local_of.find(edges[ei].to);
+      if (fit == local_of.end() || tit == local_of.end()) continue;
+      // A cycle of length L <= local_n has transformed weight
+      // sum(offset) * (local_n + 1) - L, which is negative iff
+      // sum(offset) <= 0 — so Bellman-Ford negative-cycle detection finds
+      // exactly the cycles aging cannot unroll.
+      local.push_back(LocalEdge{fit->second, tit->second,
+                                edges[ei].offset * (local_n + 1) - 1, ei});
+    }
+    if (local.empty()) continue;
+
+    std::vector<int64_t> dist(scc.size(), 0);
+    std::vector<int> pred(scc.size(), -1);
+    int witness = -1;
+    for (size_t iter = 0; iter <= scc.size(); ++iter) {
+      bool relaxed = false;
+      for (size_t li = 0; li < local.size(); ++li) {
+        const LocalEdge& e = local[li];
+        if (dist[e.from] + e.w < dist[e.to]) {
+          dist[e.to] = dist[e.from] + e.w;
+          pred[e.to] = static_cast<int>(li);
+          relaxed = true;
+          if (iter == scc.size()) witness = static_cast<int>(e.to);
+        }
+      }
+      if (!relaxed) break;
+    }
+    if (witness < 0) continue;  // every cycle here ages forward
+
+    // Walk predecessors |scc| steps to land on the negative cycle, then
+    // collect it.
+    size_t at = static_cast<size_t>(witness);
+    for (size_t i = 0; i < scc.size(); ++i) {
+      at = local[static_cast<size_t>(pred[at])].from;
+    }
+    std::vector<size_t> cycle;  // local edge indices, reversed
+    size_t cur = at;
+    do {
+      const auto li = static_cast<size_t>(pred[cur]);
+      cycle.push_back(li);
+      cur = local[li].from;
+    } while (cur != at);
+    std::reverse(cycle.begin(), cycle.end());
+
+    int64_t net = 0;
+    std::string path = program.kernel(
+        static_cast<KernelId>(scc[local[cycle.front()].from])).name;
+    for (size_t li : cycle) {
+      const AgingEdge& e = edges[local[li].global];
+      net += e.offset;
+      path += " -[" + program.field(e.via).name + "]-> " +
+              program.kernel(static_cast<KernelId>(e.to)).name;
+      cycle_kernels.insert(
+          program.kernel(static_cast<KernelId>(e.from)).name);
+      cycle_kernels.insert(program.kernel(static_cast<KernelId>(e.to)).name);
+    }
+
+    Diagnostic d;
+    d.code = kZeroAgingCycle;
+    d.severity = Severity::kError;
+    d.primary = Anchor::kernel(
+        program.kernel(static_cast<KernelId>(scc[local[cycle.front()].from]))
+            .name);
+    d.message = "dependency cycle with net aging " + std::to_string(net) +
+                " per turn: " + path +
+                "; every instance depends on one at the same or a later "
+                "age, so aging can never unroll the cycle (guaranteed "
+                "deadlock)";
+    report.diagnostics.push_back(std::move(d));
+  }
+}
+
+// --- P2G-W005 / P2G-W006: unused fields, unreachable kernels ---------------
+
+void check_unused(const Program& program,
+                  const std::vector<Age>& first_feasible,
+                  const std::set<std::string>& cycle_kernels,
+                  LintReport& report) {
+  for (const FieldDecl& field : program.fields()) {
+    if (!program.producers_of(field.id).empty() ||
+        !program.consumers_of(field.id).empty()) {
+      continue;
+    }
+    Diagnostic d;
+    d.code = kUnusedField;
+    d.severity = Severity::kWarning;
+    d.primary = Anchor::field(field.name);
+    d.message = "field '" + field.name + "' is never stored nor fetched";
+    report.diagnostics.push_back(std::move(d));
+  }
+
+  for (const KernelDef& def : program.kernels()) {
+    if (first_feasible[static_cast<size_t>(def.id)] < kInfeasible) continue;
+    // Root-caused elsewhere: part of a reported deadlock cycle, or already
+    // carrying an error (undefined fetch, unsatisfiable constant).
+    if (cycle_kernels.count(def.name) > 0) continue;
+    bool has_error = false;
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.severity == Severity::kError && d.primary.name == def.name &&
+          d.primary.kind != Anchor::Kind::kField) {
+        has_error = true;
+        break;
+      }
+    }
+    if (has_error) continue;
+    Diagnostic d;
+    d.code = kUnreachableKernel;
+    d.severity = Severity::kWarning;
+    d.primary = Anchor::kernel(def.name);
+    d.message = "kernel '" + def.name +
+                "' can never run: no chain of stores ever satisfies all of "
+                "its fetches";
+    report.diagnostics.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+LintReport lint(const Program& program, const LintOptions& options) {
+  LintReport report;
+  const std::vector<Age> first_feasible =
+      DependencyAnalyzer::first_feasible_ages(program);
+  check_write_conflicts(program, first_feasible, report);
+  check_undefined_fetches(program, report);
+  check_const_indices(program, first_feasible, report);
+  std::set<std::string> cycle_kernels;
+  check_aging_cycles(program, report, cycle_kernels);
+  if (options.warn_unused) {
+    check_unused(program, first_feasible, cycle_kernels, report);
+  }
+  return report;
+}
+
+}  // namespace p2g::analysis
+
+namespace p2g {
+
+analysis::LintReport Program::validate(bool throw_on_error) const {
+  analysis::LintReport report = analysis::lint(*this);
+  if (throw_on_error && report.has_errors()) {
+    throw_error(ErrorKind::kSema,
+                "program failed static validation:\n" + report.to_text());
+  }
+  return report;
+}
+
+}  // namespace p2g

@@ -1,0 +1,48 @@
+// p2g-lint: static analysis over built Programs.
+//
+// P2G's determinism rests on two properties the builder cannot check
+// statement-locally: write-once per (field, age, element), and cyclic
+// dependency graphs being unrollable through aging. p2g-lint verifies both
+// symbolically from the fetch/store declarations alone:
+//
+//   P2G-W001  write-once conflict: two store statements (or two index
+//             instances of one statement) may write overlapping slices of
+//             the same field at the same concrete age.
+//   P2G-W002  fetch of a field no kernel ever stores.
+//   P2G-W003  dependency cycle with zero (or negative) net aging — aging
+//             can never unroll it, so it is a guaranteed deadlock.
+//   P2G-W004  constant age/index that is out of bounds or provably never
+//             written by any producer.
+//   P2G-W005  field that is never stored nor fetched (warning).
+//   P2G-W006  kernel whose fetches can never all be satisfied (warning).
+//
+// The age analysis is interval-based: a constant-age statement touches
+// exactly {v}; a relative statement of a kernel whose first feasible age is
+// f (DependencyAnalyzer::first_feasible_ages) touches [f + offset, inf).
+// Slice overlap uses a per-dimension lattice where a constant dimension is
+// a point and variable/all dimensions are the full extent, so two slices
+// are reported only when they *may* overlap in every dimension. Both
+// directions are conservative in opposite ways on purpose: every reported
+// W001 describes a pair that can collide under some extent, and partitions
+// separated by distinct constants are never reported.
+//
+// Entry points: lint() here, Program::validate(), lint_source() in
+// lang_lint.h (adds source line numbers), and the p2glint CLI in tools/.
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "core/program.h"
+
+namespace p2g::analysis {
+
+struct LintOptions {
+  /// Emit the warning-severity checks (P2G-W005 unused field, P2G-W006
+  /// unreachable kernel). Errors are always emitted.
+  bool warn_unused = true;
+};
+
+/// Runs every static check over a built program. Never throws on findings;
+/// inspect LintReport::has_errors().
+LintReport lint(const Program& program, const LintOptions& options = {});
+
+}  // namespace p2g::analysis

@@ -4,7 +4,39 @@
 
 namespace p2g {
 
+std::string StoreOrigin::to_string() const {
+  std::string out = "kernel '" + kernel + "' instance age " +
+                    std::to_string(age);
+  if (!indices.empty()) out += " " + nd::to_string(indices);
+  return out;
+}
+
 FieldStorage::FieldStorage(FieldDecl decl) : decl_(std::move(decl)) {}
+
+void FieldStorage::throw_write_once(const AgeData& ad, Age age,
+                                    const nd::Region& conflict,
+                                    const StoreOrigin* origin) const {
+  std::string msg = "region " + conflict.to_string() + " of field " +
+                    decl_.name + " age " + std::to_string(age) +
+                    " overlaps previously written elements";
+  if (origin != nullptr) {
+    msg += "; writer: " + origin->to_string();
+  }
+  // With provenance tracking on (RunOptions::checked), name the earlier
+  // writers of the overlapping elements — this turns the error into a
+  // two-sided race report.
+  size_t listed = 0;
+  for (const auto& [region, writer] : ad.writers) {
+    if (conflict.intersect(region).empty()) continue;
+    msg += listed == 0 ? "; previously written by " : ", ";
+    msg += writer.to_string() + " storing " + region.to_string();
+    if (++listed == 4) {
+      msg += ", ...";
+      break;
+    }
+  }
+  throw_error(ErrorKind::kWriteOnceViolation, msg);
+}
 
 FieldStorage::AgeData& FieldStorage::age_data(Age age) {
   auto it = ages_.find(age);
@@ -46,7 +78,8 @@ void FieldStorage::grow(AgeData& data, const nd::Extents& new_extents) {
 }
 
 StoreResult FieldStorage::store(Age age, const nd::Region& region,
-                                const std::byte* data) {
+                                const std::byte* data,
+                                const StoreOrigin* origin) {
   check_argument(age >= 0, "field ages start at 0");
   check_argument(region.rank() == decl_.rank,
                  "store region rank mismatch on field " + decl_.name);
@@ -77,34 +110,33 @@ StoreResult FieldStorage::store(Age age, const nd::Region& region,
     const auto end = begin + static_cast<size_t>(span->length);
     if (ad.written.set_range(begin, end) !=
         static_cast<size_t>(span->length)) {
-      throw_error(ErrorKind::kWriteOnceViolation,
-                  "region " + region.to_string() + " of field " +
-                      decl_.name + " age " + std::to_string(age) +
-                      " overlaps previously written elements");
+      throw_write_once(ad, age, region, origin);
     }
   } else {
     region.for_each([&](const nd::Coord& coord) {
       const auto flat = static_cast<size_t>(ext.flatten(coord));
       if (!ad.written.set(flat)) {
-        throw_error(ErrorKind::kWriteOnceViolation,
-                    "element " + nd::to_string(coord) + " of field " +
-                        decl_.name + " age " + std::to_string(age) +
-                        " was already written");
+        throw_write_once(ad, age, nd::Region::point(coord), origin);
       }
     });
+  }
+  if (track_writers_) {
+    ad.writers.emplace_back(region,
+                            origin != nullptr ? *origin : StoreOrigin{});
   }
   ad.buffer.scatter(region, data);
   result.extents = ext;
   return result;
 }
 
-StoreResult FieldStorage::store_whole(Age age, const nd::AnyBuffer& data) {
+StoreResult FieldStorage::store_whole(Age age, const nd::AnyBuffer& data,
+                                      const StoreOrigin* origin) {
   check_argument(data.type() == decl_.type,
                  "store_whole type mismatch on field " + decl_.name);
   check_argument(data.extents().rank() == decl_.rank,
                  "store_whole rank mismatch on field " + decl_.name);
   const nd::Region region = nd::Region::whole(data.extents());
-  return store(age, region, data.raw());
+  return store(age, region, data.raw(), origin);
 }
 
 void FieldStorage::seal(Age age, const nd::Extents& extents) {

@@ -36,6 +36,18 @@ struct StoreResult {
   nd::Extents extents;        ///< extents after the store
 };
 
+/// Identity of the kernel instance performing a store, passed down so a
+/// write-once violation names the offending writer (and, in checked mode,
+/// the previous writer of the same elements).
+struct StoreOrigin {
+  std::string kernel;   ///< kernel name ("injected" for remote stores)
+  Age age = 0;          ///< instance age
+  nd::Coord indices;    ///< instance index-variable values
+
+  /// "kernel 'mul2' instance age 3 [2]"
+  std::string to_string() const;
+};
+
 /// Runtime storage of one field across all live ages. Thread-safe.
 class FieldStorage {
  public:
@@ -45,12 +57,22 @@ class FieldStorage {
 
   /// Stores a densely packed region payload into (age, region), enforcing
   /// write-once per element. Grows extents when the region does not fit and
-  /// the age is not sealed; throws kOutOfRange if it is.
-  StoreResult store(Age age, const nd::Region& region, const std::byte* data);
+  /// the age is not sealed; throws kOutOfRange if it is. `origin`, when
+  /// given, is named in the write-once violation error (and recorded per
+  /// region under track_writers).
+  StoreResult store(Age age, const nd::Region& region, const std::byte* data,
+                    const StoreOrigin* origin = nullptr);
 
   /// Stores a whole array as (age)'s complete content. The age's extents
   /// become at least the buffer's extents.
-  StoreResult store_whole(Age age, const nd::AnyBuffer& data);
+  StoreResult store_whole(Age age, const nd::AnyBuffer& data,
+                          const StoreOrigin* origin = nullptr);
+
+  /// Checked mode (RunOptions::checked): record the origin of every store
+  /// per (age, region) so a write-once violation can also report who wrote
+  /// the overlapping elements first. Costs one (Region, StoreOrigin) copy
+  /// per store; off by default.
+  void track_writers(bool enabled) { track_writers_ = enabled; }
 
   /// Marks the age's extents as final (grows the buffer if needed). Called
   /// by the dependency analyzer when all producers are accounted for.
@@ -96,6 +118,8 @@ class FieldStorage {
     /// that is sealed but never stored — e.g. the elided intermediate of a
     /// fused pipeline — costs no memory).
     nd::Extents sealed_extents;
+    /// Writer provenance, only populated under track_writers.
+    std::vector<std::pair<nd::Region, StoreOrigin>> writers;
 
     nd::Extents current_extents() const {
       return sealed ? sealed_extents : buffer.extents();
@@ -108,7 +132,14 @@ class FieldStorage {
   /// Grows buffer + written-bitmap to new extents, remapping set bits.
   void grow(AgeData& data, const nd::Extents& new_extents);
 
+  /// Builds and throws the kWriteOnceViolation error for a store hitting
+  /// already-written elements of `conflict` (caller holds the lock).
+  [[noreturn]] void throw_write_once(const AgeData& ad, Age age,
+                                     const nd::Region& conflict,
+                                     const StoreOrigin* origin) const;
+
   FieldDecl decl_;
+  bool track_writers_ = false;
   mutable std::mutex mutex_;
   std::map<Age, AgeData> ages_;
 };

@@ -27,6 +27,10 @@
 
 namespace p2g {
 
+namespace analysis {
+struct LintReport;
+}
+
 /// Builder-side slice: dimensions address index variables by *name*;
 /// ProgramBuilder::build() resolves names to variable ids.
 class Slice {
@@ -125,6 +129,14 @@ class Program {
   };
   const std::vector<Use>& consumers_of(FieldId field) const;
   const std::vector<Use>& producers_of(FieldId field) const;
+
+  /// Runs the p2g-lint static checks (src/analysis/lint.h) over this
+  /// program: write-once conflicts, undefined fetches, non-unrollable
+  /// cycles, unsatisfiable constant indices, unused fields/kernels. Throws
+  /// ErrorKind::kSema when `throw_on_error` and an error-severity
+  /// diagnostic was found; otherwise returns the full report. Defined in
+  /// src/analysis/lint.cpp — callers must link p2g_analysis.
+  analysis::LintReport validate(bool throw_on_error = true) const;
 
  private:
   friend class ProgramBuilder;

@@ -18,6 +18,7 @@ Runtime::Runtime(Program program, RunOptions options)
   storages_.reserve(program_.fields().size());
   for (const FieldDecl& decl : program_.fields()) {
     storages_.push_back(std::make_unique<FieldStorage>(decl));
+    if (options_.checked) storages_.back()->track_writers(true);
   }
   kcfg_.resize(program_.kernels().size());
   if (options_.trace_path) trace_ = std::make_unique<TraceCollector>();
@@ -252,7 +253,12 @@ void Runtime::complete_outstanding() {
 void Runtime::inject_store(FieldId field, Age age, const nd::Region& region,
                            KernelId producer, size_t store_decl, bool whole,
                            const std::byte* payload) {
-  storage(field).store(age, region, payload);
+  StoreOrigin origin;
+  origin.kernel = producer != kInvalidKernel
+                      ? program_.kernel(producer).name
+                      : std::string("injected");
+  origin.age = age;
+  storage(field).store(age, region, payload, &origin);
   StoreEvent event;
   event.field = field;
   event.age = age;
@@ -396,6 +402,10 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
     check_argument(ga >= 0, "kernel '" + def.name +
                                 "' stored to a negative age");
     FieldStorage& fs = storage(d.field);
+    StoreOrigin origin;
+    origin.kernel = def.name;
+    origin.age = ctx.age();
+    origin.indices = ctx.indices();
 
     StoreEvent event;
     event.field = d.field;
@@ -407,7 +417,7 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
       check_argument(p.data.extents().rank() == fd.rank,
                      "kernel '" + def.name + "' whole-store rank mismatch "
                      "on field '" + fd.name + "'");
-      fs.store_whole(ga, p.data);
+      fs.store_whole(ga, p.data, &origin);
       event.region = nd::Region::whole(p.data.extents());
       event.whole = true;
     } else {
@@ -456,7 +466,7 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
                          " elements but the store region " +
                          region.to_string() + " needs " +
                          std::to_string(region.element_count()));
-      fs.store(ga, region, p.data.raw());
+      fs.store(ga, region, p.data.raw(), &origin);
       event.region = std::move(region);
     }
     if (options_.store_tap) options_.store_tap(event);

@@ -72,6 +72,13 @@ struct RunOptions {
   std::optional<std::chrono::milliseconds> watchdog;
   /// Oldest-first dispatch (paper §VI-B). false = plain FIFO (ablation).
   bool age_priority = true;
+  /// Checked mode: record writer provenance per (field, age, region) so a
+  /// write-once violation reports *both* offending kernel instances and
+  /// their slices instead of just the second one. Costs one small record
+  /// per store; use for debugging double-write errors, not production
+  /// runs. (Unlike P2G_SANITIZE=thread this catches semantic write-once
+  /// races even when the two stores never overlap in time.)
+  bool checked = false;
 
   // --- hooks for distributed operation (src/dist) --------------------------
 

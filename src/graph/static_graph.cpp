@@ -73,7 +73,10 @@ FinalGraph FinalGraph::from_program(const Program& program) {
     g.node_weights.push_back(1.0);
   }
   // Merge through each field: every (producer store, consumer fetch) pair
-  // becomes a direct kernel->kernel edge (deduplicated per field pair).
+  // becomes a direct kernel->kernel edge, deduplicated per field pair by
+  // keeping the *minimum* age offset (the tightest dependency). Keeping
+  // the first pair instead would let an aging pair shadow a zero-offset
+  // pair between the same kernels and hide a zero-offset cycle.
   std::map<std::tuple<KernelId, KernelId, FieldId>, size_t> seen;
   for (const FieldDecl& f : program.fields()) {
     for (const Program::Use& producer : program.producers_of(f.id)) {
@@ -85,12 +88,19 @@ FinalGraph FinalGraph::from_program(const Program& program) {
         const int64_t offset =
             (s.age.kind == AgeExpr::Kind::kRelative ? s.age.value : 0) -
             (fd.age.kind == AgeExpr::Kind::kRelative ? fd.age.value : 0);
+        const bool relative = s.age.kind == AgeExpr::Kind::kRelative &&
+                              fd.age.kind == AgeExpr::Kind::kRelative;
         const auto key =
             std::make_tuple(producer.kernel, consumer.kernel, f.id);
-        if (seen.count(key)) continue;
-        seen.emplace(key, g.edges.size());
-        g.edges.push_back(
-            Edge{producer.kernel, consumer.kernel, f.id, offset, 1.0});
+        const auto it = seen.find(key);
+        if (it == seen.end()) {
+          seen.emplace(key, g.edges.size());
+          g.edges.push_back(Edge{producer.kernel, consumer.kernel, f.id,
+                                 offset, 1.0, relative});
+        } else if (offset < g.edges[it->second].age_offset) {
+          g.edges[it->second].age_offset = offset;
+          g.edges[it->second].relative = relative;
+        }
       }
     }
   }

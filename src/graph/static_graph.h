@@ -52,6 +52,10 @@ struct FinalGraph {
     FieldId via;          ///< the merged field
     int64_t age_offset;   ///< producer store offset minus consumer fetch
     double weight = 1.0;  ///< communication weight (instrumented traffic)
+    /// True when both the store and the fetch use relative ages — the pair
+    /// forms a per-age recurrence. Constant ages on either side touch one
+    /// fixed age only and cannot carry an aging cycle.
+    bool relative = true;
   };
 
   std::vector<std::string> kernel_names;  ///< indexed by KernelId

@@ -22,7 +22,11 @@ void put_u16(std::vector<uint8_t>& out, uint16_t v) {
 }
 
 void put_fourcc(std::vector<uint8_t>& out, const char* cc) {
-  out.insert(out.end(), cc, cc + 4);
+  // Byte-wise on purpose: range insert here trips GCC 12's
+  // -Wstringop-overflow false positive under -O2.
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(cc[i]));
+  }
 }
 
 /// Patches a previously reserved little-endian u32.

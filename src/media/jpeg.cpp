@@ -204,8 +204,8 @@ namespace {
 
 /// Streaming decoder state.
 struct Decoder {
-  const uint8_t* data;
-  size_t size;
+  const uint8_t* data = nullptr;
+  size_t size = 0;
   size_t pos = 0;
 
   int width = 0;
@@ -297,7 +297,9 @@ void parse_sof0(Decoder& d) {
 }  // namespace
 
 YuvFrame decode_jpeg(const uint8_t* data, size_t size) {
-  Decoder d{data, size};
+  Decoder d;
+  d.data = data;
+  d.size = size;
   check_argument(d.u8() == 0xFF && d.u8() == kSOI, "missing SOI marker");
 
   bool in_scan = false;

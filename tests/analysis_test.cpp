@@ -1,0 +1,315 @@
+// Tests for p2g-lint (src/analysis): the write-once slice/age overlap
+// analysis, undefined-fetch and constant-index checks, zero-net-aging
+// cycle detection, unused/unreachable warnings, Program::validate(), and
+// the text/JSON renderings.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/lint.h"
+#include "common/error.h"
+#include "core/program.h"
+#include "media/yuv.h"
+#include "workloads/kmeans.h"
+#include "workloads/mjpeg_workload.h"
+#include "workloads/motion.h"
+#include "workloads/mul2plus5.h"
+
+namespace p2g::analysis {
+namespace {
+
+// Lint never executes kernel bodies; give every kernel a no-op one so the
+// builder accepts the program.
+KernelBuilder& nop_kernel(ProgramBuilder& pb, const std::string& name) {
+  return pb.kernel(name).body([](KernelContext&) {});
+}
+
+// Two kernels writing the same slice of the same field at the same ages.
+Program conflicting_writers() {
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 1);
+  pb.field("dst", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"seed").store("out", "src", AgeExpr::relative(0), Slice());
+  nop_kernel(pb,"writer_a")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "dst", AgeExpr::relative(0), Slice().var("x"));
+  nop_kernel(pb,"writer_b")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "dst", AgeExpr::relative(0), Slice().var("x"));
+  return pb.build();
+}
+
+TEST(Lint, OverlappingStoresAcrossKernels) {
+  const LintReport report = lint(conflicting_writers());
+  ASSERT_EQ(report.count(kWriteConflict), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kWriteConflict);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->primary.kind, Anchor::Kind::kStore);
+  EXPECT_EQ(d->primary.name, "writer_a");
+  EXPECT_EQ(d->secondary.name, "writer_b");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Lint, SelfConflictWhenStoreIgnoresAnIndexVariable) {
+  // Every (x, y) instance stores dst[x] — instances differing only in y
+  // collide.
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 2);
+  pb.field("dst", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"seed").store("out", "src", AgeExpr::relative(0), Slice());
+  nop_kernel(pb,"collapse")
+      .index("x")
+      .index("y")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x").var("y"))
+      .store("out", "dst", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  ASSERT_EQ(report.count(kWriteConflict), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kWriteConflict);
+  EXPECT_EQ(d->primary.name, "collapse");
+  EXPECT_NE(d->message.find("'y'"), std::string::npos) << d->message;
+}
+
+TEST(Lint, ConstInitAndAgedRelativeStoresAreDisjoint) {
+  // The canonical seed pattern: init writes age 0, the aged producer
+  // writes ages >= 1. No overlap — must not be flagged.
+  ProgramBuilder pb;
+  pb.field("data", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"init").run_once().store("out", "data", AgeExpr::constant(0),
+                                     Slice());
+  nop_kernel(pb,"advance")
+      .index("x")
+      .fetch("in", "data", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "data", AgeExpr::relative(1), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  EXPECT_EQ(report.count(kWriteConflict), 0u) << report.to_text();
+}
+
+TEST(Lint, DistinctConstantColumnsAreDisjoint) {
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 1);
+  pb.field("dst", nd::ElementType::kInt32, 2);
+  nop_kernel(pb,"seed").store("out", "src", AgeExpr::relative(0), Slice());
+  nop_kernel(pb,"left")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "dst", AgeExpr::relative(0), Slice().var("x").at(0));
+  nop_kernel(pb,"right")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "dst", AgeExpr::relative(0), Slice().var("x").at(1));
+  const LintReport report = lint(pb.build());
+  EXPECT_EQ(report.count(kWriteConflict), 0u) << report.to_text();
+}
+
+TEST(Lint, FetchOfNeverStoredField) {
+  ProgramBuilder pb;
+  pb.field("ghost", nd::ElementType::kInt32, 1);
+  pb.field("out", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"consumer")
+      .index("x")
+      .fetch("in", "ghost", AgeExpr::relative(0), Slice().var("x"))
+      .store("res", "out", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  ASSERT_EQ(report.count(kUndefinedFetch), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kUndefinedFetch);
+  EXPECT_EQ(d->primary.kind, Anchor::Kind::kFetch);
+  EXPECT_EQ(d->primary.name, "consumer");
+  EXPECT_EQ(d->secondary.name, "ghost");
+  // Root cause reported once: no extra W006 for the doomed consumer.
+  EXPECT_EQ(report.count(kUnreachableKernel), 0u) << report.to_text();
+}
+
+TEST(Lint, ZeroNetAgingCycle) {
+  ProgramBuilder pb;
+  pb.field("p", nd::ElementType::kInt32, 1);
+  pb.field("q", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"forward")
+      .index("x")
+      .fetch("in", "q", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "p", AgeExpr::relative(0), Slice().var("x"));
+  nop_kernel(pb,"backward")
+      .index("x")
+      .fetch("in", "p", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "q", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  ASSERT_EQ(report.count(kZeroAgingCycle), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kZeroAgingCycle);
+  EXPECT_NE(d->message.find("forward"), std::string::npos);
+  EXPECT_NE(d->message.find("backward"), std::string::npos);
+}
+
+TEST(Lint, MixedOffsetsWithNegativeNetAreCaught) {
+  // +1 forward, -2 backward: net aging -1 per turn — still a deadlock,
+  // and invisible to a plain zero-offset-edge cycle check.
+  ProgramBuilder pb;
+  pb.field("p", nd::ElementType::kInt32, 1);
+  pb.field("q", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"forward")
+      .index("x")
+      .fetch("in", "q", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "p", AgeExpr::relative(1), Slice().var("x"));
+  nop_kernel(pb,"backward")
+      .index("x")
+      .fetch("in", "p", AgeExpr::relative(2), Slice().var("x"))
+      .store("out", "q", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  ASSERT_EQ(report.count(kZeroAgingCycle), 1u) << report.to_text();
+  EXPECT_NE(report.find(kZeroAgingCycle)->message.find("net aging -1"),
+            std::string::npos)
+      << report.find(kZeroAgingCycle)->message;
+}
+
+TEST(Lint, AgingCycleIsLegal) {
+  workloads::Mul2Plus5 workload;
+  const LintReport report = lint(workload.build());
+  EXPECT_EQ(report.count(kZeroAgingCycle), 0u) << report.to_text();
+}
+
+TEST(Lint, ConstantAgeNeverProduced) {
+  ProgramBuilder pb;
+  pb.field("data", nd::ElementType::kInt32, 1);
+  pb.field("out", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"init").run_once().store("out", "data", AgeExpr::constant(0),
+                                     Slice());
+  nop_kernel(pb,"reader")
+      .index("x")
+      .fetch("now", "data", AgeExpr::relative(0), Slice().var("x"))
+      .fetch("later", "data", AgeExpr::constant(7), Slice().var("x"))
+      .store("res", "out", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  ASSERT_GE(report.count(kBadConstIndex), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kBadConstIndex);
+  EXPECT_EQ(d->primary.name, "reader");
+  EXPECT_NE(d->message.find("age 7"), std::string::npos) << d->message;
+}
+
+TEST(Lint, ConstantIndexNeverWritten) {
+  // Producers only ever write rows 0 and 1; fetching row 5 can never be
+  // satisfied.
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 1);
+  pb.field("grid", nd::ElementType::kInt32, 2);
+  pb.field("out", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"seed").store("out", "src", AgeExpr::relative(0), Slice());
+  nop_kernel(pb,"fill")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("row0", "grid", AgeExpr::relative(0), Slice().at(0).var("x"))
+      .store("row1", "grid", AgeExpr::relative(0), Slice().at(1).var("x"));
+  nop_kernel(pb,"reader")
+      .index("x")
+      .fetch("row", "grid", AgeExpr::relative(0), Slice().at(5).var("x"))
+      .store("res", "out", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  ASSERT_EQ(report.count(kBadConstIndex), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kBadConstIndex);
+  EXPECT_EQ(d->primary.name, "reader");
+  EXPECT_NE(d->message.find("index 5"), std::string::npos) << d->message;
+}
+
+TEST(Lint, NegativeConstantsAreErrors) {
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 1);
+  pb.field("dst", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"seed").store("out", "src", AgeExpr::relative(0), Slice());
+  nop_kernel(pb,"bad")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .fetch("past", "src", AgeExpr::constant(-1), Slice().var("x"))
+      .store("out", "dst", AgeExpr::relative(0), Slice().at(-3));
+  const LintReport report = lint(pb.build());
+  // One for the fetch age -1, one for the store index -3.
+  EXPECT_EQ(report.count(kBadConstIndex), 2u) << report.to_text();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Lint, UnusedFieldWarning) {
+  ProgramBuilder pb;
+  pb.field("data", nd::ElementType::kInt32, 1);
+  pb.field("orphan", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"seed").store("out", "data", AgeExpr::relative(0), Slice());
+  const LintReport report = lint(pb.build());
+  ASSERT_EQ(report.count(kUnusedField), 1u) << report.to_text();
+  EXPECT_EQ(report.find(kUnusedField)->severity, Severity::kWarning);
+  EXPECT_EQ(report.find(kUnusedField)->primary.name, "orphan");
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.warning_count(), 1u);
+
+  LintOptions quiet;
+  quiet.warn_unused = false;
+  EXPECT_TRUE(lint(pb.build(), quiet).empty());
+}
+
+TEST(Lint, UnreachableKernelDownstreamOfUndefinedFetch) {
+  // "blocked" carries the W002 root cause; "downstream" only ever fetches
+  // what "blocked" would have produced, so it gets the W006 warning.
+  ProgramBuilder pb;
+  pb.field("ghost", nd::ElementType::kInt32, 1);
+  pb.field("mid", nd::ElementType::kInt32, 1);
+  pb.field("out", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"blocked")
+      .index("x")
+      .fetch("in", "ghost", AgeExpr::relative(0), Slice().var("x"))
+      .store("res", "mid", AgeExpr::relative(0), Slice().var("x"));
+  nop_kernel(pb,"downstream")
+      .index("x")
+      .fetch("in", "mid", AgeExpr::relative(0), Slice().var("x"))
+      .store("res", "out", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  EXPECT_EQ(report.count(kUndefinedFetch), 1u) << report.to_text();
+  ASSERT_EQ(report.count(kUnreachableKernel), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kUnreachableKernel);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->primary.name, "downstream");
+}
+
+TEST(Lint, WorkloadProgramsHaveZeroFindings) {
+  // Acceptance: zero false positives over every shipped workload.
+  EXPECT_TRUE(lint(workloads::Mul2Plus5{}.build()).empty());
+  EXPECT_TRUE(lint(workloads::KmeansWorkload{}.build()).empty());
+  const auto video = std::make_shared<media::YuvVideo>(
+      media::generate_synthetic_video(64, 48, 3));
+  workloads::MjpegWorkload mjpeg;
+  mjpeg.video = video;
+  EXPECT_TRUE(lint(mjpeg.build()).empty());
+  workloads::MotionWorkload motion;
+  motion.video = video;
+  EXPECT_TRUE(lint(motion.build()).empty());
+}
+
+TEST(Validate, ThrowsOnErrorsAndReturnsReportOtherwise) {
+  const Program broken = conflicting_writers();
+  try {
+    broken.validate();
+    FAIL() << "validate() must throw on a W001 program";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kSema);
+    EXPECT_NE(std::string(e.what()).find("P2G-W001"), std::string::npos);
+  }
+  const LintReport report = broken.validate(/*throw_on_error=*/false);
+  EXPECT_TRUE(report.has_errors());
+
+  workloads::Mul2Plus5 clean;
+  EXPECT_TRUE(clean.build().validate().empty());
+}
+
+TEST(Report, TextAndJsonRenderings) {
+  const LintReport report = lint(conflicting_writers());
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("P2G-W001"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"code\":\"P2G-W001\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"secondary\""), std::string::npos);
+
+  EXPECT_EQ(LintReport{}.to_text(), "");
+}
+
+}  // namespace
+}  // namespace p2g::analysis

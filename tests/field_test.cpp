@@ -46,6 +46,44 @@ TEST(FieldStorage, WriteOnceViolationThrows) {
   }
 }
 
+TEST(FieldStorage, WriterProvenanceInViolationMessage) {
+  FieldStorage fs(decl1d());
+  fs.track_writers(true);
+  const int32_t v = 7;
+  const StoreOrigin first{"alpha", 0, {2}};
+  fs.store(0, nd::Region::point({2}),
+           reinterpret_cast<const std::byte*>(&v), &first);
+  const StoreOrigin second{"beta", 0, {2}};
+  try {
+    fs.store(0, nd::Region::point({2}),
+             reinterpret_cast<const std::byte*>(&v), &second);
+    FAIL() << "expected write-once violation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kWriteOnceViolation);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("kernel 'beta'"), std::string::npos) << what;
+    EXPECT_NE(what.find("previously written by kernel 'alpha'"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(FieldStorage, OriginWithoutTrackingStillNamesCurrentWriter) {
+  FieldStorage fs(decl1d());
+  const int32_t v = 7;
+  fs.store(0, nd::Region::point({2}),
+           reinterpret_cast<const std::byte*>(&v));
+  const StoreOrigin second{"beta", 0, {2}};
+  try {
+    fs.store(0, nd::Region::point({2}),
+             reinterpret_cast<const std::byte*>(&v), &second);
+    FAIL() << "expected write-once violation";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("kernel 'beta'"), std::string::npos) << what;
+  }
+}
+
 TEST(FieldStorage, SameElementDifferentAgeIsFine) {
   FieldStorage fs(decl1d());
   const int32_t v = 7;

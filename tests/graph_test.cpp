@@ -82,6 +82,40 @@ TEST(FinalGraphTest, DetectsZeroOffsetCycle) {
   EXPECT_TRUE(g.has_zero_offset_cycle());
 }
 
+TEST(FinalGraphTest, MinOffsetWinsWhenStatementPairsDisagree) {
+  // k1 writes field b through two store statements: one aged (+1), one
+  // not (0). Deduplicating the merged k1 -> k2 edge must keep the
+  // *minimum* offset — keeping whichever statement pair is seen first
+  // would let the aging store shadow the zero-offset one and hide the
+  // zero-offset k1 <-> k2 cycle from the scheduler.
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.field("b", nd::ElementType::kInt32, 1);
+  auto body = [](KernelContext&) {};
+  pb.kernel("k1")
+      .index("x")
+      .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+      .store("aged", "b", AgeExpr::relative(1), Slice().at(0))
+      .store("flat", "b", AgeExpr::relative(0), Slice().at(1))
+      .body(body);
+  pb.kernel("k2")
+      .index("x")
+      .fetch("in", "b", AgeExpr::relative(0), Slice().var("x"))
+      .store("out", "a", AgeExpr::relative(0), Slice().var("x"))
+      .body(body);
+  const FinalGraph g = FinalGraph::from_program(pb.build());
+  bool found = false;
+  for (const auto& e : g.edges) {
+    if (g.kernel_names[static_cast<size_t>(e.from)] == "k1" &&
+        g.kernel_names[static_cast<size_t>(e.to)] == "k2") {
+      EXPECT_EQ(e.age_offset, 0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(g.has_zero_offset_cycle());
+}
+
 TEST(FinalGraphTest, InstrumentationWeights) {
   const Program program = mul2plus5_program();
   FinalGraph g = FinalGraph::from_program(program);

@@ -4,8 +4,10 @@
 // first-feasible-age analysis.
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <random>
 
+#include "analysis/lint.h"
 #include "core/context.h"
 #include "core/dependency.h"
 #include "core/runtime.h"
@@ -306,6 +308,95 @@ TEST_P(KmeansChunkSweep, ResultInvariantUnderChunking) {
   rt.run();
   EXPECT_EQ(workload.snapshots->back(),
             workloads::kmeans_sequential(workload.config));
+}
+
+// ---------------------------------------------------------------------------
+// p2g-lint: randomized disjoint slice partitions must never produce a
+// P2G-W001 false positive, and introducing a genuine overlap must always
+// be caught.
+
+namespace lintprop {
+
+/// Builds a program where `writers` kernels write disjoint constant rows
+/// of a rank-2 field. When `shared_row` is set, two kernels additionally
+/// write that same row — the only genuine conflict.
+Program partition_program(std::mt19937& rng, int writers, int rows,
+                          std::optional<int64_t> shared_row) {
+  std::vector<int64_t> perm(static_cast<size_t>(rows));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+
+  const auto nop = [](KernelContext&) {};
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 2);
+  pb.field("dst", nd::ElementType::kInt32, 2);
+  pb.kernel("seed")
+      .store("out", "src", AgeExpr::relative(0), Slice())
+      .body(nop);
+  std::vector<KernelBuilder*> kernels;
+  for (int w = 0; w < writers; ++w) {
+    kernels.push_back(
+        &pb.kernel("writer" + std::to_string(w))
+             .index("x")
+             .fetch("in", "src", AgeExpr::relative(0),
+                    Slice().at(0).var("x"))
+             .body(nop));
+  }
+  for (size_t i = 0; i < perm.size(); ++i) {
+    kernels[i % kernels.size()]->store(
+        "s" + std::to_string(perm[i]), "dst", AgeExpr::relative(0),
+        Slice().at(perm[i]).var("x"));
+  }
+  if (shared_row.has_value()) {
+    kernels[0]->store("shared0", "dst", AgeExpr::relative(0),
+                      Slice().at(*shared_row).var("x"));
+    kernels[1]->store("shared1", "dst", AgeExpr::relative(0),
+                      Slice().at(*shared_row).var("x"));
+  }
+  return pb.build();
+}
+
+}  // namespace lintprop
+
+TEST(LintProperty, DisjointConstantPartitionsNeverReportW001) {
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int writers = 2 + static_cast<int>(rng() % 4);
+    const int rows = writers + static_cast<int>(rng() % 8);
+    const Program program =
+        lintprop::partition_program(rng, writers, rows, std::nullopt);
+    const analysis::LintReport report = analysis::lint(program);
+    EXPECT_EQ(report.count(analysis::kWriteConflict), 0u)
+        << "trial " << trial << " (" << writers << " writers, " << rows
+        << " rows):\n"
+        << report.to_text();
+  }
+}
+
+TEST(LintProperty, SharedRowIsAlwaysReported) {
+  std::mt19937 rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int writers = 2 + static_cast<int>(rng() % 4);
+    const int rows = writers + static_cast<int>(rng() % 8);
+    const auto shared = static_cast<int64_t>(rng() % rows + 100);  // fresh row
+    const Program program =
+        lintprop::partition_program(rng, writers, rows, shared);
+    const analysis::LintReport report = analysis::lint(program);
+    EXPECT_GE(report.count(analysis::kWriteConflict), 1u)
+        << "trial " << trial;
+    const analysis::Diagnostic* d = report.find(analysis::kWriteConflict);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, analysis::Severity::kError);
+  }
+}
+
+TEST(LintProperty, WorkloadProgramsAreClean) {
+  // The shipped workloads must stay free of findings — the zero-false-
+  // positive guarantee on real programs.
+  workloads::Mul2Plus5 m2p5;
+  EXPECT_TRUE(analysis::lint(m2p5.build()).empty());
+  workloads::KmeansWorkload kmeans;
+  EXPECT_TRUE(analysis::lint(kmeans.build()).empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Chunks, KmeansChunkSweep,

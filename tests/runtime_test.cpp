@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -244,6 +245,46 @@ TEST(Runtime, WriteOnceViolationSurfacesFromRun) {
     FAIL() << "expected write-once violation";
   } catch (const Error& e) {
     EXPECT_EQ(e.kind(), ErrorKind::kWriteOnceViolation);
+  }
+}
+
+TEST(Runtime, CheckedModeNamesBothWriters) {
+  // Same double-write as above, but with RunOptions::checked the error
+  // must carry provenance: the current writer AND the previous one, each
+  // with its kernel instance.
+  ProgramBuilder pb;
+  pb.field("a", nd::ElementType::kInt32, 1);
+  pb.field("b", nd::ElementType::kInt32, 1);
+  pb.kernel("init")
+      .run_once()
+      .store("v", "a", AgeExpr::constant(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        nd::AnyBuffer v(nd::ElementType::kInt32, nd::Extents({2}));
+        ctx.store_array("v", std::move(v));
+      });
+  for (const char* name : {"writer_a", "writer_b"}) {
+    pb.kernel(name)
+        .index("x")
+        .fetch("in", "a", AgeExpr::relative(0), Slice().var("x"))
+        .store("out", "b", AgeExpr::relative(0), Slice().var("x"))
+        .body([](KernelContext& ctx) {
+          ctx.store_scalar<int32_t>("out", 1);
+        });
+  }
+  RunOptions opts;
+  opts.max_age = 0;
+  opts.workers = 1;
+  opts.checked = true;
+  Runtime rt(pb.build(), opts);
+  try {
+    rt.run();
+    FAIL() << "expected write-once violation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kWriteOnceViolation);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("writer_a"), std::string::npos) << what;
+    EXPECT_NE(what.find("writer_b"), std::string::npos) << what;
+    EXPECT_NE(what.find("previously written by"), std::string::npos) << what;
   }
 }
 

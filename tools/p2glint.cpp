@@ -1,0 +1,91 @@
+// p2glint: static analysis of kernel-language programs from the command
+// line. Exit codes: 0 = clean (or warnings only), 1 = errors found (or
+// warnings under --werror) or a file failed to parse/compile, 2 = usage.
+//
+//   p2glint [--json] [--werror] [--no-unused] file.p2g...
+//
+// Text output is one diagnostic per line with source line numbers; --json
+// emits one report object per file, keyed by path.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/lang_lint.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: p2glint [--json] [--werror] [--no-unused] "
+               "file.p2g...\n"
+               "  --json       machine-readable report per file\n"
+               "  --werror     treat warnings as errors\n"
+               "  --no-unused  skip unused-field/unreachable-kernel "
+               "warnings (P2G-W005/6)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  p2g::analysis::LintOptions options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--no-unused") {
+      options.warn_unused = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "p2glint: unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  bool failed = false;
+  std::string json_out = "{";
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& path = files[i];
+    try {
+      const p2g::analysis::LintReport report =
+          p2g::analysis::lint_file(path, options);
+      if (json) {
+        if (i > 0) json_out += ",";
+        json_out += "\"" + p2g::json_escape(path) + "\":" + report.to_json();
+      } else if (!report.empty()) {
+        for (const p2g::analysis::Diagnostic& d : report.diagnostics) {
+          std::printf("%s: %s\n", path.c_str(), d.to_string().c_str());
+        }
+      }
+      if (report.has_errors() || (werror && !report.empty())) failed = true;
+    } catch (const p2g::Error& e) {
+      // Parse/sema/io failures: report and keep linting the other files.
+      if (json) {
+        if (i > 0) json_out += ",";
+        json_out += "\"" + p2g::json_escape(path) + "\":{\"error\":\"" +
+                    p2g::json_escape(e.what()) + "\"}";
+      } else {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      }
+      failed = true;
+    }
+  }
+  if (json) {
+    json_out += "}";
+    std::printf("%s\n", json_out.c_str());
+  }
+  return failed ? 1 : 0;
+}
