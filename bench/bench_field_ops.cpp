@@ -62,6 +62,81 @@ void BM_FetchBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_FetchBlock);
 
+// --- copy-vs-view fetch pairs (Issue 4) -----------------------------------
+//
+// Each pair measures the same logical read through the pre-PR deep-copy
+// path (`fetch_whole` / `fetch`) and the zero-copy view path
+// (`try_fetch_view_whole` / `try_fetch_view`). The age is sealed so the
+// view path can alias the storage buffer; the copy path still allocates
+// and memcpys a fresh payload per call.
+
+void BM_FetchWholeCopy(benchmark::State& state) {
+  const int64_t elements = state.range(0);
+  FieldStorage fs(make_decl(1));
+  nd::AnyBuffer frame(nd::ElementType::kInt32, nd::Extents({elements}));
+  fs.store_whole(0, frame);
+  fs.seal(0, nd::Extents({elements}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.fetch_whole(0));
+  }
+  state.SetBytesProcessed(state.iterations() * elements * 4);
+}
+BENCHMARK(BM_FetchWholeCopy)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_FetchWholeView(benchmark::State& state) {
+  const int64_t elements = state.range(0);
+  FieldStorage fs(make_decl(1));
+  nd::AnyBuffer frame(nd::ElementType::kInt32, nd::Extents({elements}));
+  fs.store_whole(0, frame);
+  fs.seal(0, nd::Extents({elements}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.try_fetch_view_whole(0));
+  }
+  state.SetBytesProcessed(state.iterations() * elements * 4);
+}
+BENCHMARK(BM_FetchWholeView)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_FetchRowCopy(benchmark::State& state) {
+  FieldStorage fs(make_decl(2));
+  nd::AnyBuffer grid(nd::ElementType::kInt32, nd::Extents({512, 512}));
+  fs.store_whole(0, grid);
+  fs.seal(0, nd::Extents({512, 512}));
+  const nd::Region row(std::vector<nd::Interval>{{100, 101}, {0, 512}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.fetch(0, row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchRowCopy);
+
+void BM_FetchRowView(benchmark::State& state) {
+  FieldStorage fs(make_decl(2));
+  nd::AnyBuffer grid(nd::ElementType::kInt32, nd::Extents({512, 512}));
+  fs.store_whole(0, grid);
+  fs.seal(0, nd::Extents({512, 512}));
+  const nd::Region row(std::vector<nd::Interval>{{100, 101}, {0, 512}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.try_fetch_view(0, row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchRowView);
+
+void BM_FetchColumnStridedView(benchmark::State& state) {
+  // Non-contiguous slice: the view carries storage strides instead of
+  // copying, so even this stays allocation-free.
+  FieldStorage fs(make_decl(2));
+  nd::AnyBuffer grid(nd::ElementType::kInt32, nd::Extents({512, 512}));
+  fs.store_whole(0, grid);
+  fs.seal(0, nd::Extents({512, 512}));
+  const nd::Region col(std::vector<nd::Interval>{{0, 512}, {100, 101}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.try_fetch_view(0, col));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchColumnStridedView);
+
 void BM_RegionWrittenCheck(benchmark::State& state) {
   FieldStorage fs(make_decl(2));
   nd::AnyBuffer data(nd::ElementType::kInt32, nd::Extents({512, 512}));

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Runs the dispatch/fetch micro-bench suite and records the numbers in
+# BENCH_<issue>.json at the repo root so future PRs have a perf trajectory
+# to compare against.
+#
+# Baseline and new numbers land in the SAME file. The baseline is the
+# pre-PR code path, reconstructed via ablation switches compiled into the
+# current binaries:
+#   - fetch:    deep-copy fetch_whole/fetch  vs  zero-copy views
+#   - dispatch: analyzer_batch=false (one event per lock) vs batched
+#
+# Usage:
+#   scripts/bench_report.sh            # writes BENCH_4.json from build/
+#   BUILD_DIR=... ISSUE=5 scripts/bench_report.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo/build}"
+issue="${ISSUE:-4}"
+out="$repo/BENCH_${issue}.json"
+
+cmake --build "$build_dir" -j"$(nproc)" \
+  --target bench_field_ops bench_dispatch_overhead
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$build_dir/bench/bench_field_ops" \
+  --benchmark_out="$tmp/field.json" --benchmark_out_format=json \
+  --benchmark_min_time="${P2G_BENCH_MIN_TIME:-0.2}"
+"$build_dir/bench/bench_dispatch_overhead" \
+  --benchmark_out="$tmp/dispatch.json" --benchmark_out_format=json \
+  --benchmark_filter='BM_DispatchPerInstance(Unbatched)?/'
+
+python3 - "$tmp/field.json" "$tmp/dispatch.json" "$out" "$issue" <<'PY'
+import json, sys
+
+field_path, dispatch_path, out_path, issue = sys.argv[1:5]
+field = json.load(open(field_path))
+dispatch = json.load(open(dispatch_path))
+
+
+def by_name(report):
+    return {b["name"]: b for b in report["benchmarks"]}
+
+
+f, d = by_name(field), by_name(dispatch)
+
+
+def pair(baseline, new, value):
+    return {
+        "baseline": baseline,
+        "new": new,
+        "speedup": round(baseline / new, 3) if new else None,
+        **value,
+    }
+
+
+fetch_whole = {}
+for size in (64, 4096, 262144):
+    copy = f[f"BM_FetchWholeCopy/{size}"]["real_time"]
+    view = f[f"BM_FetchWholeView/{size}"]["real_time"]
+    fetch_whole[str(size)] = pair(copy, view, {"unit": "ns/op"})
+
+fetch_row = pair(
+    f["BM_FetchRowCopy"]["real_time"],
+    f["BM_FetchRowView"]["real_time"],
+    {"unit": "ns/op"},
+)
+
+dispatch_per_instance = {}
+for width in (16, 256, 1024):
+    single = d[f"BM_DispatchPerInstanceUnbatched/{width}"]["sec_per_instance"]
+    batched = d[f"BM_DispatchPerInstance/{width}"]["sec_per_instance"]
+    dispatch_per_instance[str(width)] = pair(
+        single * 1e9, batched * 1e9, {"unit": "ns/instance"}
+    )
+
+report = {
+    "issue": int(issue),
+    "generated_by": "scripts/bench_report.sh",
+    "context": field.get("context", {}),
+    "baseline_definition": {
+        "fetch": "deep-copy FieldStorage::fetch_whole/fetch (pre-PR path)",
+        "dispatch": "RunOptions::analyzer_batch=false, one event per "
+                    "queue lock (pre-PR path)",
+    },
+    "fetch_whole_ns": fetch_whole,
+    "fetch_row_ns": fetch_row,
+    "strided_column_view_ns": round(
+        f["BM_FetchColumnStridedView"]["real_time"], 2
+    ),
+    "dispatch_per_instance_ns": dispatch_per_instance,
+}
+with open(out_path, "w") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out_path}")
+PY

@@ -28,11 +28,13 @@ case "$sanitize" in
     ;;
 esac
 
+t_start=$(date +%s)
 cmake -S "$repo" -B "$build_dir" \
   -DP2G_SANITIZE="$sanitize" \
   -DP2G_WERROR="${P2G_WERROR:-OFF}" \
   -DP2G_CLANG_TIDY="${P2G_CLANG_TIDY:-OFF}"
 cmake --build "$build_dir" -j"$(nproc)"
+t_built=$(date +%s)
 
 # A sanitizer report must fail the test that produced it, and that failure
 # must reach our caller. halt_on_error stops at the first report instead of
@@ -42,9 +44,16 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-exitcode=1:halt_on_error=1:detect_leaks=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-exitcode=66:halt_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
+# Benchmarks carry the `bench` ctest label (and configuration) and are not
+# part of the gate; run them explicitly via `ctest -C bench -L bench` or
+# scripts/bench_report.sh.
 rc=0
-ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" || rc=$?
+ctest --test-dir "$build_dir" --output-on-failure -LE bench -j"$(nproc)" || rc=$?
 if [ "$rc" -ne 0 ]; then
   echo "tier1: ctest failed with exit code $rc" >&2
 fi
+t_done=$(date +%s)
+echo "tier1: ${sanitize:-plain} build $((t_built - t_start))s," \
+  "tests $((t_done - t_built))s, total $((t_done - t_start))s," \
+  "$([ "$rc" -eq 0 ] && echo OK || echo "FAIL rc=$rc")"
 exit "$rc"

@@ -34,6 +34,20 @@ class BlockingQueue {
     return item;
   }
 
+  /// Blocks until at least one item is available, then drains *all* pending
+  /// items into `out` (cleared first) in FIFO order under a single lock
+  /// acquisition — the batched variant of pop() for consumers that can
+  /// amortize per-item overhead. Returns false only after close() with an
+  /// empty queue.
+  bool pop_all(std::deque<T>& out) {
+    out.clear();
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    items_.swap(out);
+    return true;
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::scoped_lock lock(mutex_);

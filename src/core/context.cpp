@@ -26,13 +26,26 @@ int64_t KernelContext::index(std::string_view name) const {
   return indices_[static_cast<size_t>(it - def_->index_vars.begin())];
 }
 
-const nd::AnyBuffer& KernelContext::fetch_array(std::string_view slot) const {
+const KernelContext::FetchSlot& KernelContext::slot_for(
+    std::string_view slot) const {
   const int i = def_->fetch_slot(slot);
   check_argument(i >= 0, "kernel '" + def_->name + "' has no fetch slot '" +
                              std::string(slot) + "'");
-  check_internal(fetches_[static_cast<size_t>(i)].has_value(),
+  const FetchSlot& fs = fetches_[static_cast<size_t>(i)];
+  check_internal(fs.prepared,
                  "fetch slot '" + std::string(slot) + "' was not prepared");
-  return *fetches_[static_cast<size_t>(i)];
+  return fs;
+}
+
+const nd::ConstView& KernelContext::fetch_view(std::string_view slot) const {
+  return slot_for(slot).view;
+}
+
+const nd::AnyBuffer& KernelContext::fetch_array(std::string_view slot) const {
+  const FetchSlot& fs = slot_for(slot);
+  if (fs.owned.has_value()) return *fs.owned;
+  if (!fs.packed.has_value()) fs.packed = fs.view.materialize();
+  return *fs.packed;
 }
 
 void KernelContext::store_array(std::string_view slot, nd::AnyBuffer data) {
@@ -56,7 +69,23 @@ TimerSet& KernelContext::timers() const {
 
 void KernelContext::set_fetch(size_t slot, nd::AnyBuffer data) {
   check_internal(slot < fetches_.size(), "set_fetch slot out of range");
-  fetches_[slot] = std::move(data);
+  FetchSlot& fs = fetches_[slot];
+  fs.owned = std::move(data);
+  // The view aliases the owned buffer, which lives exactly as long as the
+  // context; no keepalive needed.
+  fs.view = nd::ConstView(fs.owned->type(), fs.owned->extents(),
+                          fs.owned->raw(), nullptr);
+  fs.packed.reset();
+  fs.prepared = true;
+}
+
+void KernelContext::set_fetch(size_t slot, nd::ConstView view) {
+  check_internal(slot < fetches_.size(), "set_fetch slot out of range");
+  FetchSlot& fs = fetches_[slot];
+  fs.view = std::move(view);
+  fs.owned.reset();
+  fs.packed.reset();
+  fs.prepared = true;
 }
 
 const KernelContext::PendingStore* KernelContext::pending_store(

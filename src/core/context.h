@@ -16,6 +16,7 @@
 #include "core/kernel.h"
 #include "core/timer.h"
 #include "nd/buffer.h"
+#include "nd/view.h"
 
 namespace p2g {
 
@@ -34,16 +35,23 @@ class KernelContext {
 
   // --- fetched data -------------------------------------------------------
 
-  /// The fetched slice for a slot, shaped like the resolved region.
+  /// View of the fetched slice for a slot, shaped like the resolved region.
+  /// This is the zero-copy path: when the producing age is sealed the view
+  /// aliases field storage directly; otherwise it views a per-instance copy.
+  /// Either way, no payload copy happens at call time.
+  const nd::ConstView& fetch_view(std::string_view slot) const;
+
+  /// The fetched slice as a packed buffer. Kept for kernels that want an
+  /// owning array; materializes the view once per slot on first call.
   const nd::AnyBuffer& fetch_array(std::string_view slot) const;
 
   /// Single-element fetch as a scalar.
   template <typename T>
   T fetch_scalar(std::string_view slot) const {
-    const nd::AnyBuffer& buf = fetch_array(slot);
-    check_argument(buf.element_count() == 1,
+    const nd::ConstView& view = fetch_view(slot);
+    check_argument(view.element_count() == 1,
                    "fetch_scalar on a non-scalar slice");
-    return buf.data<T>()[0];
+    return view.at_flat<T>(0);
   }
 
   // --- stores (buffered until the body returns) ---------------------------
@@ -73,7 +81,12 @@ class KernelContext {
 
   // --- worker-facing (not for kernel bodies) -------------------------------
 
+  /// Prepares a slot with an owned copy (unsealed-age fallback, injected
+  /// data). The slot's view aliases the owned buffer.
   void set_fetch(size_t slot, nd::AnyBuffer data);
+
+  /// Prepares a slot with a zero-copy view of field storage.
+  void set_fetch(size_t slot, nd::ConstView view);
 
   struct PendingStore {
     size_t decl = 0;
@@ -85,11 +98,22 @@ class KernelContext {
   const PendingStore* pending_store(size_t decl) const;
 
  private:
+  struct FetchSlot {
+    bool prepared = false;
+    nd::ConstView view;
+    /// Owning storage behind the view when prepared by copy.
+    std::optional<nd::AnyBuffer> owned;
+    /// Lazy packed materialization for fetch_array over a storage view.
+    mutable std::optional<nd::AnyBuffer> packed;
+  };
+
+  const FetchSlot& slot_for(std::string_view slot) const;
+
   const KernelDef* def_;
   Age age_;
   nd::Coord indices_;
   TimerSet* timers_;
-  std::vector<std::optional<nd::AnyBuffer>> fetches_;
+  std::vector<FetchSlot> fetches_;
   std::vector<PendingStore> stores_;
   bool continue_ = false;
 };

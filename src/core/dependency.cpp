@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/clock.h"
 #include "common/error.h"
 #include "common/logging.h"
 
@@ -101,22 +100,34 @@ void DependencyAnalyzer::bootstrap() {
       item.kernel = def.id;
       item.age = 0;
       item.coords = {nd::Coord{}};
-      item.enqueue_ns = now_ns();
       runtime_.submit(std::move(item));
     }
   }
   flush_chunks();
 }
 
-void DependencyAnalyzer::handle(const Event& event) {
+void DependencyAnalyzer::handle_one(const Event& event) {
   if (const auto* store = std::get_if<StoreEvent>(&event)) {
     handle_store(*store);
   } else if (const auto* done = std::get_if<InstanceDoneEvent>(&event)) {
     handle_done(*done);
   }
+}
+
+void DependencyAnalyzer::handle(const Event& event) {
+  handle_one(event);
   flush_chunks();
   // Periodically revisit the data-granularity decisions (paper §V-A).
   if ((++events_handled_ & 0x3FF) == 0) runtime_.adapt_granularity();
+}
+
+void DependencyAnalyzer::handle_batch(const std::deque<Event>& events) {
+  for (const Event& event : events) handle_one(event);
+  flush_chunks();
+  // Same ~1024-event cadence as handle(), crossed at batch granularity.
+  const int64_t before = events_handled_;
+  events_handled_ += static_cast<int64_t>(events.size());
+  if ((before >> 10) != (events_handled_ >> 10)) runtime_.adapt_granularity();
 }
 
 void DependencyAnalyzer::handle_store(const StoreEvent& event) {
@@ -174,7 +185,6 @@ void DependencyAnalyzer::handle_done(const InstanceDoneEvent& event) {
         item.kernel = def.id;
         item.age = next;
         item.coords = {nd::Coord{}};
-        item.enqueue_ns = now_ns();
         runtime_.submit(std::move(item));
       }
     }
@@ -466,25 +476,38 @@ void DependencyAnalyzer::create_instance(const KernelDef& def, Age age,
 
 void DependencyAnalyzer::flush_chunks() {
   if (chunk_buffers_.empty()) return;
+  std::vector<WorkItem> batch;
   for (auto& [key, coords] : chunk_buffers_) {
     const auto [kernel, age] = key;
     const int64_t chunk =
         std::max<int64_t>(1, runtime_.kcfg_[static_cast<size_t>(kernel)].chunk);
+    const bool serial = program_.kernel(kernel).serial;
+    const size_t total = coords.size();
     size_t begin = 0;
-    while (begin < coords.size()) {
-      const size_t end =
-          std::min(coords.size(), begin + static_cast<size_t>(chunk));
+    while (begin < total) {
+      const size_t end = std::min(total, begin + static_cast<size_t>(chunk));
       WorkItem item;
       item.kernel = kernel;
       item.age = age;
-      item.coords.assign(coords.begin() + static_cast<ptrdiff_t>(begin),
-                         coords.begin() + static_cast<ptrdiff_t>(end));
-      item.enqueue_ns = now_ns();
-      submit_or_park(std::move(item));
+      if (begin == 0 && end == total) {
+        item.coords = std::move(coords);  // whole buffer in one item
+      } else {
+        item.coords.reserve(end - begin);
+        std::move(coords.begin() + static_cast<ptrdiff_t>(begin),
+                  coords.begin() + static_cast<ptrdiff_t>(end),
+                  std::back_inserter(item.coords));
+      }
+      if (serial) {
+        submit_or_park(std::move(item));
+      } else {
+        batch.push_back(std::move(item));
+      }
       begin = end;
     }
   }
   chunk_buffers_.clear();
+  // One ready-queue lock and at most one worker wakeup for the whole flush.
+  runtime_.submit_batch(std::move(batch));
 }
 
 void DependencyAnalyzer::submit_or_park(WorkItem item) {

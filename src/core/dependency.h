@@ -39,6 +39,13 @@ class DependencyAnalyzer {
   /// Processes one event (called from the analyzer thread only).
   void handle(const Event& event);
 
+  /// Processes a drained event backlog in order, flushing chunk buffers and
+  /// revisiting granularity once per batch instead of once per event. Same
+  /// observable semantics as calling handle() per event — instances only
+  /// dispatch marginally later, which chunking exploits: a batch often
+  /// fills a chunk that single events would have split.
+  void handle_batch(const std::deque<Event>& events);
+
   /// Number of instances dispatched so far (tests/diagnostics).
   int64_t dispatched_count() const {
     return static_cast<int64_t>(dispatched_.size());
@@ -75,6 +82,9 @@ class DependencyAnalyzer {
     bool in_flight = false;
     std::map<Age, WorkItem> parked;
   };
+
+  /// Event dispatch without the per-call flush/adapt epilogue.
+  void handle_one(const Event& event);
 
   void handle_store(const StoreEvent& event);
   void handle_done(const InstanceDoneEvent& event);

@@ -1,5 +1,8 @@
 #include "core/field.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/error.h"
 
 namespace p2g {
@@ -12,6 +15,14 @@ std::string StoreOrigin::to_string() const {
 }
 
 FieldStorage::FieldStorage(FieldDecl decl) : decl_(std::move(decl)) {}
+
+const FieldStorage::SealIndex::Entry* FieldStorage::SealIndex::find(
+    Age age) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), age,
+      [](const Entry& e, Age a) { return e.age < a; });
+  return it != entries.end() && it->age == age ? &*it : nullptr;
+}
 
 void FieldStorage::throw_write_once(const AgeData& ad, Age age,
                                     const nd::Region& conflict,
@@ -42,7 +53,7 @@ FieldStorage::AgeData& FieldStorage::age_data(Age age) {
   auto it = ages_.find(age);
   if (it == ages_.end()) {
     AgeData fresh;
-    fresh.buffer = nd::AnyBuffer(
+    fresh.buffer = std::make_shared<nd::AnyBuffer>(
         decl_.type, nd::Extents(std::vector<int64_t>(decl_.rank, 0)));
     it = ages_.emplace(age, std::move(fresh)).first;
   }
@@ -55,11 +66,16 @@ const FieldStorage::AgeData* FieldStorage::find_age(Age age) const {
 }
 
 void FieldStorage::grow(AgeData& data, const nd::Extents& new_extents) {
-  const nd::Extents old_extents = data.buffer.extents();
+  const nd::Extents old_extents = data.buffer->extents();
   if (new_extents == old_extents) return;
   check_internal(!data.sealed || new_extents.fits_in(data.sealed_extents),
                  "grow beyond sealed extents of field " + decl_.name);
-  data.buffer.resize(new_extents);
+  // Published buffers are aliased by views; their allocation must never
+  // move again. Publishing grows to the sealed extents first, so any later
+  // grow request is the no-op handled above.
+  check_internal(!data.published,
+                 "grow of published age buffer of field " + decl_.name);
+  data.buffer->resize(new_extents);
 
   // Remap written bits: positions are flat indices, which change with the
   // extents. Walk the set bits of the old layout and re-set them under the
@@ -77,17 +93,94 @@ void FieldStorage::grow(AgeData& data, const nd::Extents& new_extents) {
   data.written = std::move(fresh);
 }
 
+void FieldStorage::publish(AgeData& data, Age age) {
+  if (data.published) return;
+  grow(data, data.sealed_extents);
+  data.published = true;
+  rebuild_seal_index();
+  (void)age;
+}
+
+void FieldStorage::rebuild_seal_index() {
+  auto fresh = std::make_shared<SealIndex>();
+  fresh->entries.reserve(ages_.size());
+  for (const auto& [age, data] : ages_) {  // map order: sorted by age
+    if (data.published) fresh->entries.push_back({age, data.buffer});
+  }
+  seal_index_.store(std::move(fresh), std::memory_order_release);
+}
+
+nd::ConstView FieldStorage::make_view(
+    std::shared_ptr<const nd::AnyBuffer> buffer,
+    const nd::Region& region) const {
+  const nd::AnyBuffer& buf = *buffer;
+  const size_t esz = nd::element_size(buf.type());
+  std::vector<int64_t> dims(region.rank());
+  for (size_t i = 0; i < region.rank(); ++i) {
+    dims[i] = region.interval(i).length();
+  }
+  nd::Extents view_extents(std::move(dims));
+  if (const auto span = region.contiguous_span(buf.extents())) {
+    const std::byte* base =
+        buf.raw() + static_cast<size_t>(span->offset) * esz;
+    return nd::ConstView(buf.type(), std::move(view_extents), base,
+                         std::move(buffer));
+  }
+  // Strided view: base at the region's first coordinate, strides of the
+  // full buffer layout.
+  const std::byte* base =
+      buf.raw() +
+      static_cast<size_t>(buf.extents().flatten(region.first())) * esz;
+  return nd::ConstView(buf.type(), std::move(view_extents),
+                       buf.extents().strides(), base, std::move(buffer));
+}
+
+std::optional<nd::ConstView> FieldStorage::try_fetch_view(
+    Age age, const nd::Region& region) {
+  // Fast path: a published age resolves through the lock-free index.
+  if (const auto index = seal_index_.load(std::memory_order_acquire)) {
+    if (const SealIndex::Entry* entry = index->find(age)) {
+      check_internal(region.within(entry->buffer->extents()),
+                     "fetch region outside extents of field " + decl_.name);
+      return make_view(entry->buffer, region);
+    }
+  }
+  // Slow path: first fetch of a sealed age publishes it.
+  std::unique_lock lock(mutex_);
+  const auto it = ages_.find(age);
+  if (it == ages_.end() || !it->second.sealed) return std::nullopt;
+  publish(it->second, age);
+  check_internal(region.within(it->second.buffer->extents()),
+                 "fetch region outside extents of field " + decl_.name);
+  return make_view(it->second.buffer, region);
+}
+
+std::optional<nd::ConstView> FieldStorage::try_fetch_view_whole(Age age) {
+  if (const auto index = seal_index_.load(std::memory_order_acquire)) {
+    if (const SealIndex::Entry* entry = index->find(age)) {
+      return make_view(entry->buffer,
+                       nd::Region::whole(entry->buffer->extents()));
+    }
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = ages_.find(age);
+  if (it == ages_.end() || !it->second.sealed) return std::nullopt;
+  publish(it->second, age);
+  return make_view(it->second.buffer,
+                   nd::Region::whole(it->second.buffer->extents()));
+}
+
 StoreResult FieldStorage::store(Age age, const nd::Region& region,
                                 const std::byte* data,
                                 const StoreOrigin* origin) {
   check_argument(age >= 0, "field ages start at 0");
   check_argument(region.rank() == decl_.rank,
                  "store region rank mismatch on field " + decl_.name);
-  std::scoped_lock lock(mutex_);
+  std::unique_lock lock(mutex_);
   AgeData& ad = age_data(age);
 
   StoreResult result;
-  if (!region.within(ad.buffer.extents())) {
+  if (!region.within(ad.buffer->extents())) {
     if (ad.sealed) {
       if (!region.within(ad.sealed_extents)) {
         throw_error(ErrorKind::kOutOfRange,
@@ -98,13 +191,13 @@ StoreResult FieldStorage::store(Age age, const nd::Region& region,
       }
       grow(ad, ad.sealed_extents);  // lazy allocation up to the seal
     } else {
-      grow(ad, ad.buffer.extents().max_with(region.required_extents()));
+      grow(ad, ad.buffer->extents().max_with(region.required_extents()));
       result.resized = true;
     }
   }
 
   // Write-once enforcement, then payload scatter.
-  const nd::Extents& ext = ad.buffer.extents();
+  const nd::Extents& ext = ad.buffer->extents();
   if (const auto span = region.contiguous_span(ext)) {
     const auto begin = static_cast<size_t>(span->offset);
     const auto end = begin + static_cast<size_t>(span->length);
@@ -124,7 +217,7 @@ StoreResult FieldStorage::store(Age age, const nd::Region& region,
     ad.writers.emplace_back(region,
                             origin != nullptr ? *origin : StoreOrigin{});
   }
-  ad.buffer.scatter(region, data);
+  ad.buffer->scatter(region, data);
   result.extents = ext;
   return result;
 }
@@ -140,7 +233,7 @@ StoreResult FieldStorage::store_whole(Age age, const nd::AnyBuffer& data,
 }
 
 void FieldStorage::seal(Age age, const nd::Extents& extents) {
-  std::scoped_lock lock(mutex_);
+  std::unique_lock lock(mutex_);
   AgeData& ad = age_data(age);
   if (ad.sealed) {
     // Idempotent as long as the extents agree.
@@ -150,18 +243,18 @@ void FieldStorage::seal(Age age, const nd::Extents& extents) {
   }
   // Data already written beyond the proposed seal widens it to the union.
   // The buffer itself is only grown when data is actually stored.
-  ad.sealed_extents = ad.buffer.extents().max_with(extents);
+  ad.sealed_extents = ad.buffer->extents().max_with(extents);
   ad.sealed = true;
 }
 
 bool FieldStorage::is_sealed(Age age) const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
   return ad != nullptr && ad->sealed;
 }
 
 bool FieldStorage::is_complete(Age age) const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
   return ad != nullptr && ad->sealed &&
          static_cast<int64_t>(ad->written.count()) ==
@@ -169,10 +262,10 @@ bool FieldStorage::is_complete(Age age) const {
 }
 
 bool FieldStorage::region_written(Age age, const nd::Region& region) const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
   if (ad == nullptr) return false;
-  const nd::Extents& ext = ad->buffer.extents();
+  const nd::Extents& ext = ad->buffer->extents();
   if (!region.within(ext)) return false;
   if (const auto span = region.contiguous_span(ext)) {
     return ad->written.all_in_range(
@@ -190,7 +283,7 @@ bool FieldStorage::region_written(Age age, const nd::Region& region) const {
 }
 
 nd::Extents FieldStorage::extents(Age age) const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
   if (ad == nullptr) {
     return nd::Extents(std::vector<int64_t>(decl_.rank, 0));
@@ -199,11 +292,11 @@ nd::Extents FieldStorage::extents(Age age) const {
 }
 
 nd::AnyBuffer FieldStorage::fetch(Age age, const nd::Region& region) const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
   check_internal(ad != nullptr,
                  "fetch from untouched age of field " + decl_.name);
-  check_internal(region.within(ad->buffer.extents()),
+  check_internal(region.within(ad->buffer->extents()),
                  "fetch region outside extents of field " + decl_.name);
 
   std::vector<int64_t> dims(region.rank());
@@ -211,27 +304,42 @@ nd::AnyBuffer FieldStorage::fetch(Age age, const nd::Region& region) const {
     dims[i] = region.interval(i).length();
   }
   nd::AnyBuffer out(decl_.type, nd::Extents(std::move(dims)));
-  ad->buffer.gather(region, out.raw());
+  ad->buffer->gather(region, out.raw());
   return out;
 }
 
 nd::AnyBuffer FieldStorage::fetch_whole(Age age) const {
-  return fetch(age, nd::Region::whole(extents(age)));
+  std::shared_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  check_internal(ad != nullptr,
+                 "fetch from untouched age of field " + decl_.name);
+  const nd::Region region = nd::Region::whole(ad->current_extents());
+  check_internal(region.within(ad->buffer->extents()),
+                 "fetch region outside extents of field " + decl_.name);
+  nd::AnyBuffer out(decl_.type, region.required_extents());
+  ad->buffer->gather(region, out.raw());
+  return out;
 }
 
 int64_t FieldStorage::written_count(Age age) const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
   return ad == nullptr ? 0 : static_cast<int64_t>(ad->written.count());
 }
 
 void FieldStorage::release_age(Age age) {
-  std::scoped_lock lock(mutex_);
-  ages_.erase(age);
+  std::unique_lock lock(mutex_);
+  const auto it = ages_.find(age);
+  if (it == ages_.end()) return;
+  const bool was_published = it->second.published;
+  // Outstanding views keep the payload alive through their keepalive; this
+  // only drops the storage's own reference.
+  ages_.erase(it);
+  if (was_published) rebuild_seal_index();
 }
 
 std::vector<Age> FieldStorage::live_ages() const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::vector<Age> out;
   out.reserve(ages_.size());
   for (const auto& [age, data] : ages_) out.push_back(age);
@@ -239,11 +347,11 @@ std::vector<Age> FieldStorage::live_ages() const {
 }
 
 size_t FieldStorage::memory_bytes() const {
-  std::scoped_lock lock(mutex_);
+  std::shared_lock lock(mutex_);
   size_t total = 0;
   for (const auto& [age, data] : ages_) {
-    total += static_cast<size_t>(data.buffer.element_count()) *
-             nd::element_size(data.buffer.type());
+    total += static_cast<size_t>(data.buffer->element_count()) *
+             nd::element_size(data.buffer->type());
   }
   return total;
 }

@@ -10,8 +10,11 @@
 // extent is final and completeness (`all elements written`) is meaningful.
 #pragma once
 
+#include <atomic>
 #include <map>
-#include <mutex>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #include "core/ids.h"
 #include "nd/buffer.h"
 #include "nd/region.h"
+#include "nd/view.h"
 
 namespace p2g {
 
@@ -97,6 +101,32 @@ class FieldStorage {
   /// Copies the whole content of a complete age.
   nd::AnyBuffer fetch_whole(Age age) const;
 
+  // --- zero-copy read path -------------------------------------------------
+  //
+  // Sealed ages never reallocate their payload again (implicit resizing is
+  // over), and write-once semantics mean already-written elements never
+  // change — so a fetch of a sealed age can alias the age buffer instead of
+  // copying it. The view carries a shared_ptr keepalive: release_age() may
+  // drop the age while kernels still hold views, and the memory is freed
+  // only when the last view goes away.
+  //
+  // Reads of sealed ages are lock-free in steady state: the first fetch of
+  // a sealed age publishes it (grows the buffer to its final extents under
+  // the writer lock, then installs an immutable snapshot index); later
+  // fetches resolve through an atomic snapshot load without touching the
+  // storage mutex at all.
+
+  /// View of (age, region) aliasing the age buffer. Returns nullopt while
+  /// the age is unsealed (the buffer may still be reallocated by implicit
+  /// resizing) — callers fall back to fetch(). Contiguous regions yield
+  /// dense views; anything else yields a strided view, still zero-copy.
+  std::optional<nd::ConstView> try_fetch_view(Age age,
+                                              const nd::Region& region);
+
+  /// Whole-field variant of try_fetch_view (the region is the sealed
+  /// extents).
+  std::optional<nd::ConstView> try_fetch_view_whole(Age age);
+
   /// Number of elements written so far at this age.
   int64_t written_count(Age age) const;
 
@@ -111,9 +141,12 @@ class FieldStorage {
 
  private:
   struct AgeData {
-    nd::AnyBuffer buffer;
+    /// Payload, shared with outstanding views (keepalive).
+    std::shared_ptr<nd::AnyBuffer> buffer;
     DynamicBitset written;
     bool sealed = false;
+    /// The age is in the lock-free seal index (buffer at final extents).
+    bool published = false;
     /// Final extents once sealed. The buffer itself grows lazily (an age
     /// that is sealed but never stored — e.g. the elided intermediate of a
     /// fused pipeline — costs no memory).
@@ -122,8 +155,21 @@ class FieldStorage {
     std::vector<std::pair<nd::Region, StoreOrigin>> writers;
 
     nd::Extents current_extents() const {
-      return sealed ? sealed_extents : buffer.extents();
+      return sealed ? sealed_extents : buffer->extents();
     }
+  };
+
+  /// Immutable snapshot of the published (sealed, fully grown) ages, read
+  /// lock-free on the fetch fast path and rebuilt under the writer lock on
+  /// publish/release (both rare: once per age).
+  struct SealIndex {
+    struct Entry {
+      Age age;
+      std::shared_ptr<const nd::AnyBuffer> buffer;
+    };
+    std::vector<Entry> entries;  ///< sorted by age
+
+    const Entry* find(Age age) const;
   };
 
   AgeData& age_data(Age age);           // creates on demand (locked caller)
@@ -131,6 +177,18 @@ class FieldStorage {
 
   /// Grows buffer + written-bitmap to new extents, remapping set bits.
   void grow(AgeData& data, const nd::Extents& new_extents);
+
+  /// Grows a sealed age to its final extents and installs it in the seal
+  /// index (caller holds the writer lock).
+  void publish(AgeData& data, Age age);
+
+  /// Rebuilds the seal index from the published entries of ages_ (caller
+  /// holds the writer lock).
+  void rebuild_seal_index();
+
+  /// View of `region` aliasing a published buffer.
+  nd::ConstView make_view(std::shared_ptr<const nd::AnyBuffer> buffer,
+                          const nd::Region& region) const;
 
   /// Builds and throws the kWriteOnceViolation error for a store hitting
   /// already-written elements of `conflict` (caller holds the lock).
@@ -140,8 +198,11 @@ class FieldStorage {
 
   FieldDecl decl_;
   bool track_writers_ = false;
-  mutable std::mutex mutex_;
+  /// Writer lock for stores/seal/release/publish; shared for queries. The
+  /// published-age fetch path takes neither.
+  mutable std::shared_mutex mutex_;
   std::map<Age, AgeData> ages_;
+  std::atomic<std::shared_ptr<const SealIndex>> seal_index_;
 };
 
 }  // namespace p2g

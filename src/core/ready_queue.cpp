@@ -3,20 +3,67 @@
 namespace p2g {
 
 void ReadyQueue::push(WorkItem item) {
+  bool wake = false;
   {
     std::scoped_lock lock(mutex_);
     item.seq = next_seq_++;
     items_.push(std::move(item));
+    wake = waiters_ > 0;
   }
-  cv_.notify_one();
+  if (wake) cv_.notify_one();
+}
+
+void ReadyQueue::push_batch(std::vector<WorkItem> items) {
+  if (items.empty()) return;
+  bool wake = false;
+  {
+    std::scoped_lock lock(mutex_);
+    for (WorkItem& item : items) {
+      item.seq = next_seq_++;
+      items_.push(std::move(item));
+    }
+    wake = waiters_ > 0;
+  }
+  if (wake) cv_.notify_one();
+}
+
+WorkItem ReadyQueue::take_top() {
+  WorkItem item = std::move(const_cast<WorkItem&>(items_.top()));
+  items_.pop();
+  return item;
 }
 
 std::optional<WorkItem> ReadyQueue::pop() {
   std::unique_lock lock(mutex_);
+  ++waiters_;
   cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  --waiters_;
   if (items_.empty()) return std::nullopt;
-  WorkItem item = items_.top();
-  items_.pop();
+  WorkItem item = take_top();
+  // More work and somebody is parked: pass the wakeup along so the chain
+  // keeps draining even though push only ever notifies one worker.
+  const bool handoff = !items_.empty() && waiters_ > 0;
+  lock.unlock();
+  if (handoff) cv_.notify_one();
+  return item;
+}
+
+std::optional<WorkItem> ReadyQueue::pop(std::optional<WorkItem>& bonus) {
+  bonus.reset();
+  std::unique_lock lock(mutex_);
+  ++waiters_;
+  cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  --waiters_;
+  if (items_.empty()) return std::nullopt;
+  WorkItem item = take_top();
+  if (!items_.empty() && waiters_ == 0) {
+    // Nobody else wants work right now: take a second unit and save this
+    // worker its next lock round trip.
+    bonus = take_top();
+  }
+  const bool handoff = !items_.empty() && waiters_ > 0;
+  lock.unlock();
+  if (handoff) cv_.notify_one();
   return item;
 }
 

@@ -4,6 +4,13 @@
 // ("older" instances) so that kernels satisfying their own dependencies in
 // aging cycles cannot starve others (§VI-B). We implement that as a
 // priority queue ordered by (age, enqueue sequence).
+//
+// Hot-path design: the analyzer pushes whole batches under one lock with at
+// most one wakeup per batch, wakeups are skipped entirely when no worker is
+// blocked (waiter count tracked under the mutex), and items move — not copy
+// — through push and pop. Workers may additionally grab a *bonus* second
+// item per pop when no other worker is waiting, halving their queue round
+// trips under load without starving idle peers.
 #pragma once
 
 #include <condition_variable>
@@ -26,7 +33,6 @@ struct WorkItem {
   /// Index bindings of each body in the chunk; empty Coord for kernels
   /// without index variables. Always at least one entry.
   std::vector<nd::Coord> coords;
-  int64_t enqueue_ns = 0;
   uint64_t seq = 0;
 };
 
@@ -40,8 +46,18 @@ class ReadyQueue {
 
   void push(WorkItem item);
 
+  /// Pushes a batch of items: one lock acquisition, at most one wakeup.
+  /// (Waking one worker suffices — each woken worker takes at most two
+  /// items and the rest remain claimable by peers finishing their bodies.)
+  void push_batch(std::vector<WorkItem> items);
+
   /// Blocks for the lowest-age item; nullopt after close() drains.
   std::optional<WorkItem> pop();
+
+  /// Like pop(), but when more work is queued and no other worker is
+  /// waiting for it, also moves the next item into `bonus` — a second unit
+  /// for the same worker at no extra lock round trip.
+  std::optional<WorkItem> pop(std::optional<WorkItem>& bonus);
 
   void close();
   size_t size() const;
@@ -57,12 +73,19 @@ class ReadyQueue {
     }
   };
 
+  /// Moves the top item out (caller holds the lock). The const_cast is the
+  /// standard escape hatch for std::priority_queue's const top(): safe here
+  /// because the comparator reads only the trivially-copyable age/seq
+  /// fields, which a move leaves intact for the pop() sift-down.
+  WorkItem take_top();
+
   bool age_priority_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::priority_queue<WorkItem, std::vector<WorkItem>, Compare> items_{
       Compare{age_priority_}};
   uint64_t next_seq_ = 0;
+  int waiters_ = 0;  ///< workers blocked in pop (guarded by mutex_)
   bool closed_ = false;
 };
 

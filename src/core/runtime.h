@@ -72,6 +72,10 @@ struct RunOptions {
   std::optional<std::chrono::milliseconds> watchdog;
   /// Oldest-first dispatch (paper §VI-B). false = plain FIFO (ablation).
   bool age_priority = true;
+  /// Batched event handling: the analyzer drains its whole event backlog
+  /// under one queue lock and amortizes trace/metrics/accounting over the
+  /// batch. false = one event per lock round trip (ablation baseline).
+  bool analyzer_batch = true;
   /// Checked mode: record writer provenance per (field, age, region) so a
   /// write-once violation reports *both* offending kernel instances and
   /// their slices instead of just the second one. Costs one small record
@@ -199,11 +203,14 @@ class Runtime {
   // Work accounting: every event and every created instance holds one unit;
   // quiescence (= shutdown) happens when the count returns to zero.
   void add_outstanding(int64_t n) { outstanding_.fetch_add(n); }
-  void complete_outstanding();
+  void complete_outstanding(int64_t n = 1);
 
   /// Enqueues a work item. When `already_counted`, the instance already
   /// holds an outstanding unit (it was parked by the serial gate).
   void submit(WorkItem item, bool already_counted = false);
+
+  /// Enqueues a batch of work items under one ready-queue lock.
+  void submit_batch(std::vector<WorkItem> items);
 
   void push_event(Event event);
 

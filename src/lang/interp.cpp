@@ -203,7 +203,7 @@ class Interp {
         return true;
       case Stmt::Kind::kFetch: {
         // The runtime prepared this slot under the target variable's name.
-        const nd::AnyBuffer& data = ctx_.fetch_array(stmt.name);
+        const nd::ConstView& data = ctx_.fetch_view(stmt.name);
         const bool elementwise =
             !stmt.access.slices.empty() &&
             std::all_of(stmt.access.slices.begin(),
@@ -211,12 +211,15 @@ class Interp {
                           return e.kind != SliceElem::Kind::kAll;
                         });
         if (elementwise) {
+          // Scalar read straight off the view — no packed copy at all.
           env_[stmt.name] = is_float_type(data.type())
                                 ? Value::of_float(data.get_as_double(0))
                                 : Value::of_int(data.get_as_int(0));
         } else {
-          env_[stmt.name] =
-              Value::of_array(std::make_shared<nd::AnyBuffer>(data));
+          // Array values are mutable in the language; materialize one
+          // packed copy (previously this was two copies: fetch + here).
+          env_[stmt.name] = Value::of_array(
+              std::make_shared<nd::AnyBuffer>(data.materialize()));
         }
         return false;
       }

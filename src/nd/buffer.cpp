@@ -1,9 +1,22 @@
 #include "nd/buffer.h"
 
+#include <atomic>
 #include <cstring>
 #include <string>
 
 namespace p2g::nd {
+
+namespace {
+std::atomic<int64_t> g_payload_allocs{0};
+
+void count_alloc(size_t bytes) {
+  if (bytes > 0) g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+int64_t buffer_alloc_count() {
+  return g_payload_allocs.load(std::memory_order_relaxed);
+}
 
 size_t element_size(ElementType type) {
   switch (type) {
@@ -47,6 +60,22 @@ AnyBuffer::AnyBuffer(ElementType type, Extents extents)
     : type_(type), extents_(std::move(extents)) {
   bytes_.resize(static_cast<size_t>(extents_.element_count()) *
                 element_size(type_));
+  count_alloc(bytes_.size());
+}
+
+AnyBuffer::AnyBuffer(const AnyBuffer& other)
+    : type_(other.type_), extents_(other.extents_), bytes_(other.bytes_) {
+  count_alloc(bytes_.size());
+}
+
+AnyBuffer& AnyBuffer::operator=(const AnyBuffer& other) {
+  if (this != &other) {
+    type_ = other.type_;
+    extents_ = other.extents_;
+    bytes_ = other.bytes_;
+    count_alloc(bytes_.size());
+  }
+  return *this;
 }
 
 void AnyBuffer::resize(const Extents& new_extents) {
@@ -61,6 +90,7 @@ void AnyBuffer::resize(const Extents& new_extents) {
   const size_t esz = element_size(type_);
   std::vector<std::byte> fresh(
       static_cast<size_t>(new_extents.element_count()) * esz);
+  count_alloc(fresh.size());
 
   if (extents_.element_count() > 0) {
     // Copy row by row: iterate over all coordinates of the old extents with
@@ -102,32 +132,46 @@ void AnyBuffer::resize(const Extents& new_extents) {
   extents_ = new_extents;
 }
 
-double AnyBuffer::get_as_double(int64_t flat) const {
-  const int64_t i = check_flat(flat);
-  switch (type_) {
-    case ElementType::kInt8: return reinterpret_cast<const int8_t*>(bytes_.data())[i];
-    case ElementType::kUInt8: return reinterpret_cast<const uint8_t*>(bytes_.data())[i];
-    case ElementType::kInt16: return reinterpret_cast<const int16_t*>(bytes_.data())[i];
-    case ElementType::kInt32: return reinterpret_cast<const int32_t*>(bytes_.data())[i];
-    case ElementType::kInt64: return static_cast<double>(reinterpret_cast<const int64_t*>(bytes_.data())[i]);
-    case ElementType::kFloat32: return reinterpret_cast<const float*>(bytes_.data())[i];
-    case ElementType::kFloat64: return reinterpret_cast<const double*>(bytes_.data())[i];
+double load_as_double(ElementType type, const std::byte* p) {
+  switch (type) {
+    case ElementType::kInt8: return *reinterpret_cast<const int8_t*>(p);
+    case ElementType::kUInt8: return *reinterpret_cast<const uint8_t*>(p);
+    case ElementType::kInt16: return *reinterpret_cast<const int16_t*>(p);
+    case ElementType::kInt32: return *reinterpret_cast<const int32_t*>(p);
+    case ElementType::kInt64:
+      return static_cast<double>(*reinterpret_cast<const int64_t*>(p));
+    case ElementType::kFloat32: return *reinterpret_cast<const float*>(p);
+    case ElementType::kFloat64: return *reinterpret_cast<const double*>(p);
   }
   return 0.0;
 }
 
-int64_t AnyBuffer::get_as_int(int64_t flat) const {
-  const int64_t i = check_flat(flat);
-  switch (type_) {
-    case ElementType::kInt8: return reinterpret_cast<const int8_t*>(bytes_.data())[i];
-    case ElementType::kUInt8: return reinterpret_cast<const uint8_t*>(bytes_.data())[i];
-    case ElementType::kInt16: return reinterpret_cast<const int16_t*>(bytes_.data())[i];
-    case ElementType::kInt32: return reinterpret_cast<const int32_t*>(bytes_.data())[i];
-    case ElementType::kInt64: return reinterpret_cast<const int64_t*>(bytes_.data())[i];
-    case ElementType::kFloat32: return static_cast<int64_t>(reinterpret_cast<const float*>(bytes_.data())[i]);
-    case ElementType::kFloat64: return static_cast<int64_t>(reinterpret_cast<const double*>(bytes_.data())[i]);
+int64_t load_as_int(ElementType type, const std::byte* p) {
+  switch (type) {
+    case ElementType::kInt8: return *reinterpret_cast<const int8_t*>(p);
+    case ElementType::kUInt8: return *reinterpret_cast<const uint8_t*>(p);
+    case ElementType::kInt16: return *reinterpret_cast<const int16_t*>(p);
+    case ElementType::kInt32: return *reinterpret_cast<const int32_t*>(p);
+    case ElementType::kInt64: return *reinterpret_cast<const int64_t*>(p);
+    case ElementType::kFloat32:
+      return static_cast<int64_t>(*reinterpret_cast<const float*>(p));
+    case ElementType::kFloat64:
+      return static_cast<int64_t>(*reinterpret_cast<const double*>(p));
   }
   return 0;
+}
+
+double AnyBuffer::get_as_double(int64_t flat) const {
+  const int64_t i = check_flat(flat);
+  return load_as_double(type_,
+                        bytes_.data() + static_cast<size_t>(i) *
+                                            element_size(type_));
+}
+
+int64_t AnyBuffer::get_as_int(int64_t flat) const {
+  const int64_t i = check_flat(flat);
+  return load_as_int(type_, bytes_.data() + static_cast<size_t>(i) *
+                                                element_size(type_));
 }
 
 void AnyBuffer::set_from_double(int64_t flat, double value) {

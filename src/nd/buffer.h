@@ -37,6 +37,16 @@ std::string_view to_string(ElementType type);
 /// Parses a kernel-language type name; throws kParse on unknown names.
 ElementType parse_element_type(std::string_view name);
 
+/// Reads one element at a raw location, converting to double/int64. These
+/// are the type-erased scalar loads shared by AnyBuffer and ConstView.
+double load_as_double(ElementType type, const std::byte* p);
+int64_t load_as_int(ElementType type, const std::byte* p);
+
+/// Process-wide count of payload allocations and copies made by AnyBuffer
+/// (constructions, copies and growing resizes of non-empty buffers). Used
+/// by tests asserting that the zero-copy fetch path really is zero-copy.
+int64_t buffer_alloc_count();
+
 /// Maps C++ arithmetic types to ElementType at compile time.
 template <typename T>
 constexpr ElementType element_type_of();
@@ -54,6 +64,12 @@ class AnyBuffer {
  public:
   AnyBuffer() : type_(ElementType::kInt32) {}
   AnyBuffer(ElementType type, Extents extents);
+
+  // Copies count toward buffer_alloc_count(); moves are free.
+  AnyBuffer(const AnyBuffer& other);
+  AnyBuffer& operator=(const AnyBuffer& other);
+  AnyBuffer(AnyBuffer&&) noexcept = default;
+  AnyBuffer& operator=(AnyBuffer&&) noexcept = default;
 
   ElementType type() const { return type_; }
   const Extents& extents() const { return extents_; }

@@ -96,8 +96,10 @@ Program KmeansWorkload::build() const {
              Slice().var("j").all())
       .store("d", "dist", AgeExpr::relative(0), Slice().var("x").var("j"))
       .body([dim](KernelContext& ctx) {
-        const nd::AnyBuffer& pt = ctx.fetch_array("pt");
-        const nd::AnyBuffer& cent = ctx.fetch_array("cent");
+        // Point and centroid rows are contiguous in field storage; the
+        // views alias it with no copy.
+        const nd::ConstView& pt = ctx.fetch_view("pt");
+        const nd::ConstView& cent = ctx.fetch_view("cent");
         ctx.store_scalar<double>(
             "d", sq_distance(pt.data<double>(), cent.data<double>(), dim));
       });
@@ -114,9 +116,9 @@ Program KmeansWorkload::build() const {
              Slice().var("j").all())
       .body([n, k, dim](KernelContext& ctx) {
         const int64_t j = ctx.index("j");
-        const double* dist = ctx.fetch_array("dall").data<double>();
-        const double* pts = ctx.fetch_array("pts").data<double>();
-        const double* prev = ctx.fetch_array("prev").data<double>();
+        const double* dist = ctx.fetch_view("dall").data<double>();
+        const double* pts = ctx.fetch_view("pts").data<double>();
+        const double* prev = ctx.fetch_view("prev").data<double>();
 
         std::vector<double> sum(static_cast<size_t>(dim), 0.0);
         int64_t count = 0;
@@ -147,7 +149,7 @@ Program KmeansWorkload::build() const {
       .serial()
       .fetch("c", "centroids", AgeExpr::relative(0), Slice::whole())
       .body([sink](KernelContext& ctx) {
-        const nd::AnyBuffer& c = ctx.fetch_array("c");
+        const nd::ConstView& c = ctx.fetch_view("c");
         std::vector<double> snapshot(
             c.data<double>(), c.data<double>() + c.element_count());
         sink->push_back(std::move(snapshot));

@@ -149,8 +149,10 @@ Program MotionWorkload::build() const {
       .store("mv", "vectors", AgeExpr::relative(0),
              Slice().var("by").var("bx").all())
       .body([block, search, width, height](KernelContext& ctx) {
-        const nd::AnyBuffer& blk = ctx.fetch_array("blk");
-        const nd::AnyBuffer& prev = ctx.fetch_array("prev");
+        // Both fetches alias field storage: the block row is contiguous by
+        // construction and the previous plane is a whole sealed age.
+        const nd::ConstView& blk = ctx.fetch_view("blk");
+        const nd::ConstView& prev = ctx.fetch_view("prev");
         int dx = 0;
         int dy = 0;
         best_vector(blk.data<uint8_t>(), block, prev.data<uint8_t>(),
@@ -169,7 +171,7 @@ Program MotionWorkload::build() const {
       .serial()
       .fetch("mvs", "vectors", AgeExpr::relative(0), Slice::whole())
       .body([sink](KernelContext& ctx) {
-        const nd::AnyBuffer& mvs = ctx.fetch_array("mvs");
+        const nd::ConstView& mvs = ctx.fetch_view("mvs");
         double total = 0.0;
         const int64_t blocks = mvs.element_count() / 2;
         for (int64_t b = 0; b < blocks; ++b) {

@@ -45,16 +45,16 @@ Program Mul2Plus5::build() const {
       .fetch("m", "m_data", AgeExpr::relative(0), Slice::whole())
       .fetch("p", "p_data", AgeExpr::relative(0), Slice::whole())
       .body([sink](KernelContext& ctx) {
-        const nd::AnyBuffer& m = ctx.fetch_array("m");
-        const nd::AnyBuffer& p = ctx.fetch_array("p");
+        const nd::ConstView& m = ctx.fetch_view("m");
+        const nd::ConstView& p = ctx.fetch_view("p");
         std::vector<int32_t> row;
         row.reserve(static_cast<size_t>(m.element_count() +
                                         p.element_count()));
         for (int64_t i = 0; i < m.element_count(); ++i) {
-          row.push_back(m.at<int32_t>(i));
+          row.push_back(m.at_flat<int32_t>(i));
         }
         for (int64_t i = 0; i < p.element_count(); ++i) {
-          row.push_back(p.at<int32_t>(i));
+          row.push_back(p.at_flat<int32_t>(i));
         }
         sink->push_back(std::move(row));
       });

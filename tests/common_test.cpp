@@ -170,6 +170,47 @@ TEST(BlockingQueue, CloseDrainsThenEnds) {
   EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(BlockingQueue, PopAllDrainsEverythingAtOnce) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  std::deque<int> batch;
+  ASSERT_TRUE(q.pop_all(batch));
+  EXPECT_EQ(batch, (std::deque<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+  // A stale out-parameter is cleared, not appended to.
+  q.push(4);
+  ASSERT_TRUE(q.pop_all(batch));
+  EXPECT_EQ(batch, (std::deque<int>{4}));
+}
+
+TEST(BlockingQueue, PopAllReturnsFalseOnlyWhenClosedAndDrained) {
+  BlockingQueue<int> q;
+  q.push(9);
+  q.close();
+  std::deque<int> batch;
+  EXPECT_TRUE(q.pop_all(batch));
+  EXPECT_EQ(batch, (std::deque<int>{9}));
+  EXPECT_FALSE(q.pop_all(batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BlockingQueue, PopAllCrossThreadReceivesEverythingInOrder) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  std::deque<int> batch;
+  while (q.pop_all(batch)) {
+    for (int v : batch) EXPECT_EQ(v, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, 1000);
+}
+
 TEST(BlockingQueue, CrossThreadDelivery) {
   BlockingQueue<int> q;
   std::thread producer([&] {

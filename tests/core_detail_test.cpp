@@ -3,6 +3,7 @@
 // formatting and context behavior.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "core/context.h"
@@ -106,6 +107,96 @@ TEST(ReadyQueueTest, CloseUnblocksWaiters) {
   waiter.join();
 }
 
+TEST(ReadyQueueTest, PushBatchPreservesAgeOrderAcrossBatches) {
+  ReadyQueue queue(/*age_priority=*/true);
+  auto item = [](KernelId k, Age a) {
+    WorkItem w;
+    w.kernel = k;
+    w.age = a;
+    w.coords = {nd::Coord{}};
+    return w;
+  };
+  std::vector<WorkItem> first;
+  first.push_back(item(0, 4));
+  first.push_back(item(1, 1));
+  queue.push_batch(std::move(first));
+  std::vector<WorkItem> second;
+  second.push_back(item(2, 0));
+  second.push_back(item(3, 1));
+  queue.push_batch(std::move(second));
+  queue.push_batch({});  // empty batch is a no-op
+
+  EXPECT_EQ(queue.pop()->kernel, 2);  // age 0
+  EXPECT_EQ(queue.pop()->kernel, 1);  // age 1, pushed before kernel 3
+  EXPECT_EQ(queue.pop()->kernel, 3);
+  EXPECT_EQ(queue.pop()->kernel, 0);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ReadyQueueTest, BonusPopHandsOverSecondItemWhenAlone) {
+  ReadyQueue queue;
+  auto item = [](KernelId k, Age a) {
+    WorkItem w;
+    w.kernel = k;
+    w.age = a;
+    w.coords = {nd::Coord{}};
+    return w;
+  };
+  queue.push(item(0, 1));
+  queue.push(item(1, 0));
+  queue.push(item(2, 2));
+
+  // Single consumer: pop grants the best item plus the next-best bonus.
+  std::optional<WorkItem> bonus;
+  const auto first = queue.pop(bonus);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->kernel, 1);  // age 0
+  ASSERT_TRUE(bonus.has_value());
+  EXPECT_EQ(bonus->kernel, 0);  // age 1
+  const auto last = queue.pop(bonus);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->kernel, 2);
+  EXPECT_FALSE(bonus.has_value()) << "no bonus when the queue runs dry";
+}
+
+TEST(ReadyQueueTest, BatchedPushWakesBlockedConsumers) {
+  ReadyQueue queue;
+  constexpr int kItems = 256;
+  constexpr int kConsumers = 4;
+  std::atomic<int> popped{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int t = 0; t < kConsumers; ++t) {
+    consumers.emplace_back([&queue, &popped] {
+      std::optional<WorkItem> bonus;
+      while (auto w = queue.pop(bonus)) {
+        popped.fetch_add(1);
+        if (bonus) {
+          popped.fetch_add(1);
+          bonus.reset();
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kItems; i += 8) {
+    std::vector<WorkItem> batch;
+    for (int j = i; j < i + 8; ++j) {
+      WorkItem w;
+      w.kernel = 0;
+      w.age = j;
+      w.coords = {nd::Coord{}};
+      batch.push_back(std::move(w));
+    }
+    queue.push_batch(std::move(batch));
+  }
+  // Workers must drain everything even though each batch wakes at most one
+  // of them (the hand-off chain in pop covers the rest).
+  while (popped.load() < kItems) std::this_thread::yield();
+  queue.close();
+  for (std::thread& c : consumers) c.join();
+  EXPECT_EQ(popped.load(), kItems);
+}
+
 TEST(InstrumentationTable, FormatsLikeThePaper) {
   InstrumentationReport report;
   KernelStats stats;
@@ -193,6 +284,55 @@ TEST(KernelContextTest, SlotLookupsAndErrors) {
   EXPECT_FALSE(ctx.continue_requested());
   ctx.continue_next_age();
   EXPECT_TRUE(ctx.continue_requested());
+}
+
+TEST(KernelContextTest, OwnedFetchSlotViewsAliasTheBuffer) {
+  ProgramBuilder pb;
+  pb.field("f", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "f", AgeExpr::relative(0), Slice().var("x"))
+      .body([](KernelContext&) {});
+  const Program program = pb.build();
+  KernelContext ctx(program.kernel(0), 0, {0}, nullptr);
+
+  EXPECT_THROW(ctx.fetch_view("in"), Error) << "slot not prepared yet";
+
+  nd::AnyBuffer data(nd::ElementType::kInt32, nd::Extents({3}));
+  for (int i = 0; i < 3; ++i) data.data<int32_t>()[i] = 10 * i;
+  ctx.set_fetch(0, std::move(data));
+
+  const nd::ConstView& view = ctx.fetch_view("in");
+  const nd::AnyBuffer& arr = ctx.fetch_array("in");
+  EXPECT_EQ(view.raw(), arr.raw()) << "view must alias the owned copy";
+  EXPECT_EQ(view.at_flat<int32_t>(0), 0);
+  EXPECT_EQ(view.at_flat<int32_t>(2), 20);
+}
+
+TEST(KernelContextTest, StorageViewSlotMaterializesArrayOnce) {
+  ProgramBuilder pb;
+  pb.field("f", nd::ElementType::kInt32, 1);
+  pb.kernel("k")
+      .index("x")
+      .fetch("in", "f", AgeExpr::relative(0), Slice().var("x"))
+      .body([](KernelContext&) {});
+  const Program program = pb.build();
+  KernelContext ctx(program.kernel(0), 0, {0}, nullptr);
+
+  // A zero-copy slot over caller-managed memory.
+  const int32_t backing[4] = {1, 2, 3, 4};
+  ctx.set_fetch(0, nd::ConstView(nd::ElementType::kInt32, nd::Extents({4}),
+                                 reinterpret_cast<const std::byte*>(backing),
+                                 nullptr));
+  EXPECT_EQ(ctx.fetch_view("in").raw(),
+            reinterpret_cast<const std::byte*>(backing));
+
+  // fetch_array materializes lazily and caches: same object, one copy.
+  const nd::AnyBuffer& first = ctx.fetch_array("in");
+  const nd::AnyBuffer& second = ctx.fetch_array("in");
+  EXPECT_EQ(&first, &second);
+  EXPECT_NE(first.raw(), reinterpret_cast<const std::byte*>(backing));
+  EXPECT_EQ(first.at<int32_t>(3), 4);
 }
 
 TEST(RunOptionsValidation, UnknownNamesAreRejected) {

@@ -1,5 +1,10 @@
-// Unit tests for field storage: write-once, aging, implicit resize, seal.
+// Unit tests for field storage: write-once, aging, implicit resize, seal,
+// and the zero-copy view path (aliasing, lifetime under release_age,
+// concurrent readers).
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "core/field.h"
 
@@ -200,6 +205,179 @@ TEST(FieldStorage, NegativeAgeRejected) {
   EXPECT_THROW(fs.store(-1, nd::Region::point({0}),
                         reinterpret_cast<const std::byte*>(&v)),
                Error);
+}
+
+// --- zero-copy views -------------------------------------------------------
+
+TEST(FieldStorageView, WholeFetchOfSealedAgeDoesNotAllocate) {
+  FieldStorage fs(decl1d());
+  fs.store_whole(0, ints({10, 11, 12}));
+  fs.seal(0, nd::Extents({3}));
+
+  // The whole point of the view path: fetching a sealed age must not touch
+  // the allocator or copy the payload. The buffer was stored at its final
+  // extents, so even the first (publishing) fetch is alias-only.
+  const int64_t before = nd::buffer_alloc_count();
+  const auto view = fs.try_fetch_view_whole(0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(nd::buffer_alloc_count(), before) << "fetch allocated or copied";
+
+  EXPECT_TRUE(view->is_contiguous());
+  EXPECT_EQ(view->extents(), nd::Extents({3}));
+  EXPECT_EQ(view->at_flat<int32_t>(2), 12);
+
+  // Repeated fetches alias the same memory.
+  const auto again = fs.try_fetch_view_whole(0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(view->raw(), again->raw());
+  EXPECT_EQ(nd::buffer_alloc_count(), before);
+}
+
+TEST(FieldStorageView, UnsealedAgeYieldsNoView) {
+  FieldStorage fs(decl1d());
+  fs.store_whole(0, ints({1, 2, 3}));
+  EXPECT_FALSE(fs.try_fetch_view_whole(0).has_value())
+      << "unsealed buffers may still be reallocated; views must refuse";
+  EXPECT_FALSE(fs.try_fetch_view(0, nd::Region::point({0})).has_value());
+  fs.seal(0, nd::Extents({3}));
+  EXPECT_TRUE(fs.try_fetch_view_whole(0).has_value());
+}
+
+TEST(FieldStorageView, ContiguousSubRegionAliasesStorage) {
+  FieldDecl d;
+  d.id = 0;
+  d.name = "grid";
+  d.type = nd::ElementType::kInt32;
+  d.rank = 2;
+  FieldStorage fs(d);
+  nd::AnyBuffer grid(nd::ElementType::kInt32, nd::Extents({3, 4}));
+  for (int64_t i = 0; i < 12; ++i) grid.data<int32_t>()[i] = 100 + i;
+  fs.store_whole(0, grid);
+  fs.seal(0, nd::Extents({3, 4}));
+
+  // Row 1 is one contiguous run: dense view, no copy.
+  const int64_t before = nd::buffer_alloc_count();
+  const auto row = fs.try_fetch_view(
+      0, nd::Region({nd::Interval{1, 2}, nd::Interval{0, 4}}));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(nd::buffer_alloc_count(), before);
+  EXPECT_TRUE(row->is_contiguous());
+  EXPECT_EQ(row->at_flat<int32_t>(0), 104);
+  EXPECT_EQ(row->at_flat<int32_t>(3), 107);
+}
+
+TEST(FieldStorageView, StridedColumnViewMatchesCopyFetch) {
+  FieldDecl d;
+  d.id = 0;
+  d.name = "grid";
+  d.type = nd::ElementType::kInt32;
+  d.rank = 2;
+  FieldStorage fs(d);
+  nd::AnyBuffer grid(nd::ElementType::kInt32, nd::Extents({3, 4}));
+  for (int64_t i = 0; i < 12; ++i) grid.data<int32_t>()[i] = 100 + i;
+  fs.store_whole(0, grid);
+  fs.seal(0, nd::Extents({3, 4}));
+
+  // Column 2 is strided (stride 4 between elements) but still zero-copy.
+  const nd::Region column({nd::Interval{0, 3}, nd::Interval{2, 3}});
+  const int64_t before = nd::buffer_alloc_count();
+  const auto view = fs.try_fetch_view(0, column);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(nd::buffer_alloc_count(), before) << "strided views still alias";
+  EXPECT_FALSE(view->is_contiguous());
+  EXPECT_EQ(view->extents(), nd::Extents({3, 1}));
+  EXPECT_EQ(view->at_flat<int32_t>(0), 102);
+  EXPECT_EQ(view->at_flat<int32_t>(1), 106);
+  EXPECT_EQ(view->at<int32_t>({2, 0}), 110);
+  EXPECT_THROW((void)view->raw(), Error) << "raw() is contiguous-only";
+
+  // materialize() packs exactly what fetch() copies.
+  const nd::AnyBuffer packed = view->materialize();
+  const nd::AnyBuffer copied = fs.fetch(0, column);
+  ASSERT_EQ(packed.element_count(), copied.element_count());
+  for (int64_t i = 0; i < packed.element_count(); ++i) {
+    EXPECT_EQ(packed.at<int32_t>(i), copied.at<int32_t>(i));
+  }
+}
+
+TEST(FieldStorageView, ViewOutlivesReleaseAge) {
+  FieldStorage fs(decl1d());
+  fs.store_whole(0, ints({7, 8, 9}));
+  fs.seal(0, nd::Extents({3}));
+  const auto view = fs.try_fetch_view_whole(0);
+  ASSERT_TRUE(view.has_value());
+
+  fs.release_age(0);
+  EXPECT_TRUE(fs.live_ages().empty());
+  EXPECT_FALSE(fs.try_fetch_view_whole(0).has_value())
+      << "released ages stop handing out new views";
+
+  // The keepalive keeps the payload valid for the view already held.
+  EXPECT_EQ(view->at_flat<int32_t>(0), 7);
+  EXPECT_EQ(view->at_flat<int32_t>(2), 9);
+}
+
+TEST(FieldStorageView, LazySealedAgePublishesOnFirstFetch) {
+  FieldStorage fs(decl1d());
+  // Sealed but only partially stored: the buffer is smaller than the seal
+  // until publish grows it (the elided-fusion-intermediate shape).
+  const int32_t v = 5;
+  fs.store(0, nd::Region::point({0}),
+           reinterpret_cast<const std::byte*>(&v));
+  fs.seal(0, nd::Extents({4}));
+  const auto view = fs.try_fetch_view_whole(0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->extents(), nd::Extents({4}));
+  EXPECT_EQ(view->at_flat<int32_t>(0), 5);
+}
+
+// Concurrent readers hold views across release_age while a writer keeps
+// producing new ages — the race the keepalive + lock-free seal index must
+// survive. Run under P2G_SANITIZE=thread to let TSan check it.
+TEST(FieldStorageStress, ConcurrentViewsAcrossRelease) {
+  constexpr Age kAges = 96;
+  constexpr int kReaders = 4;
+  constexpr int64_t kElems = 64;
+
+  FieldStorage fs(decl1d("stress"));
+  for (Age a = 0; a < kAges; ++a) {
+    nd::AnyBuffer buf(nd::ElementType::kInt32, nd::Extents({kElems}));
+    for (int64_t i = 0; i < kElems; ++i) {
+      buf.data<int32_t>()[i] = static_cast<int32_t>(a);
+    }
+    fs.store_whole(a, buf);
+    fs.seal(a, nd::Extents({kElems}));
+  }
+
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> views_read{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&fs, &mismatches, &views_read, t] {
+      for (int iter = 0; iter < 4000; ++iter) {
+        const Age a = (iter * 13 + t * 7) % kAges;
+        const auto view = fs.try_fetch_view_whole(a);
+        if (!view) continue;  // already released: allowed
+        // Hold the view and read it fully — release_age may run right now.
+        for (int64_t i = 0; i < view->element_count(); ++i) {
+          if (view->at_flat<int32_t>(i) != static_cast<int32_t>(a)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        views_read.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread releaser([&fs] {
+    for (Age a = 0; a < kAges; ++a) fs.release_age(a);
+  });
+  for (std::thread& r : readers) r.join();
+  releaser.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(views_read.load(), 0) << "test raced to nothing; weaken it";
+  EXPECT_TRUE(fs.live_ages().empty());
 }
 
 }  // namespace
