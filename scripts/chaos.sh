@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Chaos sweep: run the end-to-end fault-injection test across a grid of
+# drop rates and seeds (optionally with a scripted mid-run crash) and
+# report a pass/fail table. Every configuration must terminate and produce
+# bit-exact field contents versus a fault-free run.
+#
+# Usage:
+#   scripts/chaos.sh                       # default grid, no crash
+#   scripts/chaos.sh --crash-at 60         # crash the stage1 owner after
+#                                          # 60 bus messages in every run
+#   scripts/chaos.sh --seeds "1 2 3 4" --drops "0.05 0.2"
+#
+# Environment:
+#   P2G_CHAOS_BUILD_DIR   build tree holding tests/chaos_test
+#                         (default: <repo>/build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${P2G_CHAOS_BUILD_DIR:-$repo/build}"
+seeds="1 2 3 4 5"
+drops="0.05 0.1 0.2"
+crash_at=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --seeds)    seeds="$2"; shift 2 ;;
+    --drops)    drops="$2"; shift 2 ;;
+    --crash-at) crash_at="$2"; shift 2 ;;
+    *)
+      echo "usage: $0 [--seeds \"1 2 ...\"] [--drops \"0.05 ...\"] [--crash-at N]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+binary="$build_dir/tests/chaos_test"
+if [ ! -x "$binary" ]; then
+  echo "chaos: $binary not built; run cmake --build $build_dir first" >&2
+  exit 2
+fi
+
+total=0
+failed=0
+t_start=$(date +%s)
+for drop in $drops; do
+  for seed in $seeds; do
+    total=$((total + 1))
+    env_desc="seed=$seed drop=$drop${crash_at:+ crash_at=$crash_at}"
+    if P2G_CHAOS_SEED="$seed" P2G_CHAOS_DROP="$drop" \
+       P2G_CHAOS_CRASH_AT="${crash_at:--1}" \
+       "$binary" --gtest_filter='ChaosSweep.*' --gtest_brief=1 \
+       > /tmp/p2g_chaos_$$.log 2>&1; then
+      echo "chaos: PASS $env_desc"
+    else
+      failed=$((failed + 1))
+      echo "chaos: FAIL $env_desc"
+      sed 's/^/chaos:   /' /tmp/p2g_chaos_$$.log
+    fi
+  done
+done
+rm -f /tmp/p2g_chaos_$$.log
+t_done=$(date +%s)
+
+echo "chaos: $((total - failed))/$total configurations passed in $((t_done - t_start))s"
+[ "$failed" -eq 0 ]

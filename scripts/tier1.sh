@@ -46,11 +46,21 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
 # Benchmarks carry the `bench` ctest label (and configuration) and are not
 # part of the gate; run them explicitly via `ctest -C bench -L bench` or
-# scripts/bench_report.sh.
+# scripts/bench_report.sh. Chaos sweeps carry the `chaos` label and run via
+# scripts/chaos.sh; the gate only runs the one fast smoke seed below.
 rc=0
-ctest --test-dir "$build_dir" --output-on-failure -LE bench -j"$(nproc)" || rc=$?
+ctest --test-dir "$build_dir" --output-on-failure -LE "bench|chaos" -j"$(nproc)" || rc=$?
 if [ "$rc" -ne 0 ]; then
   echo "tier1: ctest failed with exit code $rc" >&2
+fi
+
+# One fast chaos smoke seed keeps the fault-tolerance path on the gate
+# without paying for the full sweep.
+if [ "$rc" -eq 0 ]; then
+  ctest --test-dir "$build_dir" --output-on-failure -L chaos -R chaos_sweep_seed1 || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "tier1: chaos smoke failed with exit code $rc" >&2
+  fi
 fi
 t_done=$(date +%s)
 echo "tier1: ${sanitize:-plain} build $((t_built - t_start))s," \

@@ -1,0 +1,108 @@
+// Seedable, reproducible random numbers (splitmix64 + xoshiro256**).
+//
+// Everything that injects randomness into a run — fault plans, randomized
+// property tests, benchmark input generation — derives from one uint64
+// seed through this header, so a failing chaos run is replayable from a
+// single number. Two entry points:
+//
+//  - Rng: a fast xoshiro256** stream (state seeded via splitmix64). Also a
+//    UniformRandomBitGenerator, so it plugs into <random> distributions and
+//    std::shuffle where needed.
+//  - mix(...): a stateless splitmix64-based hash of up to four words.
+//    Fault decisions use it to make each (seed, link, seqno) verdict a pure
+//    function — independent of thread interleaving and draw order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace p2g {
+
+/// splitmix64 step: advances *state and returns the next output. The
+/// canonical generator for seeding other PRNGs (Vigna).
+inline uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless hash of up to four 64-bit words (splitmix64 finalizer chain).
+/// mix(seed, a, b) == mix(seed, a, b) always: use it when a random-looking
+/// verdict must be a pure function of its inputs.
+inline uint64_t mix(uint64_t a, uint64_t b = 0, uint64_t c = 0,
+                    uint64_t d = 0) {
+  uint64_t state = a;
+  uint64_t h = splitmix64(state);
+  state ^= b + 0x9E3779B97F4A7C15ULL;
+  h ^= splitmix64(state);
+  state ^= c + 0xC2B2AE3D27D4EB4FULL;
+  h ^= splitmix64(state);
+  state ^= d + 0x165667B19E3779F9ULL;
+  h ^= splitmix64(state);
+  return h;
+}
+
+/// FNV-1a over a string, for hashing endpoint names into mix() inputs.
+inline uint64_t hash_str(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char ch : s) {
+    h ^= static_cast<uint8_t>(ch);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna): fast, 256-bit state, passes BigCrush.
+/// Seeded from one uint64 via splitmix64 (the recommended procedure), so a
+/// zero seed is fine.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 1) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    for (uint64_t& word : s_) word = splitmix64(seed);
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); lo must be <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return span == 0 ? static_cast<int64_t>(next())  // full 64-bit range
+                     : lo + static_cast<int64_t>(next() % span);
+  }
+
+  /// True with probability p (p <= 0 never, p >= 1 always).
+  bool chance(double p) { return uniform() < p; }
+
+  // UniformRandomBitGenerator interface.
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+  uint64_t operator()() { return next(); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace p2g

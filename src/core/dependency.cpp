@@ -111,6 +111,8 @@ void DependencyAnalyzer::handle_one(const Event& event) {
     handle_store(*store);
   } else if (const auto* done = std::get_if<InstanceDoneEvent>(&event)) {
     handle_done(*done);
+  } else if (const auto* rescan = std::get_if<RescanEvent>(&event)) {
+    handle_rescan(*rescan);
   }
 }
 
@@ -188,6 +190,44 @@ void DependencyAnalyzer::handle_done(const InstanceDoneEvent& event) {
         runtime_.submit(std::move(item));
       }
     }
+  }
+}
+
+void DependencyAnalyzer::handle_rescan(const RescanEvent& event) {
+  const KernelDef& def = program_.kernel(event.kernel);
+  // `enabled` is only ever read on this thread (try_enumerate/bootstrap),
+  // so the flip needs no synchronization.
+  runtime_.kcfg_[static_cast<size_t>(def.id)].enabled = true;
+
+  if (def.is_source()) {
+    // Re-drive the source chain from age 0. Instances whose output already
+    // arrived re-store idempotently and their continue flags rebuild the
+    // chain up to the first genuinely lost age.
+    const InstanceKey key{def.id, 0, {}};
+    if (dispatched_.insert(key).second) {
+      WorkItem item;
+      item.kernel = def.id;
+      item.age = 0;
+      item.coords = {nd::Coord{}};
+      runtime_.submit(std::move(item));
+    }
+    return;
+  }
+
+  // General kernel: every live age of a fetched field names an instance age
+  // that may now be runnable here. try_enumerate dedups via dispatched_ and
+  // re-checks satisfaction, so over-approximating the age set is safe.
+  std::set<Age> ages;
+  ages.insert(0);
+  for (const FetchDecl& f : def.fetches) {
+    if (f.age.kind != AgeExpr::Kind::kRelative) continue;
+    for (const Age la : storage(f.field).live_ages()) {
+      const Age a = la - f.age.value;
+      if (a >= 0) ages.insert(a);
+    }
+  }
+  for (const Age a : ages) {
+    try_enumerate(def, a, std::nullopt, nullptr);
   }
 }
 

@@ -88,6 +88,7 @@ class DependencyAnalyzer {
 
   void handle_store(const StoreEvent& event);
   void handle_done(const InstanceDoneEvent& event);
+  void handle_rescan(const RescanEvent& event);
 
   /// Attempts to seal (field, age); queues cascaded checks on success.
   void check_seal(FieldId field, Age age);

@@ -29,6 +29,14 @@ struct InstanceDoneEvent {
   bool continue_next_age = false;  ///< set by source kernels
 };
 
-using Event = std::variant<StoreEvent, InstanceDoneEvent>;
+/// Re-enables a kernel on this node and re-enumerates its instances from
+/// surviving field data (failover: the kernel's previous owner died).
+/// Write-once semantics make the re-execution deterministic; idempotent
+/// stores make it safe to redo work whose results already arrived.
+struct RescanEvent {
+  KernelId kernel = kInvalidKernel;
+};
+
+using Event = std::variant<StoreEvent, InstanceDoneEvent, RescanEvent>;
 
 }  // namespace p2g

@@ -1,6 +1,7 @@
 #include "core/field.h"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 
 #include "common/error.h"
@@ -220,6 +221,48 @@ StoreResult FieldStorage::store(Age age, const nd::Region& region,
   ad.buffer->scatter(region, data);
   result.extents = ext;
   return result;
+}
+
+int64_t FieldStorage::store_fill(Age age, const nd::Region& region,
+                                 const std::byte* data) {
+  check_argument(age >= 0, "field ages start at 0");
+  check_argument(region.rank() == decl_.rank,
+                 "store region rank mismatch on field " + decl_.name);
+  std::unique_lock lock(mutex_);
+  AgeData& ad = age_data(age);
+
+  if (!region.within(ad.buffer->extents())) {
+    if (ad.sealed) {
+      if (!region.within(ad.sealed_extents)) {
+        throw_error(ErrorKind::kOutOfRange,
+                    "store " + region.to_string() +
+                        " outside sealed extents " +
+                        ad.sealed_extents.to_string() + " of field " +
+                        decl_.name + " age " + std::to_string(age));
+      }
+      grow(ad, ad.sealed_extents);
+    } else {
+      grow(ad, ad.buffer->extents().max_with(region.required_extents()));
+    }
+  }
+
+  // Per-element: take the write-once bit first, copy only on fresh cells.
+  // The payload is densely packed in the region's row-major order.
+  const nd::Extents& ext = ad.buffer->extents();
+  const size_t esz = nd::element_size(decl_.type);
+  std::byte* base = ad.buffer->raw();
+  int64_t fresh = 0;
+  int64_t src = 0;
+  region.for_each([&](const nd::Coord& coord) {
+    const auto flat = static_cast<size_t>(ext.flatten(coord));
+    if (ad.written.set(flat)) {
+      std::memcpy(base + flat * esz,
+                  data + static_cast<size_t>(src) * esz, esz);
+      ++fresh;
+    }
+    ++src;
+  });
+  return fresh;
 }
 
 StoreResult FieldStorage::store_whole(Age age, const nd::AnyBuffer& data,

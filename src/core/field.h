@@ -72,6 +72,16 @@ class FieldStorage {
   StoreResult store_whole(Age age, const nd::AnyBuffer& data,
                           const StoreOrigin* origin = nullptr);
 
+  /// Fill-mode store: writes only the elements of `region` that have not
+  /// been written yet and silently skips the rest. Returns the number of
+  /// freshly written elements (0 = the store was a pure duplicate). This is
+  /// the idempotent-apply primitive of the fault-tolerance layer: replayed
+  /// forwards, checkpoint restores, and re-executed kernel instances may
+  /// partially overlap data that already arrived, and write-once semantics
+  /// guarantee any overlapping payload bytes are identical.
+  int64_t store_fill(Age age, const nd::Region& region,
+                     const std::byte* data);
+
   /// Checked mode (RunOptions::checked): record the origin of every store
   /// per (age, region) so a write-once violation can also report who wrote
   /// the overlapping elements first. Costs one (Region, StoreOrigin) copy

@@ -250,15 +250,25 @@ void Runtime::complete_outstanding(int64_t n) {
   }
 }
 
-void Runtime::inject_store(FieldId field, Age age, const nd::Region& region,
-                           KernelId producer, size_t store_decl, bool whole,
-                           const std::byte* payload) {
-  StoreOrigin origin;
-  origin.kernel = producer != kInvalidKernel
-                      ? program_.kernel(producer).name
-                      : std::string("injected");
-  origin.age = age;
-  storage(field).store(age, region, payload, &origin);
+int64_t Runtime::inject_store(FieldId field, Age age,
+                              const nd::Region& region, KernelId producer,
+                              size_t store_decl, bool whole,
+                              const std::byte* payload, bool fill) {
+  int64_t fresh;
+  if (fill) {
+    fresh = storage(field).store_fill(age, region, payload);
+    // A pure duplicate (retransmitted forward, replayed store, checkpoint
+    // already covered) changes nothing: the analyzer has seen this event.
+    if (fresh == 0) return 0;
+  } else {
+    StoreOrigin origin;
+    origin.kernel = producer != kInvalidKernel
+                        ? program_.kernel(producer).name
+                        : std::string("injected");
+    origin.age = age;
+    storage(field).store(age, region, payload, &origin);
+    fresh = region.element_count();
+  }
   StoreEvent event;
   event.field = field;
   event.age = age;
@@ -267,6 +277,16 @@ void Runtime::inject_store(FieldId field, Age age, const nd::Region& region,
   event.store_decl = store_decl;
   event.whole = whole;
   push_event(std::move(event));
+  return fresh;
+}
+
+void Runtime::enable_kernel(const std::string& name) {
+  const KernelId id = program_.find_kernel(name);
+  check_argument(id != kInvalidKernel,
+                 "enable_kernel: unknown kernel '" + name + "'");
+  RescanEvent event;
+  event.kernel = id;
+  push_event(event);
 }
 
 void Runtime::submit(WorkItem item, bool already_counted) {
@@ -480,7 +500,11 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
       check_argument(p.data.extents().rank() == fd.rank,
                      "kernel '" + def.name + "' whole-store rank mismatch "
                      "on field '" + fd.name + "'");
-      fs.store_whole(ga, p.data, &origin);
+      if (options_.idempotent_stores) {
+        fs.store_fill(ga, nd::Region::whole(p.data.extents()), p.data.raw());
+      } else {
+        fs.store_whole(ga, p.data, &origin);
+      }
       event.region = nd::Region::whole(p.data.extents());
       event.whole = true;
     } else {
@@ -529,7 +553,11 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
                          " elements but the store region " +
                          region.to_string() + " needs " +
                          std::to_string(region.element_count()));
-      fs.store(ga, region, p.data.raw(), &origin);
+      if (options_.idempotent_stores) {
+        fs.store_fill(ga, region, p.data.raw());
+      } else {
+        fs.store(ga, region, p.data.raw(), &origin);
+      }
       event.region = std::move(region);
     }
     if (options_.store_tap) options_.store_tap(event);

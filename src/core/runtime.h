@@ -95,6 +95,13 @@ struct RunOptions {
   /// Called after every committed store (worker thread) — the execution
   /// node uses it to forward stores to remote consumers.
   std::function<void(const StoreEvent&)> store_tap;
+  /// Idempotent commits: stores write only not-yet-written elements instead
+  /// of throwing kWriteOnceViolation on overlap. Store events and the
+  /// store_tap still fire for skipped stores (seal bookkeeping and remote
+  /// forwarding must see re-executed work). Required for failover
+  /// re-execution, where a re-enabled kernel redoes instances whose results
+  /// partially survived locally.
+  bool idempotent_stores = false;
 
   /// When set, every dispatched work item and analyzer batch is recorded
   /// and written as Chrome trace-event JSON to this path after the run
@@ -134,9 +141,19 @@ class Runtime {
   /// payload into local field storage and feeds the analyzer the same
   /// event a local store would have produced. Thread-safe; usable before
   /// and during run().
-  void inject_store(FieldId field, Age age, const nd::Region& region,
-                    KernelId producer, size_t store_decl, bool whole,
-                    const std::byte* payload);
+  ///
+  /// With `fill` set the apply is idempotent: only not-yet-written elements
+  /// are stored, and a fully duplicate store pushes no event. Returns the
+  /// number of freshly written elements (the region's element count in
+  /// non-fill mode, where duplicates throw).
+  int64_t inject_store(FieldId field, Age age, const nd::Region& region,
+                       KernelId producer, size_t store_decl, bool whole,
+                       const std::byte* payload, bool fill = false);
+
+  /// Re-enables a disabled kernel and re-enumerates its instances from
+  /// surviving field data (failover: the kernel's previous owner died).
+  /// Thread-safe; the rescan runs on the analyzer thread.
+  void enable_kernel(const std::string& name);
 
   /// Ends a keep-alive run (or aborts a normal one). Thread-safe.
   void stop() { begin_shutdown(); }
@@ -157,6 +174,10 @@ class Runtime {
 
   /// The metrics registry (nullptr unless RunOptions::metrics.enabled).
   const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Mutable registry handle for embedding layers (the execution node folds
+  /// reliable-channel counters in before shipping its snapshot).
+  obs::MetricsRegistry* mutable_metrics() { return metrics_.get(); }
 
   /// Telemetry snapshot; empty when metrics are disabled.
   obs::MetricsSnapshot metrics_snapshot() const {

@@ -5,17 +5,32 @@
 // This bus gives every registered endpoint a mailbox; senders address
 // endpoints by name or broadcast. In-process, but all payloads cross the
 // "wire" as serialized bytes.
+//
+// send()/broadcast() are virtual so the fault-tolerance layer (src/ft)
+// can interpose a ChaosBus decorator that drops, duplicates, delays, and
+// reorders traffic according to a seeded FaultPlan.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "common/blocking_queue.h"
 #include "dist/message.h"
 
 namespace p2g::dist {
+
+/// Outcome of a send() attempt. Delivery failure is a normal, queryable
+/// result — a distributed sender must be able to observe "the other side is
+/// gone" without an exception tearing down its worker thread.
+enum class SendStatus : uint8_t {
+  kDelivered = 0,  ///< enqueued into the destination mailbox
+  kClosed = 1,     ///< bus already shut down (close_all() ran)
+  kDead = 2,       ///< destination declared failed (mark_dead())
+  kDropped = 3,    ///< chaos layer discarded the message
+};
 
 /// Traffic counters of one bus endpoint (destination side).
 struct EndpointStats {
@@ -28,6 +43,8 @@ struct EndpointStats {
 struct BusStats {
   int64_t delivered = 0;
   int64_t bytes = 0;
+  /// Messages addressed to closed or dead endpoints (delivery failures).
+  int64_t dead_letters = 0;
   /// Per destination endpoint.
   std::map<std::string, EndpointStats> per_endpoint;
 };
@@ -37,17 +54,29 @@ class MessageBus {
   /// A registered endpoint's mailbox.
   using Mailbox = BlockingQueue<Message>;
 
+  virtual ~MessageBus() = default;
+
   /// Registers an endpoint; the returned mailbox lives as long as the bus.
   std::shared_ptr<Mailbox> register_endpoint(const std::string& name);
 
-  /// Sends to one endpoint. Throws kProtocol for unknown destinations.
-  void send(const std::string& to, Message message);
+  /// Sends to one endpoint. Unknown destinations still throw kProtocol
+  /// (that is a wiring bug, not a runtime failure); closed/dead
+  /// destinations return a failure status and count as dead letters.
+  virtual SendStatus send(const std::string& to, Message message);
 
-  /// Sends to every endpoint except the sender.
-  void broadcast(Message message);
+  /// Sends to every live endpoint except the sender. Returns the number of
+  /// endpoints the message was actually delivered to (0 once closed).
+  virtual int broadcast(Message message);
 
-  /// Closes every mailbox (shutdown).
+  /// Closes every mailbox (shutdown). Subsequent sends return kClosed.
   void close_all();
+
+  /// Declares an endpoint failed: its mailbox is closed and all further
+  /// traffic to it is blackholed (kDead). Models fencing a crashed node.
+  void mark_dead(const std::string& name);
+
+  /// True if `name` was declared failed via mark_dead().
+  bool is_dead(const std::string& name) const;
 
   /// Messages delivered so far (diagnostics).
   int64_t delivered() const;
@@ -55,9 +84,22 @@ class MessageBus {
   /// Message/byte counters, total and per destination endpoint.
   BusStats stats() const;
 
+ protected:
+  /// Delivery primitive shared by send(), broadcast(), and the chaos
+  /// layer's wire thread: resolves the destination, applies closed/dead
+  /// checks, updates counters, and enqueues.
+  SendStatus deliver(const std::string& to, Message message);
+
+  /// True when a send to `to` cannot succeed (bus closed or endpoint
+  /// dead). The chaos layer checks this *before* reaching a fault verdict
+  /// so that crash timing never perturbs the verdict stream of live links.
+  bool unreachable(const std::string& to) const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Mailbox>> endpoints_;
+  std::set<std::string> dead_;
+  bool closed_ = false;
   BusStats stats_;
 };
 

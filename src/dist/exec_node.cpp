@@ -1,7 +1,9 @@
 #include "dist/exec_node.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/clock.h"
 #include "common/error.h"
 #include "common/logging.h"
 
@@ -10,13 +12,17 @@ namespace p2g::dist {
 ExecutionNode::ExecutionNode(
     std::string name, Program program,
     const std::map<std::string, std::string>& kernel_owner, MessageBus& bus,
-    RunOptions base_options)
-    : name_(std::move(name)), bus_(bus) {
+    RunOptions base_options, NodeFtOptions ft)
+    : name_(std::move(name)),
+      bus_(bus),
+      ft_(std::move(ft)),
+      kernel_owner_(kernel_owner) {
   mailbox_ = bus_.register_endpoint(name_);
 
   // Enable only this node's kernels.
   RunOptions options = std::move(base_options);
   options.keep_alive = true;
+  if (ft_.enabled) options.idempotent_stores = true;
   for (const KernelDef& k : program.kernels()) {
     const auto it = kernel_owner.find(k.name);
     check_argument(it != kernel_owner.end(),
@@ -48,6 +54,10 @@ ExecutionNode::ExecutionNode(
 
   runtime_ = std::make_unique<Runtime>(std::move(program),
                                        std::move(options));
+  if (ft_.enabled) {
+    channel_ = std::make_unique<ft::ReliableChannel>(bus_, name_,
+                                                     ft_.channel);
+  }
 }
 
 void ExecutionNode::announce(const std::string& master_endpoint) {
@@ -62,8 +72,11 @@ void ExecutionNode::announce(const std::string& master_endpoint) {
 }
 
 void ExecutionNode::forward_store(const StoreEvent& event) {
-  const auto& targets = forward_targets_[static_cast<size_t>(event.field)];
-  if (targets.empty()) return;
+  // Cheap pre-check without the lock; the authoritative read is below.
+  if (!ft_.enabled &&
+      forward_targets_[static_cast<size_t>(event.field)].empty()) {
+    return;
+  }
 
   RemoteStore remote;
   remote.field = event.field;
@@ -79,14 +92,100 @@ void ExecutionNode::forward_store(const StoreEvent& event) {
   remote.payload.assign(
       raw, raw + static_cast<size_t>(data.element_count()) *
                      nd::element_size(data.type()));
+  std::vector<uint8_t> payload = remote.encode();
 
-  Message message;
-  message.type = MessageType::kRemoteStore;
-  message.from = name_;
-  message.payload = remote.encode();
-  for (const std::string& target : targets) {
+  if (!ft_.enabled) {
+    Message message;
+    message.type = MessageType::kRemoteStore;
+    message.from = name_;
+    message.payload = std::move(payload);
+    const auto& targets =
+        forward_targets_[static_cast<size_t>(event.field)];
+    for (const std::string& target : targets) {
+      stores_sent_.fetch_add(1);
+      bus_.send(target, message);
+    }
+    return;
+  }
+
+  // FT mode: log the payload for failover replay, then send reliably. The
+  // log append and the target snapshot happen under the same lock a
+  // reassignment takes, so every store reaches every current target.
+  std::scoped_lock lock(forward_mutex_);
+  store_log_.emplace_back(event.field, payload);
+  for (const std::string& target :
+       forward_targets_[static_cast<size_t>(event.field)]) {
     stores_sent_.fetch_add(1);
-    bus_.send(target, message);
+    channel_->send(target, MessageType::kRemoteStore, payload);
+  }
+}
+
+void ExecutionNode::apply_remote_store(const Message& message) {
+  const RemoteStore remote = RemoteStore::decode(message.payload);
+  const Program& prog = runtime_->program();
+  if (remote.field < 0 ||
+      static_cast<size_t>(remote.field) >= prog.fields().size()) {
+    throw_error(ErrorKind::kProtocol, "remote store for unknown field id " +
+                                          std::to_string(remote.field));
+  }
+  const size_t element_bytes =
+      nd::element_size(prog.field(remote.field).type);
+  if (remote.payload.size() !=
+      static_cast<size_t>(remote.region.element_count()) * element_bytes) {
+    throw_error(ErrorKind::kProtocol,
+                "remote store payload size does not match its region");
+  }
+  const int64_t fresh = runtime_->inject_store(
+      remote.field, remote.age, remote.region, remote.producer,
+      remote.store_decl, remote.whole,
+      reinterpret_cast<const std::byte*>(remote.payload.data()),
+      /*fill=*/ft_.enabled);
+  (void)fresh;
+  stores_received_.fetch_add(1);
+}
+
+void ExecutionNode::apply_reassign(const ReassignMsg& reassign) {
+  std::vector<std::string> newly_owned;
+  {
+    std::scoped_lock lock(forward_mutex_);
+    for (const auto& [kernel, owner] : reassign.kernels) {
+      kernel_owner_[kernel] = owner;
+      if (owner == name_) newly_owned.push_back(kernel);
+    }
+    // Rebuild the forwarding map against the new ownership; replay the
+    // store log to every target that just appeared, and stop forwarding
+    // into the dead node's closed mailbox.
+    const Program& prog = runtime_->program();
+    for (const FieldDecl& f : prog.fields()) {
+      std::vector<std::string>& targets =
+          forward_targets_[static_cast<size_t>(f.id)];
+      targets.erase(
+          std::remove(targets.begin(), targets.end(), reassign.dead),
+          targets.end());
+      for (const Program::Use& use : prog.consumers_of(f.id)) {
+        const auto it = kernel_owner_.find(prog.kernel(use.kernel).name);
+        if (it == kernel_owner_.end()) continue;
+        const std::string& owner = it->second;
+        if (owner == name_ || owner == reassign.dead) continue;
+        if (std::find(targets.begin(), targets.end(), owner) !=
+            targets.end()) {
+          continue;
+        }
+        targets.push_back(owner);
+        for (const auto& [field, payload] : store_log_) {
+          if (field != f.id) continue;
+          stores_sent_.fetch_add(1);
+          channel_->send(owner, MessageType::kRemoteStore, payload);
+        }
+      }
+    }
+  }
+  channel_->abandon_peer(reassign.dead);
+  // Inherited kernels: the analyzer re-enables them and re-enumerates
+  // their instances from surviving field data (deterministic
+  // re-execution; idempotent stores absorb partially surviving results).
+  for (const std::string& kernel : newly_owned) {
+    runtime_->enable_kernel(kernel);
   }
 }
 
@@ -99,21 +198,48 @@ void ExecutionNode::start() {
     }
   });
   receiver_thread_ = std::thread([this] { receiver_loop(); });
+  if (ft_.enabled) {
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  }
 }
 
 void ExecutionNode::receiver_loop() {
   while (auto message = mailbox_->pop()) {
     try {
       switch (message->type) {
-        case MessageType::kRemoteStore: {
-          const RemoteStore remote = RemoteStore::decode(message->payload);
-          runtime_->inject_store(
-              remote.field, remote.age, remote.region, remote.producer,
-              remote.store_decl, remote.whole,
-              reinterpret_cast<const std::byte*>(remote.payload.data()));
-          stores_received_.fetch_add(1);
+        case MessageType::kRemoteStore:
+          // Direct (non-FT) forwards, or checkpoint restores replayed by
+          // the master over its (chaos-exempt) control link.
+          apply_remote_store(*message);
+          break;
+        case MessageType::kData: {
+          if (!channel_) {
+            P2G_WARN << "node " << name_ << ": kData without FT mode";
+            break;
+          }
+          const std::string from = message->from;
+          for (const Message& inner : channel_->on_data(*message)) {
+            if (inner.type == MessageType::kRemoteStore) {
+              apply_remote_store(inner);
+            } else {
+              P2G_WARN << "node " << name_
+                       << ": unexpected inner message type";
+            }
+          }
+          // Ack only after the data landed in field storage: the sender's
+          // unacked count reaching zero then proves the data is applied
+          // (the master's quiescence check builds on this).
+          channel_->ack(from);
           break;
         }
+        case MessageType::kAck:
+          if (channel_) channel_->on_ack(*message);
+          break;
+        case MessageType::kReassign:
+          if (channel_) {
+            apply_reassign(ReassignMsg::decode(message->payload));
+          }
+          break;
         case MessageType::kShutdown:
           runtime_->stop();
           return;
@@ -129,13 +255,117 @@ void ExecutionNode::receiver_loop() {
   }
 }
 
+void ExecutionNode::heartbeat_loop() {
+  int64_t beat = 0;
+  std::unique_lock lock(hb_mutex_);
+  while (!hb_stop_ && !crashed_.load()) {
+    hb_cv_.wait_for(lock,
+                    std::chrono::milliseconds(ft_.heartbeat_period_ms),
+                    [&] { return hb_stop_ || crashed_.load(); });
+    if (hb_stop_ || crashed_.load()) return;
+    lock.unlock();
+
+    ++beat;
+    HeartbeatMsg hb;
+    hb.seq = beat;
+    hb.sent_ns = now_ns();
+    Message message;
+    message.type = MessageType::kHeartbeat;
+    message.from = name_;
+    message.payload = hb.encode();
+    bus_.send(master_endpoint_, std::move(message));
+
+    if (ft_.checkpoint_every_beats > 0 &&
+        beat % ft_.checkpoint_every_beats == 0) {
+      ship_checkpoints();
+    }
+    lock.lock();
+  }
+}
+
+void ExecutionNode::ship_checkpoints() {
+  // Fields this node's kernels produce (under the ownership lock — a
+  // reassignment may have just widened the set).
+  std::set<FieldId> produced;
+  const Program& prog = runtime_->program();
+  {
+    std::scoped_lock lock(forward_mutex_);
+    for (const KernelDef& k : prog.kernels()) {
+      const auto it = kernel_owner_.find(k.name);
+      if (it == kernel_owner_.end() || it->second != name_) continue;
+      for (const StoreDecl& s : k.stores) produced.insert(s.field);
+    }
+  }
+  for (const FieldId field : produced) {
+    FieldStorage& storage = runtime_->storage(field);
+    for (const Age age : storage.live_ages()) {
+      if (!storage.is_complete(age) || checkpointed_.count({field, age})) {
+        continue;
+      }
+      const nd::AnyBuffer data = storage.fetch_whole(age);
+      RemoteStore snapshot;
+      snapshot.field = field;
+      snapshot.age = age;
+      snapshot.region = nd::Region::whole(data.extents());
+      snapshot.producer = kInvalidKernel;  // restores skip seal accounting
+      snapshot.store_decl = 0;
+      snapshot.whole = true;
+      const auto* raw = reinterpret_cast<const uint8_t*>(data.raw());
+      snapshot.payload.assign(
+          raw, raw + static_cast<size_t>(data.element_count()) *
+                         nd::element_size(data.type()));
+      Message message;
+      message.type = MessageType::kCheckpoint;
+      message.from = name_;
+      message.payload = snapshot.encode();
+      bus_.send(master_endpoint_, std::move(message));
+      checkpointed_.insert({field, age});
+    }
+  }
+}
+
+void ExecutionNode::crash() {
+  if (crashed_.exchange(true)) return;
+  hb_cv_.notify_all();
+  runtime_->stop();
+}
+
 bool ExecutionNode::idle() const { return runtime_->idle(); }
+
+int64_t ExecutionNode::channel_unacked() const {
+  return channel_ ? channel_->unacked() : 0;
+}
+
+ft::ReliableChannel::Stats ExecutionNode::channel_stats() const {
+  return channel_ ? channel_->stats() : ft::ReliableChannel::Stats{};
+}
 
 void ExecutionNode::join() {
   if (runtime_thread_.joinable()) runtime_thread_.join();
+  {
+    std::scoped_lock lock(hb_mutex_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (channel_) channel_->stop();
+
   // The runtime has drained: ship the node's telemetry to the master over
   // the wire (the paper's profile feedback, now with distributions).
-  if (!master_endpoint_.empty() && runtime_->metrics() != nullptr) {
+  // Crashed nodes are fenced off the bus and ship nothing.
+  if (!crashed_.load() && !master_endpoint_.empty() &&
+      runtime_->metrics() != nullptr) {
+    if (channel_) {
+      // Fold the reliable-channel counters into the node registry so they
+      // flow through the existing aggregation path.
+      obs::MetricsRegistry* registry = runtime_->mutable_metrics();
+      const ft::ReliableChannel::Stats s = channel_->stats();
+      registry->counter("ft_data_sent_total").add(s.data_sent);
+      registry->counter("ft_retransmits_total").add(s.retransmits);
+      registry->counter("ft_duplicates_dropped_total")
+          .add(s.duplicates_dropped);
+      registry->counter("ft_acks_sent_total").add(s.acks_sent);
+    }
     MetricsReport metrics;
     metrics.node = name_;
     metrics.snapshot = runtime_->metrics_snapshot();
@@ -147,7 +377,7 @@ void ExecutionNode::join() {
   }
   mailbox_->close();
   if (receiver_thread_.joinable()) receiver_thread_.join();
-  if (error_) std::rethrow_exception(error_);
+  if (error_ && !crashed_.load()) std::rethrow_exception(error_);
 }
 
 }  // namespace p2g::dist

@@ -1,10 +1,13 @@
 #include "dist/master.h"
 
+#include <algorithm>
+#include <set>
 #include <thread>
 
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "ft/checkpoint.h"
 
 namespace p2g::dist {
 
@@ -22,6 +25,7 @@ Master::Master(MasterOptions options)
 DistributedRunReport Master::run() {
   DistributedRunReport result;
   Stopwatch stopwatch;
+  const bool ft_on = options_.ft.enabled;
 
   // 1. Partition the final static dependency graph.
   result.partition =
@@ -29,8 +33,18 @@ DistributedRunReport Master::run() {
           ? graph::tabu_partition(final_graph_, options_.nodes)
           : graph::partition_graph(final_graph_, options_.nodes);
 
-  // 2. Spin up the simulated cluster and gather topology reports.
-  MessageBus bus;
+  // 2. Spin up the simulated cluster and gather topology reports. In FT
+  // mode the bus is a ChaosBus driving the seeded fault plan.
+  std::unique_ptr<MessageBus> bus_holder;
+  ft::ChaosBus* chaos = nullptr;
+  if (ft_on) {
+    auto chaos_bus = std::make_unique<ft::ChaosBus>(options_.ft.plan);
+    chaos = chaos_bus.get();
+    bus_holder = std::move(chaos_bus);
+  } else {
+    bus_holder = std::make_unique<MessageBus>();
+  }
+  MessageBus& bus = *bus_holder;
   auto master_mailbox = bus.register_endpoint("master");
 
   std::vector<std::string> node_names;
@@ -59,25 +73,147 @@ DistributedRunReport Master::run() {
   base.workers = options_.workers_per_node;
   if (options_.collect_node_metrics) base.metrics.enabled = true;
 
+  NodeFtOptions node_ft;
+  if (ft_on) {
+    node_ft.enabled = true;
+    node_ft.heartbeat_period_ms = options_.ft.heartbeat_period_ms;
+    node_ft.checkpoint_every_beats = options_.ft.checkpoint_every_beats;
+    node_ft.channel = options_.ft.channel;
+  }
+
   std::vector<std::unique_ptr<ExecutionNode>> nodes;
   for (const std::string& name : node_names) {
     nodes.push_back(std::make_unique<ExecutionNode>(
-        name, options_.program_factory(), kernel_owner, bus, base));
+        name, options_.program_factory(), kernel_owner, bus, base,
+        node_ft));
   }
+
+  // Scripted crashes: fence the node off the bus (mailbox closed, traffic
+  // blackholed) and stop it. Runs on whatever thread tripped the trigger;
+  // recovery itself happens on the master loop via the failure detector.
+  if (chaos != nullptr) {
+    chaos->set_crash_handler([&nodes, &bus](const std::string& name) {
+      for (auto& node : nodes) {
+        if (node->name() == name) {
+          bus.mark_dead(name);
+          node->crash();
+          break;
+        }
+      }
+    });
+  }
+
   for (auto& node : nodes) node->announce("master");
   for (auto& node : nodes) node->start();
 
-  // Merge the announced topologies (the paper's global topology).
-  while (auto message = master_mailbox->try_pop()) {
-    if (message->type == MessageType::kTopologyReport) {
-      result.topology.add_node(
-          TopologyReport::decode(message->payload).topology);
+  // Master-side FT state: failure detector primed with a synthetic beat
+  // per node (so a node that dies before its first heartbeat is still
+  // suspected), retained checkpoints, recovery bookkeeping.
+  ft::FailureDetector detector(options_.ft.detector);
+  ft::CheckpointStore checkpoints;
+  obs::MetricsRegistry master_registry;
+  FtRunReport ftr;
+  std::set<std::string> dead;
+  if (ft_on) {
+    const int64_t t0 = now_ns();
+    for (const std::string& name : node_names) {
+      detector.heartbeat(name, t0);
     }
   }
 
-  // 4. Termination detection: two consecutive observations of
+  // Drains the master mailbox: topology reports (merged below), FT
+  // control traffic (heartbeats, checkpoints), and — after join —
+  // metrics reports, which are aggregated at the end.
+  std::vector<Message> metrics_messages;
+  const auto drain_master = [&] {
+    while (auto message = master_mailbox->try_pop()) {
+      switch (message->type) {
+        case MessageType::kTopologyReport:
+          result.topology.add_node(
+              TopologyReport::decode(message->payload).topology);
+          break;
+        case MessageType::kHeartbeat:
+          detector.heartbeat(message->from, now_ns());
+          ++ftr.heartbeats;
+          break;
+        case MessageType::kCheckpoint:
+          checkpoints.put(RemoteStore::decode(message->payload));
+          ++ftr.checkpoints_stored;
+          break;
+        case MessageType::kMetricsReport:
+          metrics_messages.push_back(std::move(*message));
+          break;
+        default:
+          break;
+      }
+    }
+  };
+
+  // Recovery: fence the dead node, reassign its kernels round-robin over
+  // the (sorted) survivors, and replay retained checkpoints to them. The
+  // reassignment is a deterministic function of the (seeded) crash, so
+  // same-seed runs recover identically.
+  const auto recover = [&](const std::string& dead_name) {
+    if (dead.count(dead_name)) return;
+    dead.insert(dead_name);
+    const int64_t latency = now_ns() - detector.last_beat_ns(dead_name);
+    bus.mark_dead(dead_name);
+    for (auto& node : nodes) {
+      if (node->name() == dead_name) node->crash();
+    }
+    detector.remove(dead_name);
+    ftr.dead_nodes.push_back(dead_name);
+    ftr.recovery_latency_ns.push_back(latency);
+    master_registry.histogram("ft_recovery_latency_ns").record(latency);
+
+    std::vector<std::string> alive;
+    for (const std::string& name : node_names) {
+      if (!dead.count(name)) alive.push_back(name);
+    }
+    ++ftr.recoveries;
+    if (alive.empty()) {
+      P2G_WARN << "master: node " << dead_name
+               << " died and no survivors remain";
+      return;
+    }
+    ReassignMsg reassign;
+    reassign.dead = dead_name;
+    size_t next = 0;
+    for (auto& [kernel, owner] : kernel_owner) {
+      if (owner != dead_name) continue;
+      owner = alive[next++ % alive.size()];
+      reassign.kernels.emplace_back(kernel, owner);
+    }
+    ftr.kernels_reassigned += static_cast<int64_t>(reassign.kernels.size());
+    Message message;
+    message.type = MessageType::kReassign;
+    message.from = "master";
+    message.payload = reassign.encode();
+    for (const std::string& name : alive) bus.send(name, message);
+    // Checkpoint fallback: data whose producer and every forwarded copy
+    // died is restored from the latest retained snapshots (fill-mode
+    // injection dedups whatever the survivors already hold).
+    for (const auto& [key, snapshot] : checkpoints.all()) {
+      Message restore;
+      restore.type = MessageType::kRemoteStore;
+      restore.from = "master";
+      restore.payload = snapshot.encode();
+      for (const std::string& name : alive) {
+        bus.send(name, restore);
+        ++ftr.checkpoint_restores;
+      }
+    }
+  };
+
+  drain_master();  // merge the announced topologies
+
+  // 4. Termination detection. Fault-free: two consecutive observations of
   // "every node idle, no messages in flight, send/receive counts
-  // conserved and unchanged" mean global quiescence.
+  // conserved and unchanged". FT: drops, dups and crashes break message
+  // conservation, so quiescence becomes "every *alive* node idle with an
+  // empty mailbox and a drained reliable channel, and no delayed message
+  // on the chaos wire" — acks-after-apply make a drained channel prove
+  // the data actually landed.
   const int64_t deadline_ns =
       now_ns() + options_.watchdog.count() * 1'000'000;
   int stable_rounds = 0;
@@ -87,20 +223,34 @@ DistributedRunReport Master::run() {
       result.timed_out = true;
       break;
     }
-    bool all_idle = true;
-    int64_t sent = 0;
-    int64_t received = 0;
-    for (const auto& node : nodes) {
-      all_idle = all_idle && node->idle() && node->mailbox_empty();
-      sent += node->stores_sent();
-      received += node->stores_received();
-    }
-    if (all_idle && sent == received && sent == last_sent) {
-      ++stable_rounds;
+    if (ft_on) {
+      drain_master();
+      for (const std::string& suspect : detector.suspects(now_ns())) {
+        recover(suspect);
+      }
+      bool quiet = chaos->in_flight() == 0;
+      for (const auto& node : nodes) {
+        if (dead.count(node->name())) continue;
+        quiet = quiet && node->idle() && node->mailbox_empty() &&
+                node->channel_unacked() == 0;
+      }
+      stable_rounds = quiet ? stable_rounds + 1 : 0;
     } else {
-      stable_rounds = 0;
+      bool all_idle = true;
+      int64_t sent = 0;
+      int64_t received = 0;
+      for (const auto& node : nodes) {
+        all_idle = all_idle && node->idle() && node->mailbox_empty();
+        sent += node->stores_sent();
+        received += node->stores_received();
+      }
+      if (all_idle && sent == received && sent == last_sent) {
+        ++stable_rounds;
+      } else {
+        stable_rounds = 0;
+      }
+      last_sent = sent;
     }
-    last_sent = sent;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
@@ -110,12 +260,13 @@ DistributedRunReport Master::run() {
   shutdown.from = "master";
   bus.broadcast(std::move(shutdown));
   for (auto& node : nodes) node->join();
+  if (chaos != nullptr) chaos->shutdown();
 
   // Each node shipped its telemetry registry during join(); aggregate the
   // snapshots into the cluster-wide view.
-  while (auto message = master_mailbox->try_pop()) {
-    if (message->type != MessageType::kMetricsReport) continue;
-    MetricsReport metrics = MetricsReport::decode(message->payload);
+  drain_master();
+  for (const Message& message : metrics_messages) {
+    MetricsReport metrics = MetricsReport::decode(message.payload);
     result.combined_metrics.merge(metrics.snapshot);
     result.node_metrics.emplace(std::move(metrics.node),
                                 std::move(metrics.snapshot));
@@ -147,8 +298,55 @@ DistributedRunReport Master::run() {
     result.combined.kernels.push_back(std::move(merged));
   }
 
+  // Capture requested fields for bit-exact comparisons: every complete
+  // age, merged across surviving nodes (a field may live on several).
+  for (const std::string& field_name : options_.capture_fields) {
+    auto& ages = result.captured[field_name];
+    for (auto& node : nodes) {
+      if (node->crashed()) continue;
+      FieldStorage& storage = node->runtime().storage(field_name);
+      for (const Age age : storage.live_ages()) {
+        if (!storage.is_complete(age) || ages.count(age)) continue;
+        const nd::AnyBuffer data = storage.fetch_whole(age);
+        const auto* raw = reinterpret_cast<const uint8_t*>(data.raw());
+        ages[age].assign(
+            raw, raw + static_cast<size_t>(data.element_count()) *
+                           nd::element_size(data.type()));
+      }
+    }
+  }
+
+  if (ft_on) {
+    const ft::ChaosBus::ChaosStats chaos_stats = chaos->chaos_stats();
+    ftr.data_messages = chaos_stats.data_messages;
+    ftr.dropped = chaos_stats.dropped;
+    ftr.duplicated = chaos_stats.duplicated;
+    ftr.delayed = chaos_stats.delayed;
+    ftr.reordered = chaos_stats.reordered;
+    ftr.crashes_fired = chaos_stats.crashes_fired;
+    for (const auto& node : nodes) {
+      if (node->crashed()) continue;
+      const ft::ReliableChannel::Stats s = node->channel_stats();
+      ftr.data_sent += s.data_sent;
+      ftr.retransmits += s.retransmits;
+      ftr.duplicates_dropped += s.duplicates_dropped;
+      ftr.acks_sent += s.acks_sent;
+    }
+    master_registry.counter("ft_heartbeats_total").add(ftr.heartbeats);
+    master_registry.counter("ft_recoveries_total").add(ftr.recoveries);
+    master_registry.counter("ft_kernels_reassigned_total")
+        .add(ftr.kernels_reassigned);
+    master_registry.counter("ft_checkpoints_stored_total")
+        .add(ftr.checkpoints_stored);
+    master_registry.counter("ft_checkpoint_restores_total")
+        .add(ftr.checkpoint_restores);
+    result.combined_metrics.merge(master_registry.snapshot());
+  }
+
   result.bus = bus.stats();
   result.messages_delivered = result.bus.delivered;
+  ftr.dead_letters = result.bus.dead_letters;
+  result.ft = std::move(ftr);
   result.wall_s = stopwatch.elapsed_s();
   return result;
 }

@@ -7,8 +7,19 @@
 // quiescence+message-conservation termination detector — the distributed
 // analogue of the single-node outstanding counter), and collects
 // instrumentation for repartitioning.
+//
+// With MasterFtOptions::enabled the run goes through the src/ft subsystem:
+// the bus becomes a seeded ChaosBus, nodes forward through reliable
+// channels, and the master turns into a failure detector + recovery
+// coordinator — it consumes heartbeats and checkpoints, suspects silent
+// nodes (phi-accrual style), fences them off the bus, reassigns their
+// kernels round-robin over the survivors, and replays retained
+// checkpoints. Termination detection switches to "every alive node idle,
+// channels drained, wire empty" since drops and crashes break the
+// sent==received conservation law.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,12 +30,28 @@
 #include "core/runtime.h"
 #include "dist/bus.h"
 #include "dist/exec_node.h"
+#include "ft/chaos_bus.h"
+#include "ft/failure_detector.h"
+#include "ft/fault_plan.h"
 #include "graph/partition.h"
 #include "graph/static_graph.h"
 #include "graph/tabu.h"
 #include "graph/topology.h"
 
 namespace p2g::dist {
+
+/// Fault injection + fault tolerance for a distributed run.
+struct MasterFtOptions {
+  bool enabled = false;
+  /// Seeded chaos: per-link drop/dup/reorder/delay plus scripted crashes.
+  ft::FaultPlan plan;
+  /// Node heartbeat period toward the master.
+  int64_t heartbeat_period_ms = 15;
+  /// Nodes ship checkpoints every N beats (0 disables).
+  int checkpoint_every_beats = 4;
+  ft::FailureDetector::Options detector;
+  ft::ReliableChannel::Options channel;
+};
 
 struct MasterOptions {
   /// Number of execution nodes to simulate.
@@ -43,6 +70,39 @@ struct MasterOptions {
   /// Program factory: each node needs its own Program instance because
   /// kernel bodies may capture per-run state.
   std::function<Program()> program_factory;
+  /// Fault tolerance / chaos injection (src/ft).
+  MasterFtOptions ft;
+  /// Field names whose final contents are gathered into
+  /// DistributedRunReport::captured after the run (every complete age,
+  /// merged across surviving nodes) — the bit-exactness probe used by the
+  /// chaos tests.
+  std::vector<std::string> capture_fields;
+};
+
+/// Fault-tolerance outcome of a run. The chaos-plane counters
+/// (data_messages..reordered) and the recovery counters (recoveries,
+/// kernels_reassigned, dead_nodes) are deterministic functions of the
+/// fault-plan seed; the delivery-layer counters (retransmits, acks, ...)
+/// depend on timing and are only lower-bounded by the chaos counters.
+struct FtRunReport {
+  int64_t data_messages = 0;
+  int64_t dropped = 0;
+  int64_t duplicated = 0;
+  int64_t delayed = 0;
+  int64_t reordered = 0;
+  int64_t crashes_fired = 0;
+  int64_t dead_letters = 0;
+  int64_t data_sent = 0;
+  int64_t retransmits = 0;
+  int64_t duplicates_dropped = 0;
+  int64_t acks_sent = 0;
+  int64_t heartbeats = 0;
+  int64_t recoveries = 0;
+  int64_t kernels_reassigned = 0;
+  int64_t checkpoints_stored = 0;
+  int64_t checkpoint_restores = 0;
+  std::vector<std::string> dead_nodes;
+  std::vector<int64_t> recovery_latency_ns;
 };
 
 struct DistributedRunReport {
@@ -59,12 +119,19 @@ struct DistributedRunReport {
   /// kMetricsReport messages (empty unless collect_node_metrics).
   std::map<std::string, obs::MetricsSnapshot> node_metrics;
   /// Cross-node reduction of node_metrics: counters/gauges summed,
-  /// histograms merged bucket-wise (time series stay per node).
+  /// histograms merged bucket-wise (time series stay per node). FT runs
+  /// also fold in the master-side registry (recovery latency histogram,
+  /// heartbeat/recovery counters).
   obs::MetricsSnapshot combined_metrics;
   int64_t messages_delivered = 0;
   /// Interconnect traffic: messages/bytes per destination endpoint.
   BusStats bus;
   graph::GlobalTopology topology;
+  /// Fault-tolerance outcome (all zeroes when ft was disabled).
+  FtRunReport ft;
+  /// Final field contents per MasterOptions::capture_fields:
+  /// field name -> age -> densely packed payload bytes.
+  std::map<std::string, std::map<Age, std::vector<uint8_t>>> captured;
 };
 
 class Master {

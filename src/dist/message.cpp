@@ -4,6 +4,16 @@ namespace p2g::dist {
 
 namespace {
 
+/// Decoders must consume their input exactly: trailing bytes mean the
+/// sender and receiver disagree about the wire format, which silently
+/// ignoring would turn into downstream corruption.
+void require_exhausted(const Reader& r, const char* what) {
+  if (!r.exhausted()) {
+    throw_error(ErrorKind::kProtocol,
+                std::string(what) + ": trailing bytes after message");
+  }
+}
+
 void encode_region(Writer& w, const nd::Region& region) {
   w.u32(static_cast<uint32_t>(region.rank()));
   for (const nd::Interval& iv : region.intervals()) {
@@ -13,7 +23,7 @@ void encode_region(Writer& w, const nd::Region& region) {
 }
 
 nd::Region decode_region(Reader& r) {
-  const uint32_t rank = r.u32();
+  const uint32_t rank = r.count(2 * sizeof(int64_t));
   std::vector<nd::Interval> intervals(rank);
   for (uint32_t i = 0; i < rank; ++i) {
     intervals[i].begin = r.i64();
@@ -46,6 +56,7 @@ RemoteStore RemoteStore::decode(const std::vector<uint8_t>& bytes) {
   out.store_decl = r.u32();
   out.whole = r.u8() != 0;
   out.payload = r.blob();
+  require_exhausted(r, "RemoteStore");
   return out;
 }
 
@@ -73,14 +84,14 @@ TopologyReport TopologyReport::decode(const std::vector<uint8_t>& bytes) {
   TopologyReport out;
   out.topology.name = r.str();
   out.topology.memory_gb = r.f64();
-  const uint32_t units = r.u32();
+  const uint32_t units = r.count(sizeof(uint8_t) + sizeof(double));
   for (uint32_t i = 0; i < units; ++i) {
     graph::ProcessingUnit unit;
     unit.type = static_cast<graph::ProcessingUnit::Type>(r.u8());
     unit.relative_speed = r.f64();
     out.topology.units.push_back(unit);
   }
-  const uint32_t buses = r.u32();
+  const uint32_t buses = r.count(2 * sizeof(uint32_t) + 2 * sizeof(double));
   for (uint32_t i = 0; i < buses; ++i) {
     graph::Link bus;
     bus.a = r.u32();
@@ -89,6 +100,7 @@ TopologyReport TopologyReport::decode(const std::vector<uint8_t>& bytes) {
     bus.latency_us = r.f64();
     out.topology.buses.push_back(bus);
   }
+  require_exhausted(r, "TopologyReport");
   return out;
 }
 
@@ -108,7 +120,7 @@ std::vector<uint8_t> ProfileReport::encode() const {
 ProfileReport ProfileReport::decode(const std::vector<uint8_t>& bytes) {
   Reader r(bytes);
   ProfileReport out;
-  const uint32_t kernels = r.u32();
+  const uint32_t kernels = r.count(sizeof(uint32_t) + 4 * sizeof(int64_t));
   for (uint32_t i = 0; i < kernels; ++i) {
     KernelStats k;
     k.name = r.str();
@@ -118,6 +130,7 @@ ProfileReport ProfileReport::decode(const std::vector<uint8_t>& bytes) {
     k.kernel_ns = r.i64();
     out.report.kernels.push_back(std::move(k));
   }
+  require_exhausted(r, "ProfileReport");
   return out;
 }
 
@@ -133,7 +146,7 @@ void encode_values(Writer& w, const std::vector<obs::CounterValue>& values) {
 
 std::vector<obs::CounterValue> decode_values(Reader& r) {
   std::vector<obs::CounterValue> out;
-  const uint32_t n = r.u32();
+  const uint32_t n = r.count(sizeof(uint32_t) + sizeof(int64_t));
   out.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     obs::CounterValue v;
@@ -179,7 +192,7 @@ MetricsReport MetricsReport::decode(const std::vector<uint8_t>& bytes) {
   out.node = r.str();
   out.snapshot.counters = decode_values(r);
   out.snapshot.gauges = decode_values(r);
-  const uint32_t histograms = r.u32();
+  const uint32_t histograms = r.count(2 * sizeof(uint32_t));
   out.snapshot.histograms.reserve(histograms);
   for (uint32_t i = 0; i < histograms; ++i) {
     obs::HistogramSnapshot h;
@@ -188,17 +201,17 @@ MetricsReport MetricsReport::decode(const std::vector<uint8_t>& bytes) {
     h.sum = r.i64();
     h.min = r.i64();
     h.max = r.i64();
-    const uint32_t buckets = r.u32();
+    const uint32_t buckets = r.count(sizeof(int64_t));
     h.buckets.reserve(buckets);
     for (uint32_t b = 0; b < buckets; ++b) h.buckets.push_back(r.i64());
     out.snapshot.histograms.push_back(std::move(h));
   }
-  const uint32_t series = r.u32();
+  const uint32_t series = r.count(2 * sizeof(uint32_t));
   out.snapshot.series.reserve(series);
   for (uint32_t i = 0; i < series; ++i) {
     obs::TimeSeries ts;
     ts.name = r.str();
-    const uint32_t samples = r.u32();
+    const uint32_t samples = r.count(2 * sizeof(int64_t));
     ts.samples.reserve(samples);
     for (uint32_t s = 0; s < samples; ++s) {
       obs::TimeSeriesSample sample;
@@ -208,6 +221,81 @@ MetricsReport MetricsReport::decode(const std::vector<uint8_t>& bytes) {
     }
     out.snapshot.series.push_back(std::move(ts));
   }
+  require_exhausted(r, "MetricsReport");
+  return out;
+}
+
+std::vector<uint8_t> DataEnvelope::encode() const {
+  Writer w;
+  w.i64(static_cast<int64_t>(seq));
+  w.u8(static_cast<uint8_t>(inner_type));
+  w.blob(inner.data(), inner.size());
+  return w.take();
+}
+
+DataEnvelope DataEnvelope::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  DataEnvelope out;
+  out.seq = static_cast<uint64_t>(r.i64());
+  out.inner_type = static_cast<MessageType>(r.u8());
+  out.inner = r.blob();
+  require_exhausted(r, "DataEnvelope");
+  return out;
+}
+
+std::vector<uint8_t> AckMsg::encode() const {
+  Writer w;
+  w.i64(static_cast<int64_t>(cumulative));
+  return w.take();
+}
+
+AckMsg AckMsg::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  AckMsg out;
+  out.cumulative = static_cast<uint64_t>(r.i64());
+  require_exhausted(r, "AckMsg");
+  return out;
+}
+
+std::vector<uint8_t> HeartbeatMsg::encode() const {
+  Writer w;
+  w.i64(seq);
+  w.i64(sent_ns);
+  return w.take();
+}
+
+HeartbeatMsg HeartbeatMsg::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  HeartbeatMsg out;
+  out.seq = r.i64();
+  out.sent_ns = r.i64();
+  require_exhausted(r, "HeartbeatMsg");
+  return out;
+}
+
+std::vector<uint8_t> ReassignMsg::encode() const {
+  Writer w;
+  w.str(dead);
+  w.u32(static_cast<uint32_t>(kernels.size()));
+  for (const auto& [kernel, owner] : kernels) {
+    w.str(kernel);
+    w.str(owner);
+  }
+  return w.take();
+}
+
+ReassignMsg ReassignMsg::decode(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  ReassignMsg out;
+  out.dead = r.str();
+  const uint32_t n = r.count(2 * sizeof(uint32_t));
+  out.kernels.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string kernel = r.str();
+    std::string owner = r.str();
+    out.kernels.emplace_back(std::move(kernel), std::move(owner));
+  }
+  require_exhausted(r, "ReassignMsg");
   return out;
 }
 
@@ -225,6 +313,7 @@ IdleReport IdleReport::decode(const std::vector<uint8_t>& bytes) {
   out.idle = r.u8() != 0;
   out.stores_sent = r.i64();
   out.stores_received = r.i64();
+  require_exhausted(r, "IdleReport");
   return out;
 }
 

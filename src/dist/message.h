@@ -22,12 +22,25 @@ enum class MessageType : uint8_t {
   kIdleReport = 4,      ///< node -> master: quiescence probe answer
   kShutdown = 5,        ///< master -> nodes: stop
   kMetricsReport = 6,   ///< node -> master: telemetry registry snapshot
+
+  // Fault-tolerance layer (src/ft).
+  kData = 7,        ///< node -> node: reliable-channel envelope (DataEnvelope)
+  kAck = 8,         ///< node -> node: cumulative ack (AckMsg)
+  kHeartbeat = 9,   ///< node -> master: liveness beat (HeartbeatMsg)
+  kReassign = 10,   ///< master -> nodes: failover ownership change
+  kCheckpoint = 11, ///< node -> master: sealed-age snapshot (RemoteStore)
 };
 
 struct Message {
   MessageType type = MessageType::kShutdown;
   std::string from;
   std::vector<uint8_t> payload;
+
+  // In-process delivery metadata, mirrored out of the kData envelope by the
+  // reliable channel so the chaos layer can reach fault verdicts without
+  // decoding payloads. Zero on messages outside the reliable data plane.
+  uint64_t seq = 0;      ///< per-(sender, destination) sequence number
+  uint32_t attempt = 0;  ///< 1 = first transmission, >1 = retransmission
 };
 
 /// A store forwarded across the partition boundary. Carries everything the
@@ -71,6 +84,49 @@ struct MetricsReport {
 
   std::vector<uint8_t> encode() const;
   static MetricsReport decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Reliable-channel envelope: one data-plane message with its per-link
+/// sequence number. The inner message (currently always a RemoteStore)
+/// rides as opaque bytes so the channel needs no knowledge of payloads.
+struct DataEnvelope {
+  uint64_t seq = 0;
+  MessageType inner_type = MessageType::kRemoteStore;
+  std::vector<uint8_t> inner;
+
+  std::vector<uint8_t> encode() const;
+  static DataEnvelope decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Cumulative acknowledgement: every data message up to and including
+/// `cumulative` on the (sender -> acker) link has been delivered in order.
+struct AckMsg {
+  uint64_t cumulative = 0;
+
+  std::vector<uint8_t> encode() const;
+  static AckMsg decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Liveness beat, node -> master. `sent_ns` feeds the phi-style detector's
+/// inter-arrival statistics.
+struct HeartbeatMsg {
+  int64_t seq = 0;
+  int64_t sent_ns = 0;
+
+  std::vector<uint8_t> encode() const;
+  static HeartbeatMsg decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Failover directive, master -> every surviving node: `dead` has been
+/// declared failed and each listed kernel moves to its new owner. Receivers
+/// rebuild forwarding maps, enable newly owned kernels for deterministic
+/// re-execution, and replay already-committed stores to the new consumers.
+struct ReassignMsg {
+  std::string dead;
+  std::vector<std::pair<std::string, std::string>> kernels;  ///< name->owner
+
+  std::vector<uint8_t> encode() const;
+  static ReassignMsg decode(const std::vector<uint8_t>& bytes);
 };
 
 /// Quiescence probe answer used by the master's termination detection.

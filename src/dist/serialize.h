@@ -67,6 +67,23 @@ class Reader {
 
   bool exhausted() const { return pos_ >= size_; }
 
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+
+  /// Reads an element count and validates it against the bytes actually
+  /// left: a count of n elements needing at least `min_element_bytes` each
+  /// cannot exceed remaining(). Guards container reserves against corrupt
+  /// or hostile length fields (a flipped bit must yield kProtocol, not a
+  /// multi-gigabyte allocation).
+  uint32_t count(size_t min_element_bytes) {
+    const uint32_t n = u32();
+    if (min_element_bytes != 0 &&
+        static_cast<uint64_t>(n) * min_element_bytes > remaining()) {
+      throw_error(ErrorKind::kProtocol, "truncated message");
+    }
+    return n;
+  }
+
  private:
   template <typename T>
   T read_as() {

@@ -1,0 +1,168 @@
+#include "ft/chaos_bus.h"
+
+#include "common/clock.h"
+
+namespace p2g::ft {
+
+namespace {
+
+/// Extra delay a reorder verdict adds: long enough for back-to-back
+/// traffic on the link to overtake, short relative to retransmit timeouts
+/// so reordering alone never triggers spurious retransmissions.
+constexpr int64_t kReorderBumpUs = 3000;
+
+}  // namespace
+
+ChaosBus::ChaosBus(FaultPlan plan)
+    : plan_(std::move(plan)),
+      start_ns_(now_ns()),
+      crash_fired_(plan_.crashes.size(), false) {
+  wire_ = std::thread([this] { wire_loop(); });
+}
+
+ChaosBus::~ChaosBus() { shutdown(); }
+
+void ChaosBus::set_crash_handler(CrashHandler handler) {
+  std::scoped_lock lock(mutex_);
+  crash_handler_ = std::move(handler);
+}
+
+void ChaosBus::shutdown() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (wire_.joinable()) wire_.join();
+}
+
+ChaosBus::ChaosStats ChaosBus::chaos_stats() const {
+  std::scoped_lock lock(mutex_);
+  return cstats_;
+}
+
+void ChaosBus::fire_crash(size_t trigger_index) {
+  CrashHandler handler;
+  std::string node;
+  {
+    std::scoped_lock lock(mutex_);
+    if (crash_fired_[trigger_index]) return;
+    crash_fired_[trigger_index] = true;
+    ++cstats_.crashes_fired;
+    handler = crash_handler_;
+    node = plan_.crashes[trigger_index].node;
+  }
+  // Outside the lock: the handler fences the node on the bus and flags the
+  // node object, either of which may re-enter bus methods.
+  if (handler) handler(node);
+}
+
+void ChaosBus::fire_count_crashes(int64_t n) {
+  for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashTrigger& t = plan_.crashes[i];
+    if (t.after_messages >= 0 && n >= t.after_messages) fire_crash(i);
+  }
+}
+
+void ChaosBus::fire_time_crashes(int64_t now) {
+  for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashTrigger& t = plan_.crashes[i];
+    if (t.after_wall_ms >= 0 &&
+        now - start_ns_ >= t.after_wall_ms * 1'000'000) {
+      fire_crash(i);
+    }
+  }
+}
+
+dist::SendStatus ChaosBus::send(const std::string& to, Message message) {
+  fire_count_crashes(++total_messages_);
+
+  // Fencing first: messages that could never be delivered reach no fault
+  // verdict, so crash timing does not perturb the verdict stream (and
+  // hence the counters) of the surviving links.
+  if (unreachable(to)) return deliver(to, std::move(message));
+
+  const bool eligible =
+      message.type == dist::MessageType::kData && message.attempt == 1;
+  if (!eligible) return deliver(to, std::move(message));
+
+  const FaultVerdict v = plan_.verdict(message.from, to, message.seq);
+  {
+    std::scoped_lock lock(mutex_);
+    ++cstats_.data_messages;
+    if (v.drop) {
+      ++cstats_.dropped;
+      return dist::SendStatus::kDropped;
+    }
+    if (v.duplicate) ++cstats_.duplicated;
+    if (v.delay_us > 0) ++cstats_.delayed;
+    if (v.reorder) ++cstats_.reordered;
+  }
+
+  if (v.duplicate) deliver(to, message);  // extra immediate copy
+
+  const int64_t delay_us = v.delay_us + (v.reorder ? kReorderBumpUs : 0);
+  if (delay_us > 0) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (!stop_) {
+        in_flight_.fetch_add(1);
+        heap_.push(Delayed{now_ns() + delay_us * 1000, order_++, to,
+                           std::move(message)});
+        cv_.notify_one();
+        return dist::SendStatus::kDelivered;  // optimistic: on the wire
+      }
+    }
+    // Wire already shut down; deliver inline instead of losing the message.
+    return deliver(to, std::move(message));
+  }
+  return deliver(to, std::move(message));
+}
+
+void ChaosBus::wire_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    // Next deadline: the earliest delayed message or pending wall crash.
+    int64_t next = -1;
+    if (!heap_.empty()) next = heap_.top().at_ns;
+    for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+      const CrashTrigger& t = plan_.crashes[i];
+      if (t.after_wall_ms < 0 || crash_fired_[i]) continue;
+      const int64_t due = start_ns_ + t.after_wall_ms * 1'000'000;
+      if (next < 0 || due < next) next = due;
+    }
+
+    if (stop_ && heap_.empty()) return;
+    if (stop_) {
+      // Drain what is due immediately and discard the rest: the run is
+      // over, nobody is reading mailboxes anymore.
+      while (!heap_.empty()) heap_.pop();
+      in_flight_.store(0);
+      return;
+    }
+
+    if (next < 0) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, TimePoint(std::chrono::duration_cast<
+                               SteadyClock::duration>(
+                               std::chrono::nanoseconds(next))));
+    }
+
+    const int64_t now = now_ns();
+    while (!heap_.empty() && heap_.top().at_ns <= now) {
+      Delayed d = heap_.top();
+      heap_.pop();
+      lock.unlock();
+      deliver(d.to, std::move(d.msg));
+      in_flight_.fetch_sub(1);
+      lock.lock();
+    }
+    lock.unlock();
+    fire_time_crashes(now);
+    lock.lock();
+  }
+}
+
+}  // namespace p2g::ft

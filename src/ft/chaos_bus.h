@@ -1,0 +1,105 @@
+// ChaosBus: a MessageBus that injects faults according to a FaultPlan.
+//
+// Only first-attempt data-plane messages (kData with attempt == 1) are
+// subject to faults: retransmissions and the control plane (acks,
+// heartbeats, reassignment, shutdown) pass through untouched. This keeps
+// the fault model honest — the reliable channel must recover from losing
+// original transmissions — while making the verdict stream, and hence the
+// chaos counters, a deterministic function of the seed.
+//
+// Delay and reorder verdicts route messages through a wire thread holding
+// a deadline-ordered heap; reordering is modeled as an extra delay bump
+// that lets later traffic on the link overtake. Scripted crashes fire a
+// handler installed by the master (message-count triggers from the sending
+// thread, wall-time triggers from the wire thread).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/bus.h"
+#include "ft/fault_plan.h"
+
+namespace p2g::ft {
+
+using Message = dist::Message;
+
+class ChaosBus : public dist::MessageBus {
+ public:
+  /// Invoked (at most once per trigger) when a scripted crash fires; runs
+  /// on whatever thread hit the trigger, so it must not join threads.
+  using CrashHandler = std::function<void(const std::string& node)>;
+
+  /// Injected-fault counters. All except `crashes_fired` are deterministic
+  /// given the seed and per-link traffic (see file comment).
+  struct ChaosStats {
+    int64_t data_messages = 0;  ///< first-attempt kData sends seen
+    int64_t dropped = 0;
+    int64_t duplicated = 0;
+    int64_t delayed = 0;
+    int64_t reordered = 0;
+    int64_t crashes_fired = 0;
+  };
+
+  explicit ChaosBus(FaultPlan plan);
+  ~ChaosBus() override;
+
+  dist::SendStatus send(const std::string& to, Message message) override;
+
+  void set_crash_handler(CrashHandler handler);
+
+  /// Stops the wire thread; pending delayed messages are discarded. Call
+  /// after close_all() — the master does this once the run is over.
+  void shutdown();
+
+  ChaosStats chaos_stats() const;
+
+  /// Delayed messages still sitting on the wire (termination detection:
+  /// quiescence requires an empty wire).
+  int64_t in_flight() const { return in_flight_.load(); }
+
+ private:
+  struct Delayed {
+    int64_t at_ns = 0;
+    uint64_t order = 0;  ///< FIFO tiebreak for equal deadlines
+    std::string to;
+    Message msg;
+  };
+  struct DelayedLater {
+    bool operator()(const Delayed& a, const Delayed& b) const {
+      return a.at_ns != b.at_ns ? a.at_ns > b.at_ns : a.order > b.order;
+    }
+  };
+
+  void wire_loop();
+  /// Fires message-count crash triggers crossed by total message `n`.
+  void fire_count_crashes(int64_t n);
+  /// Fires wall-time crash triggers due at `now` (wire thread).
+  void fire_time_crashes(int64_t now);
+  void fire_crash(size_t trigger_index);
+
+  const FaultPlan plan_;
+  const int64_t start_ns_;
+
+  mutable std::mutex mutex_;  ///< guards heap_, stats, crash bookkeeping
+  std::condition_variable cv_;
+  std::priority_queue<Delayed, std::vector<Delayed>, DelayedLater> heap_;
+  ChaosStats cstats_;
+  std::vector<bool> crash_fired_;
+  CrashHandler crash_handler_;
+  uint64_t order_ = 0;
+  bool stop_ = false;
+
+  std::atomic<int64_t> total_messages_{0};
+  std::atomic<int64_t> in_flight_{0};
+  std::thread wire_;
+};
+
+}  // namespace p2g::ft

@@ -1,0 +1,38 @@
+// Master-side checkpoint retention.
+//
+// Nodes periodically ship complete (field, age) payloads of fields their
+// kernels produce (RemoteStore encoding with whole = true). The master
+// retains the latest snapshot per (field, age) and replays them to the
+// survivors during failover — the fallback path for data whose producer
+// *and* every forwarded copy died with the crashed node. Write-once makes
+// a checkpoint restore trivially idempotent: fill-mode injection writes
+// only cells the survivor is missing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "dist/message.h"
+
+namespace p2g::ft {
+
+class CheckpointStore {
+ public:
+  /// Retains `snapshot` as the latest checkpoint of its (field, age).
+  void put(dist::RemoteStore snapshot) {
+    latest_[{snapshot.field, snapshot.age}] = std::move(snapshot);
+  }
+
+  int64_t size() const { return static_cast<int64_t>(latest_.size()); }
+
+  const std::map<std::pair<int32_t, int64_t>, dist::RemoteStore>& all()
+      const {
+    return latest_;
+  }
+
+ private:
+  std::map<std::pair<int32_t, int64_t>, dist::RemoteStore> latest_;
+};
+
+}  // namespace p2g::ft

@@ -1,0 +1,59 @@
+#include "ft/failure_detector.h"
+
+#include <algorithm>
+
+namespace p2g::ft {
+
+void FailureDetector::heartbeat(const std::string& node, int64_t now_ns) {
+  std::scoped_lock lock(mutex_);
+  NodeState& state = nodes_[node];
+  if (state.last_ns != 0) {
+    state.intervals_ns.push_back(now_ns - state.last_ns);
+    while (state.intervals_ns.size() > options_.window) {
+      state.intervals_ns.pop_front();
+    }
+  }
+  state.last_ns = now_ns;
+  ++beats_;
+}
+
+int64_t FailureDetector::suspicion_bound_ns(const NodeState& state) const {
+  int64_t mean_ns = 0;
+  if (!state.intervals_ns.empty()) {
+    int64_t sum = 0;
+    for (const int64_t iv : state.intervals_ns) sum += iv;
+    mean_ns = sum / static_cast<int64_t>(state.intervals_ns.size());
+  }
+  const auto adaptive = static_cast<int64_t>(
+      options_.phi_threshold * static_cast<double>(mean_ns));
+  return std::max(adaptive, options_.min_silence_us * 1000);
+}
+
+std::vector<std::string> FailureDetector::suspects(int64_t now_ns) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [node, state] : nodes_) {
+    if (now_ns - state.last_ns > suspicion_bound_ns(state)) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+int64_t FailureDetector::last_beat_ns(const std::string& node) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.last_ns;
+}
+
+int64_t FailureDetector::beats() const {
+  std::scoped_lock lock(mutex_);
+  return beats_;
+}
+
+void FailureDetector::remove(const std::string& node) {
+  std::scoped_lock lock(mutex_);
+  nodes_.erase(node);
+}
+
+}  // namespace p2g::ft

@@ -1,0 +1,68 @@
+// Heartbeat-based failure detection (phi-accrual style).
+//
+// Each node beats periodically; the detector keeps a sliding window of
+// inter-arrival times per node and suspects a node when its current
+// silence exceeds `phi_threshold` times the observed mean interval (with
+// an absolute floor, so startup jitter and coarse schedulers cannot
+// produce instant false positives). This is the cheap cousin of the
+// phi-accrual detector: instead of evaluating the CDF we compare against
+// a multiple of the mean, which gives the same adaptive behavior for the
+// simulated cluster's in-process heartbeats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace p2g::ft {
+
+class FailureDetector {
+ public:
+  struct Options {
+    double phi_threshold = 6.0;      ///< silence multiple before suspicion
+    int64_t min_silence_us = 250'000;  ///< absolute suspicion floor
+    size_t window = 16;              ///< inter-arrival samples kept
+  };
+
+  // Two constructors instead of `Options options = {}`: GCC 12 rejects a
+  // nested class's default member initializers in a default argument of
+  // the enclosing class (PR c++/96645).
+  FailureDetector() : FailureDetector(Options{}) {}
+  explicit FailureDetector(Options options) : options_(options) {}
+
+  /// Records a heartbeat from `node` observed at `now_ns`.
+  void heartbeat(const std::string& node, int64_t now_ns);
+
+  /// Nodes silent beyond the suspicion bound at `now_ns`. A node is only
+  /// ever suspected after at least one heartbeat (registration happens via
+  /// the first beat).
+  std::vector<std::string> suspects(int64_t now_ns) const;
+
+  /// Nanosecond timestamp of the last beat (0 = never beat).
+  int64_t last_beat_ns(const std::string& node) const;
+
+  /// Heartbeats observed in total (diagnostics).
+  int64_t beats() const;
+
+  /// Forget a node (it was declared dead; stop re-suspecting it).
+  void remove(const std::string& node);
+
+ private:
+  struct NodeState {
+    int64_t last_ns = 0;
+    std::deque<int64_t> intervals_ns;
+  };
+
+  int64_t suspicion_bound_ns(const NodeState& state) const;
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, NodeState> nodes_;
+  int64_t beats_ = 0;
+};
+
+}  // namespace p2g::ft

@@ -1,0 +1,58 @@
+#include "ft/fault_plan.h"
+
+#include "common/rng.h"
+
+namespace p2g::ft {
+
+namespace {
+
+/// Uniform double in [0, 1) from one hash output.
+double to_unit(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+/// Decision salts: each fault dimension draws from an independent stream.
+enum : uint64_t { kDrop = 1, kDup = 2, kReorder = 3, kDelay = 4 };
+
+uint64_t link_hash(const std::string& from, const std::string& to) {
+  // Order-sensitive combination: (a -> b) and (b -> a) are distinct links.
+  return mix(hash_str(from), hash_str(to));
+}
+
+}  // namespace
+
+const LinkFaults& FaultPlan::faults(const std::string& from,
+                                    const std::string& to) const {
+  const auto it = links.find({from, to});
+  return it != links.end() ? it->second : default_link;
+}
+
+FaultVerdict FaultPlan::verdict(const std::string& from,
+                                const std::string& to, uint64_t seq) const {
+  const LinkFaults& lf = faults(from, to);
+  const uint64_t link = link_hash(from, to);
+  FaultVerdict v;
+  v.drop = to_unit(mix(seed, link, seq, kDrop)) < lf.drop_p;
+  if (v.drop) return v;  // drop preempts everything else
+  v.duplicate = to_unit(mix(seed, link, seq, kDup)) < lf.dup_p;
+  v.reorder = to_unit(mix(seed, link, seq, kReorder)) < lf.reorder_p;
+  if (lf.delay_max_us > lf.delay_min_us) {
+    const auto span =
+        static_cast<uint64_t>(lf.delay_max_us - lf.delay_min_us + 1);
+    v.delay_us = lf.delay_min_us +
+                 static_cast<int64_t>(mix(seed, link, seq, kDelay) % span);
+  } else {
+    v.delay_us = lf.delay_min_us;
+  }
+  return v;
+}
+
+FaultPlan FaultPlan::uniform(uint64_t seed, double p, int64_t delay_max_us) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_link.drop_p = p;
+  plan.default_link.dup_p = p;
+  plan.default_link.reorder_p = p;
+  plan.default_link.delay_max_us = delay_max_us;
+  return plan;
+}
+
+}  // namespace p2g::ft

@@ -1,0 +1,66 @@
+// FaultPlan: a seeded, fully reproducible description of injected faults.
+//
+// Every fault decision is a *pure function* of (seed, link, sequence
+// number) via a stateless splitmix64 hash — independent of thread
+// interleaving, wall-clock time, and the order in which links happen to
+// send. Two runs with the same seed and the same per-link traffic reach
+// identical drop/duplicate/delay verdicts, which is what makes chaos-test
+// counters assertable and failing seeds replayable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p2g::ft {
+
+/// Fault probabilities and delay distribution of one directed link.
+struct LinkFaults {
+  double drop_p = 0.0;     ///< first transmission silently discarded
+  double dup_p = 0.0;      ///< delivered twice
+  double reorder_p = 0.0;  ///< delayed past later traffic on the link
+  int64_t delay_min_us = 0;
+  int64_t delay_max_us = 0;  ///< 0 = no delay distribution
+};
+
+/// A scripted node crash: fires when the bus has carried `after_messages`
+/// messages in total, or `after_wall_ms` after the bus started — whichever
+/// trigger is set (message counts are the reproducible choice).
+struct CrashTrigger {
+  std::string node;
+  int64_t after_messages = -1;
+  int64_t after_wall_ms = -1;
+};
+
+/// The chaos outcome for one first-attempt data message.
+struct FaultVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  int64_t delay_us = 0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Applied to every link without an explicit override.
+  LinkFaults default_link;
+  /// Per-(from, to) overrides.
+  std::map<std::pair<std::string, std::string>, LinkFaults> links;
+  std::vector<CrashTrigger> crashes;
+
+  const LinkFaults& faults(const std::string& from,
+                           const std::string& to) const;
+
+  /// Pure verdict for the `seq`-th data message on (from -> to).
+  FaultVerdict verdict(const std::string& from, const std::string& to,
+                       uint64_t seq) const;
+
+  /// Convenience: uniform drop/dup/reorder probability `p` on every link,
+  /// with delays in [0, delay_max_us].
+  static FaultPlan uniform(uint64_t seed, double p,
+                           int64_t delay_max_us = 0);
+};
+
+}  // namespace p2g::ft

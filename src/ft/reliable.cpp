@@ -1,0 +1,206 @@
+#include "ft/reliable.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "dist/message.h"
+
+namespace p2g::ft {
+
+ReliableChannel::ReliableChannel(dist::MessageBus& bus, std::string self,
+                                 Options options)
+    : bus_(bus),
+      self_(std::move(self)),
+      options_(options),
+      jitter_(mix(options.seed, hash_str(self_))) {
+  retransmitter_ = std::thread([this] { retransmit_loop(); });
+}
+
+ReliableChannel::~ReliableChannel() { stop(); }
+
+void ReliableChannel::stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (retransmitter_.joinable()) retransmitter_.join();
+}
+
+dist::SendStatus ReliableChannel::send(const std::string& to,
+                                       dist::MessageType inner_type,
+                                       std::vector<uint8_t> inner_payload) {
+  dist::DataEnvelope env;
+  env.inner_type = inner_type;
+  env.inner = std::move(inner_payload);
+
+  Message msg;
+  msg.type = dist::MessageType::kData;
+  msg.from = self_;
+  msg.attempt = 1;
+  {
+    std::scoped_lock lock(mutex_);
+    PeerSend& peer = senders_[to];
+    env.seq = peer.next_seq++;
+    msg.seq = env.seq;
+    msg.payload = env.encode();
+    Pending p;
+    p.msg = msg;
+    p.rto_us = options_.rto_initial_us;
+    p.deadline_ns = now_ns() + p.rto_us * 1000;
+    peer.pending.emplace(env.seq, std::move(p));
+    unacked_.fetch_add(1);
+  }
+  data_sent_.fetch_add(1);
+  cv_.notify_one();  // retransmitter may need the earlier deadline
+
+  const dist::SendStatus status = bus_.send(to, std::move(msg));
+  if (status == dist::SendStatus::kDead ||
+      status == dist::SendStatus::kClosed) {
+    // Nothing will ever ack this; drop the pending state right away.
+    std::scoped_lock lock(mutex_);
+    auto it = senders_.find(to);
+    if (it != senders_.end() && it->second.pending.erase(env.seq) > 0) {
+      unacked_.fetch_sub(1);
+    }
+  }
+  return status;
+}
+
+std::vector<Message> ReliableChannel::on_data(const Message& message) {
+  const dist::DataEnvelope env = dist::DataEnvelope::decode(message.payload);
+  std::vector<Message> out;
+  std::scoped_lock lock(mutex_);
+  PeerRecv& peer = receivers_[message.from];
+  if (env.seq <= peer.delivered || peer.buffer.count(env.seq)) {
+    duplicates_dropped_.fetch_add(1);
+    return out;
+  }
+  Message inner;
+  inner.type = env.inner_type;
+  inner.from = message.from;
+  inner.payload = env.inner;
+  peer.buffer.emplace(env.seq, std::move(inner));
+  // Drain the in-order prefix.
+  auto it = peer.buffer.find(peer.delivered + 1);
+  while (it != peer.buffer.end()) {
+    out.push_back(std::move(it->second));
+    peer.buffer.erase(it);
+    ++peer.delivered;
+    it = peer.buffer.find(peer.delivered + 1);
+  }
+  return out;
+}
+
+void ReliableChannel::ack(const std::string& peer) {
+  uint64_t cumulative = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    cumulative = receivers_[peer].delivered;
+  }
+  send_ack(peer, cumulative);
+}
+
+void ReliableChannel::send_ack(const std::string& to, uint64_t cumulative) {
+  dist::AckMsg ack;
+  ack.cumulative = cumulative;
+  Message msg;
+  msg.type = dist::MessageType::kAck;
+  msg.from = self_;
+  msg.payload = ack.encode();
+  acks_sent_.fetch_add(1);
+  bus_.send(to, std::move(msg));  // best effort; lost acks retrigger data
+}
+
+void ReliableChannel::on_ack(const Message& message) {
+  const dist::AckMsg ack = dist::AckMsg::decode(message.payload);
+  acks_received_.fetch_add(1);
+  std::scoped_lock lock(mutex_);
+  const auto it = senders_.find(message.from);
+  if (it == senders_.end()) return;
+  auto& pending = it->second.pending;
+  auto p = pending.begin();
+  int64_t cleared = 0;
+  while (p != pending.end() && p->first <= ack.cumulative) {
+    p = pending.erase(p);
+    ++cleared;
+  }
+  if (cleared > 0) unacked_.fetch_sub(cleared);
+}
+
+void ReliableChannel::abandon_peer(const std::string& peer) {
+  std::scoped_lock lock(mutex_);
+  const auto it = senders_.find(peer);
+  if (it == senders_.end()) return;
+  unacked_.fetch_sub(static_cast<int64_t>(it->second.pending.size()));
+  it->second.pending.clear();
+}
+
+int64_t ReliableChannel::unacked() const { return unacked_.load(); }
+
+ReliableChannel::Stats ReliableChannel::stats() const {
+  Stats s;
+  s.data_sent = data_sent_.load();
+  s.retransmits = retransmits_.load();
+  s.duplicates_dropped = duplicates_dropped_.load();
+  s.acks_sent = acks_sent_.load();
+  s.acks_received = acks_received_.load();
+  return s;
+}
+
+void ReliableChannel::retransmit_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    // Earliest pending deadline across all peers.
+    int64_t next = -1;
+    for (const auto& [peer, state] : senders_) {
+      for (const auto& [seq, p] : state.pending) {
+        if (next < 0 || p.deadline_ns < next) next = p.deadline_ns;
+      }
+    }
+    if (next < 0) {
+      cv_.wait(lock);
+      continue;
+    }
+    cv_.wait_until(lock, TimePoint(std::chrono::duration_cast<
+                             SteadyClock::duration>(
+                             std::chrono::nanoseconds(next))));
+    if (stop_) return;
+
+    const int64_t now = now_ns();
+    // Collect due retransmissions, then send outside the lock.
+    std::vector<std::pair<std::string, Message>> due;
+    std::vector<std::string> dead_peers;
+    for (auto& [peer, state] : senders_) {
+      for (auto& [seq, p] : state.pending) {
+        if (p.deadline_ns > now) continue;
+        p.msg.attempt += 1;
+        // Exponential backoff with +-10% jitter: spreads retransmission
+        // bursts of many links without losing seed reproducibility.
+        p.rto_us = std::min<int64_t>(
+            static_cast<int64_t>(static_cast<double>(p.rto_us) *
+                                 options_.backoff),
+            options_.rto_max_us);
+        const double jitter = 0.9 + 0.2 * jitter_.uniform();
+        p.deadline_ns =
+            now + static_cast<int64_t>(static_cast<double>(p.rto_us) *
+                                       1000.0 * jitter);
+        due.emplace_back(peer, p.msg);
+      }
+    }
+    lock.unlock();
+    for (auto& [peer, msg] : due) {
+      retransmits_.fetch_add(1);
+      const dist::SendStatus status = bus_.send(peer, std::move(msg));
+      if (status == dist::SendStatus::kDead ||
+          status == dist::SendStatus::kClosed) {
+        dead_peers.push_back(peer);
+      }
+    }
+    for (const std::string& peer : dead_peers) abandon_peer(peer);
+    lock.lock();
+  }
+}
+
+}  // namespace p2g::ft

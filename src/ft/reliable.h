@@ -1,0 +1,135 @@
+// ReliableChannel: at-least-once delivery over an unreliable MessageBus.
+//
+// Sender side: every data message gets a per-(self, peer) sequence number
+// starting at 1 and is kept until a cumulative ack covers it; a retransmit
+// thread re-sends overdue messages with exponential backoff and seeded
+// jitter. Retransmissions carry attempt > 1, which exempts them from chaos
+// (ChaosBus only faults first attempts), so a retransmitted message always
+// reaches a live peer.
+//
+// Receiver side: per-peer cumulative delivery counter plus an out-of-order
+// buffer. on_data() hands back the inner messages in sequence order exactly
+// once; duplicates are counted and dropped, and every receipt answers with
+// a cumulative ack. Combined with write-once idempotent stores above, this
+// turns at-least-once transport into exactly-once application.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/bus.h"
+
+namespace p2g::ft {
+
+using Message = dist::Message;
+
+class ReliableChannel {
+ public:
+  struct Options {
+    int64_t rto_initial_us = 25'000;
+    int64_t rto_max_us = 400'000;
+    double backoff = 2.0;
+    uint64_t seed = 1;  ///< retransmit jitter stream
+  };
+
+  struct Stats {
+    int64_t data_sent = 0;
+    int64_t retransmits = 0;
+    int64_t duplicates_dropped = 0;
+    int64_t acks_sent = 0;
+    int64_t acks_received = 0;
+  };
+
+  // Overload instead of `Options options = {}`: GCC 12 rejects a nested
+  // class's default member initializers in a default argument of the
+  // enclosing class (PR c++/96645).
+  ReliableChannel(dist::MessageBus& bus, std::string self)
+      : ReliableChannel(bus, std::move(self), Options{}) {}
+  ReliableChannel(dist::MessageBus& bus, std::string self,
+                  Options options);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Wraps the payload in a DataEnvelope and sends it reliably to `to`.
+  /// kDropped (chaos ate the first attempt) still counts as in flight —
+  /// the retransmit thread will recover it. kDead/kClosed abandon it.
+  dist::SendStatus send(const std::string& to,
+                        dist::MessageType inner_type,
+                        std::vector<uint8_t> inner_payload);
+
+  /// Feeds an incoming kData message. Returns the inner messages that are
+  /// now deliverable in order (possibly none). Does NOT ack: the caller
+  /// acks via ack() *after applying* the returned messages, so a peer's
+  /// unacked count only reaches zero once the data has actually landed —
+  /// the invariant the master's termination detection relies on.
+  std::vector<Message> on_data(const Message& message);
+
+  /// Sends the current cumulative ack for `peer`. Call after applying the
+  /// messages returned by on_data (also on pure duplicates, so a peer
+  /// whose earlier ack was lost stops retransmitting).
+  void ack(const std::string& peer);
+
+  /// Feeds an incoming kAck message.
+  void on_ack(const Message& message);
+
+  /// Drops all sender state toward a dead peer (stop retransmitting into
+  /// the void). Receiver state is kept — late data may still drain.
+  void abandon_peer(const std::string& peer);
+
+  /// Stops the retransmit thread. Idempotent.
+  void stop();
+
+  /// Messages sent but not yet covered by an ack (termination detection).
+  int64_t unacked() const;
+
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    Message msg;          ///< ready to re-send (attempt is bumped first)
+    int64_t deadline_ns = 0;
+    int64_t rto_us = 0;
+  };
+  struct PeerSend {
+    uint64_t next_seq = 1;
+    std::map<uint64_t, Pending> pending;  ///< by seq
+  };
+  struct PeerRecv {
+    uint64_t delivered = 0;  ///< highest in-order seq applied
+    std::map<uint64_t, Message> buffer;  ///< out-of-order inner messages
+  };
+
+  void retransmit_loop();
+  void send_ack(const std::string& to, uint64_t cumulative);
+
+  dist::MessageBus& bus_;
+  const std::string self_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, PeerSend> senders_;
+  std::map<std::string, PeerRecv> receivers_;
+  Rng jitter_;
+  bool stop_ = false;
+
+  std::atomic<int64_t> data_sent_{0};
+  std::atomic<int64_t> retransmits_{0};
+  std::atomic<int64_t> duplicates_dropped_{0};
+  std::atomic<int64_t> acks_sent_{0};
+  std::atomic<int64_t> acks_received_{0};
+  std::atomic<int64_t> unacked_{0};
+
+  std::thread retransmitter_;
+};
+
+}  // namespace p2g::ft

@@ -11,6 +11,7 @@
 #include "common/dynamic_bitset.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 
@@ -291,6 +292,71 @@ TEST(Clock, ScopedTimerAccumulates) {
     ScopedTimerNs t(acc);
   }
   EXPECT_GE(acc, 0);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsTheStream) {
+  Rng rng(7);
+  const uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  bool lo_hit = false;
+  bool hi_hit = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    lo_hit |= v == -2;
+    hi_hit |= v == 3;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, ChanceHonorsDegenerateProbabilities) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, MixIsAPureFunction) {
+  EXPECT_EQ(mix(1, 2, 3, 4), mix(1, 2, 3, 4));
+  EXPECT_NE(mix(1, 2, 3, 4), mix(1, 2, 3, 5));
+  EXPECT_NE(mix(1), mix(2));
+  EXPECT_EQ(hash_str("node0"), hash_str("node0"));
+  EXPECT_NE(hash_str("node0"), hash_str("node1"));
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 // master/HLS, distributed runs of the paper's workloads.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
+#include <thread>
+
 #include "dist/bus.h"
 #include "dist/master.h"
 #include "dist/message.h"
@@ -189,6 +193,249 @@ TEST(Bus, DuplicateRegistrationThrows) {
   MessageBus bus;
   bus.register_endpoint("a");
   EXPECT_THROW(bus.register_endpoint("a"), Error);
+}
+
+TEST(Bus, ClosedBusReturnsStatusAndCountsDeadLetters) {
+  MessageBus bus;
+  bus.register_endpoint("a");
+  bus.register_endpoint("b");
+
+  Message m;
+  m.type = MessageType::kRemoteStore;
+  m.from = "a";
+  EXPECT_EQ(bus.send("b", m), SendStatus::kDelivered);
+
+  bus.close_all();
+  EXPECT_EQ(bus.send("b", m), SendStatus::kClosed);
+  EXPECT_EQ(bus.broadcast(m), 0);
+  EXPECT_EQ(bus.stats().delivered, 1);
+  EXPECT_EQ(bus.stats().dead_letters, 1);
+}
+
+TEST(Bus, DeadEndpointBlackholesTraffic) {
+  MessageBus bus;
+  bus.register_endpoint("a");
+  auto b = bus.register_endpoint("b");
+  auto c = bus.register_endpoint("c");
+
+  bus.mark_dead("b");
+  EXPECT_TRUE(bus.is_dead("b"));
+  EXPECT_FALSE(bus.is_dead("c"));
+
+  Message m;
+  m.type = MessageType::kRemoteStore;
+  m.from = "a";
+  EXPECT_EQ(bus.send("b", m), SendStatus::kDead);
+  EXPECT_EQ(bus.send("c", m), SendStatus::kDelivered);
+
+  // Broadcast skips the dead endpoint but still reaches the live one.
+  EXPECT_EQ(bus.broadcast(m), 1);
+  EXPECT_FALSE(b->try_pop().has_value());
+  EXPECT_EQ(bus.stats().dead_letters, 1);
+}
+
+// A shutdown racing concurrent senders must never throw or lose track of a
+// message: every send resolves to kDelivered or kClosed, and the bus
+// counters account for each attempt exactly once.
+TEST(Bus, ShutdownRaceNeverThrowsAndConservesMessages) {
+  MessageBus bus;
+  bus.register_endpoint("a");
+  bus.register_endpoint("b");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<int64_t> delivered{0};
+  std::atomic<int64_t> rejected{0};
+  std::vector<std::thread> senders;
+  senders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&bus, &delivered, &rejected] {
+      Message m;
+      m.type = MessageType::kRemoteStore;
+      m.from = "a";
+      m.payload = {1};
+      for (int i = 0; i < kPerThread; ++i) {
+        switch (bus.send("b", m)) {
+          case SendStatus::kDelivered:
+            delivered.fetch_add(1);
+            break;
+          case SendStatus::kClosed:
+            rejected.fetch_add(1);
+            break;
+          default:
+            ADD_FAILURE() << "unexpected send status";
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  bus.close_all();
+  for (std::thread& t : senders) t.join();
+
+  EXPECT_EQ(delivered.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_EQ(bus.stats().delivered, delivered.load());
+  EXPECT_EQ(bus.stats().dead_letters, rejected.load());
+}
+
+TEST(Messages, FaultToleranceMessagesRoundTrip) {
+  DataEnvelope envelope;
+  envelope.seq = 42;
+  envelope.inner_type = MessageType::kRemoteStore;
+  envelope.inner = {9, 8, 7, 6};
+  const DataEnvelope envelope_back = DataEnvelope::decode(envelope.encode());
+  EXPECT_EQ(envelope_back.seq, 42u);
+  EXPECT_EQ(envelope_back.inner_type, MessageType::kRemoteStore);
+  EXPECT_EQ(envelope_back.inner, envelope.inner);
+
+  AckMsg ack{1234567890123ULL};
+  EXPECT_EQ(AckMsg::decode(ack.encode()).cumulative, ack.cumulative);
+
+  HeartbeatMsg beat{17, 987654321};
+  const HeartbeatMsg beat_back = HeartbeatMsg::decode(beat.encode());
+  EXPECT_EQ(beat_back.seq, 17);
+  EXPECT_EQ(beat_back.sent_ns, 987654321);
+
+  ReassignMsg reassign;
+  reassign.dead = "node2";
+  reassign.kernels = {{"stage1", "node0"}, {"stage3", "node1"}};
+  const ReassignMsg reassign_back = ReassignMsg::decode(reassign.encode());
+  EXPECT_EQ(reassign_back.dead, "node2");
+  EXPECT_EQ(reassign_back.kernels, reassign.kernels);
+}
+
+// --- Codec truncation corpus ------------------------------------------
+//
+// Every wire codec must reject every strict prefix of a valid encoding
+// (underflow mid-parse) and any trailing garbage (the decoders assert
+// Reader::exhausted()) with ErrorKind::kProtocol — never crash, never
+// silently accept.
+
+struct CodecCase {
+  std::string name;
+  std::vector<uint8_t> bytes;
+  std::function<void(const std::vector<uint8_t>&)> decode;
+};
+
+std::vector<CodecCase> codec_corpus() {
+  std::vector<CodecCase> cases;
+
+  RemoteStore store;
+  store.field = 3;
+  store.age = 17;
+  store.region = nd::Region(std::vector<nd::Interval>{{2, 3}, {0, 4}});
+  store.producer = 5;
+  store.store_decl = 1;
+  store.whole = true;
+  store.payload = {10, 20, 30};
+  cases.push_back({"RemoteStore", store.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     RemoteStore::decode(b);
+                   }});
+
+  TopologyReport topo;
+  topo.topology.name = "node7";
+  topo.topology.memory_gb = 16.0;
+  topo.topology.units.push_back(
+      graph::ProcessingUnit{graph::ProcessingUnit::Type::kGpu, 16.0});
+  topo.topology.buses.push_back(graph::Link{0, 0, 5000.0, 1.5});
+  cases.push_back({"TopologyReport", topo.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     TopologyReport::decode(b);
+                   }});
+
+  ProfileReport profile;
+  KernelStats stats;
+  stats.name = "assign";
+  stats.dispatches = 11;
+  stats.instances = 12;
+  stats.dispatch_ns = 13;
+  stats.kernel_ns = 14;
+  profile.report.kernels.push_back(stats);
+  cases.push_back({"ProfileReport", profile.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     ProfileReport::decode(b);
+                   }});
+
+  obs::MetricsRegistry registry;
+  registry.counter("events_total").add(9);
+  registry.gauge("depth").set(-2);
+  registry.histogram("lat_ns").record(5);
+  MetricsReport metrics;
+  metrics.node = "node3";
+  metrics.snapshot = registry.snapshot();
+  metrics.snapshot.series.push_back(
+      obs::TimeSeries{"depth", {{100, 1}, {200, 4}}});
+  cases.push_back({"MetricsReport", metrics.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     MetricsReport::decode(b);
+                   }});
+
+  DataEnvelope envelope;
+  envelope.seq = 9;
+  envelope.inner_type = MessageType::kRemoteStore;
+  envelope.inner = {1, 2, 3};
+  cases.push_back({"DataEnvelope", envelope.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     DataEnvelope::decode(b);
+                   }});
+
+  AckMsg ack{77};
+  cases.push_back(
+      {"AckMsg", ack.encode(),
+       [](const std::vector<uint8_t>& b) { AckMsg::decode(b); }});
+
+  HeartbeatMsg beat{5, 123456789};
+  cases.push_back(
+      {"HeartbeatMsg", beat.encode(),
+       [](const std::vector<uint8_t>& b) { HeartbeatMsg::decode(b); }});
+
+  ReassignMsg reassign;
+  reassign.dead = "node1";
+  reassign.kernels = {{"stage1", "node0"}, {"stage2", "node2"}};
+  cases.push_back({"ReassignMsg", reassign.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     ReassignMsg::decode(b);
+                   }});
+
+  IdleReport idle{true, 3, 4};
+  cases.push_back(
+      {"IdleReport", idle.encode(),
+       [](const std::vector<uint8_t>& b) { IdleReport::decode(b); }});
+
+  return cases;
+}
+
+TEST(Codecs, EveryStrictPrefixThrowsProtocolError) {
+  for (const CodecCase& c : codec_corpus()) {
+    ASSERT_FALSE(c.bytes.empty()) << c.name;
+    EXPECT_NO_THROW(c.decode(c.bytes)) << c.name << " full encoding";
+    for (size_t n = 0; n < c.bytes.size(); ++n) {
+      const std::vector<uint8_t> prefix(c.bytes.begin(),
+                                        c.bytes.begin() +
+                                            static_cast<ptrdiff_t>(n));
+      try {
+        c.decode(prefix);
+        ADD_FAILURE() << c.name << " accepted a strict prefix (" << n << "/"
+                      << c.bytes.size() << " bytes)";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::kProtocol)
+            << c.name << " prefix " << n;
+      }
+    }
+  }
+}
+
+TEST(Codecs, TrailingGarbageThrowsProtocolError) {
+  for (const CodecCase& c : codec_corpus()) {
+    std::vector<uint8_t> extended = c.bytes;
+    extended.push_back(0xEE);
+    try {
+      c.decode(extended);
+      ADD_FAILURE() << c.name << " accepted trailing garbage";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kProtocol) << c.name;
+    }
+  }
 }
 
 TEST(DistributedRun, Mul2Plus5AcrossTwoNodes) {

@@ -1,0 +1,349 @@
+// Unit tests for the fault-tolerance subsystem (src/ft): fault plans,
+// chaos bus, reliable delivery, failure detection, and the idempotent
+// store primitive the recovery path builds on. End-to-end chaos runs live
+// in chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/field.h"
+#include "dist/bus.h"
+#include "dist/message.h"
+#include "ft/chaos_bus.h"
+#include "ft/failure_detector.h"
+#include "ft/fault_plan.h"
+#include "ft/reliable.h"
+
+namespace p2g::ft {
+namespace {
+
+TEST(FaultPlan, VerdictIsAPureFunction) {
+  const FaultPlan plan = FaultPlan::uniform(42, 0.2, 5000);
+  for (uint64_t seq = 1; seq <= 64; ++seq) {
+    const FaultVerdict a = plan.verdict("node0", "node1", seq);
+    const FaultVerdict b = plan.verdict("node0", "node1", seq);
+    EXPECT_EQ(a.drop, b.drop);
+    EXPECT_EQ(a.duplicate, b.duplicate);
+    EXPECT_EQ(a.reorder, b.reorder);
+    EXPECT_EQ(a.delay_us, b.delay_us);
+  }
+}
+
+TEST(FaultPlan, LinksAndSeedsGetIndependentStreams) {
+  const FaultPlan a = FaultPlan::uniform(1, 0.5);
+  const FaultPlan b = FaultPlan::uniform(2, 0.5);
+  int diff_seed = 0;
+  int diff_link = 0;
+  for (uint64_t seq = 1; seq <= 256; ++seq) {
+    if (a.verdict("x", "y", seq).drop != b.verdict("x", "y", seq).drop) {
+      ++diff_seed;
+    }
+    if (a.verdict("x", "y", seq).drop != a.verdict("y", "x", seq).drop) {
+      ++diff_link;
+    }
+  }
+  EXPECT_GT(diff_seed, 0) << "seed must change the verdict stream";
+  EXPECT_GT(diff_link, 0) << "direction must change the verdict stream";
+}
+
+TEST(FaultPlan, ZeroProbabilityPlanIsFaultFree) {
+  const FaultPlan plan = FaultPlan::uniform(7, 0.0);
+  for (uint64_t seq = 1; seq <= 128; ++seq) {
+    const FaultVerdict v = plan.verdict("a", "b", seq);
+    EXPECT_FALSE(v.drop);
+    EXPECT_FALSE(v.duplicate);
+    EXPECT_FALSE(v.reorder);
+    EXPECT_EQ(v.delay_us, 0);
+  }
+}
+
+TEST(FaultPlan, DropRateTracksProbability) {
+  const FaultPlan plan = FaultPlan::uniform(3, 0.25);
+  int drops = 0;
+  const int n = 4000;
+  for (uint64_t seq = 1; seq <= n; ++seq) {
+    drops += plan.verdict("a", "b", seq).drop ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.25, 0.05);
+}
+
+TEST(FaultPlan, PerLinkOverrideWins) {
+  FaultPlan plan;
+  plan.default_link.drop_p = 0.0;
+  plan.links[{"a", "b"}] = LinkFaults{1.0, 0.0, 0.0, 0, 0};
+  EXPECT_TRUE(plan.verdict("a", "b", 1).drop);
+  EXPECT_FALSE(plan.verdict("b", "a", 1).drop);
+}
+
+TEST(ChaosBus, DropsMatchTheVerdictStream) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.default_link.drop_p = 0.3;
+  ChaosBus bus(plan);
+  auto sink = bus.register_endpoint("y");
+
+  const int n = 200;
+  int expected_drops = 0;
+  for (uint64_t seq = 1; seq <= n; ++seq) {
+    expected_drops += plan.verdict("x", "y", seq).drop ? 1 : 0;
+    Message m;
+    m.type = dist::MessageType::kData;
+    m.from = "x";
+    m.seq = seq;
+    m.attempt = 1;
+    bus.send("y", m);
+  }
+  const ChaosBus::ChaosStats stats = bus.chaos_stats();
+  EXPECT_EQ(stats.data_messages, n);
+  EXPECT_EQ(stats.dropped, expected_drops);
+  EXPECT_GT(stats.dropped, 0);
+
+  int received = 0;
+  while (sink->try_pop()) ++received;
+  EXPECT_EQ(received, n - expected_drops);
+}
+
+TEST(ChaosBus, RetransmissionsAndControlPlaneAreExempt) {
+  ChaosBus bus(FaultPlan::uniform(5, 1.0));  // drop everything eligible
+  auto sink = bus.register_endpoint("y");
+
+  Message retry;
+  retry.type = dist::MessageType::kData;
+  retry.from = "x";
+  retry.seq = 1;
+  retry.attempt = 2;  // retransmission
+  EXPECT_EQ(bus.send("y", retry), dist::SendStatus::kDelivered);
+
+  Message control;
+  control.type = dist::MessageType::kHeartbeat;
+  control.from = "x";
+  EXPECT_EQ(bus.send("y", control), dist::SendStatus::kDelivered);
+
+  int received = 0;
+  while (sink->try_pop()) ++received;
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(bus.chaos_stats().dropped, 0);
+}
+
+TEST(ChaosBus, MessageCountCrashTriggerFiresOnce) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashTrigger{"victim", 3, -1});
+  ChaosBus bus(plan);
+  bus.register_endpoint("y");
+  std::atomic<int> fired{0};
+  bus.set_crash_handler([&](const std::string& node) {
+    EXPECT_EQ(node, "victim");
+    fired.fetch_add(1);
+  });
+  Message m;
+  m.type = dist::MessageType::kHeartbeat;
+  m.from = "x";
+  for (int i = 0; i < 6; ++i) bus.send("y", m);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(bus.chaos_stats().crashes_fired, 1);
+}
+
+TEST(ChaosBus, DelayedMessagesArriveAfterTheWire) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.default_link.delay_min_us = 1000;
+  plan.default_link.delay_max_us = 5000;
+  ChaosBus bus(plan);
+  auto sink = bus.register_endpoint("y");
+  Message m;
+  m.type = dist::MessageType::kData;
+  m.from = "x";
+  m.seq = 1;
+  m.attempt = 1;
+  bus.send("y", m);
+  // Either still on the wire or already delivered; it must show up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sink->empty() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(sink->empty());
+  // Wait until the wire thread has accounted for the delivery.
+  while (bus.in_flight() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(bus.in_flight(), 0);
+  EXPECT_EQ(bus.chaos_stats().delayed, 1);
+}
+
+// Pumps a mailbox: data goes through the receiving channel (dedup,
+// ordering, ack-after-apply), acks feed the sending channel.
+struct Pump {
+  std::shared_ptr<dist::MessageBus::Mailbox> mailbox;
+  ReliableChannel* channel;
+  std::vector<std::vector<uint8_t>>* received = nullptr;
+  std::thread thread;
+
+  void start() {
+    thread = std::thread([this] {
+      while (auto message = mailbox->pop()) {
+        if (message->type == dist::MessageType::kData) {
+          for (const Message& inner : channel->on_data(*message)) {
+            if (received) received->push_back(inner.payload);
+          }
+          channel->ack(message->from);
+        } else if (message->type == dist::MessageType::kAck) {
+          channel->on_ack(*message);
+        }
+      }
+    });
+  }
+};
+
+TEST(ReliableChannel, DeliversInOrderOverALossyBus) {
+  ChaosBus bus(FaultPlan::uniform(21, 0.25));  // drop+dup+reorder
+  auto a_box = bus.register_endpoint("a");
+  auto b_box = bus.register_endpoint("b");
+
+  ReliableChannel::Options fast;
+  fast.rto_initial_us = 3000;
+  fast.rto_max_us = 20000;
+  ReliableChannel a(bus, "a", fast);
+  ReliableChannel b(bus, "b", fast);
+
+  std::vector<std::vector<uint8_t>> received;
+  Pump pump_a{a_box, &a, nullptr, {}};
+  Pump pump_b{b_box, &b, &received, {}};
+  pump_a.start();
+  pump_b.start();
+
+  const int n = 60;
+  for (uint8_t i = 0; i < n; ++i) {
+    a.send("b", dist::MessageType::kRemoteStore, {i});
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (a.unacked() != 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(a.unacked(), 0) << "every message must eventually be acked";
+
+  bus.close_all();
+  pump_a.thread.join();
+  pump_b.thread.join();
+  a.stop();
+  b.stop();
+
+  ASSERT_EQ(received.size(), static_cast<size_t>(n))
+      << "exactly-once application despite drops and duplicates";
+  for (uint8_t i = 0; i < n; ++i) {
+    EXPECT_EQ(received[i], std::vector<uint8_t>{i}) << "in-order delivery";
+  }
+  const ReliableChannel::Stats stats = a.stats();
+  EXPECT_EQ(stats.data_sent, n);
+  EXPECT_GT(stats.retransmits, 0) << "drops must trigger retransmissions";
+}
+
+TEST(ReliableChannel, AbandonPeerDrainsUnacked) {
+  dist::MessageBus bus;
+  bus.register_endpoint("a");
+  bus.register_endpoint("dead");
+  ReliableChannel a(bus, "a");
+  a.send("dead", dist::MessageType::kRemoteStore, {1});
+  a.send("dead", dist::MessageType::kRemoteStore, {2});
+  EXPECT_EQ(a.unacked(), 2);
+  a.abandon_peer("dead");
+  EXPECT_EQ(a.unacked(), 0);
+}
+
+TEST(ReliableChannel, SendToDeadPeerDoesNotLeakPending) {
+  dist::MessageBus bus;
+  bus.register_endpoint("a");
+  bus.register_endpoint("gone");
+  bus.mark_dead("gone");
+  ReliableChannel a(bus, "a");
+  EXPECT_EQ(a.send("gone", dist::MessageType::kRemoteStore, {1}),
+            dist::SendStatus::kDead);
+  EXPECT_EQ(a.unacked(), 0);
+}
+
+TEST(FailureDetector, SuspectsSilentNodesAfterTheBound) {
+  FailureDetector::Options options;
+  options.phi_threshold = 3.0;
+  options.min_silence_us = 10'000;  // 10ms floor
+  FailureDetector detector(options);
+
+  // Steady 1ms beats from both nodes (synthetic clock).
+  int64_t t = 0;
+  const int64_t ms = 1'000'000;
+  for (int i = 0; i < 10; ++i) {
+    t += ms;
+    detector.heartbeat("alive", t);
+    detector.heartbeat("quiet", t);
+  }
+  EXPECT_TRUE(detector.suspects(t + ms).empty());
+
+  // "quiet" goes silent; "alive" keeps beating.
+  int64_t t2 = t;
+  for (int i = 0; i < 30; ++i) {
+    t2 += ms;
+    detector.heartbeat("alive", t2);
+  }
+  const std::vector<std::string> suspects = detector.suspects(t2);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], "quiet");
+  EXPECT_EQ(detector.last_beat_ns("quiet"), t);
+
+  detector.remove("quiet");
+  EXPECT_TRUE(detector.suspects(t2).empty());
+}
+
+TEST(FailureDetector, AbsoluteFloorPreventsStartupFalsePositives) {
+  FailureDetector::Options options;
+  options.min_silence_us = 250'000;
+  FailureDetector detector(options);
+  detector.heartbeat("n", 0);  // single beat: no interval history yet
+  EXPECT_TRUE(detector.suspects(100'000'000).empty());  // 100ms < floor
+  EXPECT_EQ(detector.suspects(300'000'000).size(), 1u);
+}
+
+TEST(StoreFill, WritesOnlyMissingElementsAndCountsThem) {
+  FieldStorage storage(
+      FieldDecl{0, "f", nd::ElementType::kInt32, 1});
+  const std::vector<int32_t> lo{10, 11, 12};
+  const std::vector<int32_t> hi{92, 93, 94};
+
+  // Elements [0,3) stored normally; fill over [0,6) must write only [3,6).
+  storage.store(0, nd::Region(std::vector<nd::Interval>{{0, 3}}),
+                reinterpret_cast<const std::byte*>(lo.data()));
+  const std::vector<int32_t> full{70, 71, 72, 73, 74, 75};
+  EXPECT_EQ(storage.store_fill(
+                0, nd::Region(std::vector<nd::Interval>{{0, 6}}),
+                reinterpret_cast<const std::byte*>(full.data())),
+            3);
+  // A second identical fill is a pure duplicate.
+  EXPECT_EQ(storage.store_fill(
+                0, nd::Region(std::vector<nd::Interval>{{0, 6}}),
+                reinterpret_cast<const std::byte*>(full.data())),
+            0);
+  // Overlap kept the first write; holes got the fill payload.
+  const nd::AnyBuffer data =
+      storage.fetch(0, nd::Region(std::vector<nd::Interval>{{0, 6}}));
+  const int32_t* v = data.data<int32_t>();
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[2], 12);
+  EXPECT_EQ(v[3], 73);
+  EXPECT_EQ(v[5], 75);
+  (void)hi;
+}
+
+TEST(Rng, MixIsStableAndSeedSensitive) {
+  EXPECT_EQ(mix(1, 2, 3), mix(1, 2, 3));
+  EXPECT_NE(mix(1, 2, 3), mix(2, 2, 3));
+  EXPECT_NE(mix(1, 2, 3), mix(1, 3, 2));
+  EXPECT_EQ(hash_str("node0"), hash_str("node0"));
+  EXPECT_NE(hash_str("node0"), hash_str("node1"));
+}
+
+}  // namespace
+}  // namespace p2g::ft

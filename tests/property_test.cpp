@@ -4,8 +4,10 @@
 // first-feasible-age analysis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
-#include <random>
+
+#include "common/rng.h"
 
 #include "analysis/lint.h"
 #include "core/context.h"
@@ -110,7 +112,7 @@ class RandomPipeline : public ::testing::TestWithParam<PipelineSpec> {
           ctx.continue_next_age();
         });
 
-    std::mt19937 rng(spec.seed);
+    Rng rng(spec.seed);
     for (int s = 1; s <= spec.stages; ++s) {
       const int64_t mul = 1 + static_cast<int64_t>(rng() % 5);
       const int64_t add = static_cast<int64_t>(rng() % 100);
@@ -320,7 +322,7 @@ namespace lintprop {
 /// Builds a program where `writers` kernels write disjoint constant rows
 /// of a rank-2 field. When `shared_row` is set, two kernels additionally
 /// write that same row — the only genuine conflict.
-Program partition_program(std::mt19937& rng, int writers, int rows,
+Program partition_program(Rng& rng, int writers, int rows,
                           std::optional<int64_t> shared_row) {
   std::vector<int64_t> perm(static_cast<size_t>(rows));
   std::iota(perm.begin(), perm.end(), 0);
@@ -359,7 +361,7 @@ Program partition_program(std::mt19937& rng, int writers, int rows,
 }  // namespace lintprop
 
 TEST(LintProperty, DisjointConstantPartitionsNeverReportW001) {
-  std::mt19937 rng(20260806);
+  Rng rng(20260806);
   for (int trial = 0; trial < 40; ++trial) {
     const int writers = 2 + static_cast<int>(rng() % 4);
     const int rows = writers + static_cast<int>(rng() % 8);
@@ -374,7 +376,7 @@ TEST(LintProperty, DisjointConstantPartitionsNeverReportW001) {
 }
 
 TEST(LintProperty, SharedRowIsAlwaysReported) {
-  std::mt19937 rng(424242);
+  Rng rng(424242);
   for (int trial = 0; trial < 40; ++trial) {
     const int writers = 2 + static_cast<int>(rng() % 4);
     const int rows = writers + static_cast<int>(rng() % 8);
