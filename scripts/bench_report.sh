@@ -12,12 +12,97 @@
 # Usage:
 #   scripts/bench_report.sh            # writes BENCH_4.json from build/
 #   BUILD_DIR=... ISSUE=5 scripts/bench_report.sh
+#   ISSUE=6 scripts/bench_report.sh    # tracing-overhead report
+#
+# ISSUE=6 records the causal-tracing overhead instead: dispatch and MJPEG
+# with collect_trace on vs off vs flight-recorder-only (the baseline is
+# tracing disabled, i.e. the pre-PR hot path plus one null check).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo/build}"
 issue="${ISSUE:-4}"
 out="$repo/BENCH_${issue}.json"
+
+if [ "$issue" = 6 ]; then
+  cmake --build "$build_dir" -j"$(nproc)" --target bench_trace_overhead
+
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+
+  "$build_dir/bench/bench_trace_overhead" \
+    --benchmark_out="$tmp/trace.json" --benchmark_out_format=json \
+    --benchmark_min_time="${P2G_BENCH_MIN_TIME:-0.2}" \
+    --benchmark_repetitions="${P2G_BENCH_REPS:-3}" \
+    --benchmark_report_aggregates_only=true
+
+  python3 - "$tmp/trace.json" "$out" <<'PY'
+import json, sys
+
+trace_path, out_path = sys.argv[1:3]
+doc = json.load(open(trace_path))
+by_name = {b["name"]: b for b in doc["benchmarks"]}
+
+
+def median(name):
+    return by_name[f"{name}_median"]
+
+
+def overhead(base, new):
+    return round((new - base) / base, 4) if base else None
+
+
+dispatch = {}
+for width in (16, 256, 1024):
+    off = median(f"BM_DispatchTraceOff/{width}")["sec_per_instance"] * 1e9
+    on = median(f"BM_DispatchTraceOn/{width}")["sec_per_instance"] * 1e9
+    flight = (
+        median(f"BM_DispatchFlightOnly/{width}")["sec_per_instance"] * 1e9
+    )
+    dispatch[str(width)] = {
+        "off": off,
+        "trace": on,
+        "flight_only": flight,
+        "trace_overhead": overhead(off, on),
+        "flight_overhead": overhead(off, flight),
+        "unit": "ns/instance",
+    }
+
+mjpeg = {}
+off = median("BM_MjpegTraceOff")["real_time"]
+on = median("BM_MjpegTraceOn")["real_time"]
+flight = median("BM_MjpegFlightOnly")["real_time"]
+mjpeg = {
+    "off": off,
+    "trace": on,
+    "flight_only": flight,
+    "trace_overhead": overhead(off, on),
+    "flight_overhead": overhead(off, flight),
+    "unit": "ms/clip (QCIF x4, median)",
+}
+
+report = {
+    "issue": 6,
+    "generated_by": "scripts/bench_report.sh",
+    "context": doc.get("context", {}),
+    "baseline_definition": {
+        "trace": "RunOptions::collect_trace=false, flight_recorder=false "
+                 "(hot path: one null check)",
+    },
+    "acceptance": "mjpeg trace_overhead < 0.05 (real kernel work); "
+                  "dispatch rows bound the worst case (empty bodies, "
+                  "one span per item) and are noise-dominated on small "
+                  "VMs; disabled paths unchanged within noise",
+    "dispatch_per_instance_ns": dispatch,
+    "mjpeg_clip_ms": mjpeg,
+}
+with open(out_path, "w") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out_path}")
+PY
+  exit 0
+fi
 
 cmake --build "$build_dir" -j"$(nproc)" \
   --target bench_field_ops bench_dispatch_overhead

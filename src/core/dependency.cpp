@@ -107,6 +107,7 @@ void DependencyAnalyzer::bootstrap() {
 }
 
 void DependencyAnalyzer::handle_one(const Event& event) {
+  current_cause_ = TraceContext{};  // done/rescan-created work is untraced
   if (const auto* store = std::get_if<StoreEvent>(&event)) {
     handle_store(*store);
   } else if (const auto* done = std::get_if<InstanceDoneEvent>(&event)) {
@@ -133,6 +134,9 @@ void DependencyAnalyzer::handle_batch(const std::deque<Event>& events) {
 }
 
 void DependencyAnalyzer::handle_store(const StoreEvent& event) {
+  // Everything this store makes runnable — directly or through the seal
+  // cascade — is causally downstream of it.
+  current_cause_ = event.ctx;
   FieldAgeState& state = fa_states_[{event.field, event.age}];
 
   if (event.producer != kInvalidKernel) {
@@ -511,13 +515,16 @@ void DependencyAnalyzer::create_instance(const KernelDef& def, Age age,
         InstanceKey{fu.downstream, age + fu.age_delta, std::move(down_coord)});
   }
 
-  chunk_buffers_[{def.id, age}].push_back(std::move(coord));
+  ChunkBuffer& buffer = chunk_buffers_[{def.id, age}];
+  if (!buffer.cause.valid()) buffer.cause = current_cause_;
+  buffer.coords.push_back(std::move(coord));
 }
 
 void DependencyAnalyzer::flush_chunks() {
   if (chunk_buffers_.empty()) return;
   std::vector<WorkItem> batch;
-  for (auto& [key, coords] : chunk_buffers_) {
+  for (auto& [key, buffer] : chunk_buffers_) {
+    std::vector<nd::Coord>& coords = buffer.coords;
     const auto [kernel, age] = key;
     const int64_t chunk =
         std::max<int64_t>(1, runtime_.kcfg_[static_cast<size_t>(kernel)].chunk);
@@ -529,6 +536,7 @@ void DependencyAnalyzer::flush_chunks() {
       WorkItem item;
       item.kernel = kernel;
       item.age = age;
+      item.cause = buffer.cause;
       if (begin == 0 && end == total) {
         item.coords = std::move(coords);  // whole buffer in one item
       } else {

@@ -126,6 +126,14 @@ class DependencyAnalyzer {
     return *runtime_.storages_[static_cast<size_t>(field)];
   }
 
+  /// Instances buffered for chunked dispatch, with the causal context of
+  /// the first store event that made one of them runnable (the chunk's
+  /// WorkItem inherits it).
+  struct ChunkBuffer {
+    std::vector<nd::Coord> coords;
+    TraceContext cause;
+  };
+
   Runtime& runtime_;
   const Program& program_;
 
@@ -136,7 +144,10 @@ class DependencyAnalyzer {
   /// retried whenever an event touches any field the kernel fetches.
   std::map<KernelId, std::set<Age>> retry_;
   std::deque<std::pair<FieldId, Age>> seal_worklist_;
-  std::map<std::pair<KernelId, Age>, std::vector<nd::Coord>> chunk_buffers_;
+  std::map<std::pair<KernelId, Age>, ChunkBuffer> chunk_buffers_;
+  /// Context of the store event currently being handled; stamps instances
+  /// it (transitively) makes runnable. Analyzer thread only.
+  TraceContext current_cause_;
   int64_t events_handled_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include <variant>
 
 #include "core/ids.h"
+#include "core/trace.h"
 #include "nd/region.h"
 
 namespace p2g {
@@ -20,6 +21,10 @@ struct StoreEvent {
   KernelId producer = kInvalidKernel;
   size_t store_decl = 0;  ///< which store statement of the producer
   bool whole = false;     ///< the statement is a whole-field store
+  /// Causal identity of the write: the frame it belongs to and the span
+  /// that produced it (zero when tracing is off). The analyzer threads it
+  /// into the instances this store makes runnable.
+  TraceContext ctx;
 };
 
 /// A kernel instance (possibly a chunk of several bodies) finished.

@@ -1,0 +1,228 @@
+#include "core/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace p2g {
+
+namespace {
+
+// Process-wide registry for the SIGABRT dump: fixed slots of atomic
+// pointers so the signal handler never takes a lock or allocates.
+constexpr size_t kMaxRecorders = 32;
+std::atomic<FlightRecorder*> g_recorders[kMaxRecorders];
+std::atomic<int> g_abort_fd{-1};
+
+extern "C" void p2g_flight_abort_handler(int signum) {
+  const int fd = g_abort_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    for (size_t i = 0; i < kMaxRecorders; ++i) {
+      FlightRecorder* recorder =
+          g_recorders[i].load(std::memory_order_acquire);
+      if (recorder == nullptr) continue;
+      // Entries are preallocated PODs; formatting uses a stack buffer and
+      // integer-only snprintf, output goes through write(2).
+      recorder->visit_entries([fd, i](const FlightRecorder::Entry& e) {
+        char line[256];
+        const int n = std::snprintf(
+            line, sizeof(line),
+            "{\"name\": \"%s\", \"cat\": \"p2g.flight\", \"ph\": \"X\", "
+            "\"pid\": %zu, \"tid\": %lld, \"ts_ns\": %lld, "
+            "\"dur_ns\": %lld, \"span\": \"0x%llx\"}\n",
+            e.name, i, static_cast<long long>(e.thread_id),
+            static_cast<long long>(e.t_ns),
+            static_cast<long long>(e.duration_ns),
+            static_cast<unsigned long long>(e.span_id));
+        if (n > 0) {
+          const ssize_t written =
+              write(fd, line, static_cast<size_t>(n));
+          (void)written;
+        }
+      });
+    }
+    fsync(fd);
+  }
+  signal(signum, SIG_DFL);
+  raise(signum);
+}
+
+}  // namespace
+
+void FlightRecorder::Ring::snapshot(std::vector<Entry>& out) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t count = head < kRingSize ? head : kRingSize;
+  for (uint64_t i = head - count; i < head; ++i) {
+    out.push_back(entries_[i & (kRingSize - 1)]);
+  }
+}
+
+FlightRecorder::FlightRecorder() {
+  for (size_t i = 0; i < kMaxRecorders; ++i) {
+    FlightRecorder* expected = nullptr;
+    if (g_recorders[i].compare_exchange_strong(expected, this)) break;
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  for (size_t i = 0; i < kMaxRecorders; ++i) {
+    FlightRecorder* expected = this;
+    if (g_recorders[i].compare_exchange_strong(expected, nullptr)) break;
+  }
+  for (Slot& slot : slots_) {
+    delete slot.ring.load(std::memory_order_acquire);
+  }
+}
+
+FlightRecorder::Ring* FlightRecorder::ring_for_this_thread() {
+  // One-entry thread-local cache: the common case is one recorder per
+  // thread for its whole life, so this is a pointer compare. On a miss
+  // (thread touched another recorder in between) rescan the slots —
+  // registration is rare and the scan is short.
+  struct Cache {
+    FlightRecorder* owner = nullptr;
+    Ring* ring = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.owner == this) return cache.ring;
+
+  const std::thread::id self = std::this_thread::get_id();
+  const size_t count = slot_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count && i < kMaxThreads; ++i) {
+    Ring* ring = slots_[i].ring.load(std::memory_order_acquire);
+    if (ring != nullptr && slots_[i].owner == self) {
+      cache.owner = this;
+      cache.ring = ring;
+      return ring;
+    }
+  }
+  const size_t index = slot_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= kMaxThreads) return nullptr;  // out of slots: drop events
+  slots_[index].owner = self;
+  Ring* ring = new Ring();
+  slots_[index].ring.store(ring, std::memory_order_release);
+  cache.owner = this;
+  cache.ring = ring;
+  return ring;
+}
+
+void FlightRecorder::record(std::string_view name, SpanKind kind,
+                            int64_t t_ns, int64_t duration_ns,
+                            int64_t thread_id, const TraceContext& ctx,
+                            uint64_t span_id, int64_t age) {
+  Ring* ring = ring_for_this_thread();
+  if (ring == nullptr) return;
+  Entry entry;
+  entry.t_ns = t_ns;
+  entry.duration_ns = duration_ns;
+  entry.thread_id = thread_id;
+  entry.age = age;
+  entry.trace_id = ctx.trace_id;
+  entry.span_id = span_id;
+  entry.parent_span = ctx.span_id;
+  entry.kind = kind;
+  const size_t n = std::min(name.size(), sizeof(entry.name) - 1);
+  std::memcpy(entry.name, name.data(), n);
+  entry.name[n] = '\0';
+  ring->record(entry);
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  std::vector<Entry> out;
+  const size_t count = slot_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count && i < kMaxThreads; ++i) {
+    const Ring* ring = slots_[i].ring.load(std::memory_order_acquire);
+    if (ring != nullptr) ring->snapshot(out);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  uint64_t total = 0;
+  const size_t count = slot_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count && i < kMaxThreads; ++i) {
+    const Ring* ring = slots_[i].ring.load(std::memory_order_acquire);
+    if (ring != nullptr) total += ring->recorded();
+  }
+  return total;
+}
+
+void FlightRecorder::emit_events(std::ostream& os, int pid,
+                                 const std::string& process_name,
+                                 int64_t epoch_ns, bool& first) const {
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  sep();
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+     << ", \"args\": {\"name\": \"" << json_escape(process_name) << "\"}}";
+  for (const Entry& e : snapshot()) {
+    sep();
+    os << "  {\"name\": \"" << json_escape(e.name)
+       << "\", \"cat\": \"p2g.flight\", \"ph\": \"X\", \"pid\": " << pid
+       << ", \"tid\": " << e.thread_id
+       << ", \"ts\": " << (e.t_ns - epoch_ns) / 1000.0
+       << ", \"dur\": " << e.duration_ns / 1000.0
+       << ", \"args\": {\"age\": " << e.age << ", \"kind\": \""
+       << to_string(e.kind) << "\"";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"trace\": \"0x%llx\", \"span\": \"0x%llx\"",
+                  static_cast<unsigned long long>(e.trace_id),
+                  static_cast<unsigned long long>(e.span_id));
+    os << buf;
+    if (e.parent_span != 0) {
+      std::snprintf(buf, sizeof(buf), ", \"parent\": \"0x%llx\"",
+                    static_cast<unsigned long long>(e.parent_span));
+      os << buf;
+    }
+    os << "}}";
+  }
+}
+
+bool FlightRecorder::dump_file(const std::string& path,
+                               const std::string& process_name) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.good()) {
+    P2G_WARNC("flight") << "cannot open flight dump '" << path << "'";
+    return false;
+  }
+  os << "[\n";
+  bool first = true;
+  emit_events(os, 1, process_name, 0, first);
+  os << "\n]\n";
+  os.flush();
+  if (!os.good()) {
+    P2G_WARNC("flight") << "failed writing flight dump '" << path << "'";
+    return false;
+  }
+  return true;
+}
+
+void FlightRecorder::install_abort_dump(const std::string& path) {
+  static std::once_flag once;
+  std::call_once(once, [&path] {
+    const int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      P2G_WARNC("flight") << "cannot open abort dump '" << path << "'";
+      return;
+    }
+    g_abort_fd.store(fd, std::memory_order_release);
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = &p2g_flight_abort_handler;
+    sigaction(SIGABRT, &action, nullptr);
+  });
+}
+
+}  // namespace p2g

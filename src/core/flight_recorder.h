@@ -1,0 +1,141 @@
+// Lock-free per-thread flight recorder: a bounded ring of the most recent
+// trace events per thread, kept even when full tracing is off, so a node
+// that dies (scripted crash, fatal error, SIGABRT) leaves a postmortem
+// timeline instead of a silent death. Chaos runs (PR 4) dump each crashed
+// node's rings to a JSON artifact and the distributed master stitches them
+// into the merged trace file.
+//
+// Concurrency model: each ring has exactly one writer (its owning thread);
+// record() is two relaxed stores plus a release bump of the head index, so
+// the hot path never touches a lock or allocates. Readers (dump paths)
+// snapshot racily — a torn in-progress entry at the head is acceptable for
+// a postmortem — which also makes the SIGABRT dump handler safe: it only
+// walks preallocated PODs through atomic pointers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace p2g {
+
+class FlightRecorder {
+ public:
+  /// Entries kept per thread (power of two; older entries are overwritten).
+  static constexpr size_t kRingSize = 256;
+  /// Per-recorder thread slots; threads beyond this record nowhere.
+  static constexpr size_t kMaxThreads = 64;
+
+  /// One recorded event: a POD mirror of TraceCollector::Span with the
+  /// name truncated into inline storage (no allocation on the hot path).
+  struct Entry {
+    int64_t t_ns = 0;
+    int64_t duration_ns = 0;
+    int64_t thread_id = 0;
+    int64_t age = 0;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span = 0;
+    SpanKind kind = SpanKind::kOther;
+    char name[23] = {};  ///< NUL-terminated, truncated label
+  };
+
+  /// Single-writer bounded ring.
+  class Ring {
+   public:
+    void record(const Entry& entry) {
+      const uint64_t head = head_.load(std::memory_order_relaxed);
+      entries_[head & (kRingSize - 1)] = entry;
+      head_.store(head + 1, std::memory_order_release);
+    }
+
+    /// Racy snapshot, oldest first. Fine for postmortem use.
+    void snapshot(std::vector<Entry>& out) const;
+
+    /// Allocation-free racy visit, oldest first (signal-safe).
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      const uint64_t head = head_.load(std::memory_order_acquire);
+      const uint64_t count = head < kRingSize ? head : kRingSize;
+      for (uint64_t i = head - count; i < head; ++i) {
+        fn(entries_[i & (kRingSize - 1)]);
+      }
+    }
+
+    uint64_t recorded() const {
+      return head_.load(std::memory_order_acquire);
+    }
+
+   private:
+    std::atomic<uint64_t> head_{0};
+    std::array<Entry, kRingSize> entries_{};
+  };
+
+  FlightRecorder();
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records an event on the calling thread's ring (registered lazily on
+  /// first use; a no-op once kMaxThreads rings exist).
+  void record(std::string_view name, SpanKind kind, int64_t t_ns,
+              int64_t duration_ns, int64_t thread_id,
+              const TraceContext& ctx, uint64_t span_id, int64_t age = 0);
+
+  /// All rings' entries, oldest first per ring.
+  std::vector<Entry> snapshot() const;
+
+  /// Allocation-free racy visit of every ring's entries (signal-safe: no
+  /// locks, no heap — walks preallocated PODs through atomic pointers).
+  template <typename Fn>
+  void visit_entries(Fn&& fn) const {
+    const size_t count = slot_count_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < count && i < kMaxThreads; ++i) {
+      const Ring* ring = slots_[i].ring.load(std::memory_order_acquire);
+      if (ring != nullptr) ring->visit(fn);
+    }
+  }
+
+  /// Total events ever recorded (wrapped entries included).
+  uint64_t recorded() const;
+
+  /// Streams the snapshot as Chrome trace events (ph:"X", cat
+  /// "p2g.flight") under `pid`, timestamps rebased to `epoch_ns`; used
+  /// both for the standalone dump artifact and for stitching into the
+  /// master's merged trace. `first` tracks comma placement.
+  void emit_events(std::ostream& os, int pid,
+                   const std::string& process_name, int64_t epoch_ns,
+                   bool& first) const;
+
+  /// Writes a standalone trace-JSON dump artifact (best effort: logs and
+  /// returns false on I/O failure instead of throwing — dump paths run
+  /// during crash handling).
+  bool dump_file(const std::string& path,
+                 const std::string& process_name) const;
+
+  /// Installs a process-wide SIGABRT handler that appends every live
+  /// recorder's rings to `path` (JSON lines, via write(2) only) before
+  /// re-raising. Idempotent; the first path wins.
+  static void install_abort_dump(const std::string& path);
+
+ private:
+  Ring* ring_for_this_thread();
+
+  struct Slot {
+    std::atomic<Ring*> ring{nullptr};
+    std::thread::id owner;
+  };
+
+  std::array<Slot, kMaxThreads> slots_;
+  std::atomic<size_t> slot_count_{0};
+};
+
+}  // namespace p2g

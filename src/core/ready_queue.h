@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/ids.h"
+#include "core/trace.h"
 #include "nd/extents.h"
 
 namespace p2g {
@@ -34,6 +35,10 @@ struct WorkItem {
   /// without index variables. Always at least one entry.
   std::vector<nd::Coord> coords;
   uint64_t seq = 0;
+  /// Causal parent: the store event that made this instance runnable
+  /// (first one for a chunk; zero when tracing is off). The executed
+  /// span's flow arrow and parent link derive from it.
+  TraceContext cause;
 };
 
 /// Blocking, age-ordered queue feeding the worker pool.

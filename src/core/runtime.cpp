@@ -21,7 +21,16 @@ Runtime::Runtime(Program program, RunOptions options)
     if (options_.checked) storages_.back()->track_writers(true);
   }
   kcfg_.resize(program_.kernels().size());
-  if (options_.trace_path) trace_ = std::make_unique<TraceCollector>();
+  if (options_.trace_path || options_.collect_trace) {
+    trace_ = std::make_unique<TraceCollector>();
+  }
+  if (options_.flight_recorder) {
+    flight_ = std::make_unique<FlightRecorder>();
+  }
+  span_salt_ = mix(0x7370616E73616C74ULL,  // "spansalt"
+                   hash_str(options_.trace_label.empty()
+                                ? std::string_view("p2g")
+                                : std::string_view(options_.trace_label)));
   if (options_.metrics.enabled) setup_metrics();
   resolve_options();
   analyzer_ = std::make_unique<DependencyAnalyzer>(*this);
@@ -253,7 +262,8 @@ void Runtime::complete_outstanding(int64_t n) {
 int64_t Runtime::inject_store(FieldId field, Age age,
                               const nd::Region& region, KernelId producer,
                               size_t store_decl, bool whole,
-                              const std::byte* payload, bool fill) {
+                              const std::byte* payload, bool fill,
+                              const TraceContext& ctx) {
   int64_t fresh;
   if (fill) {
     fresh = storage(field).store_fill(age, region, payload);
@@ -276,8 +286,19 @@ int64_t Runtime::inject_store(FieldId field, Age age,
   event.producer = producer;
   event.store_decl = store_decl;
   event.whole = whole;
+  event.ctx = ctx;
   push_event(std::move(event));
   return fresh;
+}
+
+std::optional<std::string> Runtime::dump_flight() const {
+  if (!flight_ || !options_.flight_dir) return std::nullopt;
+  const std::string label =
+      options_.trace_label.empty() ? "p2g" : options_.trace_label;
+  const std::string path = *options_.flight_dir + "/flight_" + label +
+                           ".json";
+  if (!flight_->dump_file(path, label)) return std::nullopt;
+  return path;
 }
 
 void Runtime::enable_kernel(const std::string& name) {
@@ -335,10 +356,17 @@ void Runtime::begin_shutdown() {
 }
 
 void Runtime::fail(std::exception_ptr error) {
+  bool first_error = false;
   {
     std::scoped_lock lock(error_mutex_);
-    if (!error_) error_ = std::move(error);
+    if (!error_) {
+      error_ = std::move(error);
+      first_error = true;
+    }
   }
+  // Fatal errors leave a postmortem: the first failure dumps the flight
+  // recorder before shutdown tears the timeline down.
+  if (first_error) dump_flight();
   begin_shutdown();
 }
 
@@ -366,7 +394,8 @@ void Runtime::analyzer_loop() {
         const int64_t end = now_ns();
         if (trace_) {
           trace_->record(TraceCollector::Span{"analyze", start, end - start,
-                                              -1, 0, 0});
+                                              -1, 0, 0,
+                                              SpanKind::kAnalyzer, 0, 0, 0});
         }
         if (metrics_) {
           m_analyzer_ns_->record(end - start);
@@ -395,7 +424,8 @@ void Runtime::analyzer_loop() {
       const int64_t end = now_ns();
       if (trace_) {
         trace_->record(TraceCollector::Span{"analyze", start, end - start,
-                                            -1, 0, n});
+                                            -1, 0, n,
+                                            SpanKind::kAnalyzer, 0, 0, 0});
       }
       if (metrics_) {
         m_analyzer_ns_->record(end - start);
@@ -467,7 +497,8 @@ void Runtime::prepare_fetches(KernelContext& ctx) {
 }
 
 void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
-                            std::vector<StoreEvent>& events) {
+                            std::vector<StoreEvent>& events,
+                            TraceContext* span_ctx) {
   const KernelDef& def = ctx.def();
   for (const KernelContext::PendingStore& p : ctx.pending_stores()) {
     if (fusion != nullptr && p.decl == fusion->upstream_store_decl &&
@@ -560,6 +591,14 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
       }
       event.region = std::move(region);
     }
+    if (span_ctx != nullptr && span_ctx->span_id != 0) {
+      // A root span (source kernel, no inherited frame) starts a new
+      // frame: its first store names the (field, age) the chain is about.
+      if (span_ctx->trace_id == 0) {
+        span_ctx->trace_id = frame_trace_id(event.field, event.age);
+      }
+      event.ctx = *span_ctx;
+    }
     if (options_.store_tap) options_.store_tap(event);
     if (m_store_bytes_ != nullptr) {
       m_store_bytes_->add(p.data.element_count() *
@@ -570,7 +609,8 @@ void Runtime::commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
   }
 }
 
-void Runtime::push_store_events(std::vector<StoreEvent> events) {
+void Runtime::push_store_events(std::vector<StoreEvent> events,
+                                int worker_index) {
   size_t i = 0;
   while (i < events.size()) {
     const size_t batch_start = i;
@@ -603,13 +643,20 @@ void Runtime::push_store_events(std::vector<StoreEvent> events) {
       // relieves the serial analyzer.
       m_store_batch_->record(static_cast<int64_t>(i - batch_start));
     }
+    if (trace_ && merged.ctx.valid()) {
+      // Flow start: the arrow's tail, inside the producing span (the span
+      // is recorded after this returns, covering this timestamp). The
+      // consumer emits the matching finish with the same derived id.
+      trace_->record_flow_start(merged.ctx, now_ns(), worker_index);
+    }
     push_event(std::move(merged));
   }
 }
 
 void Runtime::run_fused_downstream(const KernelContext& up_ctx,
                                    const ResolvedFusion& fusion,
-                                   std::vector<StoreEvent>& events) {
+                                   std::vector<StoreEvent>& events,
+                                   TraceContext* span_ctx) {
   const KernelContext::PendingStore* feed =
       up_ctx.pending_store(fusion.upstream_store_decl);
   if (feed == nullptr) return;  // upstream took an alternate path
@@ -637,15 +684,31 @@ void Runtime::run_fused_downstream(const KernelContext& up_ctx,
   }
   {
     ScopedTimerNs t(dispatch_ns);
-    commit_stores(ctx, kcfg_[static_cast<size_t>(down.id)].fusion, events);
+    // The fused body runs inside the upstream's span; its stores carry
+    // the same span identity.
+    commit_stores(ctx, kcfg_[static_cast<size_t>(down.id)].fusion, events,
+                  span_ctx);
   }
   instr_.record(down.id, dispatch_ns, 1, kernel_ns);
 }
 
 void Runtime::execute(const WorkItem& item, int worker_index) {
-  const int64_t trace_start = trace_ ? now_ns() : 0;
+  const bool tracing = trace_ != nullptr || flight_ != nullptr;
+  const int64_t trace_start = tracing ? now_ns() : 0;
   const KernelDef& def = program_.kernel(item.kernel);
   const ResolvedFusion* fusion = kcfg_[static_cast<size_t>(def.id)].fusion;
+
+  // This span's causal identity: frame inherited from the triggering
+  // store (zero for roots until the first store names one), fresh span id.
+  TraceContext span_ctx;
+  if (tracing) {
+    span_ctx.trace_id = item.cause.trace_id;
+    span_ctx.span_id = next_span_id();
+    if (trace_ && item.cause.valid()) {
+      // Flow finish: the arrow's head, at the top of this span.
+      trace_->record_flow_finish(item.cause, trace_start, worker_index);
+    }
+  }
 
   int64_t dispatch_ns = 0;
   int64_t kernel_ns = 0;
@@ -666,27 +729,36 @@ void Runtime::execute(const WorkItem& item, int worker_index) {
     ++bodies;
     {
       ScopedTimerNs t(dispatch_ns);
-      commit_stores(ctx, fusion, events);
+      commit_stores(ctx, fusion, events, tracing ? &span_ctx : nullptr);
     }
     if (fusion != nullptr) {
-      run_fused_downstream(ctx, *fusion, events);
+      run_fused_downstream(ctx, *fusion, events,
+                           tracing ? &span_ctx : nullptr);
     }
     if (ctx.continue_requested()) continue_flag = true;
   }
 
   {
     ScopedTimerNs t(dispatch_ns);
-    push_store_events(std::move(events));
+    push_store_events(std::move(events), worker_index);
   }
   instr_.record(def.id, dispatch_ns, bodies, kernel_ns);
   if (metrics_) {
     m_dispatch_ns_->record(dispatch_ns);
     m_kernel_ns_->record(kernel_ns);
   }
-  if (trace_) {
-    trace_->record(TraceCollector::Span{def.name, trace_start,
-                                        now_ns() - trace_start,
-                                        worker_index, item.age, bodies});
+  if (tracing) {
+    const int64_t duration = now_ns() - trace_start;
+    if (trace_) {
+      trace_->record(TraceCollector::Span{
+          def.name, trace_start, duration, worker_index, item.age, bodies,
+          SpanKind::kWorker, span_ctx.trace_id, span_ctx.span_id,
+          item.cause.span_id});
+    }
+    if (flight_) {
+      flight_->record(def.name, SpanKind::kWorker, trace_start, duration,
+                      worker_index, item.cause, span_ctx.span_id, item.age);
+    }
   }
 
   if (needs_done_event(def)) {

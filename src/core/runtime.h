@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/rng.h"
 #include "core/events.h"
+#include "core/flight_recorder.h"
 #include "core/field.h"
 #include "core/instrumentation.h"
 #include "core/program.h"
@@ -108,6 +110,19 @@ struct RunOptions {
   /// (open in chrome://tracing or Perfetto). Meant for small runs — one
   /// span per work item.
   std::optional<std::string> trace_path;
+  /// Collect spans without writing a file: the distributed master reads
+  /// each node's collector and stitches one merged trace. Implied by
+  /// trace_path.
+  bool collect_trace = false;
+  /// Process-lane label in traces and span-id salt (the execution node
+  /// sets its node name); empty = "p2g".
+  std::string trace_label;
+  /// Keep a bounded per-thread ring of recent events (core/flight_recorder.h)
+  /// even when full tracing is off, dumped on crash/fatal error.
+  bool flight_recorder = false;
+  /// Directory for flight-recorder dump artifacts written on fatal errors
+  /// (and by ExecutionNode::crash()); file name is flight_<label>.json.
+  std::optional<std::string> flight_dir;
 
   /// Telemetry (src/obs): latency histograms, counters, and a sampler
   /// thread turning queue depth / utilization / memory gauges into time
@@ -148,7 +163,8 @@ class Runtime {
   /// non-fill mode, where duplicates throw).
   int64_t inject_store(FieldId field, Age age, const nd::Region& region,
                        KernelId producer, size_t store_decl, bool whole,
-                       const std::byte* payload, bool fill = false);
+                       const std::byte* payload, bool fill = false,
+                       const TraceContext& ctx = {});
 
   /// Re-enables a disabled kernel and re-enumerates its instances from
   /// surviving field data (failover: the kernel's previous owner died).
@@ -169,8 +185,28 @@ class Runtime {
   /// Instrumentation snapshot (also embedded in the RunReport).
   InstrumentationReport instrumentation() const;
 
-  /// The execution trace (nullptr unless RunOptions::trace_path was set).
+  /// The execution trace (nullptr unless RunOptions::trace_path or
+  /// collect_trace was set).
   const TraceCollector* trace() const { return trace_.get(); }
+
+  /// Mutable collector handle for embedding layers (the execution node
+  /// records wire/remote-store/recovery spans into the node's timeline).
+  TraceCollector* mutable_trace() { return trace_.get(); }
+
+  /// The flight recorder (nullptr unless RunOptions::flight_recorder).
+  FlightRecorder* flight() { return flight_.get(); }
+
+  /// Fresh, node-unique span id (never 0). Cheap: one atomic increment
+  /// plus a stateless hash salted with the node label.
+  uint64_t next_span_id() {
+    const uint64_t id =
+        mix(span_salt_, span_seq_.fetch_add(1, std::memory_order_relaxed));
+    return id != 0 ? id : 1;
+  }
+
+  /// Writes the flight-recorder dump artifact into RunOptions::flight_dir
+  /// (no-op without recorder or dir). Returns the path when written.
+  std::optional<std::string> dump_flight() const;
 
   /// The metrics registry (nullptr unless RunOptions::metrics.enabled).
   const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
@@ -246,17 +282,22 @@ class Runtime {
   void execute(const WorkItem& item, int worker_index);
   void prepare_fetches(KernelContext& ctx);
   /// Commits buffered stores into field storage; appends the store events
-  /// to `events` (pushed, possibly coalesced, by execute()).
+  /// to `events` (pushed, possibly coalesced, by execute()). `span_ctx`
+  /// is the executing span's identity: events are stamped with it, and a
+  /// root span (no inherited frame) adopts the first store's frame id.
   void commit_stores(KernelContext& ctx, const ResolvedFusion* fusion,
-                     std::vector<StoreEvent>& events);
+                     std::vector<StoreEvent>& events,
+                     TraceContext* span_ctx);
   void run_fused_downstream(const KernelContext& up_ctx,
                             const ResolvedFusion& fusion,
-                            std::vector<StoreEvent>& events);
+                            std::vector<StoreEvent>& events,
+                            TraceContext* span_ctx);
   /// Merges runs of events from the same store statement whose regions
   /// tile an exact rectangle (chunked instances over consecutive indices),
-  /// then pushes them. Cuts analyzer load proportionally to the chunk
-  /// size.
-  void push_store_events(std::vector<StoreEvent> events);
+  /// then pushes them — cutting analyzer load proportionally to the chunk
+  /// size — and emits one flow-start per traced event so consumers can
+  /// draw the dependency arrow.
+  void push_store_events(std::vector<StoreEvent> events, int worker_index);
 
   Age cap_of(KernelId kernel) const {
     return kcfg_[static_cast<size_t>(kernel)].cap;
@@ -281,7 +322,10 @@ class Runtime {
   Instrumentation instr_;
   TimerSet timers_;
   std::unique_ptr<TraceCollector> trace_;
+  std::unique_ptr<FlightRecorder> flight_;
   std::unique_ptr<DependencyAnalyzer> analyzer_;
+  std::atomic<uint64_t> span_seq_{1};
+  uint64_t span_salt_ = 0;
 
   // Telemetry (null when RunOptions::metrics.enabled is false). The raw
   // pointers are hot-path handles resolved once in setup_metrics().

@@ -9,6 +9,14 @@
 
 namespace p2g::dist {
 
+namespace {
+
+/// Trace lane for wire sends, remote-store applies and reassignments
+/// (matches TraceCollector's default "net" thread label).
+constexpr int64_t kNetLane = -2;
+
+}  // namespace
+
 ExecutionNode::ExecutionNode(
     std::string name, Program program,
     const std::map<std::string, std::string>& kernel_owner, MessageBus& bus,
@@ -22,6 +30,9 @@ ExecutionNode::ExecutionNode(
   // Enable only this node's kernels.
   RunOptions options = std::move(base_options);
   options.keep_alive = true;
+  // The node's name labels its process lane in the merged trace and salts
+  // its span ids (so ids never collide across nodes).
+  options.trace_label = name_;
   if (ft_.enabled) options.idempotent_stores = true;
   for (const KernelDef& k : program.kernels()) {
     const auto it = kernel_owner.find(k.name);
@@ -57,6 +68,46 @@ ExecutionNode::ExecutionNode(
   if (ft_.enabled) {
     channel_ = std::make_unique<ft::ReliableChannel>(bus_, name_,
                                                      ft_.channel);
+    channel_->set_trace(runtime_->mutable_trace());
+  }
+}
+
+TraceContext ExecutionNode::begin_wire_span(const StoreEvent& event,
+                                            int64_t* t0) {
+  if (!event.ctx.valid() ||
+      (runtime_->trace() == nullptr && runtime_->flight() == nullptr)) {
+    return {};
+  }
+  *t0 = now_ns();
+  return TraceContext{event.ctx.trace_id, runtime_->next_span_id()};
+}
+
+void ExecutionNode::end_wire_span(const StoreEvent& event,
+                                  const TraceContext& wire,
+                                  const std::string& target, int64_t t0) {
+  if (!wire.valid()) return;
+  const int64_t t1 = now_ns();
+  if (TraceCollector* trace = runtime_->mutable_trace()) {
+    // The producer's flow arrow lands on the wire span, and a new arrow
+    // leaves it toward the receiving node's remote-store span.
+    trace->record_flow_finish(event.ctx, t0, kNetLane);
+    TraceCollector::Span span;
+    span.name = "wire->" + target;
+    span.start_ns = t0;
+    span.duration_ns = t1 - t0;
+    span.thread_id = kNetLane;
+    span.age = event.age;
+    span.bodies = 1;
+    span.kind = SpanKind::kWire;
+    span.trace_id = wire.trace_id;
+    span.span_id = wire.span_id;
+    span.parent_span = event.ctx.span_id;
+    trace->record(std::move(span));
+    trace->record_flow_start(wire, t1, kNetLane);
+  }
+  if (FlightRecorder* flight = runtime_->flight()) {
+    flight->record("wire", SpanKind::kWire, t0, t1 - t0, kNetLane,
+                   event.ctx, wire.span_id, event.age);
   }
 }
 
@@ -103,7 +154,11 @@ void ExecutionNode::forward_store(const StoreEvent& event) {
         forward_targets_[static_cast<size_t>(event.field)];
     for (const std::string& target : targets) {
       stores_sent_.fetch_add(1);
+      int64_t t0 = 0;
+      const TraceContext wire = begin_wire_span(event, &t0);
+      message.trace = wire;
       bus_.send(target, message);
+      end_wire_span(event, wire, target, t0);
     }
     return;
   }
@@ -116,11 +171,21 @@ void ExecutionNode::forward_store(const StoreEvent& event) {
   for (const std::string& target :
        forward_targets_[static_cast<size_t>(event.field)]) {
     stores_sent_.fetch_add(1);
-    channel_->send(target, MessageType::kRemoteStore, payload);
+    int64_t t0 = 0;
+    const TraceContext wire = begin_wire_span(event, &t0);
+    channel_->send(target, MessageType::kRemoteStore, payload, wire);
+    end_wire_span(event, wire, target, t0);
   }
 }
 
 void ExecutionNode::apply_remote_store(const Message& message) {
+  // A traced message carries {frame id, sending wire span}; the apply
+  // becomes a remote-store span parented on that wire span, and whatever
+  // work the injected event triggers is parented on the apply.
+  const bool traced =
+      message.trace.valid() &&
+      (runtime_->trace() != nullptr || runtime_->flight() != nullptr);
+  const int64_t t0 = traced ? now_ns() : 0;
   const RemoteStore remote = RemoteStore::decode(message.payload);
   const Program& prog = runtime_->program();
   if (remote.field < 0 ||
@@ -135,16 +200,49 @@ void ExecutionNode::apply_remote_store(const Message& message) {
     throw_error(ErrorKind::kProtocol,
                 "remote store payload size does not match its region");
   }
+  TraceContext recv;
+  if (traced) {
+    recv = TraceContext{message.trace.trace_id, runtime_->next_span_id()};
+  }
   const int64_t fresh = runtime_->inject_store(
       remote.field, remote.age, remote.region, remote.producer,
       remote.store_decl, remote.whole,
       reinterpret_cast<const std::byte*>(remote.payload.data()),
-      /*fill=*/ft_.enabled);
-  (void)fresh;
+      /*fill=*/ft_.enabled, recv);
   stores_received_.fetch_add(1);
+  if (!traced) return;
+  const int64_t t1 = now_ns();
+  if (TraceCollector* trace = runtime_->mutable_trace()) {
+    trace->record_flow_finish(message.trace, t0, kNetLane);
+    TraceCollector::Span span;
+    span.name = "recv:" + prog.field(remote.field).name;
+    span.start_ns = t0;
+    span.duration_ns = t1 - t0;
+    span.thread_id = kNetLane;
+    span.age = remote.age;
+    span.bodies = 1;
+    span.kind = SpanKind::kRemoteStore;
+    span.trace_id = recv.trace_id;
+    span.span_id = recv.span_id;
+    span.parent_span = message.trace.span_id;
+    trace->record(std::move(span));
+    // Duplicate fill applies push no event, so nothing downstream will
+    // ever pick this flow up — skip the dangling arrow.
+    if (fresh > 0) trace->record_flow_start(recv, t1, kNetLane);
+  }
+  if (FlightRecorder* flight = runtime_->flight()) {
+    flight->record("recv", SpanKind::kRemoteStore, t0, t1 - t0, kNetLane,
+                   message.trace, recv.span_id, remote.age);
+  }
 }
 
 void ExecutionNode::apply_reassign(const ReassignMsg& reassign) {
+  // Recovery span: the window in which this node rebuilds forwarding
+  // state and replays its store log. Gap time overlapping it on this
+  // node is attributed to the "recovery" critical-path bucket.
+  const bool traced =
+      runtime_->trace() != nullptr || runtime_->flight() != nullptr;
+  const int64_t t0 = traced ? now_ns() : 0;
   std::vector<std::string> newly_owned;
   {
     std::scoped_lock lock(forward_mutex_);
@@ -186,6 +284,25 @@ void ExecutionNode::apply_reassign(const ReassignMsg& reassign) {
   // re-execution; idempotent stores absorb partially surviving results).
   for (const std::string& kernel : newly_owned) {
     runtime_->enable_kernel(kernel);
+  }
+  if (!traced) return;
+  const int64_t t1 = now_ns();
+  const uint64_t span_id = runtime_->next_span_id();
+  if (TraceCollector* trace = runtime_->mutable_trace()) {
+    TraceCollector::Span span;
+    span.name = "reassign:" + reassign.dead;
+    span.start_ns = t0;
+    span.duration_ns = t1 - t0;
+    span.thread_id = kNetLane;
+    span.age = 0;
+    span.bodies = static_cast<int64_t>(reassign.kernels.size());
+    span.kind = SpanKind::kRecovery;
+    span.span_id = span_id;
+    trace->record(std::move(span));
+  }
+  if (FlightRecorder* flight = runtime_->flight()) {
+    flight->record("reassign", SpanKind::kRecovery, t0, t1 - t0, kNetLane,
+                   TraceContext{}, span_id);
   }
 }
 
@@ -278,9 +395,38 @@ void ExecutionNode::heartbeat_loop() {
     if (ft_.checkpoint_every_beats > 0 &&
         beat % ft_.checkpoint_every_beats == 0) {
       ship_checkpoints();
+      // Periodic telemetry snapshot: if this node crashes mid-run, the
+      // master still holds its last shipped snapshot (the final one from
+      // join() simply overwrites it on survivors).
+      ship_metrics();
     }
     lock.lock();
   }
+}
+
+void ExecutionNode::ship_metrics() {
+  if (master_endpoint_.empty() || runtime_->metrics() == nullptr) return;
+  MetricsReport metrics;
+  metrics.node = name_;
+  metrics.snapshot = runtime_->metrics_snapshot();
+  if (channel_) {
+    // Append the reliable-channel counters to the shipped copy (not the
+    // live registry — this runs repeatedly and must not accumulate).
+    const ft::ReliableChannel::Stats s = channel_->stats();
+    auto add = [&](const char* counter, int64_t value) {
+      metrics.snapshot.counters.push_back(
+          obs::CounterValue{counter, value});
+    };
+    add("ft_data_sent_total", s.data_sent);
+    add("ft_retransmits_total", s.retransmits);
+    add("ft_duplicates_dropped_total", s.duplicates_dropped);
+    add("ft_acks_sent_total", s.acks_sent);
+  }
+  Message message;
+  message.type = MessageType::kMetricsReport;
+  message.from = name_;
+  message.payload = metrics.encode();
+  bus_.send(master_endpoint_, std::move(message));
 }
 
 void ExecutionNode::ship_checkpoints() {
@@ -326,6 +472,11 @@ void ExecutionNode::ship_checkpoints() {
 
 void ExecutionNode::crash() {
   if (crashed_.exchange(true)) return;
+  // Postmortem first: the flight recorder's rings hold the node's last
+  // spans; the dump is the artifact the master stitches into the merged
+  // trace. Best-effort file I/O, no thread joins (this may run on the
+  // crashing node's own send path).
+  flight_dump_path_ = runtime_->dump_flight();
   hb_cv_.notify_all();
   runtime_->stop();
 }
@@ -350,31 +501,12 @@ void ExecutionNode::join() {
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   if (channel_) channel_->stop();
 
-  // The runtime has drained: ship the node's telemetry to the master over
-  // the wire (the paper's profile feedback, now with distributions).
-  // Crashed nodes are fenced off the bus and ship nothing.
-  if (!crashed_.load() && !master_endpoint_.empty() &&
-      runtime_->metrics() != nullptr) {
-    if (channel_) {
-      // Fold the reliable-channel counters into the node registry so they
-      // flow through the existing aggregation path.
-      obs::MetricsRegistry* registry = runtime_->mutable_metrics();
-      const ft::ReliableChannel::Stats s = channel_->stats();
-      registry->counter("ft_data_sent_total").add(s.data_sent);
-      registry->counter("ft_retransmits_total").add(s.retransmits);
-      registry->counter("ft_duplicates_dropped_total")
-          .add(s.duplicates_dropped);
-      registry->counter("ft_acks_sent_total").add(s.acks_sent);
-    }
-    MetricsReport metrics;
-    metrics.node = name_;
-    metrics.snapshot = runtime_->metrics_snapshot();
-    Message message;
-    message.type = MessageType::kMetricsReport;
-    message.from = name_;
-    message.payload = metrics.encode();
-    bus_.send(master_endpoint_, std::move(message));
-  }
+  // The runtime has drained: ship the node's final telemetry to the
+  // master over the wire (the paper's profile feedback, now with
+  // distributions). This overwrites any periodic snapshot the master
+  // holds. Crashed nodes are fenced off the bus and ship nothing — their
+  // last periodic snapshot survives on the master.
+  if (!crashed_.load()) ship_metrics();
   mailbox_->close();
   if (receiver_thread_.joinable()) receiver_thread_.join();
   if (error_ && !crashed_.load()) std::rethrow_exception(error_);

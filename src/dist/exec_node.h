@@ -92,10 +92,26 @@ class ExecutionNode {
   /// The node's run report (valid after join(); empty for crashed nodes).
   const std::optional<RunReport>& report() const { return report_; }
 
+  /// The flight-recorder dump artifact written by crash() (set only when
+  /// the node crashed with a flight recorder and flight_dir configured).
+  const std::optional<std::string>& flight_dump() const {
+    return flight_dump_path_;
+  }
+
  private:
   void receiver_loop();
   void heartbeat_loop();
   void ship_checkpoints();
+  /// Ships a kMetricsReport snapshot of the node registry (plus the
+  /// reliable-channel counters) to the master. Called periodically from
+  /// the heartbeat loop and once more at join().
+  void ship_metrics();
+  /// Wire-send span bracket around one traced store forward: fresh span
+  /// id before the send, span + flow endpoints after it. Returns the zero
+  /// context when tracing is off or the store untraced.
+  TraceContext begin_wire_span(const StoreEvent& event, int64_t* t0);
+  void end_wire_span(const StoreEvent& event, const TraceContext& wire,
+                     const std::string& target, int64_t t0);
   void forward_store(const StoreEvent& event);
   void apply_remote_store(const Message& message);
   void apply_reassign(const ReassignMsg& reassign);
@@ -135,6 +151,7 @@ class ExecutionNode {
   std::thread receiver_thread_;
   std::thread heartbeat_thread_;
   std::optional<RunReport> report_;
+  std::optional<std::string> flight_dump_path_;  ///< written by crash()
   std::exception_ptr error_;
 };
 

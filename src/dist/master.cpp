@@ -1,6 +1,7 @@
 #include "dist/master.h"
 
 #include <algorithm>
+#include <fstream>
 #include <set>
 #include <thread>
 
@@ -10,6 +11,34 @@
 #include "ft/checkpoint.h"
 
 namespace p2g::dist {
+
+namespace {
+
+/// core SpanKind → obs mirror (the enumerators share values by contract).
+obs::SpanKind to_obs_kind(SpanKind kind) {
+  return static_cast<obs::SpanKind>(static_cast<uint8_t>(kind));
+}
+
+/// Converts one collector's spans into node-qualified analyzer records.
+void append_spans(const TraceCollector& trace, const std::string& node,
+                  std::vector<obs::SpanRecord>* out) {
+  for (TraceCollector::Span& span : trace.spans_snapshot()) {
+    obs::SpanRecord rec;
+    rec.name = std::move(span.name);
+    rec.node = node;
+    rec.thread_id = span.thread_id;
+    rec.start_ns = span.start_ns;
+    rec.duration_ns = span.duration_ns;
+    rec.age = span.age;
+    rec.trace_id = span.trace_id;
+    rec.span_id = span.span_id;
+    rec.parent_span = span.parent_span;
+    rec.kind = to_obs_kind(span.kind);
+    out->push_back(std::move(rec));
+  }
+}
+
+}  // namespace
 
 Master::Master(MasterOptions options)
     : options_(std::move(options)),
@@ -72,6 +101,13 @@ DistributedRunReport Master::run() {
   RunOptions base = options_.base_options;
   base.workers = options_.workers_per_node;
   if (options_.collect_node_metrics) base.metrics.enabled = true;
+  const bool tracing =
+      options_.trace_path.has_value() || base.collect_trace;
+  if (tracing) base.collect_trace = true;
+  if (options_.flight_dir) {
+    base.flight_recorder = true;
+    base.flight_dir = options_.flight_dir;
+  }
 
   NodeFtOptions node_ft;
   if (ft_on) {
@@ -112,6 +148,10 @@ DistributedRunReport Master::run() {
   ft::FailureDetector detector(options_.ft.detector);
   ft::CheckpointStore checkpoints;
   obs::MetricsRegistry master_registry;
+  // Master control lane of the merged trace: recovery spans (failure
+  // detection + reassignment, recorded below in recover()).
+  TraceCollector master_trace;
+  uint64_t master_span_seq = 1;  ///< master-loop thread only
   FtRunReport ftr;
   std::set<std::string> dead;
   if (ft_on) {
@@ -156,6 +196,7 @@ DistributedRunReport Master::run() {
   const auto recover = [&](const std::string& dead_name) {
     if (dead.count(dead_name)) return;
     dead.insert(dead_name);
+    const int64_t rec_t0 = now_ns();
     const int64_t latency = now_ns() - detector.last_beat_ns(dead_name);
     bus.mark_dead(dead_name);
     for (auto& node : nodes) {
@@ -202,6 +243,19 @@ DistributedRunReport Master::run() {
         bus.send(name, restore);
         ++ftr.checkpoint_restores;
       }
+    }
+    if (tracing) {
+      TraceCollector::Span span;
+      span.name = "recover:" + dead_name;
+      span.start_ns = rec_t0;
+      span.duration_ns = now_ns() - rec_t0;
+      span.thread_id = 0;
+      span.age = 0;
+      span.bodies = static_cast<int64_t>(reassign.kernels.size());
+      span.kind = SpanKind::kRecovery;
+      span.span_id = mix(0x6D72656376727931ULL, master_span_seq++);
+      if (span.span_id == 0) span.span_id = 1;
+      master_trace.record(std::move(span));
     }
   };
 
@@ -262,14 +316,18 @@ DistributedRunReport Master::run() {
   for (auto& node : nodes) node->join();
   if (chaos != nullptr) chaos->shutdown();
 
-  // Each node shipped its telemetry registry during join(); aggregate the
-  // snapshots into the cluster-wide view.
+  // Nodes ship telemetry periodically from the heartbeat loop and once
+  // more during join(); keep the *latest* snapshot per node (mailbox
+  // order is send order per sender), so a node that crashed mid-run still
+  // contributes its last periodic snapshot, then reduce over the
+  // retained set — merging every message would multiply counters.
   drain_master();
   for (const Message& message : metrics_messages) {
     MetricsReport metrics = MetricsReport::decode(message.payload);
-    result.combined_metrics.merge(metrics.snapshot);
-    result.node_metrics.emplace(std::move(metrics.node),
-                                std::move(metrics.snapshot));
+    result.node_metrics[metrics.node] = std::move(metrics.snapshot);
+  }
+  for (const auto& [node_name, snapshot] : result.node_metrics) {
+    result.combined_metrics.merge(snapshot);
   }
 
   for (auto& node : nodes) {
@@ -341,6 +399,78 @@ DistributedRunReport Master::run() {
     master_registry.counter("ft_checkpoint_restores_total")
         .add(ftr.checkpoint_restores);
     result.combined_metrics.merge(master_registry.snapshot());
+  }
+
+  // Causal tracing: harvest every lane's spans into one node-qualified
+  // DAG, compute per-frame critical paths, and stitch the merged trace
+  // file (one pid lane per node, the master control lane, and crashed
+  // nodes' flight-recorder lanes rendering their final moments).
+  for (auto& node : nodes) {
+    if (node->flight_dump()) {
+      result.flight_dumps.push_back(*node->flight_dump());
+    }
+  }
+  if (tracing) {
+    append_spans(master_trace, "master", &result.trace_spans);
+    for (auto& node : nodes) {
+      if (const TraceCollector* trace = node->runtime().trace()) {
+        append_spans(*trace, node->name(), &result.trace_spans);
+      }
+    }
+    result.critical_paths =
+        obs::analyze_critical_paths(result.trace_spans);
+    // Fold the per-frame latency distributions into the cluster metrics
+    // (critpath_<bucket>_ns / critpath_total_ns histograms).
+    obs::MetricsSnapshot critpath_metrics;
+    critpath_metrics.histograms = result.critical_paths.bucket_latency;
+    critpath_metrics.histograms.push_back(
+        result.critical_paths.total_latency);
+    result.combined_metrics.merge(critpath_metrics);
+
+    if (options_.trace_path) {
+      // Shared epoch: the earliest event across all lanes, so the merged
+      // timeline starts at ts 0.
+      int64_t epoch = 0;
+      const auto fold_epoch = [&epoch](int64_t t) {
+        if (t > 0 && (epoch == 0 || t < epoch)) epoch = t;
+      };
+      fold_epoch(master_trace.earliest_ns());
+      for (auto& node : nodes) {
+        if (const TraceCollector* trace = node->runtime().trace()) {
+          fold_epoch(trace->earliest_ns());
+        }
+      }
+
+      std::ofstream os(*options_.trace_path,
+                       std::ios::binary | std::ios::trunc);
+      if (!os.good()) {
+        throw_error(ErrorKind::kIo, "cannot write merged trace '" +
+                                        *options_.trace_path + "'");
+      }
+      os << "[\n";
+      bool first = true;
+      master_trace.emit_events(os, 0, "master", epoch, first);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (const TraceCollector* trace = nodes[i]->runtime().trace()) {
+          trace->emit_events(os, static_cast<int>(i) + 1,
+                             nodes[i]->name(), epoch, first);
+        }
+      }
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (!nodes[i]->crashed()) continue;
+        const FlightRecorder* flight = nodes[i]->runtime().flight();
+        if (flight == nullptr) continue;
+        flight->emit_events(
+            os, static_cast<int>(nodes.size() + 1 + i),
+            nodes[i]->name() + ".flight", epoch, first);
+      }
+      os << "\n]\n";
+      if (!os.good()) {
+        throw_error(ErrorKind::kIo, "short write on merged trace '" +
+                                        *options_.trace_path + "'");
+      }
+      result.trace_file = options_.trace_path;
+    }
   }
 
   result.bus = bus.stats();

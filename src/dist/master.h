@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "graph/static_graph.h"
 #include "graph/tabu.h"
 #include "graph/topology.h"
+#include "obs/causal.h"
 
 namespace p2g::dist {
 
@@ -77,6 +79,17 @@ struct MasterOptions {
   /// merged across surviving nodes) — the bit-exactness probe used by the
   /// chaos tests.
   std::vector<std::string> capture_fields;
+
+  // --- distributed causal tracing (ISSUE 6) --------------------------------
+
+  /// Write one merged Chrome trace of the whole cluster here: a process
+  /// lane per node plus the master control lane (recovery spans) and, for
+  /// crashed nodes, their flight-recorder lanes; cross-node dependency
+  /// arrows as flow events. Implies collect_trace on every node.
+  std::optional<std::string> trace_path;
+  /// Enable per-node flight recorders; crashed nodes dump their rings as
+  /// flight_<node>.json artifacts into this directory.
+  std::optional<std::string> flight_dir;
 };
 
 /// Fault-tolerance outcome of a run. The chaos-plane counters
@@ -132,6 +145,21 @@ struct DistributedRunReport {
   /// Final field contents per MasterOptions::capture_fields:
   /// field name -> age -> densely packed payload bytes.
   std::map<std::string, std::map<Age, std::vector<uint8_t>>> captured;
+
+  // --- distributed causal tracing (ISSUE 6) --------------------------------
+
+  /// The merged trace file (set when MasterOptions::trace_path was).
+  std::optional<std::string> trace_file;
+  /// The cluster-wide causal span DAG, node-qualified (empty unless the
+  /// run collected traces). Timestamps are raw monotonic ns.
+  std::vector<obs::SpanRecord> trace_spans;
+  /// Per-frame critical paths over trace_spans with latency attributed to
+  /// queue/exec/wire/store/recovery buckets; the per-bucket p50/p99
+  /// distributions are also folded into combined_metrics as
+  /// critpath_<bucket>_ns histograms.
+  obs::CriticalPathReport critical_paths;
+  /// Flight-recorder dump artifacts written by crashed nodes.
+  std::vector<std::string> flight_dumps;
 };
 
 class Master {

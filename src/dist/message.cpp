@@ -228,6 +228,8 @@ MetricsReport MetricsReport::decode(const std::vector<uint8_t>& bytes) {
 std::vector<uint8_t> DataEnvelope::encode() const {
   Writer w;
   w.i64(static_cast<int64_t>(seq));
+  w.i64(static_cast<int64_t>(trace_id));
+  w.i64(static_cast<int64_t>(parent_span));
   w.u8(static_cast<uint8_t>(inner_type));
   w.blob(inner.data(), inner.size());
   return w.take();
@@ -237,6 +239,8 @@ DataEnvelope DataEnvelope::decode(const std::vector<uint8_t>& bytes) {
   Reader r(bytes);
   DataEnvelope out;
   out.seq = static_cast<uint64_t>(r.i64());
+  out.trace_id = static_cast<uint64_t>(r.i64());
+  out.parent_span = static_cast<uint64_t>(r.i64());
   out.inner_type = static_cast<MessageType>(r.u8());
   out.inner = r.blob();
   require_exhausted(r, "DataEnvelope");

@@ -8,6 +8,7 @@
 
 #include "core/events.h"
 #include "core/instrumentation.h"
+#include "core/trace.h"
 #include "dist/serialize.h"
 #include "graph/topology.h"
 #include "nd/region.h"
@@ -41,6 +42,13 @@ struct Message {
   // decoding payloads. Zero on messages outside the reliable data plane.
   uint64_t seq = 0;      ///< per-(sender, destination) sequence number
   uint32_t attempt = 0;  ///< 1 = first transmission, >1 = retransmission
+
+  // Causal trace context, mirrored out of the kData envelope (or stamped
+  // directly on non-FT kRemoteStore forwards). `trace.span_id` is the
+  // sending wire span — the causal parent of whatever the receiver does
+  // with the payload. Zero when tracing is off or the data has no cause
+  // (checkpoint restores).
+  TraceContext trace;
 };
 
 /// A store forwarded across the partition boundary. Carries everything the
@@ -87,10 +95,19 @@ struct MetricsReport {
 };
 
 /// Reliable-channel envelope: one data-plane message with its per-link
-/// sequence number. The inner message (currently always a RemoteStore)
-/// rides as opaque bytes so the channel needs no knowledge of payloads.
+/// sequence number and the sender's causal trace context. The inner
+/// message (currently always a RemoteStore) rides as opaque bytes so the
+/// channel needs no knowledge of payloads.
+///
+/// Wire layout (ISSUE 6 revision): seq, trace_id, parent_span, inner_type,
+/// inner blob. The two trace words sit *before* the type byte, so a
+/// pre-revision envelope (8 + 1 + 4 bytes minimum) is always shorter than
+/// the new minimum (29 bytes) and decoding it throws kProtocol instead of
+/// silently misreading.
 struct DataEnvelope {
   uint64_t seq = 0;
+  uint64_t trace_id = 0;     ///< frame id (0 = untraced)
+  uint64_t parent_span = 0;  ///< sending wire span (0 = untraced)
   MessageType inner_type = MessageType::kRemoteStore;
   std::vector<uint8_t> inner;
 

@@ -12,6 +12,7 @@ ReliableChannel::ReliableChannel(dist::MessageBus& bus, std::string self,
     : bus_(bus),
       self_(std::move(self)),
       options_(options),
+      span_salt_(mix(0x72657472616E7331ULL, hash_str(self_))),
       jitter_(mix(options.seed, hash_str(self_))) {
   retransmitter_ = std::thread([this] { retransmit_loop(); });
 }
@@ -30,8 +31,11 @@ void ReliableChannel::stop() {
 
 dist::SendStatus ReliableChannel::send(const std::string& to,
                                        dist::MessageType inner_type,
-                                       std::vector<uint8_t> inner_payload) {
+                                       std::vector<uint8_t> inner_payload,
+                                       const TraceContext& ctx) {
   dist::DataEnvelope env;
+  env.trace_id = ctx.trace_id;
+  env.parent_span = ctx.span_id;
   env.inner_type = inner_type;
   env.inner = std::move(inner_payload);
 
@@ -39,6 +43,7 @@ dist::SendStatus ReliableChannel::send(const std::string& to,
   msg.type = dist::MessageType::kData;
   msg.from = self_;
   msg.attempt = 1;
+  msg.trace = ctx;
   {
     std::scoped_lock lock(mutex_);
     PeerSend& peer = senders_[to];
@@ -49,6 +54,7 @@ dist::SendStatus ReliableChannel::send(const std::string& to,
     p.msg = msg;
     p.rto_us = options_.rto_initial_us;
     p.deadline_ns = now_ns() + p.rto_us * 1000;
+    p.ctx = ctx;
     peer.pending.emplace(env.seq, std::move(p));
     unacked_.fetch_add(1);
   }
@@ -81,6 +87,7 @@ std::vector<Message> ReliableChannel::on_data(const Message& message) {
   inner.type = env.inner_type;
   inner.from = message.from;
   inner.payload = env.inner;
+  inner.trace = TraceContext{env.trace_id, env.parent_span};
   peer.buffer.emplace(env.seq, std::move(inner));
   // Drain the in-order prefix.
   auto it = peer.buffer.find(peer.delivered + 1);
@@ -170,7 +177,12 @@ void ReliableChannel::retransmit_loop() {
 
     const int64_t now = now_ns();
     // Collect due retransmissions, then send outside the lock.
-    std::vector<std::pair<std::string, Message>> due;
+    struct Due {
+      std::string peer;
+      Message msg;
+      TraceContext ctx;
+    };
+    std::vector<Due> due;
     std::vector<std::string> dead_peers;
     for (auto& [peer, state] : senders_) {
       for (auto& [seq, p] : state.pending) {
@@ -186,16 +198,35 @@ void ReliableChannel::retransmit_loop() {
         p.deadline_ns =
             now + static_cast<int64_t>(static_cast<double>(p.rto_us) *
                                        1000.0 * jitter);
-        due.emplace_back(peer, p.msg);
+        due.push_back(Due{peer, p.msg, p.ctx});
       }
     }
     lock.unlock();
-    for (auto& [peer, msg] : due) {
+    for (Due& d : due) {
       retransmits_.fetch_add(1);
-      const dist::SendStatus status = bus_.send(peer, std::move(msg));
+      const int64_t t0 = now_ns();
+      const dist::SendStatus status = bus_.send(d.peer, std::move(d.msg));
+      if (trace_ != nullptr && d.ctx.valid()) {
+        // The retransmission as a child span of the original wire span:
+        // the visible per-link cost of an unreliable wire (tid -3 lane).
+        TraceCollector::Span span;
+        span.name = "retransmit->" + d.peer;
+        span.start_ns = t0;
+        span.duration_ns = now_ns() - t0;
+        span.thread_id = -3;
+        span.age = 0;
+        span.bodies = 1;
+        span.kind = SpanKind::kWire;
+        span.trace_id = d.ctx.trace_id;
+        span.span_id = mix(span_salt_, span_seq_.fetch_add(
+                                           1, std::memory_order_relaxed));
+        if (span.span_id == 0) span.span_id = 1;
+        span.parent_span = d.ctx.span_id;
+        trace_->record(std::move(span));
+      }
       if (status == dist::SendStatus::kDead ||
           status == dist::SendStatus::kClosed) {
-        dead_peers.push_back(peer);
+        dead_peers.push_back(d.peer);
       }
     }
     for (const std::string& peer : dead_peers) abandon_peer(peer);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/trace.h"
 #include "dist/bus.h"
 
 namespace p2g::ft {
@@ -59,12 +60,20 @@ class ReliableChannel {
   ReliableChannel(const ReliableChannel&) = delete;
   ReliableChannel& operator=(const ReliableChannel&) = delete;
 
+  /// Optional tracing: retransmissions of traced envelopes are recorded
+  /// as child spans of the sending wire span (the visible cost of an
+  /// unreliable link). The collector must outlive the channel.
+  void set_trace(TraceCollector* trace) { trace_ = trace; }
+
   /// Wraps the payload in a DataEnvelope and sends it reliably to `to`.
   /// kDropped (chaos ate the first attempt) still counts as in flight —
   /// the retransmit thread will recover it. kDead/kClosed abandon it.
+  /// `ctx` rides in the envelope header: `ctx.span_id` is the sending wire
+  /// span, which becomes the causal parent on the receiving node.
   dist::SendStatus send(const std::string& to,
                         dist::MessageType inner_type,
-                        std::vector<uint8_t> inner_payload);
+                        std::vector<uint8_t> inner_payload,
+                        const TraceContext& ctx = {});
 
   /// Feeds an incoming kData message. Returns the inner messages that are
   /// now deliverable in order (possibly none). Does NOT ack: the caller
@@ -98,6 +107,7 @@ class ReliableChannel {
     Message msg;          ///< ready to re-send (attempt is bumped first)
     int64_t deadline_ns = 0;
     int64_t rto_us = 0;
+    TraceContext ctx;     ///< sending wire span (retransmit span parent)
   };
   struct PeerSend {
     uint64_t next_seq = 1;
@@ -114,6 +124,9 @@ class ReliableChannel {
   dist::MessageBus& bus_;
   const std::string self_;
   const Options options_;
+  TraceCollector* trace_ = nullptr;      ///< set_trace(); may stay null
+  std::atomic<uint64_t> span_seq_{1};    ///< retransmit span ids
+  const uint64_t span_salt_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

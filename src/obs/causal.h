@@ -1,0 +1,107 @@
+// Critical-path analysis over the causal span DAG (ISSUE 6).
+//
+// The tracing layer (core/trace.h) records spans whose parent links follow
+// the per-(field, age) dependency edges across threads and nodes:
+// producer kernel span → wire-send span → remote-store apply span →
+// consumer kernel span. Per frame (trace id) this module extracts the
+// longest causal chain — the critical path: the chain ending at the
+// frame's last-finishing span — and attributes its latency to buckets:
+//
+//   exec      time inside worker kernel spans
+//   queue     same-node gap between a span and its causal child (analyzer
+//             queueing + ready-queue wait)
+//   wire      cross-node gap (serialize, chaos delay, retransmits) plus
+//             time inside wire-send spans
+//   store     time inside remote-store apply spans
+//   recovery  the portion of any gap overlapping a recovery span on the
+//             child's node (failure detection / reassignment stall)
+//
+// This layer sits *below* core in the library graph (p2g_core links
+// p2g_obs), so it defines its own span model; the distributed master and
+// the p2gtrace CLI convert collector spans / trace JSON into SpanRecords.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace p2g::obs {
+
+/// Mirror of p2g::SpanKind (kept in sync by the converting layers).
+enum class SpanKind : uint8_t {
+  kWorker = 0,
+  kAnalyzer = 1,
+  kWire = 2,
+  kRemoteStore = 3,
+  kRecovery = 4,
+  kOther = 5,
+};
+
+/// One span of the causal DAG, node-qualified.
+struct SpanRecord {
+  std::string name;
+  std::string node;  ///< process lane ("" = single-node run)
+  int64_t thread_id = 0;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  int64_t age = 0;
+  uint64_t trace_id = 0;     ///< frame; 0 = untraced (excluded from chains)
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;  ///< causal parent; 0 = root
+  SpanKind kind = SpanKind::kWorker;
+
+  int64_t end_ns() const { return start_ns + duration_ns; }
+};
+
+/// Latency buckets of a critical path.
+enum class Bucket : uint8_t {
+  kQueue = 0,
+  kExec = 1,
+  kWire = 2,
+  kStore = 3,
+  kRecovery = 4,
+  kOther = 5,
+};
+inline constexpr size_t kBucketCount = 6;
+const char* to_string(Bucket bucket);
+
+/// The critical path of one frame.
+struct CriticalPath {
+  uint64_t trace_id = 0;
+  std::string root_name;      ///< source span starting the frame
+  std::string terminal_name;  ///< last-finishing span
+  int64_t root_age = 0;
+  int64_t total_ns = 0;  ///< root start → terminal end
+  std::array<int64_t, kBucketCount> bucket_ns{};
+  /// The chain, root first (indices into the analyzed span vector).
+  std::vector<size_t> chain;
+};
+
+/// Per-frame critical paths plus cross-frame latency distributions.
+struct CriticalPathReport {
+  std::vector<CriticalPath> paths;  ///< sorted by total_ns, longest first
+  /// Distribution of per-frame bucket latency across frames (p50/p99 via
+  /// HistogramSnapshot::percentile). Named "critpath_<bucket>_ns".
+  std::vector<HistogramSnapshot> bucket_latency;
+  /// Distribution of per-frame end-to-end latency ("critpath_total_ns").
+  HistogramSnapshot total_latency;
+
+  bool empty() const { return paths.empty(); }
+
+  /// Human-readable table: per-bucket p50/p99 plus the top-k paths with
+  /// their bucket breakdown and chain (the p2gtrace CLI output).
+  std::string to_string(const std::vector<SpanRecord>& spans,
+                        size_t top_k = 10) const;
+};
+
+/// Computes per-frame critical paths over the span DAG. Spans with a zero
+/// trace id participate only as recovery intervals (gap attribution);
+/// parent links are followed through span ids, cycles and missing parents
+/// terminate the walk.
+CriticalPathReport analyze_critical_paths(
+    const std::vector<SpanRecord>& spans);
+
+}  // namespace p2g::obs

@@ -1,0 +1,202 @@
+#include "obs/trace_reader.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace p2g::obs {
+
+namespace {
+
+/// Finds `"key": ` in `line` and returns a pointer to the value text, or
+/// nullptr. Matches the exact spacing this repo's writer emits.
+const char* find_value(const std::string& line, const char* key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\": ";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return nullptr;
+  return line.c_str() + at + needle.size();
+}
+
+bool parse_number(const std::string& line, const char* key, double* out) {
+  const char* v = find_value(line, key);
+  if (v == nullptr) return false;
+  char* end = nullptr;
+  *out = std::strtod(v, &end);
+  return end != v;
+}
+
+/// Parses a quoted string value with minimal unescaping (\" \\ — what
+/// json_escape produces for the characters it escapes; other escapes are
+/// kept verbatim, which is fine for diagnostics).
+bool parse_string(const std::string& line, const char* key,
+                  std::string* out) {
+  const char* v = find_value(line, key);
+  if (v == nullptr || *v != '"') return false;
+  out->clear();
+  for (const char* p = v + 1; *p != '\0'; ++p) {
+    if (*p == '\\' && (p[1] == '"' || p[1] == '\\')) {
+      out->push_back(p[1]);
+      ++p;
+    } else if (*p == '"') {
+      return true;
+    } else {
+      out->push_back(*p);
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_hex_id(const std::string& line, const char* key, uint64_t* out) {
+  std::string text;
+  if (!parse_string(line, key, &text)) return false;
+  *out = std::strtoull(text.c_str(), nullptr, 16);
+  return true;
+}
+
+SpanKind kind_from(const std::string& name) {
+  if (name == "worker") return SpanKind::kWorker;
+  if (name == "analyzer") return SpanKind::kAnalyzer;
+  if (name == "wire") return SpanKind::kWire;
+  if (name == "remote_store") return SpanKind::kRemoteStore;
+  if (name == "recovery") return SpanKind::kRecovery;
+  return SpanKind::kOther;
+}
+
+int64_t us_to_ns(double us) { return std::llround(us * 1000.0); }
+
+}  // namespace
+
+size_t TraceDocument::cross_node_flows() const {
+  std::map<uint64_t, std::set<int64_t>> start_pids;
+  for (const auto& [pid, id] : flow_start_pids) start_pids[id].insert(pid);
+  std::set<uint64_t> cross;
+  for (const auto& [pid, id] : flow_finish_pids) {
+    const auto it = start_pids.find(id);
+    if (it == start_pids.end()) continue;
+    for (const int64_t start_pid : it->second) {
+      if (start_pid != pid) cross.insert(id);
+    }
+  }
+  return cross.size();
+}
+
+TraceDocument read_trace_json(const std::string& text) {
+  TraceDocument doc;
+  std::istringstream in(text);
+  std::string line;
+  struct PendingSpan {
+    SpanRecord span;
+    int64_t pid;
+  };
+  std::vector<PendingSpan> pending;
+
+  while (std::getline(in, line)) {
+    const size_t open = line.find('{');
+    if (open == std::string::npos) continue;  // [ and ] framing lines
+
+    std::string ph;
+    if (!parse_string(line, "ph", &ph)) {
+      ++doc.malformed_lines;
+      continue;
+    }
+    double pid_value = 0;
+    parse_number(line, "pid", &pid_value);
+    const int64_t pid = static_cast<int64_t>(pid_value);
+
+    if (ph == "M") {
+      std::string name;
+      if (parse_string(line, "name", &name) && name == "process_name") {
+        // The lane label is the *second* "name" on the line (inside args).
+        const size_t args = line.find("\"args\"");
+        if (args != std::string::npos) {
+          const std::string tail = line.substr(args);
+          std::string label;
+          if (parse_string(tail, "name", &label)) {
+            doc.process_names[pid] = label;
+          }
+        }
+      }
+      continue;
+    }
+    if (ph == "C") {
+      ++doc.counter_events;
+      continue;
+    }
+    if (ph == "s" || ph == "f") {
+      uint64_t id = 0;
+      if (!parse_hex_id(line, "id", &id)) {
+        ++doc.malformed_lines;
+        continue;
+      }
+      if (ph == "s") {
+        ++doc.flow_starts;
+        doc.flow_start_pids.emplace_back(pid, id);
+      } else {
+        ++doc.flow_finishes;
+        doc.flow_finish_pids.emplace_back(pid, id);
+      }
+      continue;
+    }
+    if (ph != "X") continue;
+
+    PendingSpan entry;
+    SpanRecord& span = entry.span;
+    entry.pid = pid;
+    double ts = 0;
+    double dur = 0;
+    double tid = 0;
+    double age = 0;
+    if (!parse_string(line, "name", &span.name) ||
+        !parse_number(line, "ts", &ts) ||
+        !parse_number(line, "dur", &dur)) {
+      ++doc.malformed_lines;
+      continue;
+    }
+    parse_number(line, "tid", &tid);
+    parse_number(line, "age", &age);
+    span.thread_id = static_cast<int64_t>(tid);
+    span.start_ns = us_to_ns(ts);
+    span.duration_ns = us_to_ns(dur);
+    span.age = static_cast<int64_t>(age);
+    parse_hex_id(line, "trace", &span.trace_id);
+    parse_hex_id(line, "span", &span.span_id);
+    parse_hex_id(line, "parent", &span.parent_span);
+    std::string kind;
+    if (parse_string(line, "kind", &kind)) span.kind = kind_from(kind);
+    std::string cat;
+    if (parse_string(line, "cat", &cat) && cat == "p2g.flight") {
+      ++doc.flight_spans;
+    }
+    pending.push_back(std::move(entry));
+  }
+
+  // Resolve node labels now that every metadata line has been seen.
+  doc.spans.reserve(pending.size());
+  for (PendingSpan& entry : pending) {
+    const auto it = doc.process_names.find(entry.pid);
+    entry.span.node = it != doc.process_names.end()
+                          ? it->second
+                          : "pid" + std::to_string(entry.pid);
+    doc.spans.push_back(std::move(entry.span));
+  }
+  return doc;
+}
+
+TraceDocument read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw_error(ErrorKind::kIo, "cannot read trace file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_trace_json(buffer.str());
+}
+
+}  // namespace p2g::obs

@@ -1,0 +1,45 @@
+// Reader for the Chrome trace-event JSON written by TraceCollector and
+// the distributed master's merged-trace stitcher (one event object per
+// line, the format this repo emits — not a general-purpose JSON parser).
+// Feeds the critical-path analyzer and the p2gtrace CLI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/causal.h"
+
+namespace p2g::obs {
+
+/// Parsed trace document.
+struct TraceDocument {
+  /// All ph:"X" spans (p2g and p2g.flight categories), node-qualified via
+  /// the process_name metadata of their pid lane. Timestamps are relative
+  /// to the document epoch, in nanoseconds.
+  std::vector<SpanRecord> spans;
+  /// pid → process label from ph:"M" process_name events.
+  std::map<int64_t, std::string> process_names;
+  size_t flow_starts = 0;    ///< ph:"s" endpoints
+  size_t flow_finishes = 0;  ///< ph:"f" endpoints
+  size_t counter_events = 0;
+  size_t flight_spans = 0;   ///< spans from cat "p2g.flight"
+  size_t malformed_lines = 0;
+
+  /// Flow endpoints seen per (pid, flow id) direction — a cross-node flow
+  /// is a flow id whose start and finish live on different pids.
+  std::vector<std::pair<int64_t, uint64_t>> flow_start_pids;
+  std::vector<std::pair<int64_t, uint64_t>> flow_finish_pids;
+
+  /// Number of flow ids whose start and finish pids differ.
+  size_t cross_node_flows() const;
+};
+
+/// Parses a trace document from its full JSON text.
+TraceDocument read_trace_json(const std::string& text);
+
+/// Reads and parses a trace file (throws kIo when unreadable).
+TraceDocument read_trace_file(const std::string& path);
+
+}  // namespace p2g::obs

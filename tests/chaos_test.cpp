@@ -9,6 +9,7 @@
 // filtered out of the regular discovery.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -18,6 +19,7 @@
 #include "core/program.h"
 #include "dist/master.h"
 #include "ft/fault_plan.h"
+#include "obs/trace_reader.h"
 
 namespace p2g::dist {
 namespace {
@@ -237,6 +239,72 @@ TEST(ChaosCrashRecovery, MidRunCrashRecoversBitExact) {
       a.combined_metrics.find_histogram("ft_recovery_latency_ns");
   ASSERT_NE(latency, nullptr);
   EXPECT_EQ(latency->count, 1);
+}
+
+// ISSUE 6: a scripted crash under tracing must leave a postmortem — the
+// crashed node dumps its flight-recorder rings to an artifact, the master
+// stitches that dump into the merged trace as a "<node>.flight" lane, and
+// the victim's last periodic kMetricsReport snapshot survives in the
+// merged report even though the node never reached its final join() ship.
+TEST(ChaosFlightRecorder, CrashDumpIsStitchedIntoMergedTrace) {
+  const std::string victim = owner_of("stage1");
+
+  ft::FaultPlan plan = ft::FaultPlan::uniform(777, 0.06, 1500);
+  // Crash mid-data-flow (the run carries ~160 data messages among ~750
+  // total) but late enough that several heartbeat cycles precede it.
+  plan.crashes.push_back(ft::CrashTrigger{victim, 150, -1});
+
+  MasterOptions options = chaos_options(plan);
+  // Ship telemetry on every heartbeat so the victim's periodic snapshot
+  // lands on the master before the scripted crash fires.
+  options.ft.heartbeat_period_ms = 2;
+  options.ft.checkpoint_every_beats = 1;
+  const std::string trace_path =
+      std::string(::testing::TempDir()) + "p2g_chaos_merged_trace.json";
+  options.trace_path = trace_path;
+  options.flight_dir = std::string(::testing::TempDir());
+
+  Master master(options);
+  const DistributedRunReport report = master.run();
+  ASSERT_FALSE(report.timed_out);
+  ASSERT_EQ(report.ft.crashes_fired, 1);
+  ASSERT_EQ(report.ft.dead_nodes, std::vector<std::string>{victim});
+
+  // The crashed node wrote a flight-dump artifact, and it parses as a
+  // flight trace.
+  ASSERT_EQ(report.flight_dumps.size(), 1u);
+  EXPECT_NE(report.flight_dumps[0].find("flight_" + victim),
+            std::string::npos);
+  const obs::TraceDocument dump =
+      obs::read_trace_file(report.flight_dumps[0]);
+  EXPECT_EQ(dump.malformed_lines, 0u);
+  EXPECT_GT(dump.flight_spans, 0u);
+
+  // The merged trace stitches the dump in as a "<node>.flight" lane and
+  // still carries cross-node dependency arrows from before (and after)
+  // the crash.
+  ASSERT_TRUE(report.trace_file.has_value());
+  const obs::TraceDocument merged = obs::read_trace_file(trace_path);
+  EXPECT_EQ(merged.malformed_lines, 0u);
+  EXPECT_GT(merged.flight_spans, 0u);
+  EXPECT_GE(merged.cross_node_flows(), 1u);
+  bool flight_lane = false;
+  for (const auto& [pid, name] : merged.process_names) {
+    flight_lane = flight_lane || name == victim + ".flight";
+  }
+  EXPECT_TRUE(flight_lane);
+
+  // Critical paths still come out of a crashed run (recovery re-executes
+  // the frames), with the recovery window visible to gap attribution.
+  EXPECT_FALSE(report.critical_paths.empty());
+
+  // The victim's last periodic metrics snapshot was retained: it appears
+  // in node_metrics although the node was fenced before join().
+  EXPECT_EQ(report.node_metrics.count(victim), 1u)
+      << "crashed node's periodic telemetry snapshot was lost";
+
+  std::remove(trace_path.c_str());
+  std::remove(report.flight_dumps[0].c_str());
 }
 
 // Environment-driven sweep entry (scripts/chaos.sh, `ctest -L chaos`).

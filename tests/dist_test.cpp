@@ -280,10 +280,14 @@ TEST(Bus, ShutdownRaceNeverThrowsAndConservesMessages) {
 TEST(Messages, FaultToleranceMessagesRoundTrip) {
   DataEnvelope envelope;
   envelope.seq = 42;
+  envelope.trace_id = 0xDEADBEEFCAFE0001ULL;
+  envelope.parent_span = 0x1234567890ABCDEFULL;
   envelope.inner_type = MessageType::kRemoteStore;
   envelope.inner = {9, 8, 7, 6};
   const DataEnvelope envelope_back = DataEnvelope::decode(envelope.encode());
   EXPECT_EQ(envelope_back.seq, 42u);
+  EXPECT_EQ(envelope_back.trace_id, envelope.trace_id);
+  EXPECT_EQ(envelope_back.parent_span, envelope.parent_span);
   EXPECT_EQ(envelope_back.inner_type, MessageType::kRemoteStore);
   EXPECT_EQ(envelope_back.inner, envelope.inner);
 
@@ -372,6 +376,8 @@ std::vector<CodecCase> codec_corpus() {
 
   DataEnvelope envelope;
   envelope.seq = 9;
+  envelope.trace_id = 0xABCDEF0102030405ULL;  // trace header (ISSUE 6)
+  envelope.parent_span = 0x0504030201FEDCBAULL;
   envelope.inner_type = MessageType::kRemoteStore;
   envelope.inner = {1, 2, 3};
   cases.push_back({"DataEnvelope", envelope.encode(),
@@ -434,6 +440,32 @@ TEST(Codecs, TrailingGarbageThrowsProtocolError) {
       ADD_FAILURE() << c.name << " accepted trailing garbage";
     } catch (const Error& e) {
       EXPECT_EQ(e.kind(), ErrorKind::kProtocol) << c.name;
+    }
+  }
+}
+
+TEST(Codecs, PreTraceDataEnvelopeRejectedCleanly) {
+  // The pre-ISSUE-6 envelope layout was {seq, inner_type, blob}. Its
+  // maximum-header form is strictly shorter than the new fixed header
+  // (the trace words sit before the type byte), so decoding an
+  // old-format envelope underflows mid-parse and throws kProtocol —
+  // never a silent misread. Probe with several payload sizes, including
+  // one whose *total* length exceeds the new minimum (the blob-length
+  // word then lands inside the trace header and the final
+  // require_exhausted/underflow check still rejects it).
+  for (const size_t payload_bytes : {0u, 3u, 64u}) {
+    Writer w;
+    w.i64(42);  // seq
+    w.u8(static_cast<uint8_t>(MessageType::kRemoteStore));
+    const std::vector<uint8_t> payload(payload_bytes, 0x5A);
+    w.blob(payload.data(), payload.size());
+    try {
+      DataEnvelope::decode(w.take());
+      ADD_FAILURE() << "old-format envelope (payload " << payload_bytes
+                    << "B) decoded without error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kProtocol)
+          << "payload " << payload_bytes;
     }
   }
 }

@@ -237,6 +237,45 @@ TEST(Sampler, CollectsMonotonicSeries) {
   }
 }
 
+TEST(Sampler, SamplesEverySourceEachCycleAndAtStop) {
+  obs::Sampler sampler(std::chrono::milliseconds(1));
+  sampler.add_source("a", [] { return 1; });
+  sampler.add_source("b", [] { return 2; });
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.stop();
+  std::vector<obs::TimeSeries> series = sampler.take_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].name, "a");
+  EXPECT_EQ(series[1].name, "b");
+  // Sources are polled together: each cycle (plus the closing sample at
+  // stop) contributes one point per source.
+  EXPECT_EQ(series[0].samples.size(), series[1].samples.size());
+  ASSERT_GE(series[0].samples.size(), 2u);
+  EXPECT_EQ(series[0].samples.back().value, 1);
+  EXPECT_EQ(series[1].samples.back().value, 2);
+}
+
+TEST(Sampler, StopIsIdempotentAndSafeWithoutStart) {
+  obs::Sampler sampler(std::chrono::milliseconds(1));
+  sampler.add_source("gauge", [] { return 7; });
+  // Never started: stop() must not hang or sample.
+  sampler.stop();
+  sampler.stop();
+  std::vector<obs::TimeSeries> series = sampler.take_series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_TRUE(series[0].samples.empty());
+  // take_series moves the series out; a second take is empty.
+  EXPECT_TRUE(sampler.take_series().empty());
+}
+
+TEST(Sampler, StartWithoutSourcesIsANoOp) {
+  obs::Sampler sampler(std::chrono::milliseconds(1));
+  sampler.start();  // no sources: no thread spun up
+  sampler.stop();
+  EXPECT_TRUE(sampler.take_series().empty());
+}
+
 // ---------------------------------------------------------- runtime wiring
 
 TEST(RuntimeMetrics, RunProducesSnapshotAndSeries) {

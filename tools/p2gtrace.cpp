@@ -1,0 +1,82 @@
+// p2gtrace: critical-path analysis of a p2g trace file from the command
+// line. Reads the Chrome trace-event JSON this repo's TraceCollector (or
+// the distributed master's merged-trace stitcher) writes, reconstructs
+// the causal span DAG, and prints the per-frame critical paths with
+// latency attributed to queue/exec/wire/store/recovery buckets.
+//
+//   p2gtrace [--top N] [--summary] trace.json
+//
+// Exit codes: 0 = analyzed (even if no traced frames), 1 = unreadable or
+// unparseable file, 2 = usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "obs/causal.h"
+#include "obs/trace_reader.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: p2gtrace [--top N] [--summary] trace.json\n"
+               "  --top N    show the N longest critical paths "
+               "(default 10)\n"
+               "  --summary  document statistics only, no paths\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t top_k = 10;
+  bool summary_only = false;
+  std::string file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) return usage();
+      top_k = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--summary") {
+      summary_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "p2gtrace: unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else if (!file.empty()) {
+      return usage();
+    } else {
+      file = arg;
+    }
+  }
+  if (file.empty()) return usage();
+
+  p2g::obs::TraceDocument doc;
+  try {
+    doc = p2g::obs::read_trace_file(file);
+  } catch (const p2g::Error& e) {
+    std::fprintf(stderr, "p2gtrace: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%s: %zu span(s) across %zu lane(s), %zu flow arrow(s) "
+              "(%zu cross-node), %zu counter sample(s), %zu flight "
+              "span(s)\n",
+              file.c_str(), doc.spans.size(), doc.process_names.size(),
+              doc.flow_starts, doc.cross_node_flows(),
+              doc.counter_events, doc.flight_spans);
+  if (doc.malformed_lines > 0) {
+    std::fprintf(stderr, "p2gtrace: warning: %zu malformed line(s)\n",
+                 doc.malformed_lines);
+  }
+  if (summary_only) return 0;
+
+  const p2g::obs::CriticalPathReport report =
+      p2g::obs::analyze_critical_paths(doc.spans);
+  std::fputs(report.to_string(doc.spans, top_k).c_str(), stdout);
+  return 0;
+}
