@@ -1,0 +1,79 @@
+// Overhead guard for the instrumented sync primitives (google-benchmark).
+//
+// The p2gcheck conversion swapped std::mutex/condition_variable for
+// p2g::sync wrappers across the runtime hot paths. With no CheckSession
+// installed the wrappers must compile down to the plain primitive plus one
+// relaxed thread-local generation compare — this bench puts the
+// instrumented and plain variants side by side so a regression in the
+// passthrough fast path shows up as a ratio, not an absolute guess.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "check/sync.h"
+#include "common/blocking_queue.h"
+
+namespace p2g {
+namespace {
+
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex m;
+  for (auto _ : state) {
+    std::scoped_lock lock(m);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_SyncMutexLockUnlock(benchmark::State& state) {
+  sync::Mutex m("bench.m");
+  for (auto _ : state) {
+    std::scoped_lock lock(m);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_SyncMutexLockUnlock);
+
+void BM_StdSharedMutexReadLock(benchmark::State& state) {
+  std::shared_mutex m;
+  for (auto _ : state) {
+    std::shared_lock lock(m);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_StdSharedMutexReadLock);
+
+void BM_SyncSharedMutexReadLock(benchmark::State& state) {
+  sync::SharedMutex m("bench.rw");
+  for (auto _ : state) {
+    std::shared_lock lock(m);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_SyncSharedMutexReadLock);
+
+void BM_AnnotationPassthrough(benchmark::State& state) {
+  int64_t value = 0;
+  for (auto _ : state) {
+    check::write(value, "bench.value");
+    value += 1;
+    check::read(value, "bench.value");
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_AnnotationPassthrough);
+
+void BM_BlockingQueuePushPop(benchmark::State& state) {
+  BlockingQueue<int> queue;
+  for (auto _ : state) {
+    queue.push(1);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+}
+BENCHMARK(BM_BlockingQueuePushPop);
+
+}  // namespace
+}  // namespace p2g
+
+BENCHMARK_MAIN();

@@ -5,25 +5,27 @@
 #   scripts/tier1.sh                 # plain RelWithDebInfo build
 #   scripts/tier1.sh thread          # under ThreadSanitizer
 #   scripts/tier1.sh address         # under AddressSanitizer
+#   scripts/tier1.sh undefined       # under UndefinedBehaviorSanitizer
 #
 # Environment:
 #   P2G_WERROR=ON       promote -Wall -Wextra to -Werror
 #   P2G_CLANG_TIDY=ON   run clang-tidy over every target (needs the binary
 #                       on PATH; the build warns and continues without it)
 #
-# Sanitized builds go to build-tsan/ or build-asan/ so they never pollute
-# the regular build/ tree.
+# Sanitized builds go to build-tsan/, build-asan/ or build-ubsan/ so they
+# never pollute the regular build/ tree.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize="${1:-}"
 
 case "$sanitize" in
-  "")       build_dir="$repo/build" ;;
-  thread)   build_dir="$repo/build-tsan" ;;
-  address)  build_dir="$repo/build-asan" ;;
+  "")        build_dir="$repo/build" ;;
+  thread)    build_dir="$repo/build-tsan" ;;
+  address)   build_dir="$repo/build-asan" ;;
+  undefined) build_dir="$repo/build-ubsan" ;;
   *)
-    echo "usage: $0 [thread|address]" >&2
+    echo "usage: $0 [thread|address|undefined]" >&2
     exit 2
     ;;
 esac
@@ -47,9 +49,10 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 # Benchmarks carry the `bench` ctest label (and configuration) and are not
 # part of the gate; run them explicitly via `ctest -C bench -L bench` or
 # scripts/bench_report.sh. Chaos sweeps carry the `chaos` label and run via
-# scripts/chaos.sh; the gate only runs the one fast smoke seed below.
+# scripts/chaos.sh, and p2gcheck schedule-exploration sweeps carry `check`;
+# the gate only runs the fast smoke entries below.
 rc=0
-ctest --test-dir "$build_dir" --output-on-failure -LE "bench|chaos" -j"$(nproc)" || rc=$?
+ctest --test-dir "$build_dir" --output-on-failure -LE "bench|chaos|check" -j"$(nproc)" || rc=$?
 if [ "$rc" -ne 0 ]; then
   echo "tier1: ctest failed with exit code $rc" >&2
 fi
@@ -62,8 +65,20 @@ if [ "$rc" -eq 0 ]; then
     echo "tier1: chaos smoke failed with exit code $rc" >&2
   fi
 fi
+
+# A short p2gcheck sweep keeps the concurrency checker (and the seeded-bug
+# fixtures it must keep finding) on the gate; scripts/check.sh or
+# `ctest -L check` run the wider exploration.
+if [ "$rc" -eq 0 ]; then
+  "$build_dir/tools/p2gcheck" --seeds 25 || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "tier1: p2gcheck smoke failed with exit code $rc" >&2
+  fi
+fi
 t_done=$(date +%s)
 echo "tier1: ${sanitize:-plain} build $((t_built - t_start))s," \
   "tests $((t_done - t_built))s, total $((t_done - t_start))s," \
+  "modes [sanitize=${sanitize:-none} werror=${P2G_WERROR:-OFF}" \
+  "clang-tidy=${P2G_CLANG_TIDY:-OFF} chaos-smoke p2gcheck-smoke]," \
   "$([ "$rc" -eq 0 ] && echo OK || echo "FAIL rc=$rc")"
 exit "$rc"

@@ -40,6 +40,14 @@ Anchor Anchor::store(std::string kernel, size_t statement) {
   return a;
 }
 
+Anchor Anchor::site(std::string description, int line) {
+  Anchor a;
+  a.kind = Kind::kSite;
+  a.name = std::move(description);
+  a.line = line;
+  return a;
+}
+
 std::string Anchor::to_string() const {
   std::string out;
   switch (kind) {
@@ -56,6 +64,9 @@ std::string Anchor::to_string() const {
       break;
     case Kind::kStore:
       out = "kernel '" + name + "' store #" + std::to_string(statement);
+      break;
+    case Kind::kSite:
+      out = name;  // already a rendered description
       break;
   }
   if (line > 0) out += " (line " + std::to_string(line) + ")";
@@ -81,6 +92,7 @@ const char* anchor_kind_name(Anchor::Kind kind) {
     case Anchor::Kind::kKernel: return "kernel";
     case Anchor::Kind::kFetch: return "fetch";
     case Anchor::Kind::kStore: return "store";
+    case Anchor::Kind::kSite: return "site";
   }
   return "none";
 }

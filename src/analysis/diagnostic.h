@@ -24,6 +24,14 @@ inline constexpr const char* kZeroAgingCycle = "P2G-W003";
 inline constexpr const char* kBadConstIndex = "P2G-W004";
 inline constexpr const char* kUnusedField = "P2G-W005";
 inline constexpr const char* kUnreachableKernel = "P2G-W006";
+inline constexpr const char* kUnboundedGrowth = "P2G-W007";
+
+// Concurrency diagnostics emitted by p2gcheck (src/check). Same stable-code
+// contract as the lint codes above.
+inline constexpr const char* kDataRace = "P2G-C001";
+inline constexpr const char* kLockCycle = "P2G-C002";
+inline constexpr const char* kLostWakeup = "P2G-C003";
+inline constexpr const char* kLiveLock = "P2G-C004";
 
 enum class Severity { kWarning, kError };
 
@@ -31,15 +39,17 @@ std::string_view to_string(Severity severity);
 
 /// Program location a diagnostic points at.
 struct Anchor {
-  enum class Kind { kNone, kField, kKernel, kFetch, kStore };
+  enum class Kind { kNone, kField, kKernel, kFetch, kStore, kSite };
 
   Kind kind = Kind::kNone;
-  /// Kernel name for kKernel/kFetch/kStore, field name for kField.
+  /// Kernel name for kKernel/kFetch/kStore, field name for kField, free
+  /// text (e.g. "thread 'worker' write blocking_queue.h:42") for kSite.
   std::string name;
   /// Fetch/store declaration index within the kernel (kFetch/kStore only).
   size_t statement = 0;
   /// 1-based source line, when the program came from kernel-language
-  /// source (annotated by lang_lint); 0 = unknown / built via the C++ API.
+  /// source (annotated by lang_lint) or, for kSite anchors, from the
+  /// instrumentation call site; 0 = unknown / built via the C++ API.
   int line = 0;
 
   static Anchor none() { return Anchor{}; }
@@ -47,6 +57,9 @@ struct Anchor {
   static Anchor kernel(std::string name);
   static Anchor fetch(std::string kernel, size_t statement);
   static Anchor store(std::string kernel, size_t statement);
+  /// Free-text anchor for concurrency diagnostics: a thread + operation +
+  /// source site ("thread 'closer' write of queue.closed").
+  static Anchor site(std::string description, int line = 0);
 
   /// "kernel 'mul2' store #0", "field 'm_data'", with ":line N" appended
   /// when a source line is known.

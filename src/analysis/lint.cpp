@@ -504,6 +504,56 @@ void check_aging_cycles(const Program& program, LintReport& report,
   }
 }
 
+// --- P2G-W007: unbounded age growth ----------------------------------------
+//
+// A field stored at a relative age gains one new age every aging turn.
+// Consumption is what lets the runtime retire the old ones: a consumer
+// fetching at a relative age drains the sequence as the computation
+// advances, and a field nobody fetches is a terminal output the host
+// collects externally (e.g. smoothing's `averages`). But when every
+// consumer pins a constant age, only that one age is ever read — the rest
+// of the ever-growing sequence is produced, never fetched and never
+// released, so the field's storage grows without bound for the life of the
+// run.
+
+void check_unbounded_growth(const Program& program,
+                            const std::vector<Age>& first_feasible,
+                            LintReport& report) {
+  for (const FieldDecl& field : program.fields()) {
+    const auto& consumers = program.consumers_of(field.id);
+    if (consumers.empty()) continue;  // terminal output, drained externally
+    bool only_const_fetches = true;
+    for (const Program::Use& c : consumers) {
+      const FetchDecl& f = program.kernel(c.kernel).fetches[c.statement];
+      if (f.age.kind != AgeExpr::Kind::kConst) {
+        only_const_fetches = false;
+        break;
+      }
+    }
+    if (!only_const_fetches) continue;
+
+    for (const Program::Use& p : program.producers_of(field.id)) {
+      const KernelDef& def = program.kernel(p.kernel);
+      const StoreDecl& s = def.stores[p.statement];
+      if (s.age.kind != AgeExpr::Kind::kRelative) continue;
+      if (first_feasible[static_cast<size_t>(p.kernel)] >= kInfeasible) {
+        continue;  // the producer never runs — root-caused as W006
+      }
+      Diagnostic d;
+      d.code = kUnboundedGrowth;
+      d.severity = Severity::kWarning;
+      d.primary = Anchor::store(def.name, p.statement);
+      d.secondary = Anchor::field(field.name);
+      d.message = store_to_string(program, def, p.statement) +
+                  " writes a new age of field '" + field.name +
+                  "' every aging turn, but every fetch of '" + field.name +
+                  "' pins a constant age; the growing tail of ages is never "
+                  "consumed or released, so its storage grows without bound";
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
 // --- P2G-W005 / P2G-W006: unused fields, unreachable kernels ---------------
 
 void check_unused(const Program& program,
@@ -559,6 +609,7 @@ LintReport lint(const Program& program, const LintOptions& options) {
   check_const_indices(program, first_feasible, report);
   std::set<std::string> cycle_kernels;
   check_aging_cycles(program, report, cycle_kernels);
+  check_unbounded_growth(program, first_feasible, report);
   if (options.warn_unused) {
     check_unused(program, first_feasible, cycle_kernels, report);
   }

@@ -1,0 +1,91 @@
+#include "check/explore.h"
+
+#include <utility>
+
+namespace p2g::check {
+
+RunResult run_once(const SuiteBody& body, uint64_t seed) {
+  CheckSession::Options options;
+  options.mode = CheckSession::Mode::kExplore;
+  options.seed = seed;
+  CheckSession session(options);
+  body(session);
+  session.run();
+  return RunResult{seed, session.report(), session.decision_trace()};
+}
+
+RunResult run_forced(const SuiteBody& body, std::vector<uint32_t> forced,
+                     uint64_t seed) {
+  CheckSession::Options options;
+  options.mode = CheckSession::Mode::kExplore;
+  options.seed = seed;
+  options.enumerate = true;
+  options.forced = std::move(forced);
+  CheckSession session(options);
+  body(session);
+  session.run();
+  return RunResult{seed, session.report(), session.decision_trace()};
+}
+
+namespace {
+
+SweepResult sweep_exhaustive(const SuiteBody& body,
+                             const SweepOptions& options) {
+  SweepResult out;
+  // Forced-prefix DFS: run with a prefix, decisions past it default to
+  // candidate 0; every untried alternative at or past the prefix becomes a
+  // new prefix. Enumerates the full schedule tree without repetition.
+  std::vector<std::vector<uint32_t>> stack;
+  stack.emplace_back();
+  while (!stack.empty() && out.runs < options.max_runs) {
+    std::vector<uint32_t> prefix = std::move(stack.back());
+    stack.pop_back();
+
+    CheckSession::Options sopt;
+    sopt.mode = CheckSession::Mode::kExplore;
+    sopt.seed = options.first_seed;
+    sopt.enumerate = true;
+    sopt.forced = prefix;
+    CheckSession session(sopt);
+    body(session);
+    session.run();
+    ++out.runs;
+
+    const std::vector<Decision>& decisions = session.decisions();
+    for (size_t i = decisions.size(); i-- > prefix.size();) {
+      for (uint32_t alt = decisions[i].options; alt-- > 1;) {
+        std::vector<uint32_t> next;
+        next.reserve(i + 1);
+        for (size_t j = 0; j < i; ++j) next.push_back(decisions[j].chosen);
+        next.push_back(alt);
+        stack.push_back(std::move(next));
+      }
+    }
+
+    if (!session.report().empty()) {
+      out.failures.push_back(RunResult{options.first_seed, session.report(),
+                                       session.decision_trace()});
+      if (options.stop_on_finding) return out;
+    }
+  }
+  out.complete = stack.empty();
+  return out;
+}
+
+}  // namespace
+
+SweepResult sweep(const SuiteBody& body, const SweepOptions& options) {
+  if (options.exhaustive) return sweep_exhaustive(body, options);
+  SweepResult out;
+  for (uint32_t k = 0; k < options.seeds; ++k) {
+    RunResult run = run_once(body, options.first_seed + k);
+    ++out.runs;
+    if (!run.report.empty()) {
+      out.failures.push_back(std::move(run));
+      if (options.stop_on_finding) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace p2g::check

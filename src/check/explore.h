@@ -1,0 +1,59 @@
+// Schedule exploration driver (p2gcheck).
+//
+// A check suite is a callback that spawns participant threads on a fresh
+// CheckSession; the explorer runs it many times:
+//
+//   - seed sweep: N independent PCT schedules (seeds s, s+1, ...); any
+//     finding names the seed that produced it, and re-running that single
+//     seed replays the identical schedule (decisions are a pure function
+//     of seed and event sequence).
+//   - exhaustive: systematic enumeration of every scheduling decision via
+//     forced-prefix DFS — feasible for small bodies, bounded by max_runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/session.h"
+
+namespace p2g::check {
+
+/// Spawns the suite's threads on the session (must not call run()).
+using SuiteBody = std::function<void(CheckSession&)>;
+
+struct RunResult {
+  uint64_t seed = 0;
+  analysis::LintReport report;
+  std::string trace;  ///< decision trace ("1/3 0/1 ...") for replay checks
+};
+
+struct SweepOptions {
+  uint64_t first_seed = 1;
+  uint32_t seeds = 100;
+  bool stop_on_finding = true;
+  bool exhaustive = false;
+  uint32_t max_runs = 1024;  ///< exhaustive budget
+};
+
+struct SweepResult {
+  uint32_t runs = 0;
+  /// Exhaustive mode only: every schedule was enumerated within budget.
+  bool complete = false;
+  /// Runs that produced diagnostics (just the first when stop_on_finding).
+  std::vector<RunResult> failures;
+
+  bool clean() const { return failures.empty(); }
+};
+
+/// One PCT run from a seed.
+RunResult run_once(const SuiteBody& body, uint64_t seed);
+
+/// One enumerate-mode run with a forced decision prefix.
+RunResult run_forced(const SuiteBody& body, std::vector<uint32_t> forced,
+                     uint64_t seed = 1);
+
+SweepResult sweep(const SuiteBody& body, const SweepOptions& options);
+
+}  // namespace p2g::check

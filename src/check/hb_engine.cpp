@@ -1,0 +1,322 @@
+#include "check/hb_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace p2g::check {
+
+namespace {
+
+constexpr size_t kCellShift = 3;  // 8-byte tracking granularity
+constexpr size_t kMaxCellsPerAccess = 4096;
+
+std::string describe_site(const std::string& thread, bool write,
+                          const Site& site) {
+  std::string out = "thread '" + thread + "' ";
+  out += write ? "write" : "read";
+  out += " of '";
+  out += site.label != nullptr ? site.label : "?";
+  out += "'";
+  if (site.file != nullptr && site.file[0] != '\0') {
+    std::string path = site.file;
+    const size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) path = path.substr(slash + 1);
+    out += " [" + path + ":" + std::to_string(site.line) + "]";
+  }
+  return out;
+}
+
+std::string race_key(const std::string& a, const std::string& b) {
+  // Order-independent so A-vs-B and B-vs-A dedupe to one finding.
+  return a <= b ? "race|" + a + "|" + b : "race|" + b + "|" + a;
+}
+
+}  // namespace
+
+HbEngine::ThreadState& HbEngine::thread(int tid) {
+  const auto index = static_cast<size_t>(tid);
+  if (index >= threads_.size()) threads_.resize(index + 1);
+  ThreadState& t = threads_[index];
+  if (t.vc.get(tid) == 0) t.vc.tick(tid);  // clocks start at 1
+  return t;
+}
+
+void HbEngine::begin_thread(int tid, std::string name) {
+  thread(tid).name = std::move(name);
+}
+
+const std::string& HbEngine::thread_name(int tid) const {
+  static const std::string unknown = "?";
+  const auto index = static_cast<size_t>(tid);
+  if (tid < 0 || index >= threads_.size() || threads_[index].name.empty()) {
+    return unknown;
+  }
+  return threads_[index].name;
+}
+
+void HbEngine::fork(int parent, int child) {
+  ThreadState& p = thread(parent);
+  ThreadState& c = thread(child);
+  c.vc.join(p.vc);
+  c.vc.tick(child);
+  p.vc.tick(parent);
+}
+
+void HbEngine::join(int parent, int child) {
+  // Take the child's clock by value: thread() may resize threads_.
+  VectorClock child_vc = thread(child).vc;
+  thread(parent).vc.join(child_vc);
+}
+
+void HbEngine::acquired(int tid, const void* lock, LockMode mode,
+                        const char* name) {
+  ThreadState& t = thread(tid);
+  LockState& l = locks_[lock];
+  if (name != nullptr) l.name = name;
+  t.vc.join(l.release_write);
+  if (mode == LockMode::kExclusive) t.vc.join(l.release_read);
+
+  // Lock-order edges: held -> newly acquired.
+  for (const void* h : t.held) {
+    if (h == lock) continue;
+    const auto key = std::make_pair(h, lock);
+    if (lock_edges_.find(key) == lock_edges_.end()) {
+      lock_edges_[key] = Edge{lock_name(h), l.name, tid};
+    }
+  }
+  t.held.push_back(lock);
+}
+
+void HbEngine::released(int tid, const void* lock, LockMode mode) {
+  ThreadState& t = thread(tid);
+  LockState& l = locks_[lock];
+  if (mode == LockMode::kExclusive) {
+    l.release_write = t.vc;
+    l.release_read.clear();
+  } else {
+    l.release_read.join(t.vc);
+  }
+  t.vc.tick(tid);
+  auto it = std::find(t.held.rbegin(), t.held.rend(), lock);
+  if (it != t.held.rend()) t.held.erase(std::next(it).base());
+}
+
+void HbEngine::cv_notify(int tid, const void* cv) {
+  ThreadState& t = thread(tid);
+  tokens_[cv].join(t.vc);
+  t.vc.tick(tid);
+}
+
+void HbEngine::cv_wake(int tid, const void* cv) {
+  thread(tid).vc.join(tokens_[cv]);
+}
+
+void HbEngine::hb_release(int tid, const void* token) {
+  ThreadState& t = thread(tid);
+  tokens_[token].join(t.vc);
+  t.vc.tick(tid);
+}
+
+void HbEngine::hb_acquire(int tid, const void* token) {
+  thread(tid).vc.join(tokens_[token]);
+}
+
+void HbEngine::fence(int tid) {
+  ThreadState& t = thread(tid);
+  t.vc.join(fence_clock_);
+  fence_clock_.join(t.vc);
+  t.vc.tick(tid);
+}
+
+void HbEngine::report_race(int tid, const Site& site, bool write,
+                           int other_tid, const Site& other_site,
+                           bool other_write, const char* what) {
+  const std::string here = describe_site(thread_name(tid), write, site);
+  const std::string there =
+      describe_site(thread_name(other_tid), other_write, other_site);
+  if (!reported_.insert(race_key(here, there)).second) return;
+
+  analysis::Diagnostic d;
+  d.code = analysis::kDataRace;
+  d.severity = analysis::Severity::kError;
+  d.message = std::string("data race (") + what + "): '" +
+              (site.label != nullptr ? site.label : "?") +
+              "' accessed concurrently without a happens-before edge";
+  d.primary = analysis::Anchor::site(here, site.line);
+  d.secondary = analysis::Anchor::site(there, other_site.line);
+  report_.diagnostics.push_back(std::move(d));
+}
+
+void HbEngine::access(int tid, const void* addr, size_t size, bool write,
+                      const Site& site) {
+  if (size == 0) return;
+  ThreadState& t = thread(tid);
+  const uintptr_t base = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t first = base >> kCellShift;
+  uintptr_t last = (base + size - 1) >> kCellShift;
+  if (last - first >= kMaxCellsPerAccess) {
+    last = first + kMaxCellsPerAccess - 1;  // cap huge ranges
+  }
+  const Epoch now{tid, t.vc.get(tid)};
+  for (uintptr_t cell = first; cell <= last; ++cell) {
+    CellState& x = cells_[cell];
+    if (write) {
+      if (x.write.valid() && x.write.tid != tid && !t.vc.covers(x.write)) {
+        report_race(tid, site, true, x.write.tid, x.write_site, true,
+                    "write vs write");
+      }
+      if (x.read_shared) {
+        if (!t.vc.covers(x.read_vc)) {
+          for (const auto& [rtid, rsite] : x.read_sites) {
+            if (rtid != tid && x.read_vc.get(rtid) > t.vc.get(rtid)) {
+              report_race(tid, site, true, rtid, rsite, false,
+                          "read vs write");
+            }
+          }
+        }
+      } else if (x.read.valid() && x.read.tid != tid &&
+                 !t.vc.covers(x.read)) {
+        report_race(tid, site, true, x.read.tid, x.read_site, false,
+                    "read vs write");
+      }
+      x.write = now;
+      x.write_site = site;
+      x.read = Epoch{};
+      x.read_shared = false;
+      x.read_vc.clear();
+      x.read_sites.clear();
+    } else {
+      if (x.write.valid() && x.write.tid != tid && !t.vc.covers(x.write)) {
+        report_race(tid, site, false, x.write.tid, x.write_site, true,
+                    "write vs read");
+      }
+      if (x.read_shared) {
+        x.read_vc.set(tid, now.clock);
+        x.read_sites[tid] = site;
+      } else if (x.read.valid() && x.read.tid != tid &&
+                 !t.vc.covers(x.read)) {
+        // Concurrent readers: inflate the epoch to a full clock.
+        x.read_shared = true;
+        x.read_vc.set(x.read.tid, x.read.clock);
+        x.read_vc.set(tid, now.clock);
+        x.read_sites[x.read.tid] = x.read_site;
+        x.read_sites[tid] = site;
+        x.read = Epoch{};
+      } else {
+        x.read = now;
+        x.read_site = site;
+      }
+    }
+  }
+}
+
+void HbEngine::reset(const void* addr, size_t size) {
+  if (size == 0) return;
+  const uintptr_t base = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t first = base >> kCellShift;
+  const uintptr_t last = (base + size - 1) >> kCellShift;
+  cells_.erase(cells_.lower_bound(first), cells_.upper_bound(last));
+}
+
+const std::vector<const void*>& HbEngine::held(int tid) const {
+  static const std::vector<const void*> none;
+  const auto index = static_cast<size_t>(tid);
+  if (tid < 0 || index >= threads_.size()) return none;
+  return threads_[index].held;
+}
+
+const char* HbEngine::lock_name(const void* lock) const {
+  auto it = locks_.find(lock);
+  return it != locks_.end() ? it->second.name : "lock";
+}
+
+void HbEngine::finish() {
+  // Lock-order cycle detection: iterative DFS over the acquired-while-held
+  // graph. Each cycle is canonicalized by its sorted node set for dedup.
+  std::map<const void*, std::vector<const void*>> adj;
+  for (const auto& [key, edge] : lock_edges_) {
+    adj[key.first].push_back(key.second);
+  }
+
+  std::set<const void*> done;
+  for (const auto& [start, unused] : adj) {
+    if (done.count(start) != 0) continue;
+    // Path-based DFS from `start`; a back edge into the current path is a
+    // cycle. Bounded: each node expands once per start.
+    std::vector<const void*> path;
+    std::set<const void*> on_path;
+    std::set<const void*> visited;
+
+    struct Frame {
+      const void* node;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({start});
+    path.push_back(start);
+    on_path.insert(start);
+    visited.insert(start);
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      auto it = adj.find(f.node);
+      if (it == adj.end() || f.next >= it->second.size()) {
+        on_path.erase(f.node);
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const void* next = it->second[f.next++];
+      if (on_path.count(next) != 0) {
+        // Found a cycle: path suffix from `next` back to here.
+        auto cycle_begin = std::find(path.begin(), path.end(), next);
+        std::vector<const void*> cycle(cycle_begin, path.end());
+
+        std::vector<const void*> sorted = cycle;
+        std::sort(sorted.begin(), sorted.end());
+        std::string key = "cycle";
+        for (const void* n : sorted) {
+          key += "|" + std::to_string(reinterpret_cast<uintptr_t>(n));
+        }
+        if (reported_.insert(key).second) {
+          std::string order;
+          std::string witnesses;
+          for (size_t i = 0; i < cycle.size(); ++i) {
+            const void* a = cycle[i];
+            const void* b = cycle[(i + 1) % cycle.size()];
+            if (i > 0) order += " -> ";
+            order += std::string("'") + lock_name(a) + "'";
+            const auto eit = lock_edges_.find(std::make_pair(a, b));
+            if (eit != lock_edges_.end()) {
+              if (!witnesses.empty()) witnesses += ", ";
+              witnesses += "'" + std::string(lock_name(a)) + "' -> '" +
+                           lock_name(b) + "' by thread '" +
+                           thread_name(eit->second.tid) + "'";
+            }
+          }
+          order += " -> '" + std::string(lock_name(cycle.front())) + "'";
+
+          analysis::Diagnostic d;
+          d.code = analysis::kLockCycle;
+          d.severity = analysis::Severity::kError;
+          d.message = "lock-order cycle (potential deadlock): " + order +
+                      (witnesses.empty() ? "" : "; acquired " + witnesses);
+          d.primary = analysis::Anchor::site("lock '" +
+                                             std::string(lock_name(
+                                                 cycle.front())) +
+                                             "'");
+          report_.diagnostics.push_back(std::move(d));
+        }
+        continue;
+      }
+      if (visited.count(next) != 0) continue;
+      visited.insert(next);
+      on_path.insert(next);
+      path.push_back(next);
+      stack.push_back({next});
+    }
+    done.insert(visited.begin(), visited.end());
+  }
+}
+
+}  // namespace p2g::check

@@ -1,0 +1,122 @@
+// FastTrack-style happens-before engine + lock-order graph (p2gcheck).
+//
+// Consumes the event stream of one CheckSession (lock acquire/release,
+// condvar notify/wake, thread fork/join, annotated memory accesses and
+// acquire/release/fence edges) and reports:
+//
+//   P2G-C001  data race: two accesses to overlapping memory, at least one
+//             a write, unordered by happens-before. Both racing sites are
+//             named (thread, operation, label, file:line).
+//   P2G-C002  lock-order cycle: the transitive "acquired while holding"
+//             graph contains a cycle — a potential deadlock even when no
+//             schedule in this run manifested it. (Manifest deadlocks are
+//             reported by the scheduler with the same code.)
+//
+// Happens-before model: per-thread vector clocks; mutexes release into a
+// write clock that acquirers join; shared mutexes keep a separate reader
+// release clock that only exclusive acquirers join (so reader/reader
+// sections stay concurrent and cannot mask writer races). Annotated
+// acquire/release tokens model atomics; fence() models seq-cst fences via
+// one global clock. Memory is tracked at 8-byte cell granularity —
+// FastTrack epochs per cell, inflating to full read vector clocks only for
+// read-shared cells.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "check/sync.h"
+#include "check/vector_clock.h"
+
+namespace p2g::check {
+
+class HbEngine {
+ public:
+  /// Logical threads are dense small ints assigned by the session.
+  void begin_thread(int tid, std::string name);
+  const std::string& thread_name(int tid) const;
+
+  /// Child starts with everything the parent has done (fork edge).
+  void fork(int parent, int child);
+  /// Parent observes everything the child did (join edge).
+  void join(int parent, int child);
+
+  void acquired(int tid, const void* lock, LockMode mode, const char* name);
+  void released(int tid, const void* lock, LockMode mode);
+
+  /// Condvar edges: notify releases into the cv token, a woken waiter
+  /// acquires from it (the mutex provides the usual edge as well; the
+  /// token covers naked notifies).
+  void cv_notify(int tid, const void* cv);
+  void cv_wake(int tid, const void* cv);
+
+  void access(int tid, const void* addr, size_t size, bool write,
+              const Site& site);
+  void reset(const void* addr, size_t size);
+  void hb_acquire(int tid, const void* token);
+  void hb_release(int tid, const void* token);
+  void fence(int tid);
+
+  /// Runs end-of-session analyses (lock-order cycle detection) and appends
+  /// their findings. Idempotent per cycle thanks to dedup keys.
+  void finish();
+
+  /// Findings accumulate here (the session also appends scheduler-level
+  /// findings: manifest deadlocks, lost wakeups).
+  analysis::LintReport& report() { return report_; }
+  const analysis::LintReport& report() const { return report_; }
+
+  /// Locks currently held by a thread (lock-order bookkeeping; the
+  /// scheduler reuses it to describe manifest deadlocks).
+  const std::vector<const void*>& held(int tid) const;
+  const char* lock_name(const void* lock) const;
+
+ private:
+  struct ThreadState {
+    VectorClock vc;
+    std::string name;
+    std::vector<const void*> held;
+  };
+
+  struct LockState {
+    VectorClock release_write;  ///< last exclusive release
+    VectorClock release_read;   ///< joined shared releases since
+    const char* name = "lock";
+  };
+
+  struct CellState {
+    Epoch write;
+    Site write_site;
+    Epoch read;  ///< exclusive read epoch (read_shared == false)
+    Site read_site;
+    bool read_shared = false;
+    VectorClock read_vc;
+    std::map<int, Site> read_sites;  ///< per reader tid when shared
+  };
+
+  struct Edge {
+    const char* from_name;
+    const char* to_name;
+    int tid;  ///< witness thread
+  };
+
+  ThreadState& thread(int tid);
+  void report_race(int tid, const Site& site, bool write, int other_tid,
+                   const Site& other_site, bool other_write,
+                   const char* what);
+
+  std::vector<ThreadState> threads_;
+  std::map<const void*, LockState> locks_;
+  std::map<const void*, VectorClock> tokens_;  ///< annotations + cv tokens
+  VectorClock fence_clock_;
+  std::map<uintptr_t, CellState> cells_;
+  std::map<std::pair<const void*, const void*>, Edge> lock_edges_;
+  std::set<std::string> reported_;  ///< dedup keys (races and cycles)
+  analysis::LintReport report_;
+};
+
+}  // namespace p2g::check

@@ -1,0 +1,29 @@
+#include "check/registry.h"
+
+#include <utility>
+
+namespace p2g::check {
+
+std::vector<CheckSuite>& suites() {
+  static std::vector<CheckSuite> registry;
+  return registry;
+}
+
+void register_suite(CheckSuite suite) {
+  for (CheckSuite& existing : suites()) {
+    if (existing.name == suite.name) {
+      existing = std::move(suite);
+      return;
+    }
+  }
+  suites().push_back(std::move(suite));
+}
+
+const CheckSuite* find_suite(std::string_view name) {
+  for (const CheckSuite& suite : suites()) {
+    if (suite.name == name) return &suite;
+  }
+  return nullptr;
+}
+
+}  // namespace p2g::check

@@ -1,0 +1,40 @@
+// Named check-suite registry (p2gcheck CLI and tests).
+//
+// A suite pairs a name with a SuiteBody plus the expectation contract the
+// CLI enforces: ordinary suites must sweep clean, fixture suites
+// (expect_findings) exist to prove the checker finds a seeded bug and fail
+// the run when it does NOT.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/explore.h"
+
+namespace p2g::check {
+
+struct CheckSuite {
+  std::string name;
+  std::string description;
+  SuiteBody body;
+  /// Fixture suites: the sweep MUST produce diagnostics (seeded bugs that
+  /// prove the checker works); the expected code is listed for reporting.
+  bool expect_findings = false;
+  std::string expected_code;
+};
+
+/// Registry, in registration order.
+std::vector<CheckSuite>& suites();
+
+/// Registers (replacing any suite with the same name).
+void register_suite(CheckSuite suite);
+
+const CheckSuite* find_suite(std::string_view name);
+
+/// Registers the built-in suites over the converted core/dist/ft
+/// subsystems (idempotent). Explicit call — no static initializers to be
+/// dropped by the linker.
+void register_builtin_suites();
+
+}  // namespace p2g::check

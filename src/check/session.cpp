@@ -1,0 +1,741 @@
+#include "check/session.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace p2g::check {
+
+namespace {
+
+/// Monotone session generations: a thread's cached registration (t_gen /
+/// t_tid) is valid only for the generation it bound under.
+std::atomic<uint32_t> s_generation_counter{0};
+
+/// PCT change points are sampled from this window of scheduling steps.
+constexpr uint64_t kChangeWindow = 4096;
+
+}  // namespace
+
+CheckSession::CheckSession(Options options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.mode == Mode::kExplore && !options_.enumerate) {
+    for (int i = 0; i < options_.priority_changes; ++i) {
+      change_points_.push_back(
+          static_cast<uint64_t>(rng_.uniform_int(1, kChangeWindow)));
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+  }
+  install();
+}
+
+CheckSession::~CheckSession() {
+  {
+    std::unique_lock<std::mutex> g(mutex_);
+    if (!all_done_ && !participants_.empty() &&
+        options_.mode == Mode::kExplore) {
+      abort_ = true;
+      cv_.notify_all();
+    }
+  }
+  for (auto& p : participants_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+  finish();
+}
+
+void CheckSession::install() {
+  generation_ =
+      s_generation_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  g_sink.store(this, std::memory_order_release);
+  g_capture_all.store(options_.mode == Mode::kRecord && options_.capture_all,
+                      std::memory_order_relaxed);
+  g_generation.store(generation_, std::memory_order_release);
+  installed_ = true;
+  if (options_.mode == Mode::kRecord) {
+    // The installing thread participates as tid 0.
+    std::unique_lock<std::mutex> g(mutex_);
+    auto p = std::make_unique<Participant>();
+    p->name = "main";
+    p->state = State::kRunning;
+    participants_.push_back(std::move(p));
+    engine_.begin_thread(0, "main");
+    bind_thread(generation_, 0);
+  } else {
+    // The driving thread only spawns/joins; it never participates.
+    bind_thread(generation_, -1);
+  }
+}
+
+void CheckSession::uninstall() {
+  if (!installed_) return;
+  g_capture_all.store(false, std::memory_order_relaxed);
+  g_sink.store(nullptr, std::memory_order_release);
+  installed_ = false;
+}
+
+void CheckSession::finish() {
+  uninstall();
+  if (!finished_analyses_) {
+    finished_analyses_ = true;
+    engine_.finish();
+  }
+}
+
+void CheckSession::spawn(std::string name, std::function<void()> body) {
+  std::unique_lock<std::mutex> g(mutex_);
+  const int tid = static_cast<int>(participants_.size());
+  auto owned = std::make_unique<Participant>();
+  owned->name = std::move(name);
+  owned->priority = 1000 + (rng_.next() >> 44);  // distinct-ish high band
+  owned->body = std::move(body);
+  engine_.begin_thread(tid, owned->name);
+  participants_.push_back(std::move(owned));
+  Participant* part = participants_.back().get();
+  const uint32_t gen = generation_;
+  part->thread = std::thread([this, part, tid, gen] {
+    bind_thread(gen, tid);
+    try {
+      {
+        std::unique_lock<std::mutex> g2(mutex_);
+        park(g2, tid);
+        part->state = State::kRunning;
+      }
+      part->body();
+    } catch (const AbortRun&) {
+      // Scheduled abort (deadlock / budget): unwind quietly.
+    } catch (const std::exception& e) {
+      std::unique_lock<std::mutex> g2(mutex_);
+      add_schedule_diag(
+          analysis::kLiveLock,
+          "exception escaped checked thread '" + part->name + "': " + e.what(),
+          analysis::Anchor::site("thread '" + part->name + "'"));
+      abort_run(g2);
+    } catch (...) {
+      std::unique_lock<std::mutex> g2(mutex_);
+      add_schedule_diag(
+          analysis::kLiveLock,
+          "exception escaped checked thread '" + part->name + "'",
+          analysis::Anchor::site("thread '" + part->name + "'"));
+      abort_run(g2);
+    }
+    thread_exited(tid);
+  });
+}
+
+void CheckSession::run() {
+  if (options_.mode == Mode::kRecord) {
+    finish();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> g(mutex_);
+    run_started_ = true;
+    if (participants_.empty()) {
+      all_done_ = true;
+    } else {
+      pick_next(g);
+      cv_.notify_all();
+      cv_.wait(g, [&] { return all_done_ || abort_; });
+    }
+  }
+  for (auto& p : participants_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+  finish();
+}
+
+std::string CheckSession::decision_trace() const {
+  std::string out;
+  for (const Decision& d : decisions_) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(d.chosen) + "/" + std::to_string(d.options);
+  }
+  return out;
+}
+
+// --- scheduler core ---------------------------------------------------------
+
+int CheckSession::self_tid() const { return t_tid; }
+
+CheckSession::Participant& CheckSession::participant(int tid) {
+  return *participants_[static_cast<size_t>(tid)];
+}
+
+bool CheckSession::lock_available(const VLock& lock, LockMode mode,
+                                  int tid) const {
+  (void)tid;  // non-recursive: a self-deadlock shows up as a wait cycle
+  if (mode == LockMode::kExclusive) {
+    return lock.exclusive_owner < 0 && lock.shared_owners.empty();
+  }
+  return lock.exclusive_owner < 0;
+}
+
+void CheckSession::do_acquire(VLock& lock, LockMode mode, int tid) {
+  if (mode == LockMode::kExclusive) {
+    lock.exclusive_owner = tid;
+  } else {
+    lock.shared_owners.push_back(tid);
+  }
+}
+
+void CheckSession::do_release(VLock& lock, LockMode mode, int tid) {
+  if (mode == LockMode::kExclusive) {
+    if (lock.exclusive_owner == tid) lock.exclusive_owner = -1;
+  } else {
+    auto it =
+        std::find(lock.shared_owners.begin(), lock.shared_owners.end(), tid);
+    if (it != lock.shared_owners.end()) lock.shared_owners.erase(it);
+  }
+}
+
+bool CheckSession::eligible(int tid) const {
+  const Participant& p = *participants_[static_cast<size_t>(tid)];
+  switch (p.state) {
+    case State::kRunnable:
+      return true;
+    case State::kBlockedLock: {
+      auto it = vlocks_.find(p.wait_lock);
+      return it == vlocks_.end() ||
+             lock_available(it->second, p.wait_mode, tid);
+    }
+    case State::kBlockedCv: {
+      if (!p.woken && !p.timed_fired) return false;
+      auto it = vlocks_.find(p.wait_lock);
+      return it == vlocks_.end() ||
+             lock_available(it->second, p.wait_mode, tid);
+    }
+    case State::kBlockedJoin:
+      return p.join_target >= 0 &&
+             participants_[static_cast<size_t>(p.join_target)]->state ==
+                 State::kFinished;
+    case State::kRunning:
+    case State::kFinished:
+      return false;
+  }
+  return false;
+}
+
+bool CheckSession::timeout_eligible(int tid) const {
+  const Participant& p = *participants_[static_cast<size_t>(tid)];
+  if (p.state != State::kBlockedCv || !p.cv_timed || p.woken ||
+      p.timed_fired) {
+    return false;
+  }
+  auto it = vlocks_.find(p.wait_lock);
+  return it == vlocks_.end() || lock_available(it->second, p.wait_mode, tid);
+}
+
+bool CheckSession::abort_check() {
+  if (!abort_) return false;
+  if (std::uncaught_exceptions() == 0) throw AbortRun{};
+  return true;  // unwinding: degrade to a no-op
+}
+
+uint32_t CheckSession::forced_choice(uint32_t options) {
+  const size_t index = decisions_.size();
+  const uint32_t want =
+      index < options_.forced.size() ? options_.forced[index] : 0;
+  return std::min(want, options - 1);
+}
+
+uint32_t CheckSession::choose_thread(const std::vector<int>& pool) {
+  const auto options = static_cast<uint32_t>(pool.size());
+  uint32_t chosen = 0;
+  if (options_.enumerate) {
+    chosen = forced_choice(options);
+  } else {
+    for (uint32_t i = 1; i < options; ++i) {
+      if (participants_[static_cast<size_t>(pool[i])]->priority >
+          participants_[static_cast<size_t>(pool[chosen])]->priority) {
+        chosen = i;
+      }
+    }
+  }
+  decisions_.push_back(Decision{chosen, options});
+  return chosen;
+}
+
+uint32_t CheckSession::choose_uniform(uint32_t options) {
+  uint32_t chosen = 0;
+  if (options_.enumerate) {
+    chosen = forced_choice(options);
+  } else if (options > 1) {
+    chosen = static_cast<uint32_t>(
+        rng_.uniform_int(0, static_cast<int64_t>(options) - 1));
+  }
+  decisions_.push_back(Decision{chosen, options});
+  return chosen;
+}
+
+void CheckSession::step(std::unique_lock<std::mutex>& g, int self) {
+  ++step_;
+  if (step_ > options_.max_steps) {
+    add_schedule_diag(
+        analysis::kLiveLock,
+        "schedule exceeded " + std::to_string(options_.max_steps) +
+            " steps without completing (possible livelock under virtual "
+            "time)",
+        analysis::Anchor::site("scheduler"));
+    abort_run(g);
+    throw AbortRun{};
+  }
+  if (next_change_ < change_points_.size() &&
+      step_ >= change_points_[next_change_]) {
+    ++next_change_;
+    // PCT change point: demote the running thread below every base
+    // priority (later change points land above earlier ones).
+    participant(self).priority = low_priority_next_++;
+  }
+  participant(self).state = State::kRunnable;
+  reschedule_and_park(g, self);
+  participant(self).state = State::kRunning;
+}
+
+void CheckSession::reschedule_and_park(std::unique_lock<std::mutex>& g,
+                                       int self) {
+  pick_next(g);
+  cv_.notify_all();
+  park(g, self);
+}
+
+void CheckSession::park(std::unique_lock<std::mutex>& g, int self) {
+  Participant& p = participant(self);
+  cv_.wait(g, [&] { return p.go || abort_; });
+  if (abort_) throw AbortRun{};
+  p.go = false;
+}
+
+void CheckSession::pick_next(std::unique_lock<std::mutex>& g) {
+  if (abort_ || all_done_) return;
+  std::vector<int> pool;
+  for (int i = 0; i < static_cast<int>(participants_.size()); ++i) {
+    if (eligible(i)) pool.push_back(i);
+  }
+  bool timed_fallback = false;
+  if (pool.empty()) {
+    // Virtual time: only when nothing can run otherwise may a timed wait
+    // fire its timeout (time jumps to the earliest deadline).
+    for (int i = 0; i < static_cast<int>(participants_.size()); ++i) {
+      if (timeout_eligible(i)) pool.push_back(i);
+    }
+    timed_fallback = true;
+  }
+  if (pool.empty()) {
+    bool any_unfinished = false;
+    for (const auto& p : participants_) {
+      if (p->state != State::kFinished) {
+        any_unfinished = true;
+        break;
+      }
+    }
+    if (!any_unfinished) {
+      all_done_ = true;
+      cv_.notify_all();
+      return;
+    }
+    handle_deadlock(g);
+    return;
+  }
+  const uint32_t chosen = choose_thread(pool);
+  Participant& next = participant(pool[chosen]);
+  if (timed_fallback) {
+    next.timed_fired = true;
+    next.woken = false;
+  }
+  next.go = true;
+}
+
+void CheckSession::add_schedule_diag(const char* code, std::string message,
+                                     analysis::Anchor primary,
+                                     analysis::Anchor secondary) {
+  analysis::Diagnostic d;
+  d.code = code;
+  d.severity = analysis::Severity::kError;
+  d.message = std::move(message);
+  d.primary = std::move(primary);
+  d.secondary = std::move(secondary);
+  engine_.report().diagnostics.push_back(std::move(d));
+}
+
+void CheckSession::abort_run(std::unique_lock<std::mutex>&) {
+  abort_ = true;
+  cv_.notify_all();
+}
+
+void CheckSession::handle_deadlock(std::unique_lock<std::mutex>& g) {
+  // Wait-for edges: blocked thread -> holders of the lock it needs (a
+  // woken condvar waiter is blocked on reacquiring its mutex).
+  std::map<int, std::vector<int>> wait_for;
+  auto lock_waiter = [](const Participant& p) {
+    return p.state == State::kBlockedLock ||
+           (p.state == State::kBlockedCv && (p.woken || p.timed_fired));
+  };
+  for (int i = 0; i < static_cast<int>(participants_.size()); ++i) {
+    const Participant& p = *participants_[static_cast<size_t>(i)];
+    if (!lock_waiter(p)) continue;
+    auto it = vlocks_.find(p.wait_lock);
+    if (it == vlocks_.end()) continue;
+    if (it->second.exclusive_owner >= 0) {
+      wait_for[i].push_back(it->second.exclusive_owner);
+    }
+    for (int owner : it->second.shared_owners) wait_for[i].push_back(owner);
+  }
+
+  // Find one wait-for cycle (threads are few: simple DFS with a path).
+  std::vector<int> cycle;
+  {
+    std::vector<int> path;
+    std::set<int> on_path;
+    std::set<int> visited;
+    std::function<bool(int)> dfs = [&](int t) -> bool {
+      if (on_path.count(t) != 0) {
+        auto begin = std::find(path.begin(), path.end(), t);
+        cycle.assign(begin, path.end());
+        return true;
+      }
+      if (visited.count(t) != 0) return false;
+      visited.insert(t);
+      on_path.insert(t);
+      path.push_back(t);
+      auto it = wait_for.find(t);
+      if (it != wait_for.end()) {
+        for (int next : it->second) {
+          if (dfs(next)) return true;
+        }
+      }
+      on_path.erase(t);
+      path.pop_back();
+      return false;
+    };
+    for (const auto& [t, unused] : wait_for) {
+      if (dfs(t)) break;
+    }
+  }
+
+  bool classified = false;
+  if (!cycle.empty()) {
+    std::string message = "deadlock: ";
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const Participant& p = *participants_[static_cast<size_t>(cycle[i])];
+      if (i > 0) message += "; ";
+      message += "thread '" + p.name + "' waits for '" +
+                 (p.wait_lock_name != nullptr ? p.wait_lock_name : "lock") +
+                 "' held by thread '" +
+                 participants_[static_cast<size_t>(
+                                   cycle[(i + 1) % cycle.size()])]
+                     ->name +
+                 "'";
+    }
+    const Participant& first = *participants_[static_cast<size_t>(cycle[0])];
+    add_schedule_diag(analysis::kLockCycle, std::move(message),
+                      analysis::Anchor::site("thread '" + first.name + "'"));
+    classified = true;
+  }
+
+  // Lost wakeups: a thread parked in an untimed condvar wait whose condvar
+  // was only ever notified before the wait began.
+  for (const auto& p : participants_) {
+    if (p->state != State::kBlockedCv || p->cv_timed || p->woken ||
+        p->timed_fired) {
+      continue;
+    }
+    auto it = vcvs_.find(p->wait_cv);
+    const char* cv_name =
+        it != vcvs_.end() ? it->second.name : "condvar";
+    if (it != vcvs_.end() && it->second.notify_count > 0) {
+      add_schedule_diag(
+          analysis::kLostWakeup,
+          "lost wakeup: thread '" + p->name + "' is blocked in wait on '" +
+              cv_name + "' but the condvar was notified " +
+              std::to_string(it->second.notify_count) +
+              " time(s), all before the wait began (notify raced ahead of "
+              "the waiter)",
+          analysis::Anchor::site("thread '" + p->name + "' wait on '" +
+                                 std::string(cv_name) + "'"));
+      classified = true;
+    }
+  }
+
+  if (!classified) {
+    std::string message = "deadlock: no runnable thread";
+    for (const auto& p : participants_) {
+      if (p->state == State::kFinished || p->state == State::kRunnable) {
+        continue;
+      }
+      message += "; thread '" + p->name + "' blocked";
+      if (p->state == State::kBlockedCv) {
+        auto it = vcvs_.find(p->wait_cv);
+        message += " on '" +
+                   std::string(it != vcvs_.end() ? it->second.name
+                                                 : "condvar") +
+                   "'";
+      } else if (p->state == State::kBlockedLock) {
+        message +=
+            " on '" +
+            std::string(p->wait_lock_name != nullptr ? p->wait_lock_name
+                                                     : "lock") +
+            "'";
+      } else if (p->state == State::kBlockedJoin && p->join_target >= 0) {
+        message +=
+            " joining thread '" +
+            participants_[static_cast<size_t>(p->join_target)]->name + "'";
+      }
+    }
+    add_schedule_diag(analysis::kLockCycle, std::move(message),
+                      analysis::Anchor::site("scheduler"));
+  }
+  abort_run(g);
+}
+
+// --- EventSink: recording mode ----------------------------------------------
+
+void CheckSession::rec_acquired(void* lock, LockMode mode, const char* name) {
+  std::unique_lock<std::mutex> g(mutex_);
+  engine_.acquired(t_tid, lock, mode, name);
+}
+
+void CheckSession::rec_released(void* lock, LockMode mode) {
+  std::unique_lock<std::mutex> g(mutex_);
+  engine_.released(t_tid, lock, mode);
+}
+
+void CheckSession::rec_notify(void* cv, bool all) {
+  (void)all;
+  std::unique_lock<std::mutex> g(mutex_);
+  engine_.cv_notify(t_tid, cv);
+}
+
+// --- EventSink: virtualized mode --------------------------------------------
+
+void CheckSession::v_lock(void* lock, LockMode mode, const char* name) {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_check()) return;
+  const int self = self_tid();
+  step(g, self);
+  VLock& l = vlocks_[lock];
+  if (name != nullptr) l.name = name;
+  Participant& p = participant(self);
+  if (!lock_available(l, mode, self)) {
+    p.state = State::kBlockedLock;
+    p.wait_lock = lock;
+    p.wait_mode = mode;
+    p.wait_lock_name = l.name;
+    reschedule_and_park(g, self);
+    p.state = State::kRunning;
+    p.wait_lock = nullptr;
+  }
+  do_acquire(l, mode, self);
+  engine_.acquired(self, lock, mode, l.name);
+}
+
+bool CheckSession::v_try_lock(void* lock, LockMode mode, const char* name) {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_check()) return false;
+  const int self = self_tid();
+  step(g, self);
+  VLock& l = vlocks_[lock];
+  if (name != nullptr) l.name = name;
+  if (!lock_available(l, mode, self)) return false;
+  do_acquire(l, mode, self);
+  engine_.acquired(self, lock, mode, l.name);
+  return true;
+}
+
+void CheckSession::v_unlock(void* lock, LockMode mode) {
+  // Never throws: unlock runs inside lock-guard destructors. The release
+  // itself is not a preemption point — the next instrumented operation of
+  // this thread is, which observes the same interleavings.
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_) return;
+  const int self = self_tid();
+  do_release(vlocks_[lock], mode, self);
+  engine_.released(self, lock, mode);
+}
+
+bool CheckSession::v_wait(void* cv, void* lock, const char* cv_name,
+                          const char* lock_name, bool timed) {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_check()) return true;
+  const int self = self_tid();
+  step(g, self);
+  VCv& c = vcvs_[cv];
+  if (cv_name != nullptr) c.name = cv_name;
+  Participant& p = participant(self);
+  do_release(vlocks_[lock], LockMode::kExclusive, self);
+  engine_.released(self, lock, LockMode::kExclusive);
+  p.state = State::kBlockedCv;
+  p.wait_cv = cv;
+  p.wait_lock = lock;
+  p.wait_mode = LockMode::kExclusive;
+  p.wait_lock_name = lock_name != nullptr ? lock_name : "lock";
+  p.cv_timed = timed;
+  p.woken = false;
+  p.timed_fired = false;
+  reschedule_and_park(g, self);
+  // Scheduled again ⇒ notified (or virtual timeout) and the mutex is free.
+  p.state = State::kRunning;
+  do_acquire(vlocks_[lock], LockMode::kExclusive, self);
+  engine_.acquired(self, lock, LockMode::kExclusive, p.wait_lock_name);
+  const bool notified = p.woken;
+  if (notified) engine_.cv_wake(self, cv);
+  p.wait_cv = nullptr;
+  p.wait_lock = nullptr;
+  p.woken = false;
+  p.timed_fired = false;
+  p.cv_timed = false;
+  return notified;
+}
+
+void CheckSession::v_notify(void* cv, bool all) {
+  // Never throws (notify runs in close()/shutdown paths and destructors);
+  // not a preemption point for the same reason as v_unlock.
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_) return;
+  const int self = self_tid();
+  VCv& c = vcvs_[cv];
+  c.notify_count++;
+  engine_.cv_notify(self, cv);
+  std::vector<int> waiters;
+  for (int i = 0; i < static_cast<int>(participants_.size()); ++i) {
+    const Participant& p = *participants_[static_cast<size_t>(i)];
+    if (p.state == State::kBlockedCv && p.wait_cv == cv && !p.woken &&
+        !p.timed_fired) {
+      waiters.push_back(i);
+    }
+  }
+  if (waiters.empty()) return;
+  if (all) {
+    for (int w : waiters) participant(w).woken = true;
+  } else {
+    const uint32_t k =
+        choose_uniform(static_cast<uint32_t>(waiters.size()));
+    participant(waiters[k]).woken = true;
+  }
+}
+
+// --- EventSink: thread lifecycle --------------------------------------------
+
+int CheckSession::thread_created(const char* name) {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_) return -1;
+  const int self = self_tid();
+  const int tid = static_cast<int>(participants_.size());
+  auto p = std::make_unique<Participant>();
+  p->name = name != nullptr ? name : ("thread-" + std::to_string(tid));
+  p->priority = 1000 + (rng_.next() >> 44);
+  p->state = State::kRunnable;
+  participants_.push_back(std::move(p));
+  engine_.begin_thread(tid, participants_.back()->name);
+  engine_.fork(self, tid);
+  return tid;
+}
+
+void CheckSession::thread_started(int id) {
+  if (options_.mode == Mode::kRecord) return;
+  std::unique_lock<std::mutex> g(mutex_);
+  park(g, id);  // AbortRun is caught by the sync::Thread wrapper
+  participant(id).state = State::kRunning;
+}
+
+void CheckSession::thread_exited(int id) {
+  std::unique_lock<std::mutex> g(mutex_);
+  Participant& p = participant(id);
+  p.state = State::kFinished;
+  if (options_.mode == Mode::kRecord) return;
+  if (abort_) {
+    cv_.notify_all();
+    return;
+  }
+  pick_next(g);
+  cv_.notify_all();
+}
+
+void CheckSession::thread_joined(int id) {
+  std::unique_lock<std::mutex> g(mutex_);
+  const int self = self_tid();
+  if (options_.mode == Mode::kRecord) {
+    // Called after the real join: the child's clock is final.
+    engine_.join(self, id);
+    return;
+  }
+  if (abort_check()) return;
+  step(g, self);
+  Participant& p = participant(self);
+  if (participant(id).state != State::kFinished) {
+    p.state = State::kBlockedJoin;
+    p.join_target = id;
+    reschedule_and_park(g, self);
+    p.state = State::kRunning;
+    p.join_target = -1;
+  }
+  engine_.join(self, id);
+}
+
+// --- EventSink: annotations -------------------------------------------------
+
+void CheckSession::mem_access(const void* addr, size_t size, bool write,
+                              const Site& site) {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (options_.mode == Mode::kExplore) {
+    if (abort_check()) return;
+    step(g, self_tid());
+  }
+  engine_.access(self_tid(), addr, size, write, site);
+}
+
+void CheckSession::mem_reset(const void* addr, size_t size) {
+  // Never throws / never yields: reset runs in recycle paths that may sit
+  // inside destructors.
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_) return;
+  engine_.reset(addr, size);
+}
+
+void CheckSession::hb_acquire(const void* token) {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (options_.mode == Mode::kExplore) {
+    if (abort_check()) return;
+    step(g, self_tid());
+  }
+  engine_.hb_acquire(self_tid(), token);
+}
+
+void CheckSession::hb_release(const void* token) {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (options_.mode == Mode::kExplore) {
+    if (abort_check()) return;
+    step(g, self_tid());
+  }
+  engine_.hb_release(self_tid(), token);
+}
+
+void CheckSession::hb_fence() {
+  std::unique_lock<std::mutex> g(mutex_);
+  if (options_.mode == Mode::kExplore) {
+    if (abort_check()) return;
+    step(g, self_tid());
+  }
+  engine_.fence(self_tid());
+}
+
+void CheckSession::yield_point() {
+  if (options_.mode != Mode::kExplore) return;
+  std::unique_lock<std::mutex> g(mutex_);
+  if (abort_check()) return;
+  step(g, self_tid());
+}
+
+int CheckSession::register_thread() {
+  if (options_.mode != Mode::kRecord) return -1;
+  std::unique_lock<std::mutex> g(mutex_);
+  const int tid = static_cast<int>(participants_.size());
+  auto p = std::make_unique<Participant>();
+  p->name = "thread-" + std::to_string(tid);
+  p->state = State::kRunning;
+  participants_.push_back(std::move(p));
+  engine_.begin_thread(tid, participants_.back()->name);
+  return tid;
+}
+
+}  // namespace p2g::check

@@ -1,0 +1,241 @@
+// CheckSession: the event sink behind the instrumented primitives.
+//
+// Two modes:
+//
+//  kRecord   — passive. Real locks are taken as usual; every operation is
+//              reported (under a session mutex) to the happens-before
+//              engine, which flags data races and lock-order cycles in
+//              whatever schedule the OS happened to produce.
+//
+//  kExplore  — active. The session virtualizes every instrumented
+//              primitive: participant threads are serialized by a token so
+//              exactly one runs at a time, locks and condition variables
+//              are purely logical, and a PCT-style seeded priority
+//              scheduler decides every interleaving. The same seed always
+//              produces the same schedule (decisions are a pure function
+//              of seed and event sequence), so any finding replays
+//              bit-exactly. Timed waits use virtual time: a timed waiter
+//              can only fire its timeout when no untimed thread can run,
+//              which models "time jumps to the deadline" and keeps
+//              retransmit-style loops from starving the schedule.
+//
+// Scheduler-level findings:
+//   P2G-C002  manifest deadlock (every thread blocked; lock wait-for cycle
+//             described when present) — also emitted by the engine for
+//             *potential* lock-order cycles that did not manifest.
+//   P2G-C003  lost wakeup: at deadlock, a thread is blocked in an untimed
+//             condition-variable wait whose condvar was only notified
+//             before the wait began.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/hb_engine.h"
+#include "check/sync.h"
+#include "common/rng.h"
+
+namespace p2g::check {
+
+/// One scheduling decision: which of `options` eligible threads ran.
+/// The sequence of decisions *is* the schedule; two runs with the same
+/// seed must produce identical traces (see check_test determinism test).
+struct Decision {
+  uint32_t chosen = 0;
+  uint32_t options = 1;
+};
+
+class CheckSession final : public EventSink {
+ public:
+  enum class Mode { kRecord, kExplore };
+
+  struct Options {
+    Mode mode = Mode::kExplore;
+    uint64_t seed = 1;
+    /// PCT depth: number of priority change points injected per run.
+    int priority_changes = 3;
+    /// Abort the run (with a diagnostic) past this many scheduling steps —
+    /// the backstop for livelocks under virtual time.
+    uint64_t max_steps = 200000;
+    /// kRecord only: lazily register every thread that touches an
+    /// instrumented primitive.
+    bool capture_all = true;
+    /// kExplore only: replace the PCT priority policy with systematic
+    /// enumeration — decision i picks eligible candidate forced[i]
+    /// (clamped), decisions past the end pick candidate 0. The exhaustive
+    /// explorer drives this with growing prefixes.
+    bool enumerate = false;
+    std::vector<uint32_t> forced;
+  };
+
+  explicit CheckSession(Options options);
+  ~CheckSession() override;
+
+  CheckSession(const CheckSession&) = delete;
+  CheckSession& operator=(const CheckSession&) = delete;
+
+  /// kExplore: registers a participant thread. Call before run().
+  void spawn(std::string name, std::function<void()> body);
+
+  /// kExplore: runs all spawned threads to completion (or deadlock /
+  /// abort) under the seeded schedule, then finalizes the report.
+  void run();
+
+  /// Uninstalls the session and runs end-of-run analyses (idempotent;
+  /// kRecord callers use this, run() calls it for kExplore).
+  void finish();
+
+  uint64_t seed() const { return options_.seed; }
+  analysis::LintReport& report() { return engine_.report(); }
+  const analysis::LintReport& report() const { return engine_.report(); }
+  HbEngine& engine() { return engine_; }
+
+  /// The schedule actually taken (kExplore).
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  /// Decisions rendered as "2/3 0/1 1/2 ..." for replay comparison.
+  std::string decision_trace() const;
+
+  // --- EventSink ------------------------------------------------------------
+  bool virtualized() const override { return options_.mode == Mode::kExplore; }
+
+  void rec_acquired(void* lock, LockMode mode, const char* name) override;
+  void rec_released(void* lock, LockMode mode) override;
+  void rec_notify(void* cv, bool all) override;
+
+  void v_lock(void* lock, LockMode mode, const char* name) override;
+  bool v_try_lock(void* lock, LockMode mode, const char* name) override;
+  void v_unlock(void* lock, LockMode mode) override;
+  bool v_wait(void* cv, void* lock, const char* cv_name,
+              const char* lock_name, bool timed) override;
+  void v_notify(void* cv, bool all) override;
+
+  int thread_created(const char* name) override;
+  void thread_started(int id) override;
+  void thread_exited(int id) override;
+  void thread_joined(int id) override;
+
+  void mem_access(const void* addr, size_t size, bool write,
+                  const Site& site) override;
+  void mem_reset(const void* addr, size_t size) override;
+  void hb_acquire(const void* token) override;
+  void hb_release(const void* token) override;
+  void hb_fence() override;
+  void yield_point() override;
+
+  int register_thread() override;
+
+ private:
+  enum class State {
+    kRunnable,
+    kRunning,
+    kBlockedLock,
+    kBlockedCv,
+    kBlockedJoin,
+    kFinished,
+  };
+
+  struct Participant {
+    std::string name;
+    State state = State::kRunnable;
+    uint64_t priority = 0;
+    bool go = false;  ///< token handed to this thread
+
+    // Blocking details.
+    const void* wait_lock = nullptr;  ///< waited-for / to-reacquire lock
+    LockMode wait_mode = LockMode::kExclusive;
+    const char* wait_lock_name = "lock";
+    const void* wait_cv = nullptr;
+    bool cv_timed = false;
+    bool woken = false;       ///< condvar wait satisfied by a notify
+    bool timed_fired = false; ///< condvar wait satisfied by virtual timeout
+    int join_target = -1;
+
+    std::function<void()> body;  ///< spawn() participants only
+    std::thread thread;          ///< spawn() participants only
+  };
+
+  struct VLock {
+    int exclusive_owner = -1;
+    std::vector<int> shared_owners;
+    const char* name = "lock";
+  };
+
+  struct VCv {
+    const char* name = "condvar";
+    uint64_t notify_count = 0;
+  };
+
+  /// Thrown into parked participants when the run aborts (deadlock, step
+  /// budget); unwinds their bodies so the runner can join them.
+  struct AbortRun {};
+
+  void install();
+  void uninstall();
+
+  int self_tid() const;
+  Participant& participant(int tid);
+  bool lock_available(const VLock& lock, LockMode mode, int tid) const;
+  void do_acquire(VLock& lock, LockMode mode, int tid);
+  void do_release(VLock& lock, LockMode mode, int tid);
+  bool eligible(int tid) const;          ///< runnable now (untimed rules)
+  bool timeout_eligible(int tid) const;  ///< runnable if time jumped
+
+  /// Advances the step counter, applies PCT priority change points, and
+  /// reschedules. Entry point for every virtualized operation.
+  void step(std::unique_lock<std::mutex>& g, int self);
+  /// Hands the token to the next thread per policy; parks `self` until it
+  /// gets the token back. `self` must have its state set (kRunnable to
+  /// stay in the race, a blocked state otherwise) before the call.
+  void reschedule_and_park(std::unique_lock<std::mutex>& g, int self);
+  /// Picks the next thread (or detects completion/deadlock) and sets its
+  /// go flag. Does not park.
+  void pick_next(std::unique_lock<std::mutex>& g);
+  void park(std::unique_lock<std::mutex>& g, int self);
+  /// Throws AbortRun when the run is aborting and no exception is already
+  /// in flight; returns true (= caller must no-op) when unwinding.
+  bool abort_check();
+  /// Scheduling choice among pool candidates: PCT highest priority, or the
+  /// forced/default pick in enumerate mode. Recorded in decisions_.
+  uint32_t choose_thread(const std::vector<int>& pool);
+  /// Uniform choice (notify_one target): seeded rng, or forced/default in
+  /// enumerate mode. Recorded in decisions_.
+  uint32_t choose_uniform(uint32_t options);
+  uint32_t forced_choice(uint32_t options);
+  void handle_deadlock(std::unique_lock<std::mutex>& g);
+  void abort_run(std::unique_lock<std::mutex>& g);
+  void add_schedule_diag(const char* code, std::string message,
+                         analysis::Anchor primary,
+                         analysis::Anchor secondary = analysis::Anchor::none());
+
+  Options options_;
+  uint32_t generation_ = 0;
+  bool installed_ = false;
+  bool finished_analyses_ = false;
+
+  // All mutable scheduler/engine state below is guarded by mutex_ (a raw
+  // std::mutex — session internals are never instrumented).
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  HbEngine engine_;
+  Rng rng_;  // p2g::Rng
+  std::vector<std::unique_ptr<Participant>> participants_;
+  std::map<const void*, VLock> vlocks_;
+  std::map<const void*, VCv> vcvs_;
+  std::vector<Decision> decisions_;
+  std::vector<uint64_t> change_points_;  ///< sorted PCT change steps
+  size_t next_change_ = 0;
+  uint64_t low_priority_next_ = 0;  ///< priority handed out at change point
+  uint64_t step_ = 0;
+  bool run_started_ = false;
+  bool all_done_ = false;
+  bool abort_ = false;
+};
+
+}  // namespace p2g::check

@@ -1,0 +1,69 @@
+// Vector clocks and epochs for the happens-before engine (FastTrack).
+//
+// A vector clock maps logical thread ids to event counters; an epoch is
+// one (thread, counter) pair — FastTrack's insight is that most variables
+// only ever need the epoch of their last write/read, inflating to a full
+// clock only for read-shared data.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace p2g::check {
+
+/// One (thread, counter) pair. tid < 0 means "never accessed".
+struct Epoch {
+  int tid = -1;
+  uint64_t clock = 0;
+
+  bool valid() const { return tid >= 0; }
+};
+
+class VectorClock {
+ public:
+  uint64_t get(int tid) const {
+    const auto index = static_cast<size_t>(tid);
+    return index < counters_.size() ? counters_[index] : 0;
+  }
+
+  void set(int tid, uint64_t value) {
+    const auto index = static_cast<size_t>(tid);
+    if (index >= counters_.size()) counters_.resize(index + 1, 0);
+    counters_[index] = value;
+  }
+
+  void tick(int tid) { set(tid, get(tid) + 1); }
+
+  /// Pointwise maximum (join).
+  void join(const VectorClock& other) {
+    if (other.counters_.size() > counters_.size()) {
+      counters_.resize(other.counters_.size(), 0);
+    }
+    for (size_t i = 0; i < other.counters_.size(); ++i) {
+      counters_[i] = std::max(counters_[i], other.counters_[i]);
+    }
+  }
+
+  /// epoch happens-before (or equals) this clock.
+  bool covers(const Epoch& epoch) const {
+    return epoch.clock <= get(epoch.tid);
+  }
+
+  /// Every entry of `other` is <= the matching entry here.
+  bool covers(const VectorClock& other) const {
+    for (size_t i = 0; i < other.counters_.size(); ++i) {
+      if (other.counters_[i] > get(static_cast<int>(i))) return false;
+    }
+    return true;
+  }
+
+  void clear() { counters_.clear(); }
+  bool empty() const { return counters_.empty(); }
+  size_t size() const { return counters_.size(); }
+
+ private:
+  std::vector<uint64_t> counters_;
+};
+
+}  // namespace p2g::check

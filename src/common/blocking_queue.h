@@ -1,13 +1,21 @@
 // Unbounded MPSC/MPMC blocking queue used for the dependency analyzer's
 // event stream. The paper's runtime pushes store/resize events from worker
 // threads into a dedicated analyzer thread; this queue is that channel.
+//
+// Built on the instrumented sync primitives (check/sync.h): under a
+// p2gcheck session every lock/wait is reported to the race checker and, in
+// schedule-exploration mode, the seeded scheduler decides each
+// interleaving. Without a session the primitives are passthroughs. The
+// check::write/read annotations describe the logical queue state so an
+// unsynchronized use of the queue internals would surface as P2G-C001.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "check/sync.h"
 
 namespace p2g {
 
@@ -18,6 +26,7 @@ class BlockingQueue {
   void push(T item) {
     {
       std::scoped_lock lock(mutex_);
+      check::write(items_, "BlockingQueue.items");
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
@@ -28,7 +37,9 @@ class BlockingQueue {
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    check::read(closed_, "BlockingQueue.closed");
     if (items_.empty()) return std::nullopt;
+    check::write(items_, "BlockingQueue.items");
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
@@ -43,7 +54,9 @@ class BlockingQueue {
     out.clear();
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    check::read(closed_, "BlockingQueue.closed");
     if (items_.empty()) return false;
+    check::write(items_, "BlockingQueue.items");
     items_.swap(out);
     return true;
   }
@@ -52,6 +65,7 @@ class BlockingQueue {
   std::optional<T> try_pop() {
     std::scoped_lock lock(mutex_);
     if (items_.empty()) return std::nullopt;
+    check::write(items_, "BlockingQueue.items");
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
@@ -61,6 +75,7 @@ class BlockingQueue {
   void close() {
     {
       std::scoped_lock lock(mutex_);
+      check::write(closed_, "BlockingQueue.closed");
       closed_ = true;
     }
     cv_.notify_all();
@@ -79,8 +94,8 @@ class BlockingQueue {
   bool empty() const { return size() == 0; }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mutex_{"BlockingQueue.mutex"};
+  sync::CondVar cv_{"BlockingQueue.cv"};
   std::deque<T> items_;
   bool closed_ = false;
 };

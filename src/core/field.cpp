@@ -76,6 +76,11 @@ void FieldStorage::grow(AgeData& data, const nd::Extents& new_extents) {
   // grow request is the no-op handled above.
   check_internal(!data.published,
                  "grow of published age buffer of field " + decl_.name);
+  // The resize may reallocate the payload; drop any access history of the
+  // old allocation so recycled addresses cannot produce stale-epoch races.
+  check::reset_range(data.buffer->raw(),
+                     static_cast<size_t>(old_extents.element_count()) *
+                         nd::element_size(data.buffer->type()));
   data.buffer->resize(new_extents);
 
   // Remap written bits: positions are flat indices, which change with the
@@ -108,6 +113,14 @@ void FieldStorage::rebuild_seal_index() {
   for (const auto& [age, data] : ages_) {  // map order: sorted by age
     if (data.published) fresh->entries.push_back({age, data.buffer});
   }
+  // Publication protocol, spelled out for the race checker: the entries
+  // are written here, then released through the atomic index pointer; the
+  // lock-free fetch path acquires through the same pointer before reading
+  // them. Removing either side of the edge surfaces as P2G-C001.
+  check::write_range(fresh->entries.data(),
+                     fresh->entries.size() * sizeof(SealIndex::Entry),
+                     "FieldStorage.seal_index.entries");
+  check::release(&seal_index_);
   seal_index_.store(std::move(fresh), std::memory_order_release);
 }
 
@@ -140,6 +153,10 @@ std::optional<nd::ConstView> FieldStorage::try_fetch_view(
     Age age, const nd::Region& region) {
   // Fast path: a published age resolves through the lock-free index.
   if (const auto index = seal_index_.load(std::memory_order_acquire)) {
+    check::acquire(&seal_index_);
+    check::read_range(index->entries.data(),
+                      index->entries.size() * sizeof(SealIndex::Entry),
+                      "FieldStorage.seal_index.entries");
     if (const SealIndex::Entry* entry = index->find(age)) {
       check_internal(region.within(entry->buffer->extents()),
                      "fetch region outside extents of field " + decl_.name);
@@ -158,6 +175,10 @@ std::optional<nd::ConstView> FieldStorage::try_fetch_view(
 
 std::optional<nd::ConstView> FieldStorage::try_fetch_view_whole(Age age) {
   if (const auto index = seal_index_.load(std::memory_order_acquire)) {
+    check::acquire(&seal_index_);
+    check::read_range(index->entries.data(),
+                      index->entries.size() * sizeof(SealIndex::Entry),
+                      "FieldStorage.seal_index.entries");
     if (const SealIndex::Entry* entry = index->find(age)) {
       return make_view(entry->buffer,
                        nd::Region::whole(entry->buffer->extents()));
@@ -179,6 +200,7 @@ StoreResult FieldStorage::store(Age age, const nd::Region& region,
                  "store region rank mismatch on field " + decl_.name);
   std::unique_lock lock(mutex_);
   AgeData& ad = age_data(age);
+  check::write(ad.written, "FieldStorage.age_meta");
 
   StoreResult result;
   if (!region.within(ad.buffer->extents())) {
@@ -230,6 +252,7 @@ int64_t FieldStorage::store_fill(Age age, const nd::Region& region,
                  "store region rank mismatch on field " + decl_.name);
   std::unique_lock lock(mutex_);
   AgeData& ad = age_data(age);
+  check::write(ad.written, "FieldStorage.age_meta");
 
   if (!region.within(ad.buffer->extents())) {
     if (ad.sealed) {
@@ -278,6 +301,7 @@ StoreResult FieldStorage::store_whole(Age age, const nd::AnyBuffer& data,
 void FieldStorage::seal(Age age, const nd::Extents& extents) {
   std::unique_lock lock(mutex_);
   AgeData& ad = age_data(age);
+  check::write(ad.sealed, "FieldStorage.age_meta");
   if (ad.sealed) {
     // Idempotent as long as the extents agree.
     check_internal(extents.fits_in(ad.sealed_extents),
@@ -293,21 +317,25 @@ void FieldStorage::seal(Age age, const nd::Extents& extents) {
 bool FieldStorage::is_sealed(Age age) const {
   std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
-  return ad != nullptr && ad->sealed;
+  if (ad == nullptr) return false;
+  check::read(ad->sealed, "FieldStorage.age_meta");
+  return ad->sealed;
 }
 
 bool FieldStorage::is_complete(Age age) const {
   std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
-  return ad != nullptr && ad->sealed &&
-         static_cast<int64_t>(ad->written.count()) ==
-             ad->sealed_extents.element_count();
+  if (ad == nullptr) return false;
+  check::read(ad->written, "FieldStorage.age_meta");
+  return ad->sealed && static_cast<int64_t>(ad->written.count()) ==
+                           ad->sealed_extents.element_count();
 }
 
 bool FieldStorage::region_written(Age age, const nd::Region& region) const {
   std::shared_lock lock(mutex_);
   const AgeData* ad = find_age(age);
   if (ad == nullptr) return false;
+  check::read(ad->written, "FieldStorage.age_meta");
   const nd::Extents& ext = ad->buffer->extents();
   if (!region.within(ext)) return false;
   if (const auto span = region.contiguous_span(ext)) {
@@ -375,6 +403,8 @@ void FieldStorage::release_age(Age age) {
   const auto it = ages_.find(age);
   if (it == ages_.end()) return;
   const bool was_published = it->second.published;
+  // The age's metadata address may be recycled by a future age: forget it.
+  check::reset_range(&it->second, sizeof(AgeData));
   // Outstanding views keep the payload alive through their keepalive; this
   // only drops the storage's own reference.
   ages_.erase(it);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "check/sync.h"
 #include "common/dynamic_bitset.h"
 #include "core/ids.h"
 #include "nd/buffer.h"
@@ -209,8 +210,10 @@ class FieldStorage {
   FieldDecl decl_;
   bool track_writers_ = false;
   /// Writer lock for stores/seal/release/publish; shared for queries. The
-  /// published-age fetch path takes neither.
-  mutable std::shared_mutex mutex_;
+  /// published-age fetch path takes neither (its ordering is the
+  /// release-store/acquire-load pair on seal_index_, described to the
+  /// checker via check::release/check::acquire annotations).
+  mutable sync::SharedMutex mutex_{"FieldStorage.mutex"};
   std::map<Age, AgeData> ages_;
   std::atomic<std::shared_ptr<const SealIndex>> seal_index_;
 };

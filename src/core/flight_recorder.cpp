@@ -23,6 +23,43 @@ constexpr size_t kMaxRecorders = 32;
 std::atomic<FlightRecorder*> g_recorders[kMaxRecorders];
 std::atomic<int> g_abort_fd{-1};
 
+// Async-signal-safe formatting: snprintf is NOT on the POSIX
+// async-signal-safe list (glibc's may take locale locks or malloc on
+// first use), so the handler formats with these hand-rolled appenders
+// into a stack buffer and emits via write(2) only.
+size_t as_append(char* buf, size_t cap, size_t pos, const char* s) {
+  while (*s != '\0' && pos < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+size_t as_append_dec(char* buf, size_t cap, size_t pos, long long value) {
+  char digits[24];
+  size_t n = 0;
+  // Negate into unsigned space so LLONG_MIN does not overflow.
+  unsigned long long u = value < 0
+      ? ~static_cast<unsigned long long>(value) + 1ULL
+      : static_cast<unsigned long long>(value);
+  do {
+    digits[n++] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0);
+  if (value < 0 && pos < cap) buf[pos++] = '-';
+  while (n > 0 && pos < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+size_t as_append_hex(char* buf, size_t cap, size_t pos,
+                     unsigned long long value) {
+  char digits[16];
+  size_t n = 0;
+  do {
+    digits[n++] = "0123456789abcdef"[value & 0xF];
+    value >>= 4;
+  } while (value != 0);
+  while (n > 0 && pos < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
 extern "C" void p2g_flight_abort_handler(int signum) {
   const int fd = g_abort_fd.load(std::memory_order_acquire);
   if (fd >= 0) {
@@ -30,24 +67,33 @@ extern "C" void p2g_flight_abort_handler(int signum) {
       FlightRecorder* recorder =
           g_recorders[i].load(std::memory_order_acquire);
       if (recorder == nullptr) continue;
-      // Entries are preallocated PODs; formatting uses a stack buffer and
-      // integer-only snprintf, output goes through write(2).
+      // Entries are preallocated PODs; formatting is hand-rolled into a
+      // stack buffer (no snprintf), output goes through write(2).
       recorder->visit_entries([fd, i](const FlightRecorder::Entry& e) {
         char line[256];
-        const int n = std::snprintf(
-            line, sizeof(line),
-            "{\"name\": \"%s\", \"cat\": \"p2g.flight\", \"ph\": \"X\", "
-            "\"pid\": %zu, \"tid\": %lld, \"ts_ns\": %lld, "
-            "\"dur_ns\": %lld, \"span\": \"0x%llx\"}\n",
-            e.name, i, static_cast<long long>(e.thread_id),
-            static_cast<long long>(e.t_ns),
-            static_cast<long long>(e.duration_ns),
-            static_cast<unsigned long long>(e.span_id));
-        if (n > 0) {
-          const ssize_t written =
-              write(fd, line, static_cast<size_t>(n));
-          (void)written;
-        }
+        const size_t cap = sizeof(line);
+        size_t pos = 0;
+        pos = as_append(line, cap, pos, "{\"name\": \"");
+        pos = as_append(line, cap, pos, e.name);
+        pos = as_append(line, cap, pos,
+                        "\", \"cat\": \"p2g.flight\", \"ph\": \"X\", "
+                        "\"pid\": ");
+        pos = as_append_dec(line, cap, pos, static_cast<long long>(i));
+        pos = as_append(line, cap, pos, ", \"tid\": ");
+        pos = as_append_dec(line, cap, pos,
+                            static_cast<long long>(e.thread_id));
+        pos = as_append(line, cap, pos, ", \"ts_ns\": ");
+        pos = as_append_dec(line, cap, pos,
+                            static_cast<long long>(e.t_ns));
+        pos = as_append(line, cap, pos, ", \"dur_ns\": ");
+        pos = as_append_dec(line, cap, pos,
+                            static_cast<long long>(e.duration_ns));
+        pos = as_append(line, cap, pos, ", \"span\": \"0x");
+        pos = as_append_hex(line, cap, pos,
+                            static_cast<unsigned long long>(e.span_id));
+        pos = as_append(line, cap, pos, "\"}\n");
+        const ssize_t written = write(fd, line, pos);
+        (void)written;
       });
     }
     fsync(fd);
@@ -60,9 +106,12 @@ extern "C" void p2g_flight_abort_handler(int signum) {
 
 void FlightRecorder::Ring::snapshot(std::vector<Entry>& out) const {
   const uint64_t head = head_.load(std::memory_order_acquire);
+  check::acquire(&head_);
   const uint64_t count = head < kRingSize ? head : kRingSize;
   for (uint64_t i = head - count; i < head; ++i) {
-    out.push_back(entries_[i & (kRingSize - 1)]);
+    const Entry& e = entries_[i & (kRingSize - 1)];
+    check::racy_read(&e, sizeof(Entry));
+    out.push_back(e);
   }
 }
 

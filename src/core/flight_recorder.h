@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/sync.h"
 #include "core/trace.h"
 
 namespace p2g {
@@ -52,7 +53,13 @@ class FlightRecorder {
    public:
     void record(const Entry& entry) {
       const uint64_t head = head_.load(std::memory_order_relaxed);
-      entries_[head & (kRingSize - 1)] = entry;
+      Entry& slot = entries_[head & (kRingSize - 1)];
+      // Single-writer invariant: write_range flags a second thread ever
+      // recording into this ring; the release edge on head_ models the
+      // release-store publication below.
+      slot = entry;
+      check::write_range(&slot, sizeof(Entry), "FlightRecorder.ring.entry");
+      check::release(&head_);
       head_.store(head + 1, std::memory_order_release);
     }
 
@@ -63,9 +70,14 @@ class FlightRecorder {
     template <typename Fn>
     void visit(Fn&& fn) const {
       const uint64_t head = head_.load(std::memory_order_acquire);
+      check::acquire(&head_);
       const uint64_t count = head < kRingSize ? head : kRingSize;
       for (uint64_t i = head - count; i < head; ++i) {
-        fn(entries_[i & (kRingSize - 1)]);
+        const Entry& e = entries_[i & (kRingSize - 1)];
+        // A torn in-progress entry at the head is acceptable postmortem
+        // data; declare the read intentionally racy.
+        check::racy_read(&e, sizeof(Entry));
+        fn(e);
       }
     }
 

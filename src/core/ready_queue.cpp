@@ -6,6 +6,7 @@ void ReadyQueue::push(WorkItem item) {
   bool wake = false;
   {
     std::scoped_lock lock(mutex_);
+    check::write(next_seq_, "ReadyQueue.items");
     item.seq = next_seq_++;
     items_.push(std::move(item));
     wake = waiters_ > 0;
@@ -18,6 +19,7 @@ void ReadyQueue::push_batch(std::vector<WorkItem> items) {
   bool wake = false;
   {
     std::scoped_lock lock(mutex_);
+    check::write(next_seq_, "ReadyQueue.items");
     for (WorkItem& item : items) {
       item.seq = next_seq_++;
       items_.push(std::move(item));
@@ -28,6 +30,7 @@ void ReadyQueue::push_batch(std::vector<WorkItem> items) {
 }
 
 WorkItem ReadyQueue::take_top() {
+  check::write(next_seq_, "ReadyQueue.items");
   WorkItem item = std::move(const_cast<WorkItem&>(items_.top()));
   items_.pop();
   return item;
@@ -38,6 +41,7 @@ std::optional<WorkItem> ReadyQueue::pop() {
   ++waiters_;
   cv_.wait(lock, [&] { return !items_.empty() || closed_; });
   --waiters_;
+  check::read(closed_, "ReadyQueue.closed");
   if (items_.empty()) return std::nullopt;
   WorkItem item = take_top();
   // More work and somebody is parked: pass the wakeup along so the chain
@@ -54,6 +58,7 @@ std::optional<WorkItem> ReadyQueue::pop(std::optional<WorkItem>& bonus) {
   ++waiters_;
   cv_.wait(lock, [&] { return !items_.empty() || closed_; });
   --waiters_;
+  check::read(closed_, "ReadyQueue.closed");
   if (items_.empty()) return std::nullopt;
   WorkItem item = take_top();
   if (!items_.empty() && waiters_ == 0) {
@@ -70,6 +75,7 @@ std::optional<WorkItem> ReadyQueue::pop(std::optional<WorkItem>& bonus) {
 void ReadyQueue::close() {
   {
     std::scoped_lock lock(mutex_);
+    check::write(closed_, "ReadyQueue.closed");
     closed_ = true;
   }
   cv_.notify_all();

@@ -13,13 +13,13 @@
 // trips under load without starving idle peers.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <queue>
 #include <vector>
 
+#include "check/sync.h"
 #include "core/ids.h"
 #include "core/trace.h"
 #include "nd/extents.h"
@@ -85,8 +85,8 @@ class ReadyQueue {
   WorkItem take_top();
 
   bool age_priority_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mutex_{"ReadyQueue.mutex"};
+  sync::CondVar cv_{"ReadyQueue.cv"};
   std::priority_queue<WorkItem, std::vector<WorkItem>, Compare> items_{
       Compare{age_priority_}};
   uint64_t next_seq_ = 0;

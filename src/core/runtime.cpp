@@ -348,6 +348,7 @@ void Runtime::adapt_granularity() {
 void Runtime::begin_shutdown() {
   {
     std::scoped_lock lock(done_mutex_);
+    check::write(done_, "Runtime.done");
     done_ = true;
   }
   events_.close();
@@ -359,6 +360,7 @@ void Runtime::fail(std::exception_ptr error) {
   bool first_error = false;
   {
     std::scoped_lock lock(error_mutex_);
+    check::write(error_, "Runtime.error");
     if (!error_) {
       error_ = std::move(error);
       first_error = true;

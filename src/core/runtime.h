@@ -341,12 +341,12 @@ class Runtime {
   obs::Counter* m_events_ = nullptr;
 
   std::atomic<int64_t> outstanding_{0};
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;
+  sync::Mutex done_mutex_{"Runtime.done_mutex"};
+  sync::CondVar done_cv_{"Runtime.done_cv"};
   bool done_ = false;
   bool started_ = false;
 
-  std::mutex error_mutex_;
+  sync::Mutex error_mutex_{"Runtime.error_mutex"};
   std::exception_ptr error_;
 };
 

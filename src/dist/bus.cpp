@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "check/sync.h"
 #include "common/error.h"
 
 namespace p2g::dist {
@@ -24,6 +25,7 @@ SendStatus MessageBus::deliver(const std::string& to, Message message) {
     if (it == endpoints_.end()) {
       throw_error(ErrorKind::kProtocol, "unknown endpoint '" + to + "'");
     }
+    check::read(closed_, "MessageBus.closed");
     if (closed_) {
       ++stats_.dead_letters;
       return SendStatus::kClosed;
@@ -69,6 +71,7 @@ int MessageBus::broadcast(Message message) {
 
 void MessageBus::close_all() {
   std::scoped_lock lock(mutex_);
+  check::write(closed_, "MessageBus.closed");
   closed_ = true;
   for (auto& [name, mailbox] : endpoints_) {
     mailbox->close();

@@ -96,7 +96,7 @@ class MessageBus {
   bool unreachable(const std::string& to) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"MessageBus.mutex"};
   std::map<std::string, std::shared_ptr<Mailbox>> endpoints_;
   std::set<std::string> dead_;
   bool closed_ = false;

@@ -14,7 +14,8 @@ ReliableChannel::ReliableChannel(dist::MessageBus& bus, std::string self,
       options_(options),
       span_salt_(mix(0x72657472616E7331ULL, hash_str(self_))),
       jitter_(mix(options.seed, hash_str(self_))) {
-  retransmitter_ = std::thread([this] { retransmit_loop(); });
+  retransmitter_ =
+      sync::Thread("retransmitter", [this] { retransmit_loop(); });
 }
 
 ReliableChannel::~ReliableChannel() { stop(); }
@@ -23,6 +24,7 @@ void ReliableChannel::stop() {
   {
     std::scoped_lock lock(mutex_);
     if (stop_) return;
+    check::write(stop_, "ReliableChannel.stop");
     stop_ = true;
   }
   cv_.notify_all();
@@ -159,6 +161,7 @@ ReliableChannel::Stats ReliableChannel::stats() const {
 void ReliableChannel::retransmit_loop() {
   std::unique_lock lock(mutex_);
   while (!stop_) {
+    check::read(stop_, "ReliableChannel.stop");
     // Earliest pending deadline across all peers.
     int64_t next = -1;
     for (const auto& [peer, state] : senders_) {

@@ -15,14 +15,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "check/sync.h"
 #include "common/rng.h"
 #include "core/trace.h"
 #include "dist/bus.h"
@@ -128,8 +127,8 @@ class ReliableChannel {
   std::atomic<uint64_t> span_seq_{1};    ///< retransmit span ids
   const uint64_t span_salt_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mutex_{"ReliableChannel.mutex"};
+  sync::CondVar cv_{"ReliableChannel.cv"};
   std::map<std::string, PeerSend> senders_;
   std::map<std::string, PeerRecv> receivers_;
   Rng jitter_;
@@ -142,7 +141,10 @@ class ReliableChannel {
   std::atomic<int64_t> acks_received_{0};
   std::atomic<int64_t> unacked_{0};
 
-  std::thread retransmitter_;
+  /// sync::Thread, not std::thread: under a p2gcheck exploration session
+  /// the retransmitter becomes a schedulable participant of the virtual
+  /// schedule instead of free-running outside it.
+  sync::Thread retransmitter_;
 };
 
 }  // namespace p2g::ft

@@ -266,6 +266,75 @@ TEST(Lint, UnreachableKernelDownstreamOfUndefinedFetch) {
   EXPECT_EQ(d->primary.name, "downstream");
 }
 
+// W007 scaffold: `acc` stores a new age of `history` every turn; the
+// consumer's fetch age is the variable under test.
+Program growth_program(AgeExpr probe_age) {
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 1);
+  pb.field("history", nd::ElementType::kInt32, 1);
+  pb.field("out", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"seed").store("out", "src", AgeExpr::relative(0), Slice());
+  nop_kernel(pb,"acc")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("res", "history", AgeExpr::relative(0), Slice().var("x"));
+  // The tick fetch bounds probe's age domain (an aged kernel cannot fetch
+  // only constant ages); the history fetch age is what W007 looks at.
+  nop_kernel(pb,"probe")
+      .fetch("tick", "src", AgeExpr::relative(0), Slice())
+      .fetch("in", "history", probe_age, Slice())
+      .store("res", "out", AgeExpr::relative(0), Slice());
+  return pb.build();
+}
+
+TEST(Lint, UnboundedGrowthWhenAllConsumersPinConstantAges) {
+  const LintReport report = lint(growth_program(AgeExpr::constant(0)));
+  ASSERT_EQ(report.count(kUnboundedGrowth), 1u) << report.to_text();
+  const Diagnostic* d = report.find(kUnboundedGrowth);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->primary.kind, Anchor::Kind::kStore);
+  EXPECT_EQ(d->primary.name, "acc");
+  EXPECT_EQ(d->secondary.name, "history");
+  EXPECT_NE(d->message.find("without bound"), std::string::npos) << d->message;
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(Lint, RelativeConsumerDrainsGrowthCleanly) {
+  const LintReport report = lint(growth_program(AgeExpr::relative(0)));
+  EXPECT_EQ(report.count(kUnboundedGrowth), 0u) << report.to_text();
+}
+
+TEST(Lint, WriteOnlyTerminalFieldIsNotUnboundedGrowth) {
+  // The smoothing.p2g `averages` pattern: stored at a relative age, zero
+  // consumers — drained by the host after the run, not a leak.
+  ProgramBuilder pb;
+  pb.field("src", nd::ElementType::kInt32, 1);
+  pb.field("sink", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"seed").store("out", "src", AgeExpr::relative(0), Slice());
+  nop_kernel(pb,"emit")
+      .index("x")
+      .fetch("in", "src", AgeExpr::relative(0), Slice().var("x"))
+      .store("res", "sink", AgeExpr::relative(0), Slice().var("x"));
+  const LintReport report = lint(pb.build());
+  EXPECT_EQ(report.count(kUnboundedGrowth), 0u) << report.to_text();
+}
+
+TEST(Lint, ConstantAgeStoreIsNotUnboundedGrowth) {
+  // A constant-age store writes once, not once per turn: a constant-age
+  // consumer of it is the natural pairing (kmeans' datapoints(0)).
+  ProgramBuilder pb;
+  pb.field("snapshot", nd::ElementType::kInt32, 1);
+  pb.field("out", nd::ElementType::kInt32, 1);
+  nop_kernel(pb,"init").run_once().store("out", "snapshot",
+                                         AgeExpr::constant(0), Slice());
+  nop_kernel(pb,"probe")
+      .run_once()
+      .fetch("in", "snapshot", AgeExpr::constant(0), Slice())
+      .store("res", "out", AgeExpr::constant(0), Slice());
+  const LintReport report = lint(pb.build());
+  EXPECT_EQ(report.count(kUnboundedGrowth), 0u) << report.to_text();
+}
+
 TEST(Lint, WorkloadProgramsHaveZeroFindings) {
   // Acceptance: zero false positives over every shipped workload.
   EXPECT_TRUE(lint(workloads::Mul2Plus5{}.build()).empty());

@@ -1,0 +1,226 @@
+// p2gcheck: concurrency analysis of the runtime's converted subsystems
+// from the command line. Runs registered check suites under the seeded
+// schedule explorer (src/check): a sweep of PCT schedules per suite, or a
+// single replayed seed, or exhaustive enumeration for small bodies.
+//
+//   p2gcheck [--list] [--suite NAME] [--seeds N] [--seed S]
+//            [--first-seed S] [--exhaustive] [--max-runs N]
+//            [--keep-going] [--json]
+//
+// Ordinary suites must sweep clean; fixture suites (seeded bugs) must
+// produce their expected diagnostic code — a fixture that stops failing
+// means the checker regressed, and fails the run. Every finding prints a
+// replay command line: the same seed always reproduces the identical
+// schedule. Exit codes: 0 = all expectations met, 1 = findings in an
+// ordinary suite or a fixture that found nothing, 2 = usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/explore.h"
+#include "check/registry.h"
+#include "common/string_util.h"
+
+namespace {
+
+using p2g::check::CheckSuite;
+using p2g::check::RunResult;
+using p2g::check::SweepOptions;
+using p2g::check::SweepResult;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: p2gcheck [--list] [--suite NAME] [--seeds N] [--seed S]\n"
+      "                [--first-seed S] [--exhaustive] [--max-runs N]\n"
+      "                [--keep-going] [--json]\n"
+      "  --list        list registered suites and exit\n"
+      "  --suite NAME  run one suite (default: all)\n"
+      "  --seeds N     schedules to explore per suite (default 100)\n"
+      "  --seed S      replay exactly one seed (prints the full report)\n"
+      "  --first-seed S  start the sweep at seed S (default 1)\n"
+      "  --exhaustive  enumerate every schedule (small bodies only)\n"
+      "  --max-runs N  exhaustive enumeration budget (default 1024)\n"
+      "  --keep-going  do not stop a suite's sweep at its first finding\n"
+      "  --json        machine-readable report per suite\n");
+  return 2;
+}
+
+struct SuiteOutcome {
+  bool pass = false;
+  uint32_t runs = 0;
+  std::string detail;               ///< one-line human summary
+  std::vector<RunResult> failures;  ///< runs with diagnostics
+};
+
+/// A fixture passes when some run produced its expected code; an ordinary
+/// suite passes when no run produced anything.
+SuiteOutcome judge(const CheckSuite& suite, const SweepResult& result) {
+  SuiteOutcome outcome;
+  outcome.runs = result.runs;
+  outcome.failures = result.failures;
+  if (!suite.expect_findings) {
+    outcome.pass = result.clean();
+    outcome.detail = outcome.pass
+                         ? (result.complete ? "clean, schedule space complete"
+                                            : "clean")
+                         : "findings in a suite expected to be clean";
+    return outcome;
+  }
+  for (const RunResult& run : result.failures) {
+    if (run.report.count(suite.expected_code) > 0) {
+      outcome.pass = true;
+      outcome.detail = "found expected " + suite.expected_code + " at seed " +
+                       std::to_string(run.seed);
+      return outcome;
+    }
+  }
+  outcome.detail = result.failures.empty()
+                       ? "fixture produced no findings (expected " +
+                             suite.expected_code + ")"
+                       : "fixture findings lack expected " +
+                             suite.expected_code;
+  return outcome;
+}
+
+void print_failure(const CheckSuite& suite, const RunResult& run) {
+  std::printf("  seed %llu:\n", static_cast<unsigned long long>(run.seed));
+  for (const auto& d : run.report.diagnostics) {
+    std::printf("    %s\n", d.to_string().c_str());
+  }
+  std::printf("  replay: p2gcheck --suite %s --seed %llu\n",
+              suite.name.c_str(), static_cast<unsigned long long>(run.seed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool json = false;
+  bool exhaustive = false;
+  bool keep_going = false;
+  bool single_seed = false;
+  uint64_t seed = 0;
+  uint64_t first_seed = 1;
+  uint32_t seeds = 100;
+  uint32_t max_runs = 1024;
+  std::string only;
+
+  const auto number = [&](int& i, const char* flag) -> uint64_t {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "p2gcheck: %s needs a value\n", flag);
+      std::exit(usage());
+    }
+    return std::strtoull(argv[++i], nullptr, 10);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--exhaustive") {
+      exhaustive = true;
+    } else if (arg == "--keep-going") {
+      keep_going = true;
+    } else if (arg == "--suite") {
+      if (i + 1 >= argc) return usage();
+      only = argv[++i];
+    } else if (arg == "--seed") {
+      single_seed = true;
+      seed = number(i, "--seed");
+    } else if (arg == "--seeds") {
+      seeds = static_cast<uint32_t>(number(i, "--seeds"));
+    } else if (arg == "--first-seed") {
+      first_seed = number(i, "--first-seed");
+    } else if (arg == "--max-runs") {
+      max_runs = static_cast<uint32_t>(number(i, "--max-runs"));
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      std::fprintf(stderr, "p2gcheck: unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  p2g::check::register_builtin_suites();
+
+  if (list) {
+    for (const CheckSuite& suite : p2g::check::suites()) {
+      std::printf("%-32s %s%s\n", suite.name.c_str(),
+                  suite.description.c_str(),
+                  suite.expect_findings
+                      ? (" [fixture: expects " + suite.expected_code + "]")
+                            .c_str()
+                      : "");
+    }
+    return 0;
+  }
+
+  std::vector<const CheckSuite*> selected;
+  for (const CheckSuite& suite : p2g::check::suites()) {
+    if (only.empty() || suite.name == only) selected.push_back(&suite);
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "p2gcheck: no suite named '%s'\n", only.c_str());
+    return 2;
+  }
+
+  bool all_pass = true;
+  std::string json_out = "{";
+  bool json_first = true;
+  for (const CheckSuite* suite : selected) {
+    SweepOptions options;
+    options.exhaustive = exhaustive;
+    options.max_runs = max_runs;
+    options.stop_on_finding = !keep_going;
+    SweepResult result;
+    if (single_seed) {
+      RunResult run = p2g::check::run_once(suite->body, seed);
+      result.runs = 1;
+      if (!run.report.empty()) result.failures.push_back(std::move(run));
+    } else {
+      options.first_seed = first_seed;
+      options.seeds = seeds;
+      result = p2g::check::sweep(suite->body, options);
+    }
+    const SuiteOutcome outcome = judge(*suite, result);
+    all_pass = all_pass && outcome.pass;
+
+    if (json) {
+      if (!json_first) json_out += ",";
+      json_first = false;
+      json_out += "\"" + p2g::json_escape(suite->name) +
+                  "\":{\"pass\":" + (outcome.pass ? "true" : "false") +
+                  ",\"runs\":" + std::to_string(outcome.runs) +
+                  ",\"failures\":[";
+      for (size_t i = 0; i < outcome.failures.size(); ++i) {
+        if (i > 0) json_out += ",";
+        json_out += "{\"seed\":" + std::to_string(outcome.failures[i].seed) +
+                    ",\"report\":" + outcome.failures[i].report.to_json() +
+                    "}";
+      }
+      json_out += "]}";
+      continue;
+    }
+
+    std::printf("%s %s (%u run%s): %s\n", outcome.pass ? "PASS" : "FAIL",
+                suite->name.c_str(), outcome.runs,
+                outcome.runs == 1 ? "" : "s", outcome.detail.c_str());
+    // Show the diagnostics when something went wrong (ordinary suite with
+    // findings, or a fixture that found the wrong thing) — and always on a
+    // single-seed replay, which exists to inspect a finding.
+    if (!outcome.pass || single_seed) {
+      for (const RunResult& run : outcome.failures) {
+        print_failure(*suite, run);
+      }
+    }
+  }
+  if (json) {
+    json_out += "}";
+    std::printf("%s\n", json_out.c_str());
+  }
+  return all_pass ? 0 : 1;
+}
