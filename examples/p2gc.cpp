@@ -6,6 +6,10 @@
 //              [--checked]  record writer provenance (double-write errors
 //                           name both offending kernel instances)
 //   p2gc lint  <file.p2g> [--json]              static analysis only
+//   p2gc dep   <file.p2g> [--json]              symbolic dependence &
+//                                               footprint report
+//                                               (accesses, edges,
+//                                               certificates)
 //   p2gc emit  <file.p2g> [out.cpp]             generate C++ (with main)
 //   p2gc build <file.p2g> [binary]              generate + invoke g++,
 //                                               producing a complete
@@ -33,8 +37,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: p2gc run <file.p2g> [max_age] [workers] "
-               "[--lint] [--checked]\n"
+               "[--lint] [--checked] [--no-certs]\n"
                "       p2gc lint <file.p2g> [--json]\n"
+               "       p2gc dep <file.p2g> [--json]\n"
                "       p2gc emit <file.p2g> [out.cpp]\n"
                "       p2gc build <file.p2g> [binary]\n"
                "       p2gc graph <file.p2g>\n");
@@ -53,6 +58,16 @@ int cmd_lint(const std::string& path, bool json) {
   return report.has_errors() ? 1 : 0;
 }
 
+int cmd_dep(const std::string& path, bool json) {
+  const analysis::DependenceReport report = analysis::dep_file(path);
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  return report.diagnostics.has_errors() ? 1 : 0;
+}
+
 int cmd_run(const std::string& path, int argc, char** argv) {
   bool lint = false;
   RunOptions options;
@@ -63,6 +78,8 @@ int cmd_run(const std::string& path, int argc, char** argv) {
       lint = true;
     } else if (arg == "--checked") {
       options.checked = true;
+    } else if (arg == "--no-certs") {
+      options.use_certificates = false;
     } else {
       positional.push_back(argv[i]);
     }
@@ -78,6 +95,9 @@ int cmd_run(const std::string& path, int argc, char** argv) {
   lang::CompiledModule compiled = lang::compile_file(path);
   if (positional.size() > 0) options.max_age = std::atoll(positional[0]);
   if (positional.size() > 1) options.workers = std::atoi(positional[1]);
+  // Embed independence certificates: statically proven (field, fetch)
+  // independence lets the analyzer skip fine-grained region checks.
+  const size_t certificates = compiled.program.certify();
   Runtime runtime(std::move(compiled.program), options);
   const RunReport report = runtime.run();
   for (const std::string& line : compiled.printed->snapshot()) {
@@ -85,6 +105,9 @@ int cmd_run(const std::string& path, int argc, char** argv) {
   }
   std::printf("\nwall time: %.3f s\n%s", report.wall_s,
               report.instrumentation.to_table().c_str());
+  std::printf("certificates: %zu embedded, %lld region checks skipped\n",
+              certificates,
+              static_cast<long long>(runtime.certified_skips()));
   return report.timed_out ? 1 : 0;
 }
 
@@ -158,6 +181,10 @@ int main(int argc, char** argv) {
     if (command == "lint") {
       return cmd_lint(path,
                       argc > 3 && std::string(argv[3]) == "--json");
+    }
+    if (command == "dep") {
+      return cmd_dep(path,
+                     argc > 3 && std::string(argv[3]) == "--json");
     }
     if (command == "emit") {
       return cmd_emit(path, argc > 3 ? argv[3] : "out.cpp");

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# One-shot static-analysis gate over the whole tree:
+#
+#   1. clang-tidy over the framework C++ sources (src/), honouring the
+#      checked-in .clang-tidy config. Findings are filtered against the
+#      `tidy` regexes in scripts/analyze_baseline.txt, so known accepted
+#      findings don't fail the gate while new ones do. Skipped with a
+#      notice when no clang-tidy binary is on PATH (the kernel-language
+#      analyses below still run).
+#   2. p2glint --werror and p2gdep --werror over every shipped example
+#      program (examples/programs/*.p2g): the examples must be completely
+#      clean, warnings included (kInfo dependence reports are exempt from
+#      --werror by design).
+#   3. The seeded-bug lint fixtures (examples/lint/*.p2g) checked against
+#      their baselined diagnostic codes: each fixture must keep producing
+#      exactly the finding it was planted for.
+#
+# Usage:
+#   scripts/analyze.sh [build-dir]      # default: <repo>/build
+#
+# Wired into ctest as the `analysis`-labeled static_analysis_gate test, so
+# the tier-1 run (`ctest -LE "bench|chaos|check"`) includes it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+baseline="$repo/scripts/analyze_baseline.txt"
+rc=0
+
+if [ ! -x "$build/tools/p2glint" ] || [ ! -x "$build/tools/p2gdep" ]; then
+  echo "analyze: p2glint/p2gdep not built in $build — build first" >&2
+  exit 2
+fi
+
+# ---------------------------------------------------------- 1. clang-tidy
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$build/compile_commands.json" ]; then
+    cmake -S "$repo" -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      >/dev/null
+  fi
+  # Baselined findings: regexes on `tidy ` lines of the baseline file.
+  tidy_baseline="$(sed -n 's/^tidy //p' "$baseline")"
+  tidy_out="$(mktemp)"
+  find "$repo/src" -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p "$build" --quiet 2>/dev/null |
+    grep -E "warning:|error:" >"$tidy_out" || true
+  if [ -n "$tidy_baseline" ]; then
+    fresh="$(grep -v -E -f <(printf '%s\n' "$tidy_baseline") "$tidy_out" || true)"
+  else
+    fresh="$(cat "$tidy_out")"
+  fi
+  rm -f "$tidy_out"
+  if [ -n "$fresh" ]; then
+    echo "analyze: clang-tidy findings not in the baseline:" >&2
+    printf '%s\n' "$fresh" >&2
+    rc=1
+  else
+    echo "analyze: clang-tidy clean (baseline applied)"
+  fi
+else
+  echo "analyze: clang-tidy not on PATH — skipping C++ static analysis"
+fi
+
+# --------------------------------------- 2. example programs must be clean
+for program in "$repo"/examples/programs/*.p2g; do
+  if ! "$build/tools/p2glint" --werror "$program" >/dev/null; then
+    echo "analyze: p2glint --werror failed on $program" >&2
+    rc=1
+  fi
+  if ! "$build/tools/p2gdep" --werror "$program" >/dev/null; then
+    echo "analyze: p2gdep --werror failed on $program" >&2
+    rc=1
+  fi
+done
+echo "analyze: examples/programs/*.p2g lint+dep clean"
+
+# ------------------------------- 3. fixtures must keep their seeded bugs
+while read -r tool path code; do
+  case "$tool" in
+    lint) out="$("$build/tools/p2glint" "$repo/$path" || true)" ;;
+    *) continue ;;
+  esac
+  if ! printf '%s' "$out" | grep -q "$code"; then
+    echo "analyze: fixture $path no longer produces $code" >&2
+    rc=1
+  fi
+done < <(grep -E '^lint ' "$baseline")
+echo "analyze: seeded fixtures still flagged"
+
+if [ "$rc" -eq 0 ]; then
+  echo "analyze: OK"
+else
+  echo "analyze: FAIL" >&2
+fi
+exit "$rc"

@@ -79,6 +79,7 @@ t_done=$(date +%s)
 echo "tier1: ${sanitize:-plain} build $((t_built - t_start))s," \
   "tests $((t_done - t_built))s, total $((t_done - t_start))s," \
   "modes [sanitize=${sanitize:-none} werror=${P2G_WERROR:-OFF}" \
-  "clang-tidy=${P2G_CLANG_TIDY:-OFF} chaos-smoke p2gcheck-smoke]," \
+  "clang-tidy=${P2G_CLANG_TIDY:-OFF} chaos-smoke p2gcheck-smoke" \
+  "analysis-gate]," \
   "$([ "$rc" -eq 0 ] && echo OK || echo "FAIL rc=$rc")"
 exit "$rc"

@@ -7,7 +7,12 @@
 namespace p2g::analysis {
 
 std::string_view to_string(Severity severity) {
-  return severity == Severity::kError ? "error" : "warning";
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
 }
 
 Anchor Anchor::field(std::string name) {
@@ -135,7 +140,19 @@ size_t LintReport::error_count() const {
 }
 
 size_t LintReport::warning_count() const {
-  return diagnostics.size() - error_count();
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+size_t LintReport::info_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kInfo) ++n;
+  }
+  return n;
 }
 
 size_t LintReport::count(std::string_view code) const {
@@ -161,7 +178,11 @@ std::string LintReport::to_text() const {
     out += '\n';
   }
   out += std::to_string(error_count()) + " error(s), " +
-         std::to_string(warning_count()) + " warning(s)\n";
+         std::to_string(warning_count()) + " warning(s)";
+  if (info_count() > 0) {
+    out += ", " + std::to_string(info_count()) + " info";
+  }
+  out += '\n';
   return out;
 }
 
@@ -173,7 +194,8 @@ std::string LintReport::to_json() const {
     os << diagnostics[i].to_json();
   }
   os << "],\"errors\":" << error_count()
-     << ",\"warnings\":" << warning_count() << "}";
+     << ",\"warnings\":" << warning_count()
+     << ",\"infos\":" << info_count() << "}";
   return os.str();
 }
 

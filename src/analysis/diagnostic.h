@@ -25,6 +25,10 @@ inline constexpr const char* kBadConstIndex = "P2G-W004";
 inline constexpr const char* kUnusedField = "P2G-W005";
 inline constexpr const char* kUnreachableKernel = "P2G-W006";
 inline constexpr const char* kUnboundedGrowth = "P2G-W007";
+inline constexpr const char* kOutOfBoundsSlice = "P2G-W008";
+inline constexpr const char* kDeadStore = "P2G-W009";
+inline constexpr const char* kFusionLegality = "P2G-W010";
+inline constexpr const char* kFootprintBound = "P2G-W011";
 
 // Concurrency diagnostics emitted by p2gcheck (src/check). Same stable-code
 // contract as the lint codes above.
@@ -33,7 +37,10 @@ inline constexpr const char* kLockCycle = "P2G-C002";
 inline constexpr const char* kLostWakeup = "P2G-C003";
 inline constexpr const char* kLiveLock = "P2G-C004";
 
-enum class Severity { kWarning, kError };
+/// kInfo diagnostics are analysis *reports* (fusion legality, footprint
+/// bounds), not findings: p2glint never emits them and --werror ignores
+/// them; they surface through p2gdep's dependence report only.
+enum class Severity { kInfo, kWarning, kError };
 
 std::string_view to_string(Severity severity);
 
@@ -86,6 +93,7 @@ struct LintReport {
   bool empty() const { return diagnostics.empty(); }
   size_t error_count() const;
   size_t warning_count() const;
+  size_t info_count() const;
   bool has_errors() const { return error_count() > 0; }
 
   /// Number of diagnostics with the given code.

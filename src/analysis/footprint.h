@@ -1,0 +1,122 @@
+// Symbolic footprints: which elements of a field a fetch/store statement
+// may touch, expressed per dimension as a strided interval whose upper
+// bound may be a concrete integer, the (statically unknown) runtime extent
+// of a field dimension, or unbounded.
+//
+// The dependence pass (dependence.h) builds footprints from SliceSpecs and
+// compares them with the conservative may_overlap / contains predicates
+// below: may_overlap never returns false for a pair that can actually
+// collide, and contains never returns true unless containment holds for
+// every admissible extent valuation. Both treat a symbolic extent as an
+// opaque non-negative unknown — two different extent symbols are never
+// assumed equal, the same symbol always is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace p2g::analysis {
+
+/// Upper bound of a dimension footprint.
+struct SymBound {
+  enum class Kind { kFinite, kExtent, kUnbounded };
+
+  Kind kind = Kind::kFinite;
+  int64_t value = 0;             ///< kFinite
+  FieldId field = kInvalidField; ///< kExtent: |field.dim|
+  size_t dim = 0;                ///< kExtent
+
+  static SymBound finite(int64_t v) {
+    SymBound b;
+    b.value = v;
+    return b;
+  }
+  static SymBound extent(FieldId field, size_t dim) {
+    SymBound b;
+    b.kind = Kind::kExtent;
+    b.field = field;
+    b.dim = dim;
+    return b;
+  }
+  static SymBound unbounded() {
+    SymBound b;
+    b.kind = Kind::kUnbounded;
+    return b;
+  }
+
+  bool is_finite() const { return kind == Kind::kFinite; }
+
+  /// "8", "|f3.1|" (extent of dimension 1 of field id 3), "inf".
+  std::string to_string() const;
+
+  bool operator==(const SymBound&) const = default;
+};
+
+/// Strided interval of one dimension: {lo + k*step | k >= 0} ∩ [lo, hi).
+/// Always normalized: step >= 1, and an empty set is canonically
+/// {lo=0, hi=finite 0, step=1}.
+struct DimFootprint {
+  int64_t lo = 0;
+  SymBound hi = SymBound::finite(0);
+  int64_t step = 1;
+
+  static DimFootprint point(int64_t at) {
+    return DimFootprint{at, SymBound::finite(at + 1), 1};
+  }
+  static DimFootprint range(int64_t lo, SymBound hi, int64_t step = 1);
+  /// The full dimension [0, |field.dim|).
+  static DimFootprint full(FieldId field, size_t dim) {
+    return DimFootprint{0, SymBound::extent(field, dim), 1};
+  }
+  static DimFootprint empty() { return DimFootprint{}; }
+
+  /// Provably empty. A symbolic upper bound may be 0 at runtime, but that
+  /// is not *provable* emptiness, so only finite hi <= lo qualifies.
+  bool is_empty() const { return hi.is_finite() && hi.value <= lo; }
+  bool is_point() const { return hi.is_finite() && hi.value == lo + 1; }
+
+  /// "5" (point), "[2,11):2" (strided), "[0,|f1.0|)" (symbolic).
+  std::string to_string() const;
+
+  bool operator==(const DimFootprint&) const = default;
+};
+
+/// Builds a normalized footprint from a python-range-like (start, stop,
+/// step) triple; step < 0 walks downward (stop exclusive), step must be
+/// non-zero. normalize(10, 0, -2) = {2,4,6,8,10} = [2,11):2.
+DimFootprint normalize(int64_t start, int64_t stop, int64_t step);
+
+/// May the two sets share an element under some extent valuation?
+bool may_overlap(const DimFootprint& a, const DimFootprint& b);
+
+/// Does `outer` contain `inner` under every extent valuation?
+bool contains(const DimFootprint& outer, const DimFootprint& inner);
+
+/// Footprint of one statement over one field: either the whole field
+/// (whatever its extents turn out to be) or one DimFootprint per dimension.
+struct Footprint {
+  FieldId field = kInvalidField;
+  bool whole = false;
+  std::vector<DimFootprint> dims;  ///< empty when whole
+
+  static Footprint whole_field(FieldId field) {
+    Footprint f;
+    f.field = field;
+    f.whole = true;
+    return f;
+  }
+
+  bool is_empty() const;
+  /// "whole" or "[x∈...][*]"-style per-dim rendering.
+  std::string to_string() const;
+
+  bool operator==(const Footprint&) const = default;
+};
+
+bool may_overlap(const Footprint& a, const Footprint& b);
+bool contains(const Footprint& outer, const Footprint& inner);
+
+}  // namespace p2g::analysis

@@ -69,6 +69,8 @@ void annotate(Anchor& anchor, const LineTables& tables) {
       if (it != tables.fields.end()) anchor.line = it->second;
       return;
     }
+    case Anchor::Kind::kSite:
+      return;  // already carries its own site/line description
     case Anchor::Kind::kKernel:
     case Anchor::Kind::kFetch:
     case Anchor::Kind::kStore: {
@@ -110,6 +112,25 @@ LintReport lint_source(const std::string& source, const LintOptions& options) {
 
 LintReport lint_file(const std::string& path, const LintOptions& options) {
   return lint_source(lang::read_file(path), options);
+}
+
+DependenceReport dep_source(const std::string& source) {
+  lang::ModuleAst module = lang::parse_module(source);
+  const lang::ModuleInfo info = lang::analyze(module);
+  const LineTables tables = build_line_tables(module, info);
+
+  const lang::CompiledModule compiled =
+      lang::compile_to_program(std::move(module));
+  DependenceReport report = analyze_dependences(compiled.program);
+  for (Diagnostic& d : report.diagnostics.diagnostics) {
+    annotate(d.primary, tables);
+    annotate(d.secondary, tables);
+  }
+  return report;
+}
+
+DependenceReport dep_file(const std::string& path) {
+  return dep_source(lang::read_file(path));
 }
 
 }  // namespace p2g::analysis

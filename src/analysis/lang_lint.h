@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "analysis/dependence.h"
 #include "analysis/lint.h"
 
 namespace p2g::analysis {
@@ -18,5 +19,12 @@ LintReport lint_source(const std::string& source,
 
 /// Reads and lints a .p2g file; throws kIo when unreadable.
 LintReport lint_file(const std::string& path, const LintOptions& options = {});
+
+/// Runs the symbolic dependence pass (dependence.h) over kernel-language
+/// source, annotating diagnostic anchors with source lines.
+DependenceReport dep_source(const std::string& source);
+
+/// Same, reading a .p2g file; throws kIo when unreadable.
+DependenceReport dep_file(const std::string& path);
 
 }  // namespace p2g::analysis

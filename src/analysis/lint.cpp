@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dependence.h"
 #include "common/error.h"
 #include "core/dependency.h"
 
@@ -144,6 +145,7 @@ void check_write_conflicts(const Program& program,
       d.code = kWriteConflict;
       d.severity = Severity::kError;
       d.primary = Anchor::store(def.name, p.statement);
+      d.secondary = Anchor::field(field.name);
       d.message = store_to_string(program, def, p.statement) +
                   " does not address index variable(s) " + missing +
                   "; instances of '" + def.name +
@@ -214,6 +216,7 @@ void check_const_indices(const Program& program,
                          LintReport& report) {
   const auto negative_const_dims = [&](const nd::SliceSpec& slice,
                                        const Anchor& anchor,
+                                       const std::string& field_name,
                                        const std::string& what) {
     if (slice.is_whole()) return;
     for (size_t dim = 0; dim < slice.rank(); ++dim) {
@@ -223,6 +226,7 @@ void check_const_indices(const Program& program,
         diag.code = kBadConstIndex;
         diag.severity = Severity::kError;
         diag.primary = anchor;
+        diag.secondary = Anchor::field(field_name);
         diag.message = what + " uses constant index " +
                        std::to_string(d.value) + " in dimension " +
                        std::to_string(dim) + "; indices start at 0";
@@ -240,12 +244,14 @@ void check_const_indices(const Program& program,
         d.code = kBadConstIndex;
         d.severity = Severity::kError;
         d.primary = anchor;
+        d.secondary = Anchor::field(program.field(s.field).name);
         d.message = store_to_string(program, def, i) +
                     " targets constant age " + std::to_string(s.age.value) +
                     "; ages start at 0";
         report.diagnostics.push_back(std::move(d));
       }
-      negative_const_dims(s.slice, anchor, store_to_string(program, def, i));
+      negative_const_dims(s.slice, anchor, program.field(s.field).name,
+                          store_to_string(program, def, i));
     }
 
     for (size_t i = 0; i < def.fetches.size(); ++i) {
@@ -257,12 +263,13 @@ void check_const_indices(const Program& program,
         d.code = kBadConstIndex;
         d.severity = Severity::kError;
         d.primary = anchor;
+        d.secondary = Anchor::field(program.field(f.field).name);
         d.message = text + " reads constant age " +
                     std::to_string(f.age.value) + "; ages start at 0";
         report.diagnostics.push_back(std::move(d));
         continue;
       }
-      negative_const_dims(f.slice, anchor, text);
+      negative_const_dims(f.slice, anchor, program.field(f.field).name, text);
 
       // Coverage of constant ages / constant indices against the field's
       // feasible producers (skipped entirely when the field has none —
@@ -610,6 +617,8 @@ LintReport lint(const Program& program, const LintOptions& options) {
   std::set<std::string> cycle_kernels;
   check_aging_cycles(program, report, cycle_kernels);
   check_unbounded_growth(program, first_feasible, report);
+  check_oob_slices(program, report);
+  check_dead_stores(program, first_feasible, report);
   if (options.warn_unused) {
     check_unused(program, first_feasible, cycle_kernels, report);
   }

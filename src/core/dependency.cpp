@@ -86,6 +86,19 @@ DependencyAnalyzer::DependencyAnalyzer(Runtime& runtime)
       serial_[k.id].next = first[static_cast<size_t>(k.id)];
     }
   }
+
+  // Resolve embedded independence certificates (Program::certify) into a
+  // per-kernel per-fetch bitmap for the try_enumerate hot path.
+  certified_.resize(program_.kernels().size());
+  if (runtime_.options_.use_certificates) {
+    for (const IndependenceCertificate& cert : program_.certificates()) {
+      auto& flags = certified_[static_cast<size_t>(cert.consumer)];
+      const size_t nfetches =
+          program_.kernel(cert.consumer).fetches.size();
+      if (flags.empty()) flags.assign(nfetches, 0);
+      if (cert.fetch < flags.size()) flags[cert.fetch] = 1;
+    }
+  }
 }
 
 void DependencyAnalyzer::bootstrap() {
@@ -397,10 +410,20 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
   if (def.is_run_once() && age != 0) return;
   if (def.is_source()) return;  // sources are driven by done events
 
+  // Certificate fast path: when the event region arrives through a
+  // certified fetch, that fetch's data is statically known to be fully
+  // written for every candidate the region admits (see
+  // IndependenceCertificate), so both its age-level gate and its
+  // per-candidate region check below are skipped.
+  const bool cert_skip = constrain_fetch && written != nullptr &&
+                         certified(def.id, *constrain_fetch);
+
   // Age-level gates shared by every candidate of this (kernel, age).
-  for (const FetchDecl& f : def.fetches) {
+  for (size_t fi = 0; fi < def.fetches.size(); ++fi) {
+    const FetchDecl& f = def.fetches[fi];
     const Age ga = f.age.resolve(age);
     if (ga < 0) return;  // this age can never run
+    if (cert_skip && fi == *constrain_fetch) continue;
     if (f.slice.is_whole()) {
       if (!storage(f.field).is_complete(ga)) {
         retry_[def.id].insert(age);
@@ -451,7 +474,8 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
   while (true) {
     InstanceKey key{def.id, age, coord};
     if (!dispatched_.count(key)) {
-      if (satisfied(def, age, coord)) {
+      if (satisfied(def, age, coord,
+                    cert_skip ? constrain_fetch : std::nullopt)) {
         create_instance(def, age, coord);
       } else {
         any_unsatisfied = true;
@@ -482,10 +506,16 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
 }
 
 bool DependencyAnalyzer::satisfied(const KernelDef& def, Age age,
-                                   const nd::Coord& coord) const {
-  for (const FetchDecl& f : def.fetches) {
+                                   const nd::Coord& coord,
+                                   std::optional<size_t> skip_fetch) const {
+  for (size_t fi = 0; fi < def.fetches.size(); ++fi) {
+    const FetchDecl& f = def.fetches[fi];
     const Age ga = f.age.resolve(age);
     if (ga < 0) return false;
+    if (skip_fetch && fi == *skip_fetch) {
+      ++certified_skips_;
+      continue;
+    }
     FieldStorage& fs = storage(f.field);
     if (f.slice.is_whole()) {
       if (!fs.is_complete(ga)) return false;

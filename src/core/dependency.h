@@ -51,6 +51,10 @@ class DependencyAnalyzer {
     return static_cast<int64_t>(dispatched_.size());
   }
 
+  /// Per-candidate dependence checks skipped via independence certificates
+  /// (Program::certify + RunOptions::use_certificates).
+  int64_t certified_skip_count() const { return certified_skips_; }
+
   /// The first age at which each kernel can ever run, derived by fixpoint
   /// over the static graph (a kernel fetching f(a-1) cannot run before
   /// age 1; consumers of its output inherit the bound transitively).
@@ -107,7 +111,19 @@ class DependencyAnalyzer {
                      const nd::Region* written);
 
   /// All fetch dependencies of a candidate instance are fulfilled.
-  bool satisfied(const KernelDef& def, Age age, const nd::Coord& coord) const;
+  /// `skip_fetch` marks one fetch as certificate-satisfied: the caller
+  /// proved (via an independence certificate plus a just-committed region
+  /// constraining the candidate) that its data is fully written, so its
+  /// fine-grained region check is skipped.
+  bool satisfied(const KernelDef& def, Age age, const nd::Coord& coord,
+                 std::optional<size_t> skip_fetch = std::nullopt) const;
+
+  /// True when (consumer kernel, fetch) carries an independence
+  /// certificate and RunOptions::use_certificates is on.
+  bool certified(KernelId kernel, size_t fetch) const {
+    const auto& flags = certified_[static_cast<size_t>(kernel)];
+    return fetch < flags.size() && flags[fetch] != 0;
+  }
 
   /// Marks dispatched (including a fused downstream twin) and buffers the
   /// instance for chunked dispatch.
@@ -149,6 +165,12 @@ class DependencyAnalyzer {
   /// it (transitively) makes runnable. Analyzer thread only.
   TraceContext current_cause_;
   int64_t events_handled_ = 0;
+  /// Per-kernel per-fetch certificate bitmap, resolved once from
+  /// Program::certificates() (empty vectors when certificates are off).
+  std::vector<std::vector<char>> certified_;
+  /// Mutable: bumped from the const satisfied() hot path (analyzer thread
+  /// only; read after the run via certified_skip_count()).
+  mutable int64_t certified_skips_ = 0;
 };
 
 }  // namespace p2g

@@ -33,6 +33,17 @@ struct FieldDecl {
   std::string name;
   nd::ElementType type = nd::ElementType::kInt32;
   size_t rank = 1;
+  /// Optional declared per-dimension extents (the kernel language's
+  /// `int32[8] data age;`): empty = fully implicit, otherwise one entry
+  /// per dimension with -1 for dimensions left implicit. Runtime extents
+  /// are still discovered by stores — declared extents only feed static
+  /// analysis (P2G-W008 out-of-bounds slice checks, footprint bounds).
+  std::vector<int64_t> declared_extents;
+
+  /// Declared extent of `dim`, or -1 when implicit.
+  int64_t declared_extent(size_t dim) const {
+    return dim < declared_extents.size() ? declared_extents[dim] : -1;
+  }
 };
 
 /// Result of a store operation, consumed by the runtime to build events.

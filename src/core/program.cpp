@@ -96,18 +96,33 @@ const std::vector<Program::Use>& Program::producers_of(FieldId field) const {
 
 ProgramBuilder& ProgramBuilder::field(std::string name, nd::ElementType type,
                                       size_t rank) {
+  return field(std::move(name), type, rank, {});
+}
+
+ProgramBuilder& ProgramBuilder::field(std::string name, nd::ElementType type,
+                                      size_t rank,
+                                      std::vector<int64_t> declared_extents) {
   for (const FieldDecl& f : fields_) {
     if (f.name == name) {
       throw_error(ErrorKind::kSema, "duplicate field name '" + name + "'");
     }
   }
+  check_argument(declared_extents.empty() || declared_extents.size() == rank,
+                 "declared extents of field '" + name +
+                     "' must match its rank");
   FieldDecl decl;
   decl.id = static_cast<FieldId>(fields_.size());
   decl.name = std::move(name);
   decl.type = type;
   decl.rank = rank;
+  decl.declared_extents = std::move(declared_extents);
   fields_.push_back(std::move(decl));
   return *this;
+}
+
+std::string_view to_string(IndependenceCertificate::Kind kind) {
+  return kind == IndependenceCertificate::Kind::kPointwise ? "pointwise"
+                                                           : "whole-cover";
 }
 
 KernelBuilder& ProgramBuilder::kernel(std::string name) {

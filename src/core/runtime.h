@@ -78,6 +78,12 @@ struct RunOptions {
   /// under one queue lock and amortizes trace/metrics/accounting over the
   /// batch. false = one event per lock round trip (ablation baseline).
   bool analyzer_batch = true;
+  /// Consume independence certificates embedded by Program::certify(): a
+  /// store event arriving through a certified (consumer, fetch) pair skips
+  /// that fetch's fine-grained region_written tracking for every candidate
+  /// the event's region admits. No effect when the program carries no
+  /// certificates. false = ablation baseline (PR 3 batched dispatch path).
+  bool use_certificates = true;
   /// Checked mode: record writer provenance per (field, age, region) so a
   /// write-once violation reports *both* offending kernel instances and
   /// their slices instead of just the second one. Costs one small record
@@ -184,6 +190,10 @@ class Runtime {
 
   /// Instrumentation snapshot (also embedded in the RunReport).
   InstrumentationReport instrumentation() const;
+
+  /// Number of per-candidate dependence checks the analyzer skipped via
+  /// independence certificates (0 without certify()/use_certificates).
+  int64_t certified_skips() const;
 
   /// The execution trace (nullptr unless RunOptions::trace_path or
   /// collect_trace was set).

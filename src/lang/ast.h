@@ -128,6 +128,11 @@ struct FieldDefAst {
   std::string type_name;  ///< "int32", "float64", ...
   int rank = 1;
   std::string name;
+  /// Declared per-dimension extents (-1 = implicit `[]`), parallel to the
+  /// bracket groups: `int32[8][] f;` -> {8, -1}. Declared extents feed
+  /// static analysis (P2G-W008, footprint bounds); runtime extents are
+  /// still discovered by stores.
+  std::vector<int64_t> extents;
   bool aged = true;  ///< the `age` suffix of the paper's field definitions
   int line = 0;
 };

@@ -567,7 +567,8 @@ CompiledModule compile_to_program(ModuleAst module) {
   ProgramBuilder pb;
   for (const FieldDefAst& field : module.fields) {
     const nd::ElementType type = nd::parse_element_type(field.type_name);
-    pb.field(field.name, type, static_cast<size_t>(field.rank));
+    pb.field(field.name, type, static_cast<size_t>(field.rank),
+             field.extents);
     shared->fields.emplace(
         field.name, FieldMeta{type, static_cast<size_t>(field.rank)});
   }

@@ -1,5 +1,7 @@
 #include "lang/parser.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/string_util.h"
 #include "lang/lexer.h"
@@ -74,14 +76,31 @@ class Parser {
     return timer;
   }
 
-  /// TYPE brackets IDENT ["age"] ";"  e.g. `int32[] m_data age;`
+  /// TYPE brackets IDENT ["age"] ";"  e.g. `int32[] m_data age;`. A
+  /// bracket group may declare a constant extent (`int32[8] data;`) used
+  /// by static analysis only.
   FieldDefAst parse_field() {
     FieldDefAst field;
     field.line = peek().line;
     field.type_name = advance().text;
-    field.rank = parse_brackets();
+    while (at(TokenKind::kLBracket)) {
+      advance();
+      int64_t extent = -1;
+      if (at(TokenKind::kIntLiteral)) {
+        extent = advance().int_value;
+        if (extent <= 0) fail("declared field extents must be positive");
+      }
+      expect(TokenKind::kRBracket, "to close []");
+      field.extents.push_back(extent);
+    }
+    field.rank = static_cast<int>(field.extents.size());
     if (field.rank == 0) {
       fail("field definitions need at least one [] dimension");
+    }
+    // All-implicit extents stay empty: `int32[][] f` == no declaration.
+    if (std::all_of(field.extents.begin(), field.extents.end(),
+                    [](int64_t e) { return e < 0; })) {
+      field.extents.clear();
     }
     field.name = expect(TokenKind::kIdentifier, "as field name").text;
     if (at(TokenKind::kKwAge)) {

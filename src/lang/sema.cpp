@@ -49,6 +49,16 @@ class Analyzer {
         fail(field.line, "duplicate field '" + field.name + "'");
       }
       nd::parse_element_type(field.type_name);  // throws on bad type
+      if (!field.extents.empty() &&
+          field.extents.size() != static_cast<size_t>(field.rank)) {
+        fail(field.line, "declared extents of field '" + field.name +
+                             "' do not match its rank");
+      }
+      for (const int64_t extent : field.extents) {
+        if (extent == 0 || extent < -1) {
+          fail(field.line, "declared field extents must be positive");
+        }
+      }
     }
     names.clear();
     for (const TimerDefAst& timer : module_.timers) {
@@ -112,6 +122,7 @@ class Analyzer {
 
     // Pass 2: walk everything, checking and numbering stores.
     size_t store_slot = 0;
+    fetch_slot_ = 0;
     check_block(kernel.body, /*top_level=*/true, store_slot);
     info_.store_count = store_slot;
     return info_;
@@ -252,6 +263,29 @@ class Analyzer {
     }
   }
 
+  /// Records the normalized form of a fetch/store statement.
+  void record_access(const Stmt& stmt, bool is_fetch, size_t statement) {
+    NormalizedAccess a;
+    a.is_fetch = is_fetch;
+    a.statement = statement;
+    a.field = stmt.access.field;
+    a.age_is_const = stmt.access.age.kind == AgeRef::Kind::kConst;
+    a.age = stmt.access.age.offset;
+    for (const SliceElem& elem : stmt.access.slices) {
+      a.slice += '[';
+      switch (elem.kind) {
+        case SliceElem::Kind::kVar: a.slice += elem.name; break;
+        case SliceElem::Kind::kConst:
+          a.slice += std::to_string(elem.value);
+          break;
+        case SliceElem::Kind::kAll: a.slice += '*'; break;
+      }
+      a.slice += ']';
+    }
+    a.line = stmt.line;
+    info_.accesses.push_back(std::move(a));
+  }
+
   void check_block(Block& block, bool top_level, size_t& store_slot) {
     for (StmtPtr& stmt : block) {
       switch (stmt->kind) {
@@ -308,6 +342,7 @@ class Analyzer {
             fail(stmt->line, "fetch target '" + stmt->name +
                                  "' is not a declared local");
           }
+          record_access(*stmt, /*is_fetch=*/true, fetch_slot_++);
           break;
         }
         case Stmt::Kind::kStore: {
@@ -327,7 +362,8 @@ class Analyzer {
             }
           }
           // Annotate the slot (rank is unused for store statements).
-          stmt->rank = static_cast<int>(store_slot++);
+          stmt->rank = static_cast<int>(store_slot);
+          record_access(*stmt, /*is_fetch=*/false, store_slot++);
           break;
         }
       }
@@ -337,6 +373,7 @@ class Analyzer {
   ModuleAst& module_;
   KernelDefAst* kernel_ = nullptr;
   KernelInfo info_;
+  size_t fetch_slot_ = 0;
 };
 
 }  // namespace

@@ -14,6 +14,22 @@
 
 namespace p2g::lang {
 
+/// One fetch/store statement in normalized form: age expressions reduced
+/// to (kind, offset) and slices to a canonical `[x][3][*]` rendering.
+/// Consumed by the dependence pass tooling (p2gdep) and tests that want
+/// the front end's view without compiling to a Program.
+struct NormalizedAccess {
+  bool is_fetch = true;
+  /// Fetch index or store slot, in the same numbering the compiled
+  /// Program uses.
+  size_t statement = 0;
+  std::string field;
+  bool age_is_const = false;
+  int64_t age = 0;     ///< constant age, or offset relative to the age var
+  std::string slice;   ///< "" = whole field
+  int line = 0;
+};
+
 /// Per-kernel results of analysis.
 struct KernelInfo {
   /// Indices into the kernel body of the top-level fetch statements, in
@@ -22,6 +38,8 @@ struct KernelInfo {
   /// Number of store statements (slots "s0".."sN-1", assigned in
   /// Stmt::int-annotated order via store_slots below).
   size_t store_count = 0;
+  /// Every fetch/store statement in normalized form, in source order.
+  std::vector<NormalizedAccess> accesses;
   /// Locals declared anywhere in the kernel: name -> (type name, rank).
   std::map<std::string, std::pair<std::string, int>> locals;
 };
