@@ -18,6 +18,7 @@
 
 #include "check/sync.h"
 #include "common/blocking_queue.h"
+#include "common/mpsc_queue.h"
 #include "core/field.h"
 #include "core/flight_recorder.h"
 #include "core/ready_queue.h"
@@ -65,6 +66,56 @@ void suite_ready_queue(CheckSession& session) {
     }
   });
   session.spawn("closer", [queue] { queue->close(); });
+}
+
+void suite_mpsc_queue(CheckSession& session) {
+  // The analyzer shards' event queue: lock-free multi-producer push racing
+  // a parked pop_all consumer and shutdown. Verifies the Vyukov publish
+  // protocol (release before exchange, acquire before reading payloads)
+  // and the seq_cst sleeping_ Dekker against lost wakeups.
+  auto queue = std::make_shared<MpscQueue<int>>();
+  session.spawn("producer-a", [queue] {
+    queue->push(1);
+    queue->push(2);
+  });
+  session.spawn("producer-b", [queue] { queue->push(3); });
+  session.spawn("consumer", [queue] {
+    std::deque<int> batch;
+    while (queue->pop_all(batch)) {
+    }
+  });
+  session.spawn("closer", [queue] { queue->close(); });
+}
+
+void suite_shard_cross_handoff(CheckSession& session) {
+  // The N=2 analyzer-shard topology: each shard consumes its own queue and
+  // produces into the peer's. Shard 0 announces a seal (ScanConsumersEvent
+  // analogue); shard 1 reacts with a request back to shard 0
+  // (SealCheckEvent analogue) — the exact message pattern the sharded
+  // dependency analyzer uses instead of shared locks.
+  struct Shared {
+    MpscQueue<int> q0;
+    MpscQueue<int> q1;
+  };
+  auto shared = std::make_shared<Shared>();
+  session.spawn("shard-0", [shared] {
+    shared->q1.push(7);  // cross-shard notify
+    std::deque<int> batch;
+    while (shared->q0.pop_all(batch)) {
+    }
+  });
+  session.spawn("shard-1", [shared] {
+    std::deque<int> batch;
+    if (shared->q1.pop_all(batch)) {
+      shared->q0.push(batch.front() + 1);  // cross-shard reply
+    }
+    while (shared->q1.pop_all(batch)) {
+    }
+  });
+  session.spawn("closer", [shared] {
+    shared->q0.close();
+    shared->q1.close();
+  });
 }
 
 void suite_field_seal_publish(CheckSession& session) {
@@ -151,6 +202,32 @@ void suite_known_race(CheckSession& session) {
   session.spawn("incr-b", bump);
 }
 
+void suite_broken_mpsc(CheckSession& session) {
+  // Bug under test: a deliberately broken cross-shard handoff that
+  // publishes the out-of-band payload *after* the queue push, so the
+  // consumer can read it before (or concurrently with) the write — the
+  // mistake the real protocol avoids by completing every payload write
+  // before the publishing exchange.
+  struct Shared {
+    MpscQueue<int> queue;
+    int64_t payload = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  session.spawn("producer", [shared] {
+    shared->queue.push(1);
+    check::write(shared->payload, "demo.broken_mpsc.payload");
+    shared->payload = 42;
+  });
+  session.spawn("consumer", [shared] {
+    std::deque<int> batch;
+    if (shared->queue.pop_all(batch)) {
+      check::read(shared->payload, "demo.broken_mpsc.payload");
+      (void)shared->payload;
+    }
+  });
+  session.spawn("closer", [shared] { shared->queue.close(); });
+}
+
 void suite_lock_cycle(CheckSession& session) {
   struct Shared {
     sync::Mutex a{"demo.lock_cycle.A"};
@@ -205,6 +282,13 @@ void register_builtin_suites() {
     add("ready_queue.shutdown",
         "ReadyQueue batch push, two workers (bonus pop), close",
         suite_ready_queue);
+    add("mpsc.pop_all_shutdown",
+        "MpscQueue lock-free multi-producer push / parked pop_all / close",
+        suite_mpsc_queue);
+    add("shard.cross_handoff",
+        "analyzer-shard cross-shard seal/scan message ping over two "
+        "MpscQueues",
+        suite_shard_cross_handoff);
     add("field.seal_publish",
         "FieldStorage seal-index publication vs lock-free fetch",
         suite_field_seal_publish);
@@ -218,6 +302,10 @@ void register_builtin_suites() {
     add("demo.known_race",
         "fixture: unsynchronized counter (must find P2G-C001)",
         suite_known_race, "P2G-C001");
+    add("demo.broken_mpsc",
+        "fixture: queue payload published after the push (must find "
+        "P2G-C001)",
+        suite_broken_mpsc, "P2G-C001");
     add("demo.lock_cycle", "fixture: AB/BA lock order (must find P2G-C002)",
         suite_lock_cycle, "P2G-C002");
     add("demo.lost_wakeup",

@@ -78,18 +78,67 @@ std::vector<Age> DependencyAnalyzer::first_feasible_ages(
   return kernel_first;
 }
 
-DependencyAnalyzer::DependencyAnalyzer(Runtime& runtime)
+DependencyAnalyzer::DependencyAnalyzer(Runtime& runtime, int shards)
     : runtime_(runtime), program_(runtime.program()) {
-  const std::vector<Age> first = first_feasible_ages(program_);
+  const size_t n =
+      static_cast<size_t>(std::clamp(shards, 1, 64));
+  shards_.resize(n);
+  for (size_t i = 0; i < n; ++i) shards_[i].index = i;
+
+  const size_t nf = program_.fields().size();
+  const size_t nk = program_.kernels().size();
+
+  field_shard_.resize(nf);
+  for (size_t f = 0; f < nf; ++f) field_shard_[f] = f % n;
+
+  // A kernel lives where its first fetched field lives (the shard that
+  // sees most of the events that can unblock it); fetchless kernels follow
+  // their first stored field so a single-chain program stays one-shard.
+  kernel_shard_.assign(nk, 0);
   for (const KernelDef& k : program_.kernels()) {
-    if (k.serial && first[static_cast<size_t>(k.id)] < kInfeasible) {
-      serial_[k.id].next = first[static_cast<size_t>(k.id)];
+    size_t owner = 0;
+    if (!k.fetches.empty()) {
+      owner = field_shard(k.fetches[0].field);
+    } else if (!k.stores.empty()) {
+      owner = field_shard(k.stores[0].field);
+    }
+    kernel_shard_[static_cast<size_t>(k.id)] = owner;
+  }
+  // A fused downstream's twin marks come from the upstream's enumeration,
+  // so the pair must share a shard (dispatched-set dedup stays
+  // single-threaded per kernel).
+  for (const auto& fu : runtime_.fusions_) {
+    kernel_shard_[static_cast<size_t>(fu.downstream)] =
+        kernel_shard_[static_cast<size_t>(fu.upstream)];
+  }
+
+  field_consumer_shards_.assign(nf, 0);
+  for (size_t f = 0; f < nf; ++f) {
+    uint64_t mask = 0;
+    for (const Program::Use& use :
+         program_.consumers_of(static_cast<FieldId>(f))) {
+      mask |= uint64_t{1} << kernel_shard_[static_cast<size_t>(use.kernel)];
+    }
+    field_consumer_shards_[f] = mask;
+  }
+
+  first_feasible_ = first_feasible_ages(program_);
+  dispatch_.resize(nk);
+  serial_.resize(nk);
+  for (const KernelDef& k : program_.kernels()) {
+    const Age first = first_feasible_[static_cast<size_t>(k.id)];
+    if (first < kInfeasible) {
+      // Ages below the first feasible one can never dispatch; starting the
+      // closed watermark there lets it advance contiguously.
+      dispatch_[static_cast<size_t>(k.id)].closed_below = first;
+      if (k.serial) serial_[static_cast<size_t>(k.id)].next = first;
     }
   }
 
   // Resolve embedded independence certificates (Program::certify) into a
-  // per-kernel per-fetch bitmap for the try_enumerate hot path.
-  certified_.resize(program_.kernels().size());
+  // per-kernel per-fetch bitmap for the try_enumerate hot path. Computed
+  // once, read-only afterwards, shared by every shard.
+  certified_.resize(nk);
   if (runtime_.options_.use_certificates) {
     for (const IndependenceCertificate& cert : program_.certificates()) {
       auto& flags = certified_[static_cast<size_t>(cert.consumer)];
@@ -101,14 +150,32 @@ DependencyAnalyzer::DependencyAnalyzer(Runtime& runtime)
   }
 }
 
+size_t DependencyAnalyzer::shard_of(const Event& event) const {
+  if (const auto* store = std::get_if<StoreEvent>(&event)) {
+    return field_shard(store->field);
+  }
+  if (const auto* done = std::get_if<InstanceDoneEvent>(&event)) {
+    return kernel_shard(done->kernel);
+  }
+  if (const auto* rescan = std::get_if<RescanEvent>(&event)) {
+    return kernel_shard(rescan->kernel);
+  }
+  if (const auto* seal = std::get_if<SealCheckEvent>(&event)) {
+    return field_shard(seal->field);
+  }
+  // ScanConsumersEvents are addressed explicitly by their sender
+  // (push_shard_event); routing one generically targets the field owner.
+  return field_shard(std::get<ScanConsumersEvent>(event).field);
+}
+
 void DependencyAnalyzer::bootstrap() {
   for (const KernelDef& def : program_.kernels()) {
     if (!runtime_.kernel_enabled(def.id)) continue;
+    Shard& s = shards_[kernel_shard(def.id)];
     if (def.is_run_once() && def.fetches.empty()) {
-      create_instance(def, 0, {});
+      create_instance(s, def, 0, {});
     } else if (def.is_source()) {
-      const InstanceKey key{def.id, 0, {}};
-      dispatched_.insert(key);
+      mark_dispatched(s, def.id, 0, {});
       WorkItem item;
       item.kernel = def.id;
       item.age = 0;
@@ -116,43 +183,100 @@ void DependencyAnalyzer::bootstrap() {
       runtime_.submit(std::move(item));
     }
   }
-  flush_chunks();
+  for (Shard& s : shards_) flush_chunks(s);
 }
 
-void DependencyAnalyzer::handle_one(const Event& event) {
-  current_cause_ = TraceContext{};  // done/rescan-created work is untraced
+void DependencyAnalyzer::handle_one(Shard& s, const Event& event) {
+  s.current_cause = TraceContext{};  // done/rescan-created work is untraced
   if (const auto* store = std::get_if<StoreEvent>(&event)) {
-    handle_store(*store);
+    handle_store(s, *store);
   } else if (const auto* done = std::get_if<InstanceDoneEvent>(&event)) {
-    handle_done(*done);
+    handle_done(s, *done);
   } else if (const auto* rescan = std::get_if<RescanEvent>(&event)) {
-    handle_rescan(*rescan);
+    handle_rescan(s, *rescan);
+  } else if (const auto* seal = std::get_if<SealCheckEvent>(&event)) {
+    check_seal(s, seal->field, seal->age);
+    drain_seal_worklist(s);
+  } else if (const auto* scan = std::get_if<ScanConsumersEvent>(&event)) {
+    handle_scan(s, *scan);
   }
 }
 
-void DependencyAnalyzer::handle(const Event& event) {
-  handle_one(event);
-  flush_chunks();
+void DependencyAnalyzer::handle(size_t shard, const Event& event) {
+  Shard& s = shards_[shard];
+  handle_one(s, event);
+  flush_chunks(s);
   // Periodically revisit the data-granularity decisions (paper §V-A).
-  if ((++events_handled_ & 0x3FF) == 0) runtime_.adapt_granularity();
+  // Shard 0 owns the adaptation so KernelRunCfg::chunk has one writer.
+  if ((++s.events_handled & 0x3FF) == 0 && shard == 0) {
+    runtime_.adapt_granularity();
+  }
 }
 
-void DependencyAnalyzer::handle_batch(const std::deque<Event>& events) {
-  for (const Event& event : events) handle_one(event);
-  flush_chunks();
+void DependencyAnalyzer::handle_batch(size_t shard,
+                                      const std::deque<Event>& events) {
+  Shard& s = shards_[shard];
+  for (const Event& event : events) handle_one(s, event);
+  flush_chunks(s);
   // Same ~1024-event cadence as handle(), crossed at batch granularity.
-  const int64_t before = events_handled_;
-  events_handled_ += static_cast<int64_t>(events.size());
-  if ((before >> 10) != (events_handled_ >> 10)) runtime_.adapt_granularity();
+  const int64_t before = s.events_handled;
+  s.events_handled += static_cast<int64_t>(events.size());
+  if (shard == 0 && (before >> 10) != (s.events_handled >> 10)) {
+    runtime_.adapt_granularity();
+  }
 }
 
-void DependencyAnalyzer::handle_store(const StoreEvent& event) {
+int64_t DependencyAnalyzer::dispatched_count() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.dispatched_total;
+  return total;
+}
+
+int64_t DependencyAnalyzer::certified_skip_count() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.certified_skips;
+  return total;
+}
+
+int64_t DependencyAnalyzer::cross_shard_messages() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.xshard_sent;
+  return total;
+}
+
+DependencyAnalyzer::MemoryStats DependencyAnalyzer::memory_stats() const {
+  MemoryStats stats;
+  for (const Shard& s : shards_) {
+    stats.fa_states += s.fa_states.size();
+    for (const auto& [key, entries] : s.retry) {
+      stats.retry_entries += entries.size();
+    }
+  }
+  for (const KernelDispatch& kd : dispatch_) {
+    stats.open_ages += kd.open.size();
+    for (const auto& [age, ad] : kd.open) {
+      stats.open_coords += ad.coords.size();
+    }
+  }
+  return stats;
+}
+
+void DependencyAnalyzer::send_shard(Shard& s, size_t target, Event event) {
+  ++s.xshard_sent;
+  runtime_.push_shard_event(target, std::move(event));
+}
+
+void DependencyAnalyzer::handle_store(Shard& s, const StoreEvent& event) {
   // Everything this store makes runnable — directly or through the seal
   // cascade — is causally downstream of it.
-  current_cause_ = event.ctx;
-  FieldAgeState& state = fa_states_[{event.field, event.age}];
+  s.current_cause = event.ctx;
 
-  if (event.producer != kInvalidKernel) {
+  // Seal bookkeeping only accumulates while the age is unsealed; late
+  // elementwise stores into an already-sealed age (the extents were known
+  // before all data arrived) must not resurrect a retired entry.
+  if (event.producer != kInvalidKernel &&
+      !storage(event.field).is_sealed(event.age)) {
+    FieldAgeState& state = s.fa_states[{event.field, event.age}];
     const ProducerKey key{event.producer, event.store_decl};
     if (event.whole) {
       state.satisfied.emplace(key, event.region.required_extents());
@@ -174,16 +298,17 @@ void DependencyAnalyzer::handle_store(const StoreEvent& event) {
     }
   }
 
-  check_seal(event.field, event.age);
-  drain_seal_worklist();
-  scan_consumers(event.field, event.age, &event.region);
+  check_seal(s, event.field, event.age);
+  drain_seal_worklist(s);
+  announce_scan(s, event.field, event.age, &event.region);
 }
 
-void DependencyAnalyzer::handle_done(const InstanceDoneEvent& event) {
+void DependencyAnalyzer::handle_done(Shard& s,
+                                     const InstanceDoneEvent& event) {
   const KernelDef& def = program_.kernel(event.kernel);
 
   if (def.serial) {
-    SerialState& state = serial_[def.id];
+    SerialState& state = serial_[static_cast<size_t>(def.id)];
     state.in_flight = false;
     state.next = event.age + 1;
     const auto it = state.parked.find(state.next);
@@ -195,11 +320,11 @@ void DependencyAnalyzer::handle_done(const InstanceDoneEvent& event) {
     }
   }
 
-  if (def.is_source() && event.continue_next_age) {
-    const Age next = event.age + 1;
-    if (next <= runtime_.cap_of(def.id)) {
-      const InstanceKey key{def.id, next, {}};
-      if (dispatched_.insert(key).second) {
+  if (def.is_source()) {
+    if (event.continue_next_age) {
+      const Age next = event.age + 1;
+      if (next <= runtime_.cap_of(def.id) &&
+          mark_dispatched(s, def.id, next, {})) {
         WorkItem item;
         item.kernel = def.id;
         item.age = next;
@@ -207,21 +332,24 @@ void DependencyAnalyzer::handle_done(const InstanceDoneEvent& event) {
         runtime_.submit(std::move(item));
       }
     }
+    // The completed age will never be re-created (a same-node rescan of a
+    // dispatched source age was always a no-op); retire its entry.
+    close_age(s, def.id, event.age);
   }
 }
 
-void DependencyAnalyzer::handle_rescan(const RescanEvent& event) {
+void DependencyAnalyzer::handle_rescan(Shard& s, const RescanEvent& event) {
   const KernelDef& def = program_.kernel(event.kernel);
-  // `enabled` is only ever read on this thread (try_enumerate/bootstrap),
-  // so the flip needs no synchronization.
+  // `enabled` is only ever read on the kernel's owner shard
+  // (try_enumerate) or before threads start (bootstrap), so the flip needs
+  // no synchronization.
   runtime_.kcfg_[static_cast<size_t>(def.id)].enabled = true;
 
   if (def.is_source()) {
     // Re-drive the source chain from age 0. Instances whose output already
     // arrived re-store idempotently and their continue flags rebuild the
     // chain up to the first genuinely lost age.
-    const InstanceKey key{def.id, 0, {}};
-    if (dispatched_.insert(key).second) {
+    if (mark_dispatched(s, def.id, 0, {})) {
       WorkItem item;
       item.kernel = def.id;
       item.age = 0;
@@ -232,8 +360,9 @@ void DependencyAnalyzer::handle_rescan(const RescanEvent& event) {
   }
 
   // General kernel: every live age of a fetched field names an instance age
-  // that may now be runnable here. try_enumerate dedups via dispatched_ and
-  // re-checks satisfaction, so over-approximating the age set is safe.
+  // that may now be runnable here. try_enumerate dedups via the dispatch
+  // bookkeeping and re-checks satisfaction, so over-approximating the age
+  // set is safe.
   std::set<Age> ages;
   ages.insert(0);
   for (const FetchDecl& f : def.fetches) {
@@ -244,13 +373,21 @@ void DependencyAnalyzer::handle_rescan(const RescanEvent& event) {
     }
   }
   for (const Age a : ages) {
-    try_enumerate(def, a, std::nullopt, nullptr);
+    try_enumerate(s, def, a, std::nullopt, nullptr);
   }
 }
 
-void DependencyAnalyzer::check_seal(FieldId field, Age age) {
-  FieldAgeState& state = fa_states_[{field, age}];
-  if (state.sealed) return;
+void DependencyAnalyzer::handle_scan(Shard& s,
+                                     const ScanConsumersEvent& event) {
+  s.current_cause = event.ctx;
+  scan_local(s, event.field, event.age,
+             event.constrained ? &event.region : nullptr);
+}
+
+void DependencyAnalyzer::check_seal(Shard& s, FieldId field, Age age) {
+  // The storage seal index is the authoritative (and thread-safe) sealed
+  // bit; the shard-local FieldAgeState only holds pre-seal bookkeeping.
+  if (storage(field).is_sealed(age)) return;
 
   // Enumerate the producers of this (field, age).
   struct ActiveProducer {
@@ -276,6 +413,11 @@ void DependencyAnalyzer::check_seal(FieldId field, Age age) {
         ActiveProducer{ProducerKey{k.id, use.statement}, instance_age, &d, &k});
   }
   if (producers.empty()) return;  // nothing will ever define this age
+
+  static const FieldAgeState kNoState;
+  const auto state_it = s.fa_states.find({field, age});
+  const FieldAgeState& state =
+      state_it != s.fa_states.end() ? state_it->second : kNoState;
 
   nd::Extents extents;
   bool first = true;
@@ -324,24 +466,28 @@ void DependencyAnalyzer::check_seal(FieldId field, Age age) {
     first = false;
   }
 
-  state.sealed = true;
   storage(field).seal(age, extents);
+  // Sealed ages never consult their pre-seal bookkeeping again; retiring
+  // the entry here is what keeps analyzer memory flat on streaming runs.
+  if (state_it != s.fa_states.end()) s.fa_states.erase(state_it);
   P2G_DEBUG << "sealed field '" << program_.field(field).name << "' age "
             << age << " at " << extents.to_string();
-  on_sealed(field, age);
+  on_sealed(s, field, age);
 }
 
-void DependencyAnalyzer::drain_seal_worklist() {
-  while (!seal_worklist_.empty()) {
-    const auto [field, age] = seal_worklist_.front();
-    seal_worklist_.pop_front();
-    check_seal(field, age);
+void DependencyAnalyzer::drain_seal_worklist(Shard& s) {
+  while (!s.seal_worklist.empty()) {
+    const auto [field, age] = s.seal_worklist.front();
+    s.seal_worklist.pop_front();
+    check_seal(s, field, age);
   }
 }
 
-void DependencyAnalyzer::on_sealed(FieldId field, Age age) {
+void DependencyAnalyzer::on_sealed(Shard& s, FieldId field, Age age) {
   // Extent propagation: consumers whose index domains may now be known can
-  // seal the extents of the fields they store to.
+  // seal the extents of the fields they store to. The targets are derived
+  // from static structure alone, so this shard can compute them for every
+  // consumer — but the seal *check* must run on the target field's owner.
   for (const Program::Use& use : program_.consumers_of(field)) {
     const KernelDef& k = program_.kernel(use.kernel);
     const FetchDecl& f = k.fetches[use.statement];
@@ -356,59 +502,107 @@ void DependencyAnalyzer::on_sealed(FieldId field, Age age) {
       instance_age = age - f.age.value;
       if (instance_age < 0 || instance_age > runtime_.cap_of(k.id)) continue;
     }
-    for (size_t s = 0; s < k.stores.size(); ++s) {
-      const Age target = k.stores[s].age.resolve(instance_age);
-      if (target >= 0) {
-        seal_worklist_.emplace_back(k.stores[s].field, target);
+    for (size_t st = 0; st < k.stores.size(); ++st) {
+      const Age target = k.stores[st].age.resolve(instance_age);
+      if (target < 0) continue;
+      const FieldId tf = k.stores[st].field;
+      if (field_shard(tf) == s.index) {
+        s.seal_worklist.emplace_back(tf, target);
+      } else {
+        SealCheckEvent request;
+        request.field = tf;
+        request.age = target;
+        send_shard(s, field_shard(tf), request);
       }
     }
   }
 
   // Newly sealed extents can complete whole-field fetches and make domains
   // enumerable; rescan consumers unconstrained.
-  scan_consumers(field, age, nullptr);
+  announce_scan(s, field, age, nullptr);
 }
 
-void DependencyAnalyzer::scan_consumers(FieldId field, Age age,
-                                        const nd::Region* written) {
+void DependencyAnalyzer::announce_scan(Shard& s, FieldId field, Age age,
+                                       const nd::Region* written) {
+  scan_local(s, field, age, written);
+  uint64_t mask = field_consumer_shards_[static_cast<size_t>(field)] &
+                  ~(uint64_t{1} << s.index);
+  for (size_t target = 0; mask != 0; ++target, mask >>= 1) {
+    if ((mask & 1) == 0) continue;
+    ScanConsumersEvent notify;
+    notify.field = field;
+    notify.age = age;
+    notify.constrained = written != nullptr;
+    if (written != nullptr) notify.region = *written;
+    notify.ctx = s.current_cause;
+    send_shard(s, target, notify);
+  }
+}
+
+void DependencyAnalyzer::scan_local(Shard& s, FieldId field, Age age,
+                                    const nd::Region* written) {
   for (const Program::Use& use : program_.consumers_of(field)) {
+    if (kernel_shard(use.kernel) != s.index) continue;
     const KernelDef& k = program_.kernel(use.kernel);
     const FetchDecl& f = k.fetches[use.statement];
 
     if (f.age.kind == AgeExpr::Kind::kRelative) {
       // Exactly one instance age is influenced through this fetch.
       const Age a = age - f.age.value;
-      if (a >= 0) try_enumerate(k, a, use.statement, written);
+      if (a >= 0) try_enumerate(s, k, a, use.statement, written);
       continue;
     }
 
-    // Constant-age fetch. For run-once kernels the instance age is 0; for
-    // aged kernels the event can unblock *any* age whose candidates were
-    // previously unsatisfied (e.g. the k-means datapoints field, stored
-    // once and fetched by every assign age) — those ages are in the retry
-    // set. Constant-age fields receive few events, so this stays cheap.
+    // Constant-age fetch. Run-once kernels have exactly instance age 0;
+    // aged kernels (e.g. the k-means datapoints field, stored once and
+    // fetched by every assign age) are re-driven precisely through the
+    // (field, age)-keyed retry index fired below.
     if (f.age.value != age) continue;
-    if (k.is_run_once()) {
-      try_enumerate(k, 0, use.statement, written);
-      continue;
-    }
-    const auto retry_it = retry_.find(k.id);
-    if (retry_it != retry_.end()) {
-      const std::set<Age> retry_ages = retry_it->second;  // copy: mutated
-      for (const Age a : retry_ages) {
-        try_enumerate(k, a, std::nullopt, nullptr);
-      }
-    }
+    if (k.is_run_once()) try_enumerate(s, k, 0, use.statement, written);
+  }
+
+  fire_retries(s, field, age);
+}
+
+void DependencyAnalyzer::fire_retries(Shard& s, FieldId field, Age age) {
+  const auto it = s.retry.find({field, age});
+  if (it == s.retry.end()) return;
+  // Entries re-register themselves (possibly under a different blocking
+  // field) when they are still blocked; detach first so the re-inserts do
+  // not grow the set being walked.
+  const std::set<std::pair<KernelId, Age>> entries = std::move(it->second);
+  s.retry.erase(it);
+  for (const auto& [kernel, a] : entries) {
+    try_enumerate(s, program_.kernel(kernel), a, std::nullopt, nullptr);
   }
 }
 
-void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
+void DependencyAnalyzer::register_retry(Shard& s, const KernelDef& def,
+                                        Age age, size_t fetch_index) {
+  const FetchDecl& f = def.fetches[fetch_index];
+  const Age ga = f.age.resolve(age);
+  if (ga < 0) return;
+  // Relative-age fetches (and run-once consumers) are already re-driven by
+  // the direct consumer scan of every store/seal event on (field, ga) —
+  // indexing them too would re-enumerate the whole candidate space per
+  // store event, bypassing the constrained certificate fast path and
+  // turning per-store work quadratic. Only constant-age fetches of aged
+  // kernels escape the direct scans and need the index.
+  if (f.age.kind == AgeExpr::Kind::kRelative || def.is_run_once()) return;
+  s.retry[{f.field, ga}].insert({def.id, age});
+}
+
+void DependencyAnalyzer::try_enumerate(Shard& s, const KernelDef& def,
+                                       Age age,
                                        std::optional<size_t> constrain_fetch,
                                        const nd::Region* written) {
   if (age < 0 || age > runtime_.cap_of(def.id)) return;
   if (!runtime_.kernel_enabled(def.id)) return;  // runs on another node
   if (def.is_run_once() && age != 0) return;
   if (def.is_source()) return;  // sources are driven by done events
+
+  KernelDispatch& kd = dispatch_[static_cast<size_t>(def.id)];
+  if (age_closed(kd, age)) return;  // every instance already dispatched
 
   // Certificate fast path: when the event region arrives through a
   // certified fetch, that fetch's data is statically known to be fully
@@ -418,7 +612,8 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
   const bool cert_skip = constrain_fetch && written != nullptr &&
                          certified(def.id, *constrain_fetch);
 
-  // Age-level gates shared by every candidate of this (kernel, age).
+  // Age-level gates shared by every candidate of this (kernel, age). A
+  // failed gate registers a retry on the exact (field, age) that blocks.
   for (size_t fi = 0; fi < def.fetches.size(); ++fi) {
     const FetchDecl& f = def.fetches[fi];
     const Age ga = f.age.resolve(age);
@@ -426,12 +621,12 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
     if (cert_skip && fi == *constrain_fetch) continue;
     if (f.slice.is_whole()) {
       if (!storage(f.field).is_complete(ga)) {
-        retry_[def.id].insert(age);
+        register_retry(s, def, age, fi);
         return;
       }
     } else if (has_all_dim(f.slice)) {
       if (!storage(f.field).is_sealed(ga)) {
-        retry_[def.id].insert(age);
+        register_retry(s, def, age, fi);
         return;
       }
     }
@@ -441,6 +636,7 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
   // the constraining region to bound them.
   const size_t nvars = def.index_vars.size();
   std::vector<nd::Interval> ranges(nvars, nd::Interval{0, kHuge});
+  bool domain_final = true;
   for (size_t v = 0; v < nvars; ++v) {
     const auto binding = def.binding_of_var(static_cast<int>(v));
     check_internal(binding.has_value(), "unbound index variable survived "
@@ -450,6 +646,23 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
     if (ga >= 0 && storage(bf.field).is_sealed(ga)) {
       ranges[v] = nd::Interval{0, storage(bf.field).extents(ga).dim(
                                       binding->dim)};
+    } else {
+      domain_final = false;
+    }
+  }
+
+  // Sealed extents are immutable, so once every binding is sealed the
+  // candidate space is final: record its size so the age can close (and
+  // its coord set retire) as soon as that many instances dispatched —
+  // whether by this pass or by later constrained scans.
+  if (domain_final) {
+    int64_t total = 1;
+    for (const nd::Interval& r : ranges) total *= r.length();
+    AgeDispatch& ad = kd.open[age];
+    ad.total = total;
+    if (static_cast<int64_t>(ad.coords.size()) >= total) {
+      close_age(s, def.id, age);
+      return;
     }
   }
 
@@ -458,27 +671,30 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
     if (!slice.constrain(*written, ranges)) return;  // region cannot help
   }
 
-  for (const nd::Interval& r : ranges) {
-    if (r.end >= kHuge) {
-      // Unbounded variable: cannot enumerate yet; retry on later events.
-      retry_[def.id].insert(age);
+  for (size_t v = 0; v < nvars; ++v) {
+    if (ranges[v].end >= kHuge) {
+      // Unbounded variable: cannot enumerate yet; retry when the binding
+      // field age seals.
+      register_retry(s, def, age,
+                     def.binding_of_var(static_cast<int>(v))->fetch_index);
       return;
     }
-    if (r.empty()) return;  // empty domain, no instances at this age
+    if (ranges[v].empty()) return;  // empty slice, no instances to add
   }
 
   // Enumerate the candidate product space.
-  bool any_unsatisfied = false;
+  uint64_t blocked_fetches = 0;
   nd::Coord coord(nvars);
   for (size_t v = 0; v < nvars; ++v) coord[v] = ranges[v].begin;
   while (true) {
-    InstanceKey key{def.id, age, coord};
-    if (!dispatched_.count(key)) {
-      if (satisfied(def, age, coord,
-                    cert_skip ? constrain_fetch : std::nullopt)) {
-        create_instance(def, age, coord);
-      } else {
-        any_unsatisfied = true;
+    if (!is_dispatched(def.id, age, coord)) {
+      size_t blocking = SIZE_MAX;
+      if (satisfied(s, def, age, coord,
+                    cert_skip ? constrain_fetch : std::nullopt, &blocking)) {
+        create_instance(s, def, age, coord);
+        if (age_closed(kd, age)) break;  // auto-closed: nothing left
+      } else if (blocking != SIZE_MAX && blocking < 64) {
+        blocked_fetches |= uint64_t{1} << blocking;
       }
     }
     // Advance the product iterator (row-major).
@@ -495,45 +711,101 @@ void DependencyAnalyzer::try_enumerate(const KernelDef& def, Age age,
     if (carry_out) break;
   }
 
-  if (any_unsatisfied) {
-    retry_[def.id].insert(age);
-  } else if (!constrain_fetch) {
-    // A full, unconstrained enumeration dispatched everything: no need to
-    // revisit this age again.
-    const auto it = retry_.find(def.id);
-    if (it != retry_.end()) it->second.erase(age);
+  // Register each distinct blocking field age: unsatisfied candidates are
+  // revisited only when data that can actually unblock them arrives.
+  for (size_t fi = 0; blocked_fetches != 0; ++fi, blocked_fetches >>= 1) {
+    if (blocked_fetches & 1) register_retry(s, def, age, fi);
   }
 }
 
-bool DependencyAnalyzer::satisfied(const KernelDef& def, Age age,
+bool DependencyAnalyzer::satisfied(Shard& s, const KernelDef& def, Age age,
                                    const nd::Coord& coord,
-                                   std::optional<size_t> skip_fetch) const {
+                                   std::optional<size_t> skip_fetch,
+                                   size_t* blocking_fetch) {
   for (size_t fi = 0; fi < def.fetches.size(); ++fi) {
     const FetchDecl& f = def.fetches[fi];
     const Age ga = f.age.resolve(age);
     if (ga < 0) return false;
     if (skip_fetch && fi == *skip_fetch) {
-      ++certified_skips_;
+      ++s.certified_skips;
       continue;
     }
     FieldStorage& fs = storage(f.field);
     if (f.slice.is_whole()) {
-      if (!fs.is_complete(ga)) return false;
+      if (!fs.is_complete(ga)) {
+        if (blocking_fetch != nullptr) *blocking_fetch = fi;
+        return false;
+      }
     } else {
-      if (has_all_dim(f.slice) && !fs.is_sealed(ga)) return false;
+      if (has_all_dim(f.slice) && !fs.is_sealed(ga)) {
+        if (blocking_fetch != nullptr) *blocking_fetch = fi;
+        return false;
+      }
       const nd::Region region = f.slice.resolve(coord, fs.extents(ga));
-      if (!fs.region_written(ga, region)) return false;
+      if (!fs.region_written(ga, region)) {
+        if (blocking_fetch != nullptr) *blocking_fetch = fi;
+        return false;
+      }
     }
   }
   return true;
 }
 
-void DependencyAnalyzer::create_instance(const KernelDef& def, Age age,
+bool DependencyAnalyzer::is_dispatched(KernelId kernel, Age age,
+                                       const nd::Coord& coord) const {
+  const KernelDispatch& kd = dispatch_[static_cast<size_t>(kernel)];
+  if (age_closed(kd, age)) return true;
+  const auto it = kd.open.find(age);
+  return it != kd.open.end() && it->second.coords.count(coord) != 0;
+}
+
+bool DependencyAnalyzer::mark_dispatched(Shard& s, KernelId kernel, Age age,
                                          nd::Coord coord) {
-  dispatched_.insert(InstanceKey{def.id, age, coord});
+  KernelDispatch& kd = dispatch_[static_cast<size_t>(kernel)];
+  if (age_closed(kd, age)) return false;
+  AgeDispatch& ad = kd.open[age];
+  if (!ad.coords.insert(std::move(coord)).second) return false;
+  ++s.dispatched_total;
+  if (ad.total >= 0 && static_cast<int64_t>(ad.coords.size()) >= ad.total) {
+    close_age(s, kernel, age);
+  }
+  return true;
+}
+
+void DependencyAnalyzer::close_age(Shard& s, KernelId kernel, Age age) {
+  KernelDispatch& kd = dispatch_[static_cast<size_t>(kernel)];
+  if (age_closed(kd, age)) return;
+  kd.open.erase(age);
+  if (age == kd.closed_below) {
+    ++kd.closed_below;
+    // Absorb previously closed sparse ages into the watermark.
+    auto it = kd.closed_sparse.begin();
+    while (it != kd.closed_sparse.end() && *it == kd.closed_below) {
+      it = kd.closed_sparse.erase(it);
+      ++kd.closed_below;
+    }
+  } else if (age > kd.closed_below) {
+    kd.closed_sparse.insert(age);
+  }
+  // A fused downstream's candidates are exactly the mapped upstream coords
+  // (its sole fetch is the upstream's store); once the upstream age fully
+  // dispatched, every twin is marked, so the downstream age closes too.
+  const auto& cfg = runtime_.kcfg_[static_cast<size_t>(kernel)];
+  if (cfg.fusion != nullptr) {
+    const Age down_age = age + cfg.fusion->age_delta;
+    if (down_age >= 0) close_age(s, cfg.fusion->downstream, down_age);
+  }
+}
+
+void DependencyAnalyzer::create_instance(Shard& s, const KernelDef& def,
+                                         Age age, nd::Coord coord) {
+  ChunkBuffer& buffer = s.chunk_buffers[{def.id, age}];
+  if (!buffer.cause.valid()) buffer.cause = s.current_cause;
+  buffer.coords.push_back(coord);
 
   // A fused downstream twin runs inside the upstream's work item; mark it
-  // dispatched *now* (analyzer thread) so no event can double-run it.
+  // dispatched *now* (before any event can be observed) so no scan can
+  // double-run it. Fusion forces both kernels onto this shard.
   const auto& cfg = runtime_.kcfg_[static_cast<size_t>(def.id)];
   if (cfg.fusion != nullptr) {
     const auto& fu = *cfg.fusion;
@@ -541,23 +813,22 @@ void DependencyAnalyzer::create_instance(const KernelDef& def, Age age,
     for (size_t v = 0; v < fu.coord_map.size(); ++v) {
       down_coord[v] = coord[fu.coord_map[v]];
     }
-    dispatched_.insert(
-        InstanceKey{fu.downstream, age + fu.age_delta, std::move(down_coord)});
+    mark_dispatched(s, fu.downstream, age + fu.age_delta,
+                    std::move(down_coord));
   }
 
-  ChunkBuffer& buffer = chunk_buffers_[{def.id, age}];
-  if (!buffer.cause.valid()) buffer.cause = current_cause_;
-  buffer.coords.push_back(std::move(coord));
+  mark_dispatched(s, def.id, age, std::move(coord));
 }
 
-void DependencyAnalyzer::flush_chunks() {
-  if (chunk_buffers_.empty()) return;
+void DependencyAnalyzer::flush_chunks(Shard& s) {
+  if (s.chunk_buffers.empty()) return;
   std::vector<WorkItem> batch;
-  for (auto& [key, buffer] : chunk_buffers_) {
+  for (auto& [key, buffer] : s.chunk_buffers) {
     std::vector<nd::Coord>& coords = buffer.coords;
     const auto [kernel, age] = key;
-    const int64_t chunk =
-        std::max<int64_t>(1, runtime_.kcfg_[static_cast<size_t>(kernel)].chunk);
+    const int64_t chunk = std::max<int64_t>(
+        1, runtime_.kcfg_[static_cast<size_t>(kernel)].chunk.load(
+               std::memory_order_relaxed));
     const bool serial = program_.kernel(kernel).serial;
     const size_t total = coords.size();
     size_t begin = 0;
@@ -576,25 +847,26 @@ void DependencyAnalyzer::flush_chunks() {
                   std::back_inserter(item.coords));
       }
       if (serial) {
-        submit_or_park(std::move(item));
+        submit_or_park(s, std::move(item));
       } else {
         batch.push_back(std::move(item));
       }
       begin = end;
     }
   }
-  chunk_buffers_.clear();
-  // One ready-queue lock and at most one worker wakeup for the whole flush.
+  s.chunk_buffers.clear();
+  // One ready-queue lock and at most one worker wakeup for the whole flush;
+  // push_batch is safe to call from every shard concurrently.
   runtime_.submit_batch(std::move(batch));
 }
 
-void DependencyAnalyzer::submit_or_park(WorkItem item) {
+void DependencyAnalyzer::submit_or_park(Shard& s, WorkItem item) {
   const KernelDef& def = program_.kernel(item.kernel);
   if (!def.serial) {
     runtime_.submit(std::move(item));
     return;
   }
-  SerialState& state = serial_[def.id];
+  SerialState& state = serial_[static_cast<size_t>(def.id)];
   if (item.age == state.next && !state.in_flight) {
     state.in_flight = true;
     runtime_.submit(std::move(item));

@@ -1,9 +1,18 @@
-// The dependency analyzer (paper §VI-B).
+// The dependency analyzer (paper §VI-B), sharded.
 //
-// Runs in a dedicated thread. Consumes store / instance-done events, tracks
-// per-(field, age) seal state (extent finality), propagates extents through
-// the implicit static dependency graph, enumerates newly runnable kernel
-// instances and dispatches each exactly once.
+// Dependency tracking is partitioned across N analyzer shards, each running
+// in its own thread and owning a disjoint set of fields (field % N) — and
+// therefore those fields' seal bookkeeping — plus a disjoint set of kernels
+// (the shard of a kernel's first fetched field), and therefore those
+// kernels' candidate enumeration, dispatched-set dedup, serial gating and
+// chunk buffers. Events are routed by FieldId / KernelId into per-shard
+// lock-free MPSC queues (common/mpsc_queue.h); cross-shard effects — a seal
+// that unblocks another shard's kernel, an extent-propagation cascade
+// reaching another shard's field — travel as explicit SealCheckEvent /
+// ScanConsumersEvent messages instead of shared locks. Ready WorkItems flow
+// into the ReadyQueue from every shard concurrently through the existing
+// push_batch path. With RunOptions::analyzer_shards = 1 (the default) this
+// is exactly the single-analyzer-thread design the paper describes.
 //
 // Sealing: an age of a field is *sealed* when every producer's contribution
 // is known — a whole-field store arrives, or an elementwise producer's
@@ -11,14 +20,24 @@
 // fields binding its index variables to be sealed). Sealing is what makes
 // "all elements written" (completeness) meaningful for whole-field fetches
 // and what the paper calls implicit-resize extent propagation.
+//
+// Why the sharded fixpoint dispatches the same instance set: dispatch
+// conditions are monotone (write-once data only accumulates, seals are
+// final), each kernel is enumerated by exactly one shard (so the
+// exactly-once check is single-threaded per kernel), and every state
+// change is announced to every shard owning an interested kernel. At
+// quiescence the dispatched set is the least fixpoint of the same monotone
+// conditions a single analyzer evaluates — identical for any shard count.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <map>
 #include <optional>
 #include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/events.h"
@@ -30,30 +49,52 @@ namespace p2g {
 
 class DependencyAnalyzer {
  public:
-  explicit DependencyAnalyzer(Runtime& runtime);
+  /// `shards` is clamped to [1, 64].
+  DependencyAnalyzer(Runtime& runtime, int shards);
 
   /// Creates the initial instances: run-once kernels without fetches and
-  /// the first age of every source kernel.
+  /// the first age of every source kernel. Single-threaded (pre-run).
   void bootstrap();
 
-  /// Processes one event (called from the analyzer thread only).
-  void handle(const Event& event);
+  size_t shard_count() const { return shards_.size(); }
+
+  /// The shard whose state `event` touches (queue routing). Cross-shard
+  /// messages are addressed explicitly by their sender and never take this
+  /// path.
+  size_t shard_of(const Event& event) const;
+
+  /// Processes one event (called from shard `shard`'s thread only).
+  void handle(size_t shard, const Event& event);
 
   /// Processes a drained event backlog in order, flushing chunk buffers and
   /// revisiting granularity once per batch instead of once per event. Same
   /// observable semantics as calling handle() per event — instances only
   /// dispatch marginally later, which chunking exploits: a batch often
   /// fills a chunk that single events would have split.
-  void handle_batch(const std::deque<Event>& events);
+  void handle_batch(size_t shard, const std::deque<Event>& events);
 
-  /// Number of instances dispatched so far (tests/diagnostics).
-  int64_t dispatched_count() const {
-    return static_cast<int64_t>(dispatched_.size());
-  }
+  /// Instances dispatched so far, summed over shards (tests/diagnostics;
+  /// exact only at quiescence).
+  int64_t dispatched_count() const;
 
   /// Per-candidate dependence checks skipped via independence certificates
   /// (Program::certify + RunOptions::use_certificates).
-  int64_t certified_skip_count() const { return certified_skips_; }
+  int64_t certified_skip_count() const;
+
+  /// Cross-shard messages sent (0 with one shard).
+  int64_t cross_shard_messages() const;
+
+  /// Analyzer-state footprint, summed over shards. Streaming runs retire
+  /// seal bookkeeping on seal and dispatched-coord sets once an age closes,
+  /// so these stay bounded by the in-flight age window instead of growing
+  /// with the run length. Quiescent use only (tests).
+  struct MemoryStats {
+    size_t fa_states = 0;      ///< unsealed (field, age) seal entries
+    size_t open_ages = 0;      ///< (kernel, age) dispatch sets still open
+    size_t open_coords = 0;    ///< coords held by open dispatch sets
+    size_t retry_entries = 0;  ///< blocked (kernel, age) retry registrations
+  };
+  MemoryStats memory_stats() const;
 
   /// The first age at which each kernel can ever run, derived by fixpoint
   /// over the static graph (a kernel fetching f(a-1) cannot run before
@@ -71,9 +112,11 @@ class DependencyAnalyzer {
     auto operator<=>(const ProducerKey&) const = default;
   };
 
-  /// Seal bookkeeping of one (field, age).
+  /// Seal bookkeeping of one unsealed (field, age). The sealed bit itself
+  /// lives in FieldStorage (the authoritative, thread-safe source); entries
+  /// here are erased the moment the age seals, so long runs do not
+  /// accumulate per-age state for completed work.
   struct FieldAgeState {
-    bool sealed = false;
     /// Contribution extents of producers accounted for so far.
     std::map<ProducerKey, nd::Extents> satisfied;
     /// First-store witness lengths for `all()` dimensions of elementwise
@@ -87,60 +130,38 @@ class DependencyAnalyzer {
     std::map<Age, WorkItem> parked;
   };
 
-  /// Event dispatch without the per-call flush/adapt epilogue.
-  void handle_one(const Event& event);
+  struct CoordHash {
+    size_t operator()(const nd::Coord& c) const {
+      size_t h = c.size();
+      for (const int64_t v : c) {
+        h ^= std::hash<int64_t>{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
 
-  void handle_store(const StoreEvent& event);
-  void handle_done(const InstanceDoneEvent& event);
-  void handle_rescan(const RescanEvent& event);
+  /// Dispatched coords of one open (kernel, age). `total` is the final
+  /// candidate-space size, set once every binding field extent is sealed
+  /// (-1 until then); when `coords` reaches it the age closes and the set
+  /// is dropped.
+  struct AgeDispatch {
+    std::unordered_set<nd::Coord, CoordHash> coords;
+    int64_t total = -1;
+  };
 
-  /// Attempts to seal (field, age); queues cascaded checks on success.
-  void check_seal(FieldId field, Age age);
-  void drain_seal_worklist();
-  void on_sealed(FieldId field, Age age);
-
-  /// Enumerates candidate instances of consumers of (field, age), either
-  /// constrained by a freshly written region or unconstrained.
-  void scan_consumers(FieldId field, Age age, const nd::Region* written);
-
-  /// Enumerates candidates of one kernel at one age. When `constrain_fetch`
-  /// is set, variable ranges are narrowed by the written region through
-  /// that fetch's slice.
-  void try_enumerate(const KernelDef& def, Age age,
-                     std::optional<size_t> constrain_fetch,
-                     const nd::Region* written);
-
-  /// All fetch dependencies of a candidate instance are fulfilled.
-  /// `skip_fetch` marks one fetch as certificate-satisfied: the caller
-  /// proved (via an independence certificate plus a just-committed region
-  /// constraining the candidate) that its data is fully written, so its
-  /// fine-grained region check is skipped.
-  bool satisfied(const KernelDef& def, Age age, const nd::Coord& coord,
-                 std::optional<size_t> skip_fetch = std::nullopt) const;
-
-  /// True when (consumer kernel, fetch) carries an independence
-  /// certificate and RunOptions::use_certificates is on.
-  bool certified(KernelId kernel, size_t fetch) const {
-    const auto& flags = certified_[static_cast<size_t>(kernel)];
-    return fetch < flags.size() && flags[fetch] != 0;
-  }
-
-  /// Marks dispatched (including a fused downstream twin) and buffers the
-  /// instance for chunked dispatch.
-  void create_instance(const KernelDef& def, Age age, nd::Coord coord);
-
-  /// Flushes chunk buffers into work items (serial kernels are gated).
-  void flush_chunks();
-  void submit_or_park(WorkItem item);
-
-  /// Index-variable domain lengths of a kernel at an age, or nullopt while
-  /// some binding field extent is not sealed yet.
-  std::optional<std::vector<int64_t>> domain_of(const KernelDef& def,
-                                                Age age) const;
-
-  FieldStorage& storage(FieldId field) const {
-    return *runtime_.storages_[static_cast<size_t>(field)];
-  }
+  /// Exactly-once dispatch bookkeeping of one kernel (touched only by the
+  /// kernel's owner shard). A *closed* age had every instance dispatched
+  /// (or can never dispatch again: completed source ages); membership
+  /// checks treat closed ages as fully dispatched, which is what lets the
+  /// per-coord sets retire. `closed_below` starts at the kernel's first
+  /// feasible age so structurally skipped leading ages cannot wedge the
+  /// watermark.
+  struct KernelDispatch {
+    Age closed_below = 0;
+    std::set<Age> closed_sparse;
+    std::map<Age, AgeDispatch> open;
+  };
 
   /// Instances buffered for chunked dispatch, with the causal context of
   /// the first store event that made one of them runnable (the chunk's
@@ -150,27 +171,148 @@ class DependencyAnalyzer {
     TraceContext cause;
   };
 
+  /// All mutable per-shard state. Each instance is touched only by its own
+  /// shard thread (single-threaded before run() starts).
+  struct Shard {
+    size_t index = 0;
+    /// Unsealed (field, age) entries of fields this shard owns.
+    std::map<std::pair<FieldId, Age>, FieldAgeState> fa_states;
+    std::deque<std::pair<FieldId, Age>> seal_worklist;
+    /// Blocked candidates, indexed by the exact (field, age) whose change
+    /// can unblock them: (consumer kernel, instance age) entries fire only
+    /// when an event touches that field age, replacing the old whole-
+    /// kernel-age-set rescan.
+    std::map<std::pair<FieldId, Age>, std::set<std::pair<KernelId, Age>>>
+        retry;
+    std::map<std::pair<KernelId, Age>, ChunkBuffer> chunk_buffers;
+    /// Context of the store event currently being handled; stamps instances
+    /// it (transitively) makes runnable.
+    TraceContext current_cause;
+    int64_t events_handled = 0;
+    int64_t certified_skips = 0;
+    int64_t dispatched_total = 0;
+    int64_t xshard_sent = 0;
+  };
+
+  /// Event dispatch without the per-call flush/adapt epilogue.
+  void handle_one(Shard& s, const Event& event);
+
+  void handle_store(Shard& s, const StoreEvent& event);
+  void handle_done(Shard& s, const InstanceDoneEvent& event);
+  void handle_rescan(Shard& s, const RescanEvent& event);
+  void handle_scan(Shard& s, const ScanConsumersEvent& event);
+
+  /// Attempts to seal (field, age); queues cascaded checks on success.
+  /// Only ever called on the field's owner shard.
+  void check_seal(Shard& s, FieldId field, Age age);
+  void drain_seal_worklist(Shard& s);
+  void on_sealed(Shard& s, FieldId field, Age age);
+
+  /// Announces a (field, age) change: scans this shard's consumers and
+  /// sends ScanConsumersEvents to every other shard owning one. Called on
+  /// the field's owner shard (stores and seals land there).
+  void announce_scan(Shard& s, FieldId field, Age age,
+                     const nd::Region* written);
+
+  /// Enumerates candidate instances of the consumers of (field, age) that
+  /// this shard owns, either constrained by a freshly written region or
+  /// unconstrained, then fires retry registrations keyed on (field, age).
+  void scan_local(Shard& s, FieldId field, Age age,
+                  const nd::Region* written);
+  void fire_retries(Shard& s, FieldId field, Age age);
+
+  /// Enumerates candidates of one kernel at one age. When `constrain_fetch`
+  /// is set, variable ranges are narrowed by the written region through
+  /// that fetch's slice. The kernel must be owned by `s`.
+  void try_enumerate(Shard& s, const KernelDef& def, Age age,
+                     std::optional<size_t> constrain_fetch,
+                     const nd::Region* written);
+
+  /// All fetch dependencies of a candidate instance are fulfilled.
+  /// `skip_fetch` marks one fetch as certificate-satisfied: the caller
+  /// proved (via an independence certificate plus a just-committed region
+  /// constraining the candidate) that its data is fully written, so its
+  /// fine-grained region check is skipped. On failure `*blocking_fetch`
+  /// (when non-null) names the first unsatisfied fetch, for precise retry
+  /// registration.
+  bool satisfied(Shard& s, const KernelDef& def, Age age,
+                 const nd::Coord& coord,
+                 std::optional<size_t> skip_fetch = std::nullopt,
+                 size_t* blocking_fetch = nullptr);
+
+  /// Registers (def, age) for retry when the field age behind `fetch_index`
+  /// next changes.
+  void register_retry(Shard& s, const KernelDef& def, Age age,
+                      size_t fetch_index);
+
+  /// True when (consumer kernel, fetch) carries an independence
+  /// certificate and RunOptions::use_certificates is on.
+  bool certified(KernelId kernel, size_t fetch) const {
+    const auto& flags = certified_[static_cast<size_t>(kernel)];
+    return fetch < flags.size() && flags[fetch] != 0;
+  }
+
+  // --- exactly-once dispatch bookkeeping ------------------------------------
+  bool age_closed(const KernelDispatch& kd, Age age) const {
+    return age < kd.closed_below || kd.closed_sparse.count(age) != 0;
+  }
+  bool is_dispatched(KernelId kernel, Age age, const nd::Coord& coord) const;
+  /// Marks (kernel, age, coord) dispatched; false when it already was (or
+  /// the age is closed). Auto-closes the age when `total` is reached.
+  bool mark_dispatched(Shard& s, KernelId kernel, Age age, nd::Coord coord);
+  /// Retires an age's coord set: every instance is known dispatched (or
+  /// can never dispatch again). Cascades to a fused downstream twin, whose
+  /// coords are exactly the mapped upstream coords.
+  void close_age(Shard& s, KernelId kernel, Age age);
+
+  /// Marks dispatched (including a fused downstream twin) and buffers the
+  /// instance for chunked dispatch.
+  void create_instance(Shard& s, const KernelDef& def, Age age,
+                       nd::Coord coord);
+
+  /// Flushes chunk buffers into work items (serial kernels are gated).
+  void flush_chunks(Shard& s);
+  void submit_or_park(Shard& s, WorkItem item);
+
+  /// Index-variable domain lengths of a kernel at an age, or nullopt while
+  /// some binding field extent is not sealed yet.
+  std::optional<std::vector<int64_t>> domain_of(const KernelDef& def,
+                                                Age age) const;
+
+  /// Sends a cross-shard message. The unit of outstanding work is added
+  /// before this shard's own event unit is released, so the quiescence
+  /// count never undershoots.
+  void send_shard(Shard& s, size_t target, Event event);
+
+  FieldStorage& storage(FieldId field) const {
+    return *runtime_.storages_[static_cast<size_t>(field)];
+  }
+
+  size_t field_shard(FieldId field) const {
+    return field_shard_[static_cast<size_t>(field)];
+  }
+  size_t kernel_shard(KernelId kernel) const {
+    return kernel_shard_[static_cast<size_t>(kernel)];
+  }
+
   Runtime& runtime_;
   const Program& program_;
 
-  std::map<std::pair<FieldId, Age>, FieldAgeState> fa_states_;
-  std::unordered_set<InstanceKey, InstanceKeyHash> dispatched_;
-  std::map<KernelId, SerialState> serial_;
-  /// Ages at which a kernel had unsatisfied (or non-enumerable) candidates;
-  /// retried whenever an event touches any field the kernel fetches.
-  std::map<KernelId, std::set<Age>> retry_;
-  std::deque<std::pair<FieldId, Age>> seal_worklist_;
-  std::map<std::pair<KernelId, Age>, ChunkBuffer> chunk_buffers_;
-  /// Context of the store event currently being handled; stamps instances
-  /// it (transitively) makes runnable. Analyzer thread only.
-  TraceContext current_cause_;
-  int64_t events_handled_ = 0;
+  std::vector<Shard> shards_;
+  // --- ownership maps, computed once, read-only afterwards ------------------
+  std::vector<size_t> field_shard_;
+  std::vector<size_t> kernel_shard_;
+  /// Per field: bitmask of shards owning at least one consumer kernel.
+  std::vector<uint64_t> field_consumer_shards_;
+  std::vector<Age> first_feasible_;
+
+  // --- per-kernel state, touched only by the kernel's owner shard -----------
+  std::vector<KernelDispatch> dispatch_;
+  std::vector<SerialState> serial_;
+
   /// Per-kernel per-fetch certificate bitmap, resolved once from
   /// Program::certificates() (empty vectors when certificates are off).
   std::vector<std::vector<char>> certified_;
-  /// Mutable: bumped from the const satisfied() hot path (analyzer thread
-  /// only; read after the run via certified_skip_count()).
-  mutable int64_t certified_skips_ = 0;
 };
 
 }  // namespace p2g

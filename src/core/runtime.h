@@ -1,13 +1,15 @@
 // Runtime: a P2G execution node for multi-core machines (paper §VI-B).
 //
-// The runtime owns field storage, a dedicated dependency-analyzer thread,
-// an age-ordered ready queue and a pool of worker threads. Kernel
-// instances run on workers and emit store events; the analyzer consumes
-// events, discovers newly runnable instances and dispatches each instance
+// The runtime owns field storage, one or more dependency-analyzer shard
+// threads (RunOptions::analyzer_shards), an age-ordered ready queue and a
+// pool of worker threads. Kernel instances run on workers and emit store
+// events; the analyzer shards consume events routed by field/kernel
+// ownership, discover newly runnable instances and dispatch each instance
 // exactly once (write-once semantics make this sound). The run terminates
 // at quiescence: no pending events, no ready or running instances.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -21,7 +23,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/blocking_queue.h"
+#include "common/mpsc_queue.h"
 #include "common/rng.h"
 #include "core/events.h"
 #include "core/flight_recorder.h"
@@ -78,6 +80,13 @@ struct RunOptions {
   /// under one queue lock and amortizes trace/metrics/accounting over the
   /// batch. false = one event per lock round trip (ablation baseline).
   bool analyzer_batch = true;
+  /// Analyzer shards (clamped to [1, 64]): dependency tracking is
+  /// partitioned across this many analyzer threads, each owning a disjoint
+  /// set of fields and kernels, fed by per-shard lock-free MPSC queues and
+  /// exchanging cross-shard effects as explicit messages
+  /// (core/dependency.h). 1 (the default) is exactly the paper's single
+  /// analyzer thread; any value dispatches a bit-identical instance set.
+  int analyzer_shards = 1;
   /// Consume independence certificates embedded by Program::certify(): a
   /// store event arriving through a certified (consumer, fetch) pair skips
   /// that fetch's fine-grained region_written tracking for every candidate
@@ -195,6 +204,21 @@ class Runtime {
   /// independence certificates (0 without certify()/use_certificates).
   int64_t certified_skips() const;
 
+  /// The dependency analyzer (tests/bench: shard counters, memory stats).
+  DependencyAnalyzer& analyzer() { return *analyzer_; }
+
+  /// CPU time the busiest analyzer shard thread consumed during run(),
+  /// in nanoseconds. On oversubscribed machines (or a single-core box,
+  /// where N shard threads time-share one core) wall clock cannot show the
+  /// per-shard load split; the max shard CPU is the quantity that
+  /// parallelism across cores would put on the critical path. Valid after
+  /// run() returns; 0 before.
+  int64_t max_analyzer_cpu_ns() const {
+    int64_t best = 0;
+    for (const int64_t ns : analyzer_cpu_ns_) best = std::max(best, ns);
+    return best;
+  }
+
   /// The execution trace (nullptr unless RunOptions::trace_path or
   /// collect_trace was set).
   const TraceCollector* trace() const { return trace_.get(); }
@@ -245,14 +269,27 @@ class Runtime {
     bool elide = false;
   };
 
-  /// Per-kernel resolved schedule. `chunk` is only ever read and adapted
-  /// from the analyzer thread.
+  /// Per-kernel resolved schedule. `chunk` is adapted only from analyzer
+  /// shard 0 (adapt_granularity) but read by every shard's flush path, so
+  /// it is a relaxed atomic: any shard using a slightly stale chunk size
+  /// only changes work-item grouping, never correctness.
   struct KernelRunCfg {
-    int64_t chunk = 1;
+    std::atomic<int64_t> chunk{1};
     bool chunk_explicit = false;  ///< user-set; adaptive control skips it
     Age cap = std::numeric_limits<Age>::max();
     const ResolvedFusion* fusion = nullptr;  ///< as upstream
     bool enabled = true;  ///< false: kernel runs on another node
+
+    // The atomic deletes the implicit copy/move; vector::resize needs
+    // MoveInsertable even when growing from empty. Only ever invoked
+    // before any thread starts.
+    KernelRunCfg() = default;
+    KernelRunCfg(KernelRunCfg&& other) noexcept
+        : chunk(other.chunk.load(std::memory_order_relaxed)),
+          chunk_explicit(other.chunk_explicit),
+          cap(other.cap),
+          fusion(other.fusion),
+          enabled(other.enabled) {}
   };
 
   /// Analyzer-thread hook: revisits chunk sizes from instrumentation.
@@ -279,13 +316,17 @@ class Runtime {
   /// Enqueues a batch of work items under one ready-queue lock.
   void submit_batch(std::vector<WorkItem> items);
 
+  /// Routes an event to the analyzer shard owning its state.
   void push_event(Event event);
+  /// Enqueues onto a specific shard's queue (cross-shard analyzer
+  /// messages, which are addressed explicitly by their sender).
+  void push_shard_event(size_t shard, Event event);
 
   void begin_shutdown();
   void fail(std::exception_ptr error);
 
   void worker_loop(int worker_index);
-  void analyzer_loop();
+  void analyzer_loop(int shard);
 
   /// Runs all bodies of a work item: fetch prep, body, store commit, fused
   /// downstream execution, instrumentation, done-event emission.
@@ -328,7 +369,12 @@ class Runtime {
   std::vector<ResolvedFusion> fusions_;
 
   ReadyQueue ready_;
-  BlockingQueue<Event> events_;
+  /// One lock-free MPSC event queue per analyzer shard (producers: workers
+  /// and other shards; consumer: the shard's thread).
+  std::vector<std::unique_ptr<MpscQueue<Event>>> event_queues_;
+  /// Per-shard thread CPU time, written by each shard thread on exit and
+  /// read after join (bench: critical-path analyzer cost).
+  std::vector<int64_t> analyzer_cpu_ns_;
   Instrumentation instr_;
   TimerSet timers_;
   std::unique_ptr<TraceCollector> trace_;
@@ -349,6 +395,10 @@ class Runtime {
   obs::Counter* m_busy_ns_ = nullptr;
   obs::Counter* m_idle_ns_ = nullptr;
   obs::Counter* m_events_ = nullptr;
+  /// Per-shard analyzer counters (events handled / cross-shard messages
+  /// received), indexed by shard; empty when metrics are off.
+  std::vector<obs::Counter*> m_shard_events_;
+  std::vector<obs::Counter*> m_shard_xshard_;
 
   std::atomic<int64_t> outstanding_{0};
   sync::Mutex done_mutex_{"Runtime.done_mutex"};
