@@ -179,6 +179,76 @@ PY
   exit 0
 fi
 
+# ISSUE=10: out-of-process transport + shared-memory data plane. The
+# metric is data-plane economics, not time: bytes_copied_per_frame for the
+# same multi-process pipeline run over the socket transport (baseline:
+# every frame serialized onto the wire) vs the shm data plane (frames
+# travel as arena offsets; the target is ~0). Checksums prove the two
+# transports computed identical data.
+if [ "$issue" = 10 ]; then
+  cmake --build "$build_dir" -j"$(nproc)" --target p2gnode
+
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+
+  nodes="${P2G_BENCH_NODES:-3}"
+  "$build_dir/tools/p2gnode" --master --workload pipeline \
+    --nodes "$nodes" --json "$tmp/socket.json" > /dev/null
+  "$build_dir/tools/p2gnode" --master --workload pipeline \
+    --nodes "$nodes" --shm --json "$tmp/shm.json" > /dev/null
+
+  python3 - "$tmp/socket.json" "$tmp/shm.json" "$out" <<'PY'
+import json, sys
+
+socket_path, shm_path, out_path = sys.argv[1:4]
+socket = json.load(open(socket_path))
+shm = json.load(open(shm_path))
+
+assert socket["checksum"] == shm["checksum"], (
+    "transports disagree on the data: "
+    f"{socket['checksum']} != {shm['checksum']}"
+)
+
+report = {
+    "issue": 10,
+    "generated_by": "scripts/bench_report.sh",
+    "workload": socket["workload"],
+    "nodes": socket["nodes"],
+    "baseline_definition": {
+        "socket": "real multi-process run over the TCP socket transport: "
+                  "every cross-node store serializes its payload into a "
+                  "length-prefixed frame (the pre-shm data plane)",
+    },
+    "acceptance": "bytes_copied_per_frame ~0 on the shm data plane for "
+                  "the whole-frame pipeline workload (frames ship as "
+                  "arena offsets, receivers adopt mapped pages); "
+                  "checksums bit-exact across transports",
+    "checksum": socket["checksum"],
+    "bytes_copied_per_frame": {
+        "socket": socket["bytes_copied_per_frame"],
+        "shm": shm["bytes_copied_per_frame"],
+    },
+    "data_frames": {
+        "socket": socket["frames"],
+        "shm": shm["frames"],
+    },
+    "copied_bytes": {
+        "socket": socket["copied_bytes"],
+        "shm": shm["copied_bytes"],
+    },
+    "wall_s": {
+        "socket": socket["wall_s"],
+        "shm": shm["wall_s"],
+    },
+}
+with open(out_path, "w") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out_path}")
+PY
+  exit 0
+fi
+
 # ISSUE=9: sharded dependency analyzer. Baseline is analyzer_shards=1 (the
 # pre-PR single analyzer thread, bit-identical dispatch). The metric is the
 # maximum per-shard analyzer-thread CPU — the sharded analyzer's critical

@@ -49,10 +49,11 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 # Benchmarks carry the `bench` ctest label (and configuration) and are not
 # part of the gate; run them explicitly via `ctest -C bench -L bench` or
 # scripts/bench_report.sh. Chaos sweeps carry the `chaos` label and run via
-# scripts/chaos.sh, and p2gcheck schedule-exploration sweeps carry `check`;
-# the gate only runs the fast smoke entries below.
+# scripts/chaos.sh, p2gcheck schedule-exploration sweeps carry `check`, and
+# the multi-process soak driver carries `soak` (scripts/soak.sh); the gate
+# only runs the fast smoke entries below.
 rc=0
-ctest --test-dir "$build_dir" --output-on-failure -LE "bench|chaos|check" -j"$(nproc)" || rc=$?
+ctest --test-dir "$build_dir" --output-on-failure -LE "bench|chaos|check|soak" -j"$(nproc)" || rc=$?
 if [ "$rc" -ne 0 ]; then
   echo "tier1: ctest failed with exit code $rc" >&2
 fi
@@ -75,11 +76,21 @@ if [ "$rc" -eq 0 ]; then
     echo "tier1: p2gcheck smoke failed with exit code $rc" >&2
   fi
 fi
+
+# One real 3-process socket-transport run keeps the out-of-process cluster
+# path (fork/exec, hub routing, termination detection) on the gate;
+# scripts/soak.sh runs the longer transport sweeps.
+if [ "$rc" -eq 0 ]; then
+  "$build_dir/tools/p2gnode" --master --workload mul2 --nodes 3 || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "tier1: p2gnode multi-process smoke failed with exit code $rc" >&2
+  fi
+fi
 t_done=$(date +%s)
 echo "tier1: ${sanitize:-plain} build $((t_built - t_start))s," \
   "tests $((t_done - t_built))s, total $((t_done - t_start))s," \
   "modes [sanitize=${sanitize:-none} werror=${P2G_WERROR:-OFF}" \
   "clang-tidy=${P2G_CLANG_TIDY:-OFF} chaos-smoke p2gcheck-smoke" \
-  "analysis-gate]," \
+  "multiprocess-smoke analysis-gate]," \
   "$([ "$rc" -eq 0 ] && echo OK || echo "FAIL rc=$rc")"
 exit "$rc"

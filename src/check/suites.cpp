@@ -10,6 +10,7 @@
 // stack is gone by the time run() schedules them.
 #include "check/registry.h"
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "core/ready_queue.h"
 #include "dist/bus.h"
 #include "ft/reliable.h"
+#include "net/shm.h"
 
 namespace p2g::check {
 
@@ -187,6 +189,42 @@ void suite_flight_recorder(CheckSession& session) {
   });
 }
 
+void suite_shm_ring(CheckSession& session) {
+  // The shared-memory data plane's SPSC ring (net::ShmRing) exactly as the
+  // two processes use it: both sides construct their own wrapper over the
+  // same (here: heap-backed) zero-initialized pages, the producer pushes
+  // through wrap-around and a full window, then closes; the consumer
+  // drains until kClosed. The ring is annotated internally
+  // (acquire/release on head/tail, write_range/read_range on the slot), so
+  // the sweep proves the publish protocol: slot payload written before the
+  // tail release, never reread after the head release. Loops are bounded —
+  // the ring is non-blocking and the explorer guarantees no fairness.
+  struct Shared {
+    std::vector<uint8_t> mem;
+    Shared() : mem(net::ShmRing::bytes_required(2), 0) {}
+  };
+  auto shared = std::make_shared<Shared>();
+  session.spawn("producer", [shared] {
+    net::ShmRing tx(shared->mem.data(), 2);
+    net::ShmSlot slot{};
+    for (int i = 0; i < 3; ++i) {  // 3 slots through a 2-slot ring: wraps
+      slot.age = i;
+      for (int spin = 0; spin < 16 && !tx.push(slot); ++spin) {
+      }
+    }
+    tx.close();
+  });
+  session.spawn("consumer", [shared] {
+    net::ShmRing rx(shared->mem.data(), 2);
+    net::ShmSlot slot{};
+    for (int spin = 0; spin < 64; ++spin) {
+      const net::ShmRing::Pop got = rx.pop(&slot);
+      if (got == net::ShmRing::Pop::kClosed) break;
+      if (got == net::ShmRing::Pop::kGot) (void)slot.age;
+    }
+  });
+}
+
 // --- fixture suites: seeded bugs the checker must find -----------------------
 
 void suite_known_race(CheckSession& session) {
@@ -226,6 +264,33 @@ void suite_broken_mpsc(CheckSession& session) {
     }
   });
   session.spawn("closer", [shared] { shared->queue.close(); });
+}
+
+void suite_broken_ring(CheckSession& session) {
+  // Bug under test: an SPSC ring whose producer publishes the new tail
+  // BEFORE writing the slot payload — the inverse of ShmRing::push's
+  // protocol. The consumer acquires the tail, sees the ring non-empty, and
+  // reads a slot the producer is still writing.
+  struct Shared {
+    std::atomic<uint32_t> tail{0};
+    std::atomic<uint32_t> head{0};
+    int64_t slot = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  session.spawn("producer", [shared] {
+    check::release(&shared->tail);
+    shared->tail.store(1, std::memory_order_release);  // published too early
+    check::write(shared->slot, "demo.broken_ring.slot");
+    shared->slot = 42;
+  });
+  session.spawn("consumer", [shared] {
+    if (shared->tail.load(std::memory_order_acquire) !=
+        shared->head.load(std::memory_order_relaxed)) {
+      check::acquire(&shared->tail);
+      check::read(shared->slot, "demo.broken_ring.slot");
+      (void)shared->slot;
+    }
+  });
 }
 
 void suite_lock_cycle(CheckSession& session) {
@@ -299,6 +364,10 @@ void register_builtin_suites() {
     add("flight_recorder.ring",
         "FlightRecorder single-writer ring vs racy snapshot",
         suite_flight_recorder);
+    add("shm.ring_spsc",
+        "shared-memory SPSC ring: wrap-around push/full window vs drain "
+        "until closed",
+        suite_shm_ring);
     add("demo.known_race",
         "fixture: unsynchronized counter (must find P2G-C001)",
         suite_known_race, "P2G-C001");
@@ -306,6 +375,10 @@ void register_builtin_suites() {
         "fixture: queue payload published after the push (must find "
         "P2G-C001)",
         suite_broken_mpsc, "P2G-C001");
+    add("demo.broken_ring",
+        "fixture: ring tail published before the slot write (must find "
+        "P2G-C001)",
+        suite_broken_ring, "P2G-C001");
     add("demo.lock_cycle", "fixture: AB/BA lock order (must find P2G-C002)",
         suite_lock_cycle, "P2G-C002");
     add("demo.lost_wakeup",

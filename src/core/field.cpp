@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <utility>
 
 #include "common/error.h"
 
@@ -54,8 +55,11 @@ FieldStorage::AgeData& FieldStorage::age_data(Age age) {
   auto it = ages_.find(age);
   if (it == ages_.end()) {
     AgeData fresh;
-    fresh.buffer = std::make_shared<nd::AnyBuffer>(
-        decl_.type, nd::Extents(std::vector<int64_t>(decl_.rank, 0)));
+    const nd::Extents zero(std::vector<int64_t>(decl_.rank, 0));
+    fresh.buffer = buffer_factory_
+                       ? std::make_shared<nd::AnyBuffer>(
+                             buffer_factory_(decl_.type, zero))
+                       : std::make_shared<nd::AnyBuffer>(decl_.type, zero);
     it = ages_.emplace(age, std::move(fresh)).first;
   }
   return it->second;
@@ -78,7 +82,8 @@ void FieldStorage::grow(AgeData& data, const nd::Extents& new_extents) {
                  "grow of published age buffer of field " + decl_.name);
   // The resize may reallocate the payload; drop any access history of the
   // old allocation so recycled addresses cannot produce stale-epoch races.
-  check::reset_range(data.buffer->raw(),
+  // (Const access: raw() non-const would materialize an adopted alias.)
+  check::reset_range(std::as_const(*data.buffer).raw(),
                      static_cast<size_t>(old_extents.element_count()) *
                          nd::element_size(data.buffer->type()));
   data.buffer->resize(new_extents);
@@ -427,6 +432,45 @@ size_t FieldStorage::memory_bytes() const {
              nd::element_size(data.buffer->type());
   }
   return total;
+}
+
+void FieldStorage::set_buffer_factory(BufferFactory factory) {
+  std::unique_lock lock(mutex_);
+  check_internal(ages_.empty(),
+                 "buffer factory installed after ages exist on field " +
+                     decl_.name);
+  buffer_factory_ = std::move(factory);
+}
+
+std::optional<FieldStorage::RawBlock> FieldStorage::peek_block(
+    Age age) const {
+  std::shared_lock lock(mutex_);
+  const AgeData* ad = find_age(age);
+  if (ad == nullptr) return std::nullopt;
+  RawBlock block;
+  block.base = std::as_const(*ad->buffer).raw();
+  block.extents = ad->buffer->extents();
+  return block;
+}
+
+bool FieldStorage::adopt_whole(Age age, const nd::ConstView& view) {
+  if (view.type() != decl_.type || view.extents().rank() != decl_.rank ||
+      !view.is_contiguous()) {
+    return false;
+  }
+  std::unique_lock lock(mutex_);
+  AgeData& ad = age_data(age);
+  // Only a pristine age can alias foreign pages: once anything was written
+  // (or the buffer published), the write-once bitmap refers to the current
+  // allocation. Sealed ages additionally pin the final extents.
+  if (ad.written.count() > 0 || ad.published) return false;
+  if (ad.sealed && !(view.extents() == ad.sealed_extents)) return false;
+  ad.buffer = std::make_shared<nd::AnyBuffer>(nd::AnyBuffer::alias(
+      view.type(), view.extents(), view.raw(), view.keepalive()));
+  const auto count = static_cast<size_t>(view.extents().element_count());
+  ad.written = DynamicBitset(count);
+  ad.written.set_range(0, count);
+  return true;
 }
 
 }  // namespace p2g

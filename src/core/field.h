@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -161,6 +162,37 @@ class FieldStorage {
   /// Total bytes currently allocated across live ages.
   size_t memory_bytes() const;
 
+  // --- external storage hooks (the shared-memory data plane) ---------------
+
+  /// Factory for new age buffers. A shared-memory data plane installs one
+  /// that allocates payload bytes from its mapped arena, so outgoing whole
+  /// stores can ship as arena offsets instead of copies. Must be set
+  /// before the runtime starts (not thread-safe against stores).
+  using BufferFactory =
+      std::function<nd::AnyBuffer(nd::ElementType, const nd::Extents&)>;
+  void set_buffer_factory(BufferFactory factory);
+
+  /// A raw look at an age's current payload block: base pointer and
+  /// extents under the reader lock. The pointer is only stable if the
+  /// caller knows the block cannot be reclaimed (arena-backed buffers —
+  /// bump arenas never free; heap-backed buffers may relocate on growth,
+  /// so callers must range-check the pointer against their arena before
+  /// trusting it).
+  struct RawBlock {
+    const std::byte* base = nullptr;
+    nd::Extents extents;
+  };
+  std::optional<RawBlock> peek_block(Age age) const;
+
+  /// Adopts `view` (densely packed, matching type/rank) as the complete
+  /// payload of `age` without copying: the age buffer aliases the view's
+  /// memory and every element is marked written. Only possible when the
+  /// age has no written elements yet and, if sealed, the view covers the
+  /// sealed extents. Returns false when adoption is not possible (caller
+  /// falls back to a copying store). This is how a mapped peer-arena frame
+  /// becomes local field content with zero copies.
+  bool adopt_whole(Age age, const nd::ConstView& view);
+
  private:
   struct AgeData {
     /// Payload, shared with outstanding views (keepalive).
@@ -220,6 +252,7 @@ class FieldStorage {
 
   FieldDecl decl_;
   bool track_writers_ = false;
+  BufferFactory buffer_factory_;  ///< optional external-arena allocator
   /// Writer lock for stores/seal/release/publish; shared for queries. The
   /// published-age fetch path takes neither (its ordering is the
   /// release-store/acquire-load pair on seal_index_, described to the

@@ -324,6 +324,42 @@ int64_t Runtime::inject_store(FieldId field, Age age,
   return fresh;
 }
 
+int64_t Runtime::inject_store_view(FieldId field, Age age,
+                                   const nd::Region& region,
+                                   KernelId producer, size_t store_decl,
+                                   bool whole, const nd::ConstView& view,
+                                   bool* adopted, const TraceContext& ctx) {
+  bool did_adopt = false;
+  if (whole && view.is_contiguous() &&
+      region == nd::Region::whole(view.extents())) {
+    did_adopt = storage(field).adopt_whole(age, view);
+  }
+  if (!did_adopt) {
+    StoreOrigin origin;
+    origin.kernel = producer != kInvalidKernel
+                        ? program_.kernel(producer).name
+                        : std::string("injected");
+    origin.age = age;
+    if (view.is_contiguous()) {
+      storage(field).store(age, region, view.raw(), &origin);
+    } else {
+      const nd::AnyBuffer packed = view.materialize();
+      storage(field).store(age, region, packed.raw(), &origin);
+    }
+  }
+  if (adopted != nullptr) *adopted = did_adopt;
+  StoreEvent event;
+  event.field = field;
+  event.age = age;
+  event.region = region;
+  event.producer = producer;
+  event.store_decl = store_decl;
+  event.whole = whole;
+  event.ctx = ctx;
+  push_event(std::move(event));
+  return region.element_count();
+}
+
 std::optional<std::string> Runtime::dump_flight() const {
   if (!flight_ || !options_.flight_dir) return std::nullopt;
   const std::string label =

@@ -181,6 +181,18 @@ class Runtime {
                        const std::byte* payload, bool fill = false,
                        const TraceContext& ctx = {});
 
+  /// inject_store for payloads already mapped into this process (the
+  /// shared-memory data plane): when `view` densely covers the whole
+  /// region of an untouched age, field storage *adopts* the view's pages
+  /// (zero copies, keepalive pins the mapping); otherwise the bytes are
+  /// copied in like a regular non-fill store. Sets *adopted accordingly
+  /// when non-null.
+  int64_t inject_store_view(FieldId field, Age age, const nd::Region& region,
+                            KernelId producer, size_t store_decl, bool whole,
+                            const nd::ConstView& view,
+                            bool* adopted = nullptr,
+                            const TraceContext& ctx = {});
+
   /// Re-enables a disabled kernel and re-enumerates its instances from
   /// surviving field data (failover: the kernel's previous owner died).
   /// Thread-safe; the rescan runs on the analyzer thread.

@@ -28,10 +28,12 @@ SendStatus MessageBus::deliver(const std::string& to, Message message) {
     check::read(closed_, "MessageBus.closed");
     if (closed_) {
       ++stats_.dead_letters;
+      ++stats_.per_endpoint[to].dead_letters;
       return SendStatus::kClosed;
     }
     if (dead_.count(to)) {
       ++stats_.dead_letters;
+      ++stats_.per_endpoint[to].dead_letters;
       return SendStatus::kDead;
     }
     mailbox = it->second;

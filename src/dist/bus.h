@@ -6,9 +6,12 @@
 // endpoints by name or broadcast. In-process, but all payloads cross the
 // "wire" as serialized bytes.
 //
-// send()/broadcast() are virtual so the fault-tolerance layer (src/ft)
-// can interpose a ChaosBus decorator that drops, duplicates, delays, and
-// reorders traffic according to a seeded FaultPlan.
+// Since ISSUE 10 the bus is one implementation of the pluggable
+// net::Transport interface; the socket/shared-memory backends in src/net
+// carry the same contract between real OS processes, and the
+// fault-tolerance layer (src/ft) decorates any Transport with a ChaosBus
+// that drops, duplicates, delays, and reorders traffic according to a
+// seeded FaultPlan.
 #pragma once
 
 #include <map>
@@ -19,81 +22,61 @@
 
 #include "common/blocking_queue.h"
 #include "dist/message.h"
+#include "net/transport.h"
 
 namespace p2g::dist {
 
-/// Outcome of a send() attempt. Delivery failure is a normal, queryable
-/// result — a distributed sender must be able to observe "the other side is
-/// gone" without an exception tearing down its worker thread.
-enum class SendStatus : uint8_t {
-  kDelivered = 0,  ///< enqueued into the destination mailbox
-  kClosed = 1,     ///< bus already shut down (close_all() ran)
-  kDead = 2,       ///< destination declared failed (mark_dead())
-  kDropped = 3,    ///< chaos layer discarded the message
-};
+// Historic spellings — the transport vocabulary moved to net:: when the bus
+// became one backend among several. Existing call sites keep compiling.
+using SendStatus = net::SendStatus;
+using EndpointStats = net::EndpointStats;
+using BusStats = net::BusStats;
 
-/// Traffic counters of one bus endpoint (destination side).
-struct EndpointStats {
-  int64_t messages = 0;
-  int64_t bytes = 0;  ///< payload bytes delivered to this endpoint
-};
-
-/// Bus-wide traffic snapshot: the interconnect view the paper's HLS would
-/// consult when weighing edge cuts against link capacity.
-struct BusStats {
-  int64_t delivered = 0;
-  int64_t bytes = 0;
-  /// Messages addressed to closed or dead endpoints (delivery failures).
-  int64_t dead_letters = 0;
-  /// Per destination endpoint.
-  std::map<std::string, EndpointStats> per_endpoint;
-};
-
-class MessageBus {
+class MessageBus : public net::Transport {
  public:
   /// A registered endpoint's mailbox.
-  using Mailbox = BlockingQueue<Message>;
+  using Mailbox = net::Transport::Mailbox;
 
-  virtual ~MessageBus() = default;
+  ~MessageBus() override = default;
 
   /// Registers an endpoint; the returned mailbox lives as long as the bus.
-  std::shared_ptr<Mailbox> register_endpoint(const std::string& name);
+  std::shared_ptr<Mailbox> register_endpoint(const std::string& name) override;
 
   /// Sends to one endpoint. Unknown destinations still throw kProtocol
   /// (that is a wiring bug, not a runtime failure); closed/dead
   /// destinations return a failure status and count as dead letters.
-  virtual SendStatus send(const std::string& to, Message message);
+  SendStatus send(const std::string& to, Message message) override;
 
   /// Sends to every live endpoint except the sender. Returns the number of
   /// endpoints the message was actually delivered to (0 once closed).
-  virtual int broadcast(Message message);
+  int broadcast(Message message) override;
 
   /// Closes every mailbox (shutdown). Subsequent sends return kClosed.
-  void close_all();
+  void close_all() override;
 
   /// Declares an endpoint failed: its mailbox is closed and all further
   /// traffic to it is blackholed (kDead). Models fencing a crashed node.
-  void mark_dead(const std::string& name);
+  void mark_dead(const std::string& name) override;
 
   /// True if `name` was declared failed via mark_dead().
-  bool is_dead(const std::string& name) const;
-
-  /// Messages delivered so far (diagnostics).
-  int64_t delivered() const;
-
-  /// Message/byte counters, total and per destination endpoint.
-  BusStats stats() const;
-
- protected:
-  /// Delivery primitive shared by send(), broadcast(), and the chaos
-  /// layer's wire thread: resolves the destination, applies closed/dead
-  /// checks, updates counters, and enqueues.
-  SendStatus deliver(const std::string& to, Message message);
+  bool is_dead(const std::string& name) const override;
 
   /// True when a send to `to` cannot succeed (bus closed or endpoint
   /// dead). The chaos layer checks this *before* reaching a fault verdict
   /// so that crash timing never perturbs the verdict stream of live links.
-  bool unreachable(const std::string& to) const;
+  bool unreachable(const std::string& to) const override;
+
+  /// Messages delivered so far (diagnostics).
+  int64_t delivered() const override;
+
+  /// Message/byte counters, total and per destination endpoint.
+  BusStats stats() const override;
+
+ protected:
+  /// Delivery primitive shared by send() and broadcast(): resolves the
+  /// destination, applies closed/dead checks, updates counters, and
+  /// enqueues.
+  SendStatus deliver(const std::string& to, Message message);
 
  private:
   mutable sync::Mutex mutex_{"MessageBus.mutex"};

@@ -19,8 +19,8 @@ constexpr int64_t kNetLane = -2;
 
 ExecutionNode::ExecutionNode(
     std::string name, Program program,
-    const std::map<std::string, std::string>& kernel_owner, MessageBus& bus,
-    RunOptions base_options, NodeFtOptions ft)
+    const std::map<std::string, std::string>& kernel_owner,
+    net::Transport& bus, RunOptions base_options, NodeFtOptions ft)
     : name_(std::move(name)),
       bus_(bus),
       ft_(std::move(ft)),
@@ -122,13 +122,8 @@ void ExecutionNode::announce(const std::string& master_endpoint) {
   bus_.send(master_endpoint, std::move(message));
 }
 
-void ExecutionNode::forward_store(const StoreEvent& event) {
-  // Cheap pre-check without the lock; the authoritative read is below.
-  if (!ft_.enabled &&
-      forward_targets_[static_cast<size_t>(event.field)].empty()) {
-    return;
-  }
-
+std::vector<uint8_t> ExecutionNode::encode_store_payload(
+    const StoreEvent& event) {
   RemoteStore remote;
   remote.field = event.field;
   remote.age = event.age;
@@ -143,25 +138,47 @@ void ExecutionNode::forward_store(const StoreEvent& event) {
   remote.payload.assign(
       raw, raw + static_cast<size_t>(data.element_count()) *
                      nd::element_size(data.type()));
-  std::vector<uint8_t> payload = remote.encode();
+  return remote.encode();
+}
+
+void ExecutionNode::forward_store(const StoreEvent& event) {
+  // Cheap pre-check without the lock; the authoritative read is below.
+  if (!ft_.enabled &&
+      forward_targets_[static_cast<size_t>(event.field)].empty()) {
+    return;
+  }
 
   if (!ft_.enabled) {
+    // Offer each target to the data plane first; only targets it declines
+    // fall back to the serialized message path (and only then is the
+    // payload pulled back out of storage and encoded).
+    const auto& targets =
+        forward_targets_[static_cast<size_t>(event.field)];
+    std::vector<const std::string*> wire_targets;
+    for (const std::string& target : targets) {
+      if (forwarder_ != nullptr && forwarder_->forward(event, target)) {
+        stores_sent_.fetch_add(1);
+        continue;
+      }
+      wire_targets.push_back(&target);
+    }
+    if (wire_targets.empty()) return;
     Message message;
     message.type = MessageType::kRemoteStore;
     message.from = name_;
-    message.payload = std::move(payload);
-    const auto& targets =
-        forward_targets_[static_cast<size_t>(event.field)];
-    for (const std::string& target : targets) {
+    message.payload = encode_store_payload(event);
+    for (const std::string* target : wire_targets) {
       stores_sent_.fetch_add(1);
       int64_t t0 = 0;
       const TraceContext wire = begin_wire_span(event, &t0);
       message.trace = wire;
-      bus_.send(target, message);
-      end_wire_span(event, wire, target, t0);
+      bus_.send(*target, message);
+      end_wire_span(event, wire, *target, t0);
     }
     return;
   }
+
+  std::vector<uint8_t> payload = encode_store_payload(event);
 
   // FT mode: log the payload for failover replay, then send reliably. The
   // log append and the target snapshot happen under the same lock a
@@ -234,6 +251,42 @@ void ExecutionNode::apply_remote_store(const Message& message) {
     flight->record("recv", SpanKind::kRemoteStore, t0, t1 - t0, kNetLane,
                    message.trace, recv.span_id, remote.age);
   }
+}
+
+void ExecutionNode::set_store_forwarder(StoreForwarder* forwarder) {
+  check_argument(!ft_.enabled,
+                 "store forwarder requires non-FT mode (the reliable "
+                 "channel owns the FT data plane)");
+  forwarder_ = forwarder;
+}
+
+std::vector<FieldId> ExecutionNode::forwarded_fields() const {
+  std::vector<FieldId> fields;
+  for (size_t i = 0; i < forward_targets_.size(); ++i) {
+    if (!forward_targets_[i].empty()) {
+      fields.push_back(static_cast<FieldId>(i));
+    }
+  }
+  return fields;
+}
+
+void ExecutionNode::apply_plane_store(FieldId field, Age age,
+                                      const nd::Region& region,
+                                      KernelId producer, uint32_t store_decl,
+                                      bool whole, const nd::ConstView& view,
+                                      bool* adopted) {
+  const Program& prog = runtime_->program();
+  if (field < 0 || static_cast<size_t>(field) >= prog.fields().size()) {
+    throw_error(ErrorKind::kProtocol, "plane store for unknown field id " +
+                                          std::to_string(field));
+  }
+  if (view.type() != prog.field(field).type) {
+    throw_error(ErrorKind::kProtocol,
+                "plane store element type does not match the field");
+  }
+  runtime_->inject_store_view(field, age, region, producer, store_decl,
+                              whole, view, adopted);
+  stores_received_.fetch_add(1);
 }
 
 void ExecutionNode::apply_reassign(const ReassignMsg& reassign) {
@@ -357,6 +410,24 @@ void ExecutionNode::receiver_loop() {
             apply_reassign(ReassignMsg::decode(message->payload));
           }
           break;
+        case MessageType::kIdleProbe: {
+          // Out-of-process quiescence: the supervisor cannot inspect this
+          // node's runtime directly, so it probes and we answer with our
+          // idleness and message-conservation counters.
+          IdleReport idle;
+          idle.idle = runtime_->idle() && mailbox_->empty() &&
+                      channel_unacked() == 0;
+          idle.stores_sent = stores_sent_.load();
+          idle.stores_received = stores_received_.load();
+          Message reply;
+          reply.type = MessageType::kIdleReport;
+          reply.from = name_;
+          reply.payload = idle.encode();
+          bus_.send(master_endpoint_.empty() ? message->from
+                                             : master_endpoint_,
+                    std::move(reply));
+          break;
+        }
         case MessageType::kShutdown:
           runtime_->stop();
           return;

@@ -33,6 +33,7 @@
 #include "dist/bus.h"
 #include "ft/reliable.h"
 #include "graph/topology.h"
+#include "nd/view.h"
 
 namespace p2g::dist {
 
@@ -47,13 +48,23 @@ struct NodeFtOptions {
   ft::ReliableChannel::Options channel;
 };
 
+/// Out-of-band data plane hook (the shared-memory lane of src/net). When
+/// installed, forward_store offers every outgoing store to the forwarder
+/// first; a `true` return means the store is on its way to `target` and
+/// the serialized message path is skipped for that target.
+class StoreForwarder {
+ public:
+  virtual ~StoreForwarder() = default;
+  virtual bool forward(const StoreEvent& event, const std::string& target) = 0;
+};
+
 class ExecutionNode {
  public:
   /// `kernel_owner` maps every kernel name to the name of the node that
   /// runs it (the master's partitioning decision).
   ExecutionNode(std::string name, Program program,
                 const std::map<std::string, std::string>& kernel_owner,
-                MessageBus& bus, RunOptions base_options,
+                net::Transport& bus, RunOptions base_options,
                 NodeFtOptions ft = {});
 
   /// Registers on the bus and reports the local topology to the master.
@@ -89,6 +100,23 @@ class ExecutionNode {
   int64_t channel_unacked() const;
   ft::ReliableChannel::Stats channel_stats() const;
 
+  /// Installs a data-plane forwarder (see StoreForwarder). Must be called
+  /// before start(); non-FT mode only — the reliable channel owns the FT
+  /// data plane. The forwarder must outlive the node.
+  void set_store_forwarder(StoreForwarder* forwarder);
+
+  /// Fields that have at least one remote consumer (the set forward_store
+  /// ships). A shared-memory data plane arena-backs exactly these.
+  std::vector<FieldId> forwarded_fields() const;
+
+  /// Applies a store that arrived over an out-of-band data plane: the
+  /// counterpart of apply_remote_store for payloads that are already
+  /// mapped into this process. Sets *adopted to true when the storage
+  /// aliased the view's pages instead of copying.
+  void apply_plane_store(FieldId field, Age age, const nd::Region& region,
+                         KernelId producer, uint32_t store_decl, bool whole,
+                         const nd::ConstView& view, bool* adopted);
+
   /// The node's run report (valid after join(); empty for crashed nodes).
   const std::optional<RunReport>& report() const { return report_; }
 
@@ -112,15 +140,19 @@ class ExecutionNode {
   TraceContext begin_wire_span(const StoreEvent& event, int64_t* t0);
   void end_wire_span(const StoreEvent& event, const TraceContext& wire,
                      const std::string& target, int64_t t0);
+  /// Encodes the RemoteStore wire payload for one store event (fetches the
+  /// freshly written bytes back out of local storage).
+  std::vector<uint8_t> encode_store_payload(const StoreEvent& event);
   void forward_store(const StoreEvent& event);
   void apply_remote_store(const Message& message);
   void apply_reassign(const ReassignMsg& reassign);
 
   std::string name_;
   std::string master_endpoint_;  ///< set by announce()
-  MessageBus& bus_;
-  std::shared_ptr<MessageBus::Mailbox> mailbox_;
+  net::Transport& bus_;
+  std::shared_ptr<net::Transport::Mailbox> mailbox_;
   std::unique_ptr<Runtime> runtime_;
+  StoreForwarder* forwarder_ = nullptr;  ///< optional data plane
 
   NodeFtOptions ft_;
   std::unique_ptr<ft::ReliableChannel> channel_;  ///< FT mode only

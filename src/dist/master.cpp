@@ -63,17 +63,20 @@ DistributedRunReport Master::run() {
           : graph::partition_graph(final_graph_, options_.nodes);
 
   // 2. Spin up the simulated cluster and gather topology reports. In FT
-  // mode the bus is a ChaosBus driving the seeded fault plan.
-  std::unique_ptr<MessageBus> bus_holder;
+  // mode the transport is the in-process bus decorated with a ChaosBus
+  // driving the seeded fault plan — the same decorator shape a socket
+  // backend gets in chaos mode.
+  auto bus_holder = std::make_unique<MessageBus>();
+  std::unique_ptr<ft::ChaosBus> chaos_holder;
   ft::ChaosBus* chaos = nullptr;
+  net::Transport* transport = bus_holder.get();
   if (ft_on) {
-    auto chaos_bus = std::make_unique<ft::ChaosBus>(options_.ft.plan);
-    chaos = chaos_bus.get();
-    bus_holder = std::move(chaos_bus);
-  } else {
-    bus_holder = std::make_unique<MessageBus>();
+    chaos_holder =
+        std::make_unique<ft::ChaosBus>(options_.ft.plan, *bus_holder);
+    chaos = chaos_holder.get();
+    transport = chaos;
   }
-  MessageBus& bus = *bus_holder;
+  net::Transport& bus = *transport;
   auto master_mailbox = bus.register_endpoint("master");
 
   std::vector<std::string> node_names;

@@ -30,6 +30,14 @@ enum class MessageType : uint8_t {
   kHeartbeat = 9,   ///< node -> master: liveness beat (HeartbeatMsg)
   kReassign = 10,   ///< master -> nodes: failover ownership change
   kCheckpoint = 11, ///< node -> master: sealed-age snapshot (RemoteStore)
+
+  // Out-of-process cluster protocol (src/net). The supervisor process is
+  // addressed as "master"; nodes are real OS processes behind a socket.
+  kHello = 12,      ///< node -> hub: identify this connection (HelloMsg)
+  kAssign = 13,     ///< supervisor -> node: kernel ownership (AssignMsg)
+  kIdleProbe = 14,  ///< supervisor -> nodes: quiescence probe (empty payload)
+  kCapture = 15,    ///< node -> supervisor: captured field age (CaptureMsg)
+  kNodeDone = 16,   ///< node -> supervisor: final status (NodeDoneMsg)
 };
 
 struct Message {

@@ -16,6 +16,16 @@ constexpr int64_t kReorderBumpUs = 3000;
 ChaosBus::ChaosBus(FaultPlan plan)
     : plan_(std::move(plan)),
       start_ns_(now_ns()),
+      owned_(std::make_unique<dist::MessageBus>()),
+      inner_(owned_.get()),
+      crash_fired_(plan_.crashes.size(), false) {
+  wire_ = std::thread([this] { wire_loop(); });
+}
+
+ChaosBus::ChaosBus(FaultPlan plan, net::Transport& inner)
+    : plan_(std::move(plan)),
+      start_ns_(now_ns()),
+      inner_(&inner),
       crash_fired_(plan_.crashes.size(), false) {
   wire_ = std::thread([this] { wire_loop(); });
 }
@@ -81,11 +91,11 @@ dist::SendStatus ChaosBus::send(const std::string& to, Message message) {
   // Fencing first: messages that could never be delivered reach no fault
   // verdict, so crash timing does not perturb the verdict stream (and
   // hence the counters) of the surviving links.
-  if (unreachable(to)) return deliver(to, std::move(message));
+  if (unreachable(to)) return inner_->send(to, std::move(message));
 
   const bool eligible =
       message.type == dist::MessageType::kData && message.attempt == 1;
-  if (!eligible) return deliver(to, std::move(message));
+  if (!eligible) return inner_->send(to, std::move(message));
 
   const FaultVerdict v = plan_.verdict(message.from, to, message.seq);
   {
@@ -100,7 +110,7 @@ dist::SendStatus ChaosBus::send(const std::string& to, Message message) {
     if (v.reorder) ++cstats_.reordered;
   }
 
-  if (v.duplicate) deliver(to, message);  // extra immediate copy
+  if (v.duplicate) inner_->send(to, message);  // extra immediate copy
 
   const int64_t delay_us = v.delay_us + (v.reorder ? kReorderBumpUs : 0);
   if (delay_us > 0) {
@@ -115,9 +125,9 @@ dist::SendStatus ChaosBus::send(const std::string& to, Message message) {
       }
     }
     // Wire already shut down; deliver inline instead of losing the message.
-    return deliver(to, std::move(message));
+    return inner_->send(to, std::move(message));
   }
-  return deliver(to, std::move(message));
+  return inner_->send(to, std::move(message));
 }
 
 void ChaosBus::wire_loop() {
@@ -155,7 +165,7 @@ void ChaosBus::wire_loop() {
       Delayed d = heap_.top();
       heap_.pop();
       lock.unlock();
-      deliver(d.to, std::move(d.msg));
+      inner_->send(d.to, std::move(d.msg));
       in_flight_.fetch_sub(1);
       lock.lock();
     }

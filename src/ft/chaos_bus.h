@@ -1,4 +1,10 @@
-// ChaosBus: a MessageBus that injects faults according to a FaultPlan.
+// ChaosBus: a Transport decorator that injects faults per a FaultPlan.
+//
+// Since ISSUE 10 the chaos layer decorates *any* net::Transport — the
+// in-process MessageBus or a real socket backend — instead of inheriting
+// from the bus. The single-argument constructor keeps the historic "chaos
+// bus that owns its own in-process bus" shape for existing tests; the
+// two-argument form wraps an externally owned transport.
 //
 // Only first-attempt data-plane messages (kData with attempt == 1) are
 // subject to faults: retransmissions and the control plane (acks,
@@ -18,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
@@ -26,12 +33,13 @@
 
 #include "dist/bus.h"
 #include "ft/fault_plan.h"
+#include "net/transport.h"
 
 namespace p2g::ft {
 
 using Message = dist::Message;
 
-class ChaosBus : public dist::MessageBus {
+class ChaosBus : public net::Transport {
  public:
   /// Invoked (at most once per trigger) when a scripted crash fires; runs
   /// on whatever thread hit the trigger, so it must not join threads.
@@ -48,10 +56,30 @@ class ChaosBus : public dist::MessageBus {
     int64_t crashes_fired = 0;
   };
 
+  /// Owns a fresh in-process MessageBus (the historic shape).
   explicit ChaosBus(FaultPlan plan);
+  /// Decorates an externally owned transport; `inner` must outlive this.
+  ChaosBus(FaultPlan plan, net::Transport& inner);
   ~ChaosBus() override;
 
+  // --- Transport: chaos applies to send(); the rest forwards to inner. ---
   dist::SendStatus send(const std::string& to, Message message) override;
+  std::shared_ptr<Mailbox> register_endpoint(const std::string& name) override {
+    return inner_->register_endpoint(name);
+  }
+  int broadcast(Message message) override {
+    return inner_->broadcast(std::move(message));
+  }
+  void close_all() override { inner_->close_all(); }
+  void mark_dead(const std::string& name) override { inner_->mark_dead(name); }
+  bool is_dead(const std::string& name) const override {
+    return inner_->is_dead(name);
+  }
+  bool unreachable(const std::string& to) const override {
+    return inner_->unreachable(to);
+  }
+  int64_t delivered() const override { return inner_->delivered(); }
+  dist::BusStats stats() const override { return inner_->stats(); }
 
   void set_crash_handler(CrashHandler handler);
 
@@ -64,6 +92,9 @@ class ChaosBus : public dist::MessageBus {
   /// Delayed messages still sitting on the wire (termination detection:
   /// quiescence requires an empty wire).
   int64_t in_flight() const { return in_flight_.load(); }
+
+  /// The decorated transport (diagnostics / tests).
+  net::Transport& inner() { return *inner_; }
 
  private:
   struct Delayed {
@@ -87,6 +118,9 @@ class ChaosBus : public dist::MessageBus {
 
   const FaultPlan plan_;
   const int64_t start_ns_;
+
+  std::unique_ptr<net::Transport> owned_;  ///< set by the owning ctor only
+  net::Transport* inner_;                  ///< never null
 
   mutable std::mutex mutex_;  ///< guards heap_, stats, crash bookkeeping
   std::condition_variable cv_;

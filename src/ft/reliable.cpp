@@ -7,7 +7,7 @@
 
 namespace p2g::ft {
 
-ReliableChannel::ReliableChannel(dist::MessageBus& bus, std::string self,
+ReliableChannel::ReliableChannel(net::Transport& bus, std::string self,
                                  Options options)
     : bus_(bus),
       self_(std::move(self)),

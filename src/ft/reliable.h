@@ -1,4 +1,4 @@
-// ReliableChannel: at-least-once delivery over an unreliable MessageBus.
+// ReliableChannel: at-least-once delivery over an unreliable Transport.
 //
 // Sender side: every data message gets a per-(self, peer) sequence number
 // starting at 1 and is kept until a cumulative ack covers it; a retransmit
@@ -50,9 +50,9 @@ class ReliableChannel {
   // Overload instead of `Options options = {}`: GCC 12 rejects a nested
   // class's default member initializers in a default argument of the
   // enclosing class (PR c++/96645).
-  ReliableChannel(dist::MessageBus& bus, std::string self)
+  ReliableChannel(net::Transport& bus, std::string self)
       : ReliableChannel(bus, std::move(self), Options{}) {}
-  ReliableChannel(dist::MessageBus& bus, std::string self,
+  ReliableChannel(net::Transport& bus, std::string self,
                   Options options);
   ~ReliableChannel();
 
@@ -120,7 +120,7 @@ class ReliableChannel {
   void retransmit_loop();
   void send_ack(const std::string& to, uint64_t cumulative);
 
-  dist::MessageBus& bus_;
+  net::Transport& bus_;
   const std::string self_;
   const Options options_;
   TraceCollector* trace_ = nullptr;      ///< set_trace(); may stay null

@@ -63,19 +63,80 @@ AnyBuffer::AnyBuffer(ElementType type, Extents extents)
   count_alloc(bytes_.size());
 }
 
+AnyBuffer AnyBuffer::with_allocator(ElementType type, Extents extents,
+                                    Alloc alloc) {
+  AnyBuffer buffer;
+  buffer.type_ = type;
+  buffer.extents_ = std::move(extents);
+  buffer.alloc_ = std::move(alloc);
+  const size_t nbytes =
+      static_cast<size_t>(buffer.extents_.element_count()) *
+      element_size(type);
+  if (nbytes > 0 && buffer.alloc_) {
+    if (std::byte* block = buffer.alloc_(nbytes)) {
+      std::memset(block, 0, nbytes);
+      buffer.ext_ = block;
+      buffer.ext_writable_ = true;
+      count_alloc(nbytes);
+      return buffer;
+    }
+  }
+  // Arena exhausted (or empty shape): plain owned storage.
+  buffer.bytes_.resize(nbytes);
+  count_alloc(nbytes);
+  return buffer;
+}
+
+AnyBuffer AnyBuffer::alias(ElementType type, Extents extents,
+                           const std::byte* base,
+                           std::shared_ptr<const void> keepalive) {
+  AnyBuffer buffer;
+  buffer.type_ = type;
+  buffer.extents_ = std::move(extents);
+  // The alias is read-only: ext_writable_ stays false, and mutable_base()
+  // copies on first write. The const_cast is never written through.
+  buffer.ext_ = const_cast<std::byte*>(base);
+  buffer.keepalive_ = std::move(keepalive);
+  return buffer;
+}
+
 AnyBuffer::AnyBuffer(const AnyBuffer& other)
-    : type_(other.type_), extents_(other.extents_), bytes_(other.bytes_) {
-  count_alloc(bytes_.size());
+    : type_(other.type_), extents_(other.extents_) {
+  const size_t nbytes = static_cast<size_t>(extents_.element_count()) *
+                        element_size(type_);
+  bytes_.assign(other.base(), other.base() + nbytes);
+  count_alloc(nbytes);
 }
 
 AnyBuffer& AnyBuffer::operator=(const AnyBuffer& other) {
   if (this != &other) {
     type_ = other.type_;
     extents_ = other.extents_;
-    bytes_ = other.bytes_;
-    count_alloc(bytes_.size());
+    const size_t nbytes = static_cast<size_t>(extents_.element_count()) *
+                          element_size(type_);
+    bytes_.assign(other.base(), other.base() + nbytes);
+    ext_ = nullptr;
+    ext_writable_ = false;
+    keepalive_.reset();
+    alloc_ = nullptr;
+    count_alloc(nbytes);
   }
   return *this;
+}
+
+std::byte* AnyBuffer::mutable_base() {
+  if (ext_ != nullptr && !ext_writable_) materialize_owned();
+  return ext_ != nullptr ? ext_ : bytes_.data();
+}
+
+void AnyBuffer::materialize_owned() {
+  const size_t nbytes = static_cast<size_t>(extents_.element_count()) *
+                        element_size(type_);
+  bytes_.assign(ext_, ext_ + nbytes);
+  ext_ = nullptr;
+  ext_writable_ = false;
+  keepalive_.reset();
+  count_alloc(nbytes);
 }
 
 void AnyBuffer::resize(const Extents& new_extents) {
@@ -88,16 +149,36 @@ void AnyBuffer::resize(const Extents& new_extents) {
   if (new_extents == extents_) return;
 
   const size_t esz = element_size(type_);
-  std::vector<std::byte> fresh(
-      static_cast<size_t>(new_extents.element_count()) * esz);
-  count_alloc(fresh.size());
+  const size_t new_bytes =
+      static_cast<size_t>(new_extents.element_count()) * esz;
+
+  // Destination storage: a fresh arena block when this buffer carries an
+  // allocator that still has room, owned heap memory otherwise. Old arena
+  // blocks are never reclaimed (bump semantics) — descriptors already
+  // shipped to a peer keep reading stable bytes.
+  std::vector<std::byte> fresh_vec;
+  std::byte* dst = nullptr;
+  bool dst_external = false;
+  if (alloc_) {
+    if (std::byte* block = alloc_(new_bytes)) {
+      std::memset(block, 0, new_bytes);
+      dst = block;
+      dst_external = true;
+    }
+  }
+  if (dst == nullptr) {
+    fresh_vec.resize(new_bytes);
+    dst = fresh_vec.data();
+  }
+  count_alloc(new_bytes);
 
   if (extents_.element_count() > 0) {
     // Copy row by row: iterate over all coordinates of the old extents with
     // the innermost dimension handled as one contiguous run.
+    const std::byte* src = base();
     const size_t rank = extents_.rank();
     if (rank == 0) {
-      std::memcpy(fresh.data(), bytes_.data(), esz);
+      std::memcpy(dst, src, esz);
     } else {
       const int64_t row_len = extents_.dim(rank - 1);
       const auto old_strides = extents_.strides();
@@ -111,8 +192,8 @@ void AnyBuffer::resize(const Extents& new_extents) {
           old_off += coord[i] * old_strides[i];
           new_off += coord[i] * new_strides[i];
         }
-        std::memcpy(fresh.data() + static_cast<size_t>(new_off) * esz,
-                    bytes_.data() + static_cast<size_t>(old_off) * esz,
+        std::memcpy(dst + static_cast<size_t>(new_off) * esz,
+                    src + static_cast<size_t>(old_off) * esz,
                     static_cast<size_t>(row_len) * esz);
         // Advance all dimensions except the innermost (whole rows copied).
         if (rank == 1) break;
@@ -128,7 +209,16 @@ void AnyBuffer::resize(const Extents& new_extents) {
       }
     }
   }
-  bytes_ = std::move(fresh);
+  if (dst_external) {
+    ext_ = dst;
+    ext_writable_ = true;
+    bytes_.clear();
+  } else {
+    bytes_ = std::move(fresh_vec);
+    ext_ = nullptr;
+    ext_writable_ = false;
+  }
+  keepalive_.reset();
   extents_ = new_extents;
 }
 
@@ -164,39 +254,41 @@ int64_t load_as_int(ElementType type, const std::byte* p) {
 double AnyBuffer::get_as_double(int64_t flat) const {
   const int64_t i = check_flat(flat);
   return load_as_double(type_,
-                        bytes_.data() + static_cast<size_t>(i) *
+                        base() + static_cast<size_t>(i) *
                                             element_size(type_));
 }
 
 int64_t AnyBuffer::get_as_int(int64_t flat) const {
   const int64_t i = check_flat(flat);
-  return load_as_int(type_, bytes_.data() + static_cast<size_t>(i) *
+  return load_as_int(type_, base() + static_cast<size_t>(i) *
                                                 element_size(type_));
 }
 
 void AnyBuffer::set_from_double(int64_t flat, double value) {
   const int64_t i = check_flat(flat);
+  std::byte* const mb = mutable_base();
   switch (type_) {
-    case ElementType::kInt8: reinterpret_cast<int8_t*>(bytes_.data())[i] = static_cast<int8_t>(value); break;
-    case ElementType::kUInt8: reinterpret_cast<uint8_t*>(bytes_.data())[i] = static_cast<uint8_t>(value); break;
-    case ElementType::kInt16: reinterpret_cast<int16_t*>(bytes_.data())[i] = static_cast<int16_t>(value); break;
-    case ElementType::kInt32: reinterpret_cast<int32_t*>(bytes_.data())[i] = static_cast<int32_t>(value); break;
-    case ElementType::kInt64: reinterpret_cast<int64_t*>(bytes_.data())[i] = static_cast<int64_t>(value); break;
-    case ElementType::kFloat32: reinterpret_cast<float*>(bytes_.data())[i] = static_cast<float>(value); break;
-    case ElementType::kFloat64: reinterpret_cast<double*>(bytes_.data())[i] = value; break;
+    case ElementType::kInt8: reinterpret_cast<int8_t*>(mb)[i] = static_cast<int8_t>(value); break;
+    case ElementType::kUInt8: reinterpret_cast<uint8_t*>(mb)[i] = static_cast<uint8_t>(value); break;
+    case ElementType::kInt16: reinterpret_cast<int16_t*>(mb)[i] = static_cast<int16_t>(value); break;
+    case ElementType::kInt32: reinterpret_cast<int32_t*>(mb)[i] = static_cast<int32_t>(value); break;
+    case ElementType::kInt64: reinterpret_cast<int64_t*>(mb)[i] = static_cast<int64_t>(value); break;
+    case ElementType::kFloat32: reinterpret_cast<float*>(mb)[i] = static_cast<float>(value); break;
+    case ElementType::kFloat64: reinterpret_cast<double*>(mb)[i] = value; break;
   }
 }
 
 void AnyBuffer::set_from_int(int64_t flat, int64_t value) {
   const int64_t i = check_flat(flat);
+  std::byte* const mb = mutable_base();
   switch (type_) {
-    case ElementType::kInt8: reinterpret_cast<int8_t*>(bytes_.data())[i] = static_cast<int8_t>(value); break;
-    case ElementType::kUInt8: reinterpret_cast<uint8_t*>(bytes_.data())[i] = static_cast<uint8_t>(value); break;
-    case ElementType::kInt16: reinterpret_cast<int16_t*>(bytes_.data())[i] = static_cast<int16_t>(value); break;
-    case ElementType::kInt32: reinterpret_cast<int32_t*>(bytes_.data())[i] = static_cast<int32_t>(value); break;
-    case ElementType::kInt64: reinterpret_cast<int64_t*>(bytes_.data())[i] = value; break;
-    case ElementType::kFloat32: reinterpret_cast<float*>(bytes_.data())[i] = static_cast<float>(value); break;
-    case ElementType::kFloat64: reinterpret_cast<double*>(bytes_.data())[i] = static_cast<double>(value); break;
+    case ElementType::kInt8: reinterpret_cast<int8_t*>(mb)[i] = static_cast<int8_t>(value); break;
+    case ElementType::kUInt8: reinterpret_cast<uint8_t*>(mb)[i] = static_cast<uint8_t>(value); break;
+    case ElementType::kInt16: reinterpret_cast<int16_t*>(mb)[i] = static_cast<int16_t>(value); break;
+    case ElementType::kInt32: reinterpret_cast<int32_t*>(mb)[i] = static_cast<int32_t>(value); break;
+    case ElementType::kInt64: reinterpret_cast<int64_t*>(mb)[i] = value; break;
+    case ElementType::kFloat32: reinterpret_cast<float*>(mb)[i] = static_cast<float>(value); break;
+    case ElementType::kFloat64: reinterpret_cast<double*>(mb)[i] = static_cast<double>(value); break;
   }
 }
 
@@ -205,15 +297,16 @@ void AnyBuffer::scatter(const Region& region, const std::byte* src) {
                  "scatter region " + region.to_string() +
                      " outside extents " + extents_.to_string());
   const size_t esz = element_size(type_);
+  std::byte* const mb = mutable_base();
   if (const auto span = region.contiguous_span(extents_)) {
-    std::memcpy(bytes_.data() + static_cast<size_t>(span->offset) * esz, src,
+    std::memcpy(mb + static_cast<size_t>(span->offset) * esz, src,
                 static_cast<size_t>(span->length) * esz);
     return;
   }
   size_t src_index = 0;
   region.for_each([&](const Coord& coord) {
     const int64_t off = extents_.flatten(coord);
-    std::memcpy(bytes_.data() + static_cast<size_t>(off) * esz,
+    std::memcpy(mb + static_cast<size_t>(off) * esz,
                 src + src_index * esz, esz);
     ++src_index;
   });
@@ -225,7 +318,7 @@ void AnyBuffer::gather(const Region& region, std::byte* dst) const {
                      extents_.to_string());
   const size_t esz = element_size(type_);
   if (const auto span = region.contiguous_span(extents_)) {
-    std::memcpy(dst, bytes_.data() + static_cast<size_t>(span->offset) * esz,
+    std::memcpy(dst, base() + static_cast<size_t>(span->offset) * esz,
                 static_cast<size_t>(span->length) * esz);
     return;
   }
@@ -233,7 +326,7 @@ void AnyBuffer::gather(const Region& region, std::byte* dst) const {
   region.for_each([&](const Coord& coord) {
     const int64_t off = extents_.flatten(coord);
     std::memcpy(dst + dst_index * esz,
-                bytes_.data() + static_cast<size_t>(off) * esz, esz);
+                base() + static_cast<size_t>(off) * esz, esz);
     ++dst_index;
   });
 }

@@ -3,10 +3,22 @@
 // Field payloads live in AnyBuffer: a contiguous row-major allocation with a
 // runtime element type. Kernels obtain typed views; the kernel-language
 // interpreter uses the generic scalar accessors.
+//
+// Storage normally lives in an owned heap vector, but a buffer can also be
+// backed by external memory (ISSUE 10's shared-memory data plane):
+//  - with_allocator(): bytes come from a caller-supplied bump allocator
+//    (an mmap'd arena). Growing resizes allocate a fresh block and fall
+//    back to owned heap storage when the allocator is exhausted.
+//  - alias(): a read-only view over memory owned elsewhere (mapped pages
+//    from a peer process), pinned by a keepalive. Any mutating access
+//    first materializes the bytes into owned storage — writes never touch
+//    the aliased pages.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -62,10 +74,29 @@ template <> constexpr ElementType element_type_of<double>() { return ElementType
 /// Shaped, type-erased, resizable element storage (row-major).
 class AnyBuffer {
  public:
+  /// External byte allocator (a shared-memory arena): returns a block of
+  /// the requested size, or nullptr when exhausted (the buffer then falls
+  /// back to owned heap storage).
+  using Alloc = std::function<std::byte*(size_t)>;
+
   AnyBuffer() : type_(ElementType::kInt32) {}
   AnyBuffer(ElementType type, Extents extents);
 
-  // Copies count toward buffer_alloc_count(); moves are free.
+  /// A buffer whose bytes come from `alloc` (writable external storage).
+  /// Growing resizes allocate fresh blocks from the same allocator; old
+  /// blocks are never returned (bump-arena semantics).
+  static AnyBuffer with_allocator(ElementType type, Extents extents,
+                                  Alloc alloc);
+
+  /// A read-only alias over `base` (element_count * element_size bytes,
+  /// densely packed row-major), pinned by `keepalive`. Mutating accessors
+  /// copy-on-write into owned storage.
+  static AnyBuffer alias(ElementType type, Extents extents,
+                         const std::byte* base,
+                         std::shared_ptr<const void> keepalive);
+
+  // Copies count toward buffer_alloc_count() and always materialize into
+  // owned storage; moves are free.
   AnyBuffer(const AnyBuffer& other);
   AnyBuffer& operator=(const AnyBuffer& other);
   AnyBuffer(AnyBuffer&&) noexcept = default;
@@ -75,25 +106,29 @@ class AnyBuffer {
   const Extents& extents() const { return extents_; }
   int64_t element_count() const { return extents_.element_count(); }
 
+  /// True when the bytes live in external storage (arena block or alias).
+  bool external() const { return ext_ != nullptr; }
+
   /// Grows the buffer to `new_extents`, relocating existing elements so each
   /// coordinate keeps its value (implicit-resize support). Dimensions may
   /// only grow.
   void resize(const Extents& new_extents);
 
   /// Raw storage (row-major). Size is element_count() * element_size(type()).
-  std::byte* raw() { return bytes_.data(); }
-  const std::byte* raw() const { return bytes_.data(); }
+  /// The non-const form materializes an alias into owned storage first.
+  std::byte* raw() { return mutable_base(); }
+  const std::byte* raw() const { return base(); }
 
   /// Typed pointer to the full buffer; throws kTypeMismatch on wrong T.
   template <typename T>
   T* data() {
     require_type(element_type_of<T>());
-    return reinterpret_cast<T*>(bytes_.data());
+    return reinterpret_cast<T*>(mutable_base());
   }
   template <typename T>
   const T* data() const {
     require_type(element_type_of<T>());
-    return reinterpret_cast<const T*>(bytes_.data());
+    return reinterpret_cast<const T*>(base());
   }
 
   template <typename T>
@@ -123,9 +158,22 @@ class AnyBuffer {
   void require_type(ElementType expected) const;
   int64_t check_flat(int64_t flat) const;
 
+  const std::byte* base() const { return ext_ != nullptr ? ext_ : bytes_.data(); }
+  /// Writable base; copies an alias into owned storage first.
+  std::byte* mutable_base();
+  /// Copies external bytes into the owned vector and drops the external
+  /// reference (and its keepalive/allocator).
+  void materialize_owned();
+
   ElementType type_;
   Extents extents_;
   std::vector<std::byte> bytes_;
+
+  // External-storage state (empty for plain owned buffers).
+  std::byte* ext_ = nullptr;  ///< external base; read-only unless writable
+  bool ext_writable_ = false;
+  std::shared_ptr<const void> keepalive_;  ///< pins an alias's pages
+  Alloc alloc_;                            ///< arena allocator, if any
 };
 
 }  // namespace p2g::nd

@@ -1,0 +1,120 @@
+// Real multi-process cluster driver (ISSUE 10).
+//
+// run_cluster() is the out-of-process counterpart of dist::Master::run():
+// it derives the same partition / placement / kernel ownership from the
+// workload's program, but instead of constructing in-process
+// ExecutionNodes it fork+execs one `p2gnode` process per node, wires them
+// through a SocketHub (control + data frames) and optionally a
+// shared-memory data plane (memfd arenas + SPSC rings inherited across
+// exec by fd number), supervises them with the phi-accrual failure
+// detector, detects termination with the same two-round
+// quiescence+conservation protocol, and gathers captures for bit-exact
+// comparison against an in-process run.
+//
+// run_node() is the other side: what a `p2gnode` process does between
+// exec and exit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "core/runtime.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace p2g::net {
+
+/// A named, self-contained workload both the supervisor and the node
+/// binary can instantiate by name (the program must be identical in every
+/// process — kernel bodies are code, not wire data).
+struct WorkloadSpec {
+  std::function<Program()> build;
+  std::function<void(RunOptions&)> schedule;  ///< age caps etc.
+  std::vector<std::string> capture;           ///< fields gathered at the end
+};
+
+/// Built-in workloads: "mul2", "kmeans", "pipeline". Returns nullptr for
+/// unknown names.
+const WorkloadSpec* find_workload(const std::string& name);
+
+struct ClusterOptions {
+  std::string workload = "mul2";
+  int nodes = 2;
+  int workers = 1;
+  /// Enable the same-host shared-memory data plane.
+  bool shm = false;
+  /// Path of the node binary to exec (tools/p2gnode).
+  std::string node_binary;
+  /// Per-node arena size for the shm plane.
+  size_t arena_bytes = 16u << 20;
+  uint32_t ring_slots = 1024;
+  std::chrono::milliseconds watchdog{30000};
+  /// Fault injection for supervision tests: this node gets
+  /// --crash-after-ms and dies mid-run; the supervisor must detect it,
+  /// fence it and still terminate cleanly.
+  std::string crash_node;
+  int crash_after_ms = 0;
+};
+
+struct ClusterReport {
+  bool timed_out = false;
+  double wall_s = 0.0;
+  std::vector<std::string> dead_nodes;
+  /// field name -> age -> densely packed payload bytes (same shape as
+  /// DistributedRunReport::captured).
+  std::map<std::string, std::map<Age, std::vector<uint8_t>>> captured;
+  /// Cross-node reduction of the nodes' metric snapshots plus the hub's
+  /// own registry.
+  obs::MetricsSnapshot combined_metrics;
+  BusStats bus;
+  std::map<std::string, bool> node_ok;
+  std::map<std::string, std::string> node_errors;
+
+  /// Data-plane economics: cross-process store frames (socket kRemoteStore
+  /// + shm descriptors) and how many payload bytes were copied to ship
+  /// them. On the shm fast lane a frame ships as an arena offset, so
+  /// bytes_copied_per_frame collapses toward zero.
+  int64_t data_frames = 0;
+  int64_t copied_bytes = 0;
+  double bytes_copied_per_frame = 0.0;
+};
+
+ClusterReport run_cluster(const ClusterOptions& options);
+
+/// Shared-memory wiring of one peer, as handed to the node process (fd
+/// numbers survive exec because the memfds are not close-on-exec).
+struct PeerShmConfig {
+  std::string name;
+  int arena_fd = -1;
+  size_t arena_bytes = 0;
+  int tx_ring_fd = -1;  ///< this node -> peer
+  int rx_ring_fd = -1;  ///< peer -> this node
+};
+
+struct NodeConfig {
+  std::string name;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string workload;
+  int workers = 1;
+  int heartbeat_period_ms = 25;
+  /// Fault injection: hard-exit this process after N ms (0 = off).
+  int crash_after_ms = 0;
+  /// Shared-memory plane (disabled when arena_fd < 0).
+  int arena_fd = -1;
+  size_t arena_bytes = 0;
+  uint32_t ring_slots = 0;
+  std::vector<PeerShmConfig> peers;
+};
+
+/// The node-process main loop: connect, handshake, receive the kernel
+/// assignment, run the workload, ship captures, report done. Returns the
+/// process exit code.
+int run_node(const NodeConfig& config);
+
+}  // namespace p2g::net

@@ -1,0 +1,62 @@
+#include "workloads/pipeline.h"
+
+#include "core/context.h"
+
+namespace p2g::workloads {
+
+Program PipelineWorkload::build() const {
+  ProgramBuilder pb;
+  pb.field("frame", nd::ElementType::kUInt8, 1);
+  pb.field("out", nd::ElementType::kUInt8, 1);
+
+  const int n = config.frame_bytes;
+  const uint32_t seed = config.seed;
+  pb.kernel("src")
+      .run_once()
+      .store("f", "frame", AgeExpr::constant(0), Slice::whole())
+      .body([n, seed](KernelContext& ctx) {
+        nd::AnyBuffer values(nd::ElementType::kUInt8, nd::Extents({n}));
+        uint32_t state = seed * 2654435761u + 1;
+        for (int i = 0; i < n; ++i) {
+          state ^= state << 13;
+          state ^= state >> 17;
+          state ^= state << 5;
+          values.data<uint8_t>()[i] = static_cast<uint8_t>(state);
+        }
+        ctx.store_array("f", std::move(values));
+      });
+
+  pb.kernel("xform")
+      .fetch("in", "frame", AgeExpr::relative(0), Slice::whole())
+      .store("out", "out", AgeExpr::relative(0), Slice::whole())
+      .body([](KernelContext& ctx) {
+        const nd::ConstView& in = ctx.fetch_view("in");
+        nd::AnyBuffer result(nd::ElementType::kUInt8, in.extents());
+        for (int64_t i = 0; i < in.element_count(); ++i) {
+          result.data<uint8_t>()[i] =
+              static_cast<uint8_t>(in.at_flat<uint8_t>(i) * 2 + 1);
+        }
+        ctx.store_array("out", std::move(result));
+      });
+
+  pb.kernel("pump")
+      .fetch("in", "out", AgeExpr::relative(0), Slice::whole())
+      .store("next", "frame", AgeExpr::relative(1), Slice::whole())
+      .body([](KernelContext& ctx) {
+        const nd::ConstView& in = ctx.fetch_view("in");
+        nd::AnyBuffer result(nd::ElementType::kUInt8, in.extents());
+        for (int64_t i = 0; i < in.element_count(); ++i) {
+          result.data<uint8_t>()[i] =
+              static_cast<uint8_t>(in.at_flat<uint8_t>(i) + 3);
+        }
+        ctx.store_array("next", std::move(result));
+      });
+
+  return pb.build();
+}
+
+void PipelineWorkload::apply_schedule(RunOptions& options) const {
+  options.max_age = config.frames;
+}
+
+}  // namespace p2g::workloads

@@ -1,0 +1,38 @@
+// A whole-frame streaming pipeline: the workload shape the shared-memory
+// data plane is built for (ISSUE 10).
+//
+// Three kernels pass complete frames through an aging loop:
+//   src (run-once): seeds frame(0) with deterministic pseudo-random bytes.
+//   xform (per age): fetches frame(a) whole, stores out(a) whole.
+//   pump (per age): fetches out(a) whole, stores frame(a+1) whole.
+// The loop is capped with RunOptions::max_age. Every cross-partition
+// transfer is a whole-array store of `frame_bytes` contiguous bytes —
+// exactly what the arena fast lane ships as an offset with zero copies.
+//
+// All arithmetic is byte-wise and wraps (uint8), so results are bit-exact
+// regardless of node count, transport, or schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "core/program.h"
+#include "core/runtime.h"
+
+namespace p2g::workloads {
+
+struct PipelineConfig {
+  int frame_bytes = 4096;  ///< elements per frame (uint8)
+  int frames = 8;          ///< ages to run (max_age cap)
+  uint32_t seed = 1;
+};
+
+struct PipelineWorkload {
+  PipelineConfig config;
+
+  Program build() const;
+
+  /// Caps the aging loop at config.frames.
+  void apply_schedule(RunOptions& options) const;
+};
+
+}  // namespace p2g::workloads

@@ -10,6 +10,7 @@
 #include "dist/master.h"
 #include "dist/message.h"
 #include "dist/serialize.h"
+#include "net/wire.h"
 #include "workloads/kmeans.h"
 #include "workloads/mul2plus5.h"
 
@@ -407,6 +408,56 @@ std::vector<CodecCase> codec_corpus() {
   cases.push_back(
       {"IdleReport", idle.encode(),
        [](const std::vector<uint8_t>& b) { IdleReport::decode(b); }});
+
+  // Out-of-process wire format (src/net): a complete length-prefixed
+  // frame, driven through decode_frame so every strict prefix — including
+  // cuts inside the length word itself — throws kProtocol.
+  net::NetEnvelope envelope_frame;
+  envelope_frame.to = "node1";
+  envelope_frame.msg.type = MessageType::kRemoteStore;
+  envelope_frame.msg.from = "node0";
+  envelope_frame.msg.payload = {9, 8, 7, 6};
+  envelope_frame.msg.seq = 0xF1F2F3F4F5F6F7F8ULL;  // exercises u64<->i64
+  envelope_frame.msg.attempt = 2;
+  envelope_frame.msg.trace.trace_id = 0xABCDEF0102030405ULL;
+  envelope_frame.msg.trace.span_id = 0x0504030201FEDCBAULL;
+  cases.push_back({"NetFrame", net::encode_frame(envelope_frame),
+                   [](const std::vector<uint8_t>& b) {
+                     net::decode_frame(b);
+                   }});
+
+  net::HelloMsg hello;
+  hello.name = "node2";
+  hello.pid = 43210;
+  cases.push_back({"HelloMsg", hello.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     net::HelloMsg::decode(b);
+                   }});
+
+  net::AssignMsg assign;
+  assign.kernels = {{"src", "node0"}, {"xform", "node1"}, {"pump", "node2"}};
+  assign.capture_fields = {"out"};
+  cases.push_back({"AssignMsg", assign.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     net::AssignMsg::decode(b);
+                   }});
+
+  net::CaptureMsg capture;
+  capture.field = "out";
+  capture.age = 7;
+  capture.payload = {1, 2, 3, 4, 5};
+  cases.push_back({"CaptureMsg", capture.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     net::CaptureMsg::decode(b);
+                   }});
+
+  net::NodeDoneMsg done;
+  done.ok = false;
+  done.error = "kernel 'xform' threw";
+  cases.push_back({"NodeDoneMsg", done.encode(),
+                   [](const std::vector<uint8_t>& b) {
+                     net::NodeDoneMsg::decode(b);
+                   }});
 
   return cases;
 }

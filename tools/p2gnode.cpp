@@ -1,0 +1,228 @@
+// p2gnode: one process of a real P2G cluster — and the driver that
+// launches one.
+//
+// Node mode (what the supervisor execs, one process per execution node):
+//   p2gnode --node NAME --connect PORT --workload W [--workers K]
+//           [--shm-arena FD:BYTES --shm-slots S
+//            --shm-peer PEER:AFD:ABYTES:TXFD:RXFD ...]
+//
+// Master mode (the supervisor: forks/execs N node processes of itself):
+//   p2gnode --master --workload W [--nodes N] [--workers K] [--shm]
+//           [--json PATH] [--node-binary PATH] [--watchdog-ms MS]
+//
+// --json writes a machine-readable run summary (frames, copied bytes,
+// bytes_copied_per_frame, captured-output checksum) consumed by
+// scripts/soak.sh and scripts/bench_report.sh.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/cluster.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  p2gnode --master --workload W [--nodes N] [--workers K] [--shm]\n"
+      "          [--json PATH] [--node-binary PATH] [--watchdog-ms MS]\n"
+      "  p2gnode --node NAME --connect PORT --workload W [--workers K]\n"
+      "          [--shm-arena FD:BYTES --shm-slots S\n"
+      "           --shm-peer PEER:AFD:ABYTES:TXFD:RXFD ...]\n");
+  return 2;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// FNV-1a over every captured payload in deterministic (field, age)
+/// order: one number that must match between transports.
+uint64_t capture_checksum(
+    const std::map<std::string, std::map<p2g::Age, std::vector<uint8_t>>>&
+        captured) {
+  uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](const void* data, size_t size) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash ^= p[i];
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [field, ages] : captured) {
+    mix(field.data(), field.size());
+    for (const auto& [age, payload] : ages) {
+      mix(&age, sizeof(age));
+      mix(payload.data(), payload.size());
+    }
+  }
+  return hash;
+}
+
+int run_master(const p2g::net::ClusterOptions& options,
+               const std::string& json_path) {
+  const p2g::net::ClusterReport report = p2g::net::run_cluster(options);
+
+  std::printf("workload=%s nodes=%d transport=%s\n",
+              options.workload.c_str(), options.nodes,
+              options.shm ? "shm" : "socket");
+  std::printf("frames=%lld copied_bytes=%lld bytes_copied_per_frame=%.2f\n",
+              static_cast<long long>(report.data_frames),
+              static_cast<long long>(report.copied_bytes),
+              report.bytes_copied_per_frame);
+  std::printf("captured_fields=%zu checksum=%016llx wall_s=%.3f\n",
+              report.captured.size(),
+              static_cast<unsigned long long>(
+                  capture_checksum(report.captured)),
+              report.wall_s);
+  if (report.timed_out) std::printf("TIMED OUT\n");
+  for (const std::string& name : report.dead_nodes) {
+    std::printf("dead: %s\n", name.c_str());
+  }
+  for (const auto& [name, err] : report.node_errors) {
+    std::printf("error %s: %s\n", name.c_str(), err.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::trunc);
+    if (!os.good()) {
+      std::fprintf(stderr, "p2gnode: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(
+                      capture_checksum(report.captured)));
+    os << "{\n"
+       << "  \"workload\": \"" << options.workload << "\",\n"
+       << "  \"nodes\": " << options.nodes << ",\n"
+       << "  \"transport\": \"" << (options.shm ? "shm" : "socket")
+       << "\",\n"
+       << "  \"frames\": " << report.data_frames << ",\n"
+       << "  \"copied_bytes\": " << report.copied_bytes << ",\n"
+       << "  \"bytes_copied_per_frame\": " << report.bytes_copied_per_frame
+       << ",\n"
+       << "  \"dead_nodes\": " << report.dead_nodes.size() << ",\n"
+       << "  \"timed_out\": " << (report.timed_out ? "true" : "false")
+       << ",\n"
+       << "  \"checksum\": \"" << checksum << "\",\n"
+       << "  \"wall_s\": " << report.wall_s << "\n"
+       << "}\n";
+  }
+
+  bool ok = !report.timed_out && report.dead_nodes.empty();
+  for (const auto& [name, node_ok] : report.node_ok) ok = ok && node_ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool master = false;
+  std::string json_path;
+  p2g::net::ClusterOptions cluster;
+  p2g::net::NodeConfig node;
+  bool have_node_name = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "p2gnode: '%s' needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--master") {
+      master = true;
+    } else if (arg == "--node") {
+      node.name = value();
+      have_node_name = true;
+    } else if (arg == "--connect") {
+      node.port = static_cast<uint16_t>(std::stoi(value()));
+    } else if (arg == "--workload") {
+      const std::string w = value();
+      cluster.workload = w;
+      node.workload = w;
+    } else if (arg == "--workers") {
+      const int w = std::stoi(value());
+      cluster.workers = w;
+      node.workers = w;
+    } else if (arg == "--nodes") {
+      cluster.nodes = std::stoi(value());
+    } else if (arg == "--shm") {
+      cluster.shm = true;
+    } else if (arg == "--crash") {
+      const auto parts = split(value(), ':');
+      if (parts.size() != 2) return usage();
+      cluster.crash_node = parts[0];
+      cluster.crash_after_ms = std::stoi(parts[1]);
+    } else if (arg == "--crash-after-ms") {
+      node.crash_after_ms = std::stoi(value());
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--node-binary") {
+      cluster.node_binary = value();
+    } else if (arg == "--watchdog-ms") {
+      cluster.watchdog = std::chrono::milliseconds(std::stoll(value()));
+    } else if (arg == "--shm-arena") {
+      const auto parts = split(value(), ':');
+      if (parts.size() != 2) return usage();
+      node.arena_fd = std::stoi(parts[0]);
+      node.arena_bytes = static_cast<size_t>(std::stoull(parts[1]));
+    } else if (arg == "--shm-slots") {
+      node.ring_slots = static_cast<uint32_t>(std::stoul(value()));
+    } else if (arg == "--shm-peer") {
+      const auto parts = split(value(), ':');
+      if (parts.size() != 5) return usage();
+      p2g::net::PeerShmConfig peer;
+      peer.name = parts[0];
+      peer.arena_fd = std::stoi(parts[1]);
+      peer.arena_bytes = static_cast<size_t>(std::stoull(parts[2]));
+      peer.tx_ring_fd = std::stoi(parts[3]);
+      peer.rx_ring_fd = std::stoi(parts[4]);
+      node.peers.push_back(std::move(peer));
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      std::fprintf(stderr, "p2gnode: unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  if (master) {
+    if (cluster.node_binary.empty()) {
+      // Default: this binary doubles as the node binary.
+      char self[4096];
+      const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+      if (n <= 0) {
+        std::fprintf(stderr, "p2gnode: cannot resolve /proc/self/exe\n");
+        return 1;
+      }
+      self[n] = '\0';
+      cluster.node_binary = self;
+    }
+    return run_master(cluster, json_path);
+  }
+  if (!have_node_name || node.port == 0 || node.workload.empty()) {
+    return usage();
+  }
+  return p2g::net::run_node(node);
+}
